@@ -1,0 +1,29 @@
+# summation.s — the paper's Figure 1 computation, hand-written:
+#   S := A + B + C + D with a logarithmic summation tree.
+# Try:
+#   dune exec bin/paragraph.exe -- run examples/programs/summation.s
+#   dune exec bin/paragraph.exe -- ddg examples/programs/summation.s | dot -Tpng > ddg.png
+# The DDG has critical path 4 (see the paper's Figure 1); reusing t0/t1
+# for the second pair of loads and disabling renaming stretches it to 6
+# (Figure 2).
+
+        .data
+A:      .word 1
+B:      .word 2
+C:      .word 3
+D:      .word 4
+S:      .word 0
+
+        .text
+main:   lw  t0, A
+        lw  t1, B
+        add t4, t0, t1
+        lw  t2, C
+        lw  t3, D
+        add t5, t2, t3
+        add t6, t4, t5
+        sw  t6, S
+        lw  a0, S
+        li  v0, 1
+        syscall
+        halt
