@@ -1,0 +1,177 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Tables 1-4, Figures 7-8), the section 2.3
+   secondary analyses, two ablations (finite functional units; branch
+   misprediction firewalls), and a set of Bechamel microbenchmarks of the
+   tool itself.
+
+   Usage: main.exe [--size tiny|default|large] [--only SECTION] [--no-micro]
+   where SECTION is one of table1 table2 table3 table4 fig7 fig8 extras
+   resources branches. *)
+
+open Ddg_experiments
+
+let parse_args () =
+  let size = ref Ddg_workloads.Workload.Default in
+  let only = ref None in
+  let micro = ref true in
+  let rec go = function
+    | [] -> ()
+    | "--size" :: s :: rest ->
+        size :=
+          (match s with
+          | "tiny" -> Ddg_workloads.Workload.Tiny
+          | "default" -> Ddg_workloads.Workload.Default
+          | "large" -> Ddg_workloads.Workload.Large
+          | _ -> failwith ("unknown size " ^ s));
+        go rest
+    | "--only" :: s :: rest ->
+        only := Some s;
+        go rest
+    | "--no-micro" :: rest ->
+        micro := false;
+        go rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!size, !only, !micro)
+
+let section_banner name =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n\n" bar name bar
+
+(* --- Bechamel microbenchmarks ------------------------------------------- *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  (* a small fixed trace for the analysis benchmarks *)
+  let w = Option.get (Ddg_workloads.Registry.find "eqnx") in
+  let _, trace = Ddg_workloads.Workload.trace w Ddg_workloads.Workload.Tiny in
+  let events = Ddg_sim.Trace.length trace in
+  let program =
+    Ddg_workloads.Workload.program w Ddg_workloads.Workload.Tiny
+  in
+  let minic_source = w.Ddg_workloads.Workload.source Ddg_workloads.Workload.Tiny in
+  let tests =
+    [ Test.make ~name:"analyze trace (full renaming)"
+        (Staged.stage (fun () ->
+             ignore
+               (Ddg_paragraph.Analyzer.analyze Ddg_paragraph.Config.default
+                  trace)));
+      Test.make ~name:"analyze trace (no renaming)"
+        (Staged.stage (fun () ->
+             ignore
+               (Ddg_paragraph.Analyzer.analyze
+                  Ddg_paragraph.Config.(
+                    with_renaming rename_none default)
+                  trace)));
+      Test.make ~name:"analyze trace (window=100)"
+        (Staged.stage (fun () ->
+             ignore
+               (Ddg_paragraph.Analyzer.analyze
+                  Ddg_paragraph.Config.(with_window (Some 100) default)
+                  trace)));
+      Test.make ~name:"simulate program"
+        (Staged.stage (fun () -> ignore (Ddg_sim.Machine.run program)));
+      Test.make ~name:"compile Mini-C workload"
+        (Staged.stage (fun () ->
+             ignore (Ddg_minic.Driver.compile minic_source)));
+      Test.make ~name:"explicit DDG build"
+        (Staged.stage (fun () ->
+             ignore
+               (Ddg_paragraph.Ddg.build Ddg_paragraph.Config.default trace)))
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~compaction:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  Printf.printf
+    "Microbenchmarks (eqnx tiny: %d trace events; ns per run):\n\n" events;
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Bechamel.Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Printf.printf "  %-36s %14s ns/run  (%10.0f events/s)\n" name
+                (Ddg_report.Table.float_cell est)
+                (if est > 0.0 then float_of_int events /. (est /. 1e9)
+                 else 0.0)
+          | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
+        analyzed)
+    tests;
+  print_newline ()
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  let size, only, micro = parse_args () in
+  let t0 = Unix.gettimeofday () in
+  let progress msg =
+    Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
+  in
+  let runner = Runner.create ~size ~progress () in
+  (* fill the analysis cache in parallel: one job per (workload, switch
+     combination) used by any section *)
+  let all_configs =
+    let open Ddg_paragraph.Config in
+    [ default; dataflow ]
+    @ List.map (fun r -> with_renaming r default)
+        [ rename_none; rename_registers_only; rename_registers_stack ]
+    @ List.map (fun w -> with_window (Some w) default) Fig8.window_sizes
+    @ List.map
+        (fun k -> with_fu { unlimited_fu with total = Some k } default)
+        Ablation.fu_limits
+    @ List.map (fun (_, p) -> with_branch p default)
+        [ ("taken", Predict_taken); ("not-taken", Predict_not_taken);
+          ("2bit", Two_bit 12) ]
+  in
+  let jobs =
+    List.concat_map
+      (fun w -> List.map (fun c -> (w, c)) all_configs)
+      (Runner.workloads runner)
+  in
+  (match only with
+  | Some ("table1" | "compiler") -> ()
+  | _ -> Runner.prefetch runner jobs);
+  let sections =
+    [ ("table1", fun () -> Table1.render ());
+      ("table2", fun () -> Table2.render runner);
+      ("table3", fun () -> Table3.render runner);
+      ("table4", fun () -> Table4.render runner);
+      ("fig7", fun () -> Fig7.render runner);
+      ("fig8", fun () -> Fig8.render runner);
+      ("extras", fun () -> Extras.render runner);
+      ("resources", fun () -> Ablation.render_resources runner);
+      ("branches", fun () -> Ablation.render_branches runner);
+      ("compiler", fun () -> Compiler_fx.render runner) ]
+  in
+  let wanted =
+    match only with
+    | None -> sections
+    | Some name -> List.filter (fun (n, _) -> n = name) sections
+  in
+  if wanted = [] then failwith "no such section";
+  Printf.printf
+    "Dynamic Dependency Analysis of Ordinary Programs - evaluation \
+     reproduction\n(Austin & Sohi, ISCA 1992; Mini-C SPEC'89 analogs, %s \
+     size)\n"
+    (Ddg_workloads.Workload.size_to_string size);
+  List.iter
+    (fun (name, render) ->
+      section_banner name;
+      print_string (render ());
+      flush stdout)
+    wanted;
+  if micro && only = None then begin
+    section_banner "microbenchmarks";
+    microbenchmarks ()
+  end;
+  Printf.eprintf "[%7.1fs] done\n%!" (Unix.gettimeofday () -. t0)

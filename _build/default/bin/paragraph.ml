@@ -1,0 +1,591 @@
+(* The paragraph command-line tool.
+
+   Subcommands:
+   - analyze:   trace a Mini-C file, an assembly file or a named workload
+                and run the DDG analysis under any switch combination
+   - profile:   print the parallelism profile (chart or CSV)
+   - ddg:       emit the explicit DDG of a small program as Graphviz DOT
+   - run:       just execute a program on the simulator
+   - workloads: list the SPEC'89-analog workloads
+   - table3 / table4 / fig7 / fig8: regenerate one paper result *)
+
+open Cmdliner
+open Ddg_paragraph
+
+(* --- program / trace loading ------------------------------------------- *)
+
+type source = Workload_name of string | Minic_file of string | Asm_file of string
+
+let load_program = function
+  | Workload_name name -> (
+      match Ddg_workloads.Registry.find name with
+      | Some w -> Ddg_workloads.Workload.program w Ddg_workloads.Workload.Default
+      | None -> failwith (Printf.sprintf "unknown workload %S" name))
+  | Minic_file path -> (
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let source = really_input_string ic n in
+      close_in ic;
+      try Ddg_minic.Driver.compile source
+      with Ddg_minic.Driver.Error { line; msg } ->
+        failwith (Printf.sprintf "%s:%d: %s" path line msg))
+  | Asm_file path -> (
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let source = really_input_string ic n in
+      close_in ic;
+      try Ddg_asm.Assembler.assemble_string source
+      with
+      | Ddg_asm.Parser.Error { lineno; msg }
+      | Ddg_asm.Assembler.Error { lineno; msg } ->
+          failwith (Printf.sprintf "%s:%d: %s" path lineno msg))
+
+let classify_input input =
+  if Filename.check_suffix input ".mc" || Filename.check_suffix input ".c"
+  then Minic_file input
+  else if Filename.check_suffix input ".s" || Filename.check_suffix input ".asm"
+  then Asm_file input
+  else Workload_name input
+
+(* returns [None] for the simulation result and program when the input is
+   a saved trace file (no simulation happens) *)
+let trace_and_program_of_input input ~max_instructions =
+  if Filename.check_suffix input ".trace" then
+    (None, None, Ddg_sim.Trace_io.read_file input)
+  else begin
+    let program = load_program (classify_input input) in
+    let result, trace =
+      Ddg_sim.Machine.run_to_trace ~max_instructions program
+    in
+    (match result.stop with
+    | Ddg_sim.Machine.Halted | Ddg_sim.Machine.Instruction_limit -> ()
+    | Ddg_sim.Machine.Fault msg -> failwith ("machine fault: " ^ msg));
+    (Some result, Some program, trace)
+  end
+
+let trace_of_input input ~max_instructions =
+  let result, _, trace = trace_and_program_of_input input ~max_instructions in
+  (result, trace)
+
+(* --- common options ------------------------------------------------------ *)
+
+let input_arg =
+  let doc =
+    "Program to analyze: a workload name (see $(b,workloads)), a Mini-C \
+     file (.mc/.c) or an assembly file (.s/.asm)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let max_instructions_arg =
+  let doc = "Maximum instructions to trace." in
+  Arg.(value & opt int 100_000_000 & info [ "max-instructions" ] ~doc)
+
+let optimistic_arg =
+  let doc =
+    "Assume system calls modify nothing (optimistic) instead of placing a \
+     firewall (conservative)."
+  in
+  Arg.(value & flag & info [ "optimistic" ] ~doc)
+
+let renaming_arg =
+  let doc = "Renaming: one of none, regs, regs-stack, all." in
+  let kind =
+    Arg.enum
+      [ ("none", Config.rename_none);
+        ("regs", Config.rename_registers_only);
+        ("regs-stack", Config.rename_registers_stack);
+        ("all", Config.rename_all) ]
+  in
+  Arg.(value & opt kind Config.rename_all & info [ "renaming" ] ~doc)
+
+let window_arg =
+  let doc = "Instruction window size (omit for an unbounded window)." in
+  Arg.(value & opt (some int) None & info [ "window"; "w" ] ~doc)
+
+let fu_arg =
+  let doc = "Total functional-unit limit (omit for unlimited)." in
+  Arg.(value & opt (some int) None & info [ "fu" ] ~doc)
+
+let branch_arg =
+  let doc = "Branch handling: perfect, taken, not-taken, or 2bit." in
+  let kind =
+    Arg.enum
+      [ ("perfect", Config.Perfect);
+        ("taken", Config.Predict_taken);
+        ("not-taken", Config.Predict_not_taken);
+        ("2bit", Config.Two_bit 12) ]
+  in
+  Arg.(value & opt kind Config.Perfect & info [ "branch" ] ~doc)
+
+let config_term =
+  let make optimistic renaming window fu branch =
+    {
+      Config.default with
+      syscall_stall = not optimistic;
+      renaming;
+      window;
+      fu = { Config.unlimited_fu with total = fu };
+      branch;
+    }
+  in
+  Term.(
+    const make $ optimistic_arg $ renaming_arg $ window_arg $ fu_arg
+    $ branch_arg)
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let stats_to_json input config (stats : Analyzer.stats) =
+  let open Ddg_report.Json in
+  Obj
+    [ ("program", String input);
+      ("switches", String (Config.describe config));
+      ("events", Int stats.events);
+      ("placed_ops", Int stats.placed_ops);
+      ("syscalls", Int stats.syscalls);
+      ("critical_path", Int stats.critical_path);
+      ("available_parallelism", Float stats.available_parallelism);
+      ("live_locations", Int stats.live_locations);
+      ("mispredicts", Int stats.mispredicts);
+      ( "lifetimes",
+        Obj
+          [ ("count", Int (Dist.count stats.lifetimes));
+            ("mean", Float (Dist.mean stats.lifetimes));
+            ( "max",
+              if Dist.count stats.lifetimes = 0 then Null
+              else Int (Dist.max_value stats.lifetimes) ) ] );
+      ( "sharing",
+        Obj
+          [ ("count", Int (Dist.count stats.sharing));
+            ("mean", Float (Dist.mean stats.sharing));
+            ( "max",
+              if Dist.count stats.sharing = 0 then Null
+              else Int (Dist.max_value stats.sharing) ) ] );
+      ( "storage",
+        Obj
+          [ ( "mean_live",
+              Float (Profile.average_parallelism stats.storage_profile) );
+            ( "peak_live",
+              Float (Profile.max_ops_per_level stats.storage_profile) ) ] ) ]
+
+let analyze_cmd =
+  let run input max_instructions config json =
+    let result, trace = trace_of_input input ~max_instructions in
+    let stats = Analyzer.analyze config trace in
+    if json then
+      print_endline
+        (Ddg_report.Json.to_string (stats_to_json input config stats))
+    else begin
+      Format.printf "program: %s@." input;
+      Format.printf "switches: %s@." (Config.describe config);
+      (match result with
+      | Some r ->
+          Format.printf
+            "simulation: %d instructions, %d syscalls, output %d bytes@."
+            r.instructions r.syscalls
+            (String.length r.output)
+      | None ->
+          Format.printf "trace file: %d events@."
+            (Ddg_sim.Trace.length trace));
+      Format.printf "%a@." Analyzer.pp_stats stats
+    end
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let doc = "Run the Paragraph DDG analysis on a program or workload." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const run $ input_arg $ max_instructions_arg $ config_term $ json)
+
+(* --- profile -------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run input max_instructions config csv storage =
+    let _, trace = trace_of_input input ~max_instructions in
+    let stats = Analyzer.analyze config trace in
+    let profile = if storage then stats.storage_profile else stats.profile in
+    let series = Profile.series profile in
+    if csv then
+      print_string
+        (Ddg_report.Csv.to_string
+           ~header:[ "level_lo"; "level_hi"; "ops_per_level" ]
+           (List.map
+              (fun (lo, hi, avg) ->
+                [ string_of_int lo; string_of_int hi;
+                  Printf.sprintf "%.4f" avg ])
+              series))
+    else begin
+      Format.printf "%s: %d levels, %s mass %d, average %.2f per level@."
+        input (Profile.levels profile)
+        (if storage then "liveness" else "ops")
+        (Profile.total_ops profile)
+        (Profile.average_parallelism profile);
+      print_string
+        (Ddg_report.Chart.column_chart
+           ~y_label:
+             (if storage then "live values" else "operations available")
+           ~log_y:true
+           (List.map
+              (fun (lo, hi, avg) -> (float_of_int (lo + hi) /. 2.0, avg))
+              series))
+    end
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a chart.")
+  in
+  let storage =
+    Arg.(
+      value & flag
+      & info [ "storage" ]
+          ~doc:
+            "Show the storage (live values per level) profile instead of              the parallelism profile.")
+  in
+  let doc =
+    "Print the parallelism profile (or, with $(b,--storage), the      memory-requirement profile) of a program or workload."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ input_arg $ max_instructions_arg $ config_term $ csv
+      $ storage)
+
+(* --- ddg ------------------------------------------------------------------- *)
+
+let ddg_cmd =
+  let run input max_instructions config =
+    let _, trace = trace_of_input input ~max_instructions in
+    if Ddg_sim.Trace.length trace > 200_000 then
+      failwith
+        "trace too large for explicit DDG construction; use --max-instructions";
+    let ddg = Ddg.build config trace in
+    print_string (Ddg.to_dot ddg)
+  in
+  let doc =
+    "Build the explicit DDG of a (small) program and print Graphviz DOT."
+  in
+  Cmd.v
+    (Cmd.info "ddg" ~doc)
+    Term.(
+      const run $ input_arg
+      $ Arg.(value & opt int 2_000 & info [ "max-instructions" ] ~doc:"Cap.")
+      $ config_term)
+
+(* --- chain: critical-path diagnosis ----------------------------------------- *)
+
+let chain_cmd =
+  let run input max_instructions config top =
+    let _, program, trace =
+      trace_and_program_of_input input ~max_instructions
+    in
+    if Ddg_sim.Trace.length trace > 2_000_000 then
+      failwith "trace too large; lower --max-instructions";
+    let ddg = Ddg.build config trace in
+    let chain = Ddg.critical_chain ddg in
+    Format.printf
+      "critical path %d levels; one maximal chain has %d nodes@.@."
+      (Ddg.critical_path ddg) (List.length chain);
+    Format.printf "chain composition by operation class:@.";
+    List.iter
+      (fun (cls, k) ->
+        Format.printf "  %-24s %6d  (%d levels)@."
+          (Ddg_isa.Opclass.to_string cls)
+          k
+          (k * Ddg_isa.Opclass.latency cls))
+      (Ddg.chain_summary ddg);
+    (* the static instructions that recur most along the chain *)
+    let by_pc = Hashtbl.create 64 in
+    List.iter
+      (fun (n : Ddg.node) ->
+        Hashtbl.replace by_pc n.pc
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_pc n.pc)))
+      chain;
+    let ranked =
+      List.sort (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun pc k acc -> (pc, k) :: acc) by_pc [])
+    in
+    Format.printf "@.hottest static instructions on the chain:@.";
+    let disassemble pc =
+      match program with
+      | Some (p : Ddg_asm.Program.t) when pc >= 0 && pc < Array.length p.insns
+        ->
+          Ddg_isa.Insn.to_string p.insns.(pc)
+      | _ -> ""
+    in
+    (* map a pc to the enclosing function label (the greatest code label
+       at or below it) *)
+    let enclosing pc =
+      match program with
+      | Some (p : Ddg_asm.Program.t) ->
+          let is_function name =
+            name = "main"
+            || (String.length name > 3 && String.sub name 0 3 = "mc_")
+          in
+          List.fold_left
+            (fun best (name, addr) ->
+              if is_function name && addr <= pc && addr < Array.length p.insns
+              then
+                match best with
+                | Some (_, baddr) when baddr >= addr -> best
+                | _ -> Some (name, addr)
+              else best)
+            None p.symbols
+          |> Option.map fst
+          |> Option.value ~default:""
+      | None -> ""
+    in
+    let source_line pc =
+      match program with
+      | Some p -> (
+          match Ddg_asm.Program.source_line p pc with
+          | Some n -> Printf.sprintf "line %d" n
+          | None -> "")
+      | None -> ""
+    in
+    List.iteri
+      (fun i (pc, k) ->
+        if i < top then
+          Format.printf "  pc %6d  x%-8d %-28s %-12s %s@." pc k
+            (disassemble pc) (enclosing pc) (source_line pc))
+      ranked;
+    (* chain time by function *)
+    let by_fn = Hashtbl.create 16 in
+    List.iter
+      (fun (n : Ddg.node) ->
+        let f = enclosing n.pc in
+        Hashtbl.replace by_fn f
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_fn f)))
+      chain;
+    let fn_ranked =
+      List.sort (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun f k acc -> (f, k) :: acc) by_fn [])
+    in
+    Format.printf "@.chain nodes by enclosing label:@.";
+    List.iter
+      (fun (f, k) ->
+        Format.printf "  %-28s %6d (%.1f%%)@."
+          (if f = "" then "<unknown>" else f)
+          k
+          (100.0 *. float_of_int k /. float_of_int (List.length chain)))
+      fn_ranked
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Rows of hot pcs to show.")
+  in
+  let doc =
+    "Diagnose what limits a program's parallelism: walk one maximal      dependence chain of the DDG and report its composition (loop      counters? FP recurrences? storage reuse?)."
+  in
+  Cmd.v
+    (Cmd.info "chain" ~doc)
+    Term.(
+      const run $ input_arg
+      $ Arg.(
+          value & opt int 500_000 & info [ "max-instructions" ] ~doc:"Cap.")
+      $ config_term $ top)
+
+(* --- sharing: multiprocessor data-flow (section 2.3) ------------------------- *)
+
+let sharing_cmd =
+  let run input max_instructions config =
+    let _, trace = trace_of_input input ~max_instructions in
+    if Ddg_sim.Trace.length trace > 2_000_000 then
+      failwith "trace too large; lower --max-instructions";
+    let ddg = Ddg.build config trace in
+    let rows =
+      List.concat_map
+        (fun processors ->
+          List.map
+            (fun (label, scheme) ->
+              let s = Ddg.partition_sharing ddg ~processors ~scheme in
+              let total = s.internal_edges + s.cross_edges in
+              [ string_of_int processors;
+                label;
+                Ddg_report.Table.int_cell s.cross_edges;
+                Ddg_report.Table.int_cell s.internal_edges;
+                Printf.sprintf "%.1f%%"
+                  (if total = 0 then 0.0
+                   else 100.0 *. float_of_int s.cross_edges /. float_of_int total) ])
+            [ ("contiguous", `Contiguous); ("round-robin", `Round_robin) ])
+        [ 2; 4; 8; 16 ]
+    in
+    Format.printf
+      "data sharing between processors executing partitions of the DDG@.@.";
+    print_string
+      (Ddg_report.Table.render
+         ~headers:
+           [ ("Procs", Ddg_report.Table.Right);
+             ("Scheme", Ddg_report.Table.Left);
+             ("Cross edges", Ddg_report.Table.Right);
+             ("Internal edges", Ddg_report.Table.Right);
+             ("Shared", Ddg_report.Table.Right) ]
+         rows)
+  in
+  let doc =
+    "Partition the DDG across processors and measure cross-processor data      flow (the paper's section 2.3 multiprocessor sharing analysis)."
+  in
+  Cmd.v
+    (Cmd.info "sharing" ~doc)
+    Term.(
+      const run $ input_arg
+      $ Arg.(
+          value & opt int 500_000 & info [ "max-instructions" ] ~doc:"Cap.")
+      $ config_term)
+
+(* --- disasm -------------------------------------------------------------------- *)
+
+let disasm_cmd =
+  let run input =
+    let program = load_program (classify_input input) in
+    Array.iteri
+      (fun pc insn ->
+        let labels =
+          List.filter_map
+            (fun (name, addr) ->
+              if addr = pc && not (String.contains name '(') then Some name
+              else None)
+            program.Ddg_asm.Program.symbols
+        in
+        List.iter
+          (fun l ->
+            if String.length l < 6 || String.sub l 0 2 <> "L:" then
+              Format.printf "%s:@." l)
+          (List.sort compare labels);
+        let line =
+          match Ddg_asm.Program.source_line program pc with
+          | Some n -> Printf.sprintf "  # line %d" n
+          | None -> ""
+        in
+        Format.printf "  %4d: %-32s%s@." pc (Ddg_isa.Insn.to_string insn)
+          line)
+      program.insns
+  in
+  let doc = "Disassemble a compiled program with source-line annotations." in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ input_arg)
+
+(* --- run --------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run input max_instructions =
+    match trace_of_input input ~max_instructions with
+    | Some result, trace ->
+        print_string result.output;
+        Format.eprintf "[%d instructions, %d syscalls, %d trace events]@."
+          result.instructions result.syscalls
+          (Ddg_sim.Trace.length trace)
+    | None, _ -> failwith "cannot execute a trace file"
+  in
+  let doc = "Execute a program on the simulator and print its output." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ input_arg $ max_instructions_arg)
+
+(* --- trace ----------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run input max_instructions output =
+    let _, trace = trace_of_input input ~max_instructions in
+    Ddg_sim.Trace_io.write_file output trace;
+    Format.eprintf "wrote %d events to %s@." (Ddg_sim.Trace.length trace)
+      output
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  let doc =
+    "Simulate a program and save its execution trace to a binary file      (re-analyzable with $(b,analyze) without re-simulating)."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const run $ input_arg $ max_instructions_arg $ output)
+
+(* --- workloads ------------------------------------------------------------------ *)
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun (w : Ddg_workloads.Workload.t) ->
+        Format.printf "%-8s (%s, %s)@.         %s@.@." w.name w.spec_analog
+          w.language_kind w.description)
+      Ddg_workloads.Registry.all
+  in
+  let doc = "List the SPEC'89-analog workloads." in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ const ())
+
+(* --- paper tables/figures --------------------------------------------------------- *)
+
+let size_arg =
+  let doc = "Workload size class: tiny, default or large." in
+  let kind =
+    Arg.enum
+      [ ("tiny", Ddg_workloads.Workload.Tiny);
+        ("default", Ddg_workloads.Workload.Default);
+        ("large", Ddg_workloads.Workload.Large) ]
+  in
+  Arg.(value & opt kind Ddg_workloads.Workload.Default & info [ "size" ] ~doc)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress on stderr.")
+
+let runner_of size verbose =
+  let progress =
+    if verbose then fun msg -> Printf.eprintf "%s\n%!" msg else fun _ -> ()
+  in
+  Ddg_experiments.Runner.create ~size ~progress ()
+
+let paper_cmd name doc render =
+  let run size verbose = print_string (render (runner_of size verbose)) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ size_arg $ verbose_arg)
+
+let fig7_csv_cmd =
+  let run size verbose workload =
+    let runner = runner_of size verbose in
+    match Ddg_workloads.Registry.find workload with
+    | Some w -> print_string (Ddg_experiments.Fig7.csv runner w)
+    | None -> failwith ("unknown workload " ^ workload)
+  in
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  Cmd.v
+    (Cmd.info "fig7-csv" ~doc:"Figure 7 series for one workload, as CSV.")
+    Term.(const run $ size_arg $ verbose_arg $ workload)
+
+let fig8_csv_cmd =
+  let run size verbose =
+    print_string (Ddg_experiments.Fig8.csv (runner_of size verbose))
+  in
+  Cmd.v
+    (Cmd.info "fig8-csv" ~doc:"Figure 8 series for all workloads, as CSV.")
+    Term.(const run $ size_arg $ verbose_arg)
+
+let main =
+  let doc =
+    "Dynamic dependency graph analysis of ordinary programs (Austin & \
+     Sohi, ISCA 1992)"
+  in
+  Cmd.group (Cmd.info "paragraph" ~version:"1.0.0" ~doc)
+    [ analyze_cmd;
+      profile_cmd;
+      ddg_cmd;
+      run_cmd;
+      chain_cmd;
+      sharing_cmd;
+      disasm_cmd;
+      trace_cmd;
+      workloads_cmd;
+      paper_cmd "table2" "Regenerate Table 2 (benchmark inventory)."
+        Ddg_experiments.Table2.render;
+      paper_cmd "table3" "Regenerate Table 3 (dataflow results)."
+        Ddg_experiments.Table3.render;
+      paper_cmd "table4" "Regenerate Table 4 (renaming conditions)."
+        Ddg_experiments.Table4.render;
+      paper_cmd "fig7" "Regenerate Figure 7 (parallelism profiles)."
+        Ddg_experiments.Fig7.render;
+      paper_cmd "fig8" "Regenerate Figure 8 (window size vs parallelism)."
+        Ddg_experiments.Fig8.render;
+      fig7_csv_cmd;
+      fig8_csv_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/ddg_dot.ml: Array Config Ddg Ddg_asm Ddg_paragraph Ddg_sim Format List String Sys

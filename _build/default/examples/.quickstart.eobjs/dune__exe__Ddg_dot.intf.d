@@ -1,0 +1,1 @@
+examples/ddg_dot.mli:

@@ -1,0 +1,1 @@
+examples/machine_model.ml: Analyzer Array Config Ddg_paragraph Ddg_report Ddg_workloads Format List String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ddg_minic Ddg_paragraph Ddg_sim Format List

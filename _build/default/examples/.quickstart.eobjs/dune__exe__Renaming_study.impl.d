@@ -1,0 +1,1 @@
+examples/renaming_study.ml: Analyzer Array Config Ddg_paragraph Ddg_report Ddg_workloads Format List String Sys

@@ -1,0 +1,1 @@
+examples/window_study.ml: Analyzer Array Config Ddg_paragraph Ddg_report Ddg_workloads Format List Printf String Sys

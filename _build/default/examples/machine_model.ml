@@ -1,0 +1,68 @@
+(* Throttling the DDG to a machine model.
+
+       dune exec examples/machine_model.exe [WORKLOAD]
+
+   The paper's section 2.3: "by placing suitable constraints on the
+   execution order, or the resources available, we can throttle the DDG
+   to match a particular machine model". This example stacks constraints
+   the way a real superscalar design would: a finite instruction window,
+   finite functional units, and a real branch predictor — and shows how
+   far each step falls from the dataflow limit. *)
+
+open Ddg_paragraph
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "doducx" in
+  let workload =
+    match Ddg_workloads.Registry.find name with
+    | Some w -> w
+    | None ->
+        Format.eprintf "unknown workload %s; try one of: %s@." name
+          (String.concat " " Ddg_workloads.Registry.names);
+        exit 1
+  in
+  let _, trace =
+    Ddg_workloads.Workload.trace workload Ddg_workloads.Workload.Default
+  in
+  let models =
+    [ ("dataflow limit (renaming, no constraints)", Config.default);
+      ( "+ 2048-instruction window",
+        Config.(with_window (Some 2048) default) );
+      ( "+ 8 functional units",
+        Config.(
+          with_fu
+            { unlimited_fu with total = Some 8 }
+            (with_window (Some 2048) default)) );
+      ( "+ 2-bit branch prediction",
+        Config.(
+          with_branch (Two_bit 12)
+            (with_fu
+               { unlimited_fu with total = Some 8 }
+               (with_window (Some 2048) default))) );
+      ( "a near-term superscalar: window 64, 4 FUs, 2-bit prediction",
+        Config.(
+          with_branch (Two_bit 12)
+            (with_fu
+               { unlimited_fu with total = Some 4 }
+               (with_window (Some 64) default))) ) ]
+  in
+  Format.printf "workload %s (%s analog)@.@." workload.name
+    workload.spec_analog;
+  let rows =
+    List.map
+      (fun (label, config) ->
+        let stats = Analyzer.analyze config trace in
+        [ label;
+          Ddg_report.Table.float_cell stats.available_parallelism;
+          Ddg_report.Table.int_cell stats.critical_path;
+          Ddg_report.Table.int_cell stats.mispredicts ])
+      models
+  in
+  print_string
+    (Ddg_report.Table.render
+       ~headers:
+         [ ("Machine model", Ddg_report.Table.Left);
+           ("Parallelism", Ddg_report.Table.Right);
+           ("Critical path", Ddg_report.Table.Right);
+           ("Mispredicts", Ddg_report.Table.Right) ]
+       rows)

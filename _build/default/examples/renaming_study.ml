@@ -1,0 +1,56 @@
+(* Renaming study: how much parallelism does each kind of storage
+   renaming expose? (The paper's Table 4 question, for one program.)
+
+       dune exec examples/renaming_study.exe [WORKLOAD]
+
+   Default workload: mtxx (the matrix300 analog), which the paper shows
+   needs memory renaming — registers alone barely help because its values
+   live in stack-allocated arrays. *)
+
+open Ddg_paragraph
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mtxx" in
+  let workload =
+    match Ddg_workloads.Registry.find name with
+    | Some w -> w
+    | None ->
+        Format.eprintf "unknown workload %s; try one of: %s@." name
+          (String.concat " " Ddg_workloads.Registry.names);
+        exit 1
+  in
+  Format.printf "workload %s (%s analog): %s@.@." workload.name
+    workload.spec_analog workload.description;
+  let _, trace =
+    Ddg_workloads.Workload.trace workload Ddg_workloads.Workload.Default
+  in
+  let conditions =
+    [ ("no renaming", Config.rename_none);
+      ("registers renamed", Config.rename_registers_only);
+      ("registers + stack renamed", Config.rename_registers_stack);
+      ("registers + memory renamed", Config.rename_all) ]
+  in
+  let rows =
+    List.map
+      (fun (label, renaming) ->
+        let stats =
+          Analyzer.analyze Config.(with_renaming renaming default) trace
+        in
+        [ label;
+          Ddg_report.Table.int_cell stats.critical_path;
+          Ddg_report.Table.float_cell stats.available_parallelism ])
+      conditions
+  in
+  print_string
+    (Ddg_report.Table.render
+       ~headers:
+         [ ("Renaming condition", Ddg_report.Table.Left);
+           ("Critical path", Ddg_report.Table.Right);
+           ("Available parallelism", Ddg_report.Table.Right) ]
+       rows);
+  print_newline ();
+  print_endline
+    "Reading the table: storage dependencies (WAR/WAW) from location reuse\n\
+     serialise the DDG unless that class of storage is renamed. Compare the\n\
+     register-only row with the full-renaming row to see where this\n\
+     program's values live."

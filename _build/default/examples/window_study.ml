@@ -1,0 +1,67 @@
+(* Window study: how many dynamic instructions must a processor see at
+   once to expose a program's parallelism? (The paper's Figure 8
+   question, for one program.)
+
+       dune exec examples/window_study.exe [WORKLOAD]
+
+   The paper's conclusion, visible here: window sizes of a few hundred
+   instructions expose useful parallelism (roughly 10-50 operations per
+   cycle), but the full dataflow parallelism of wide programs needs
+   windows of tens or hundreds of thousands of instructions. *)
+
+open Ddg_paragraph
+
+let windows = [ 1; 4; 16; 64; 256; 1_024; 4_096; 16_384; 65_536; 262_144 ]
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "eqnx" in
+  let workload =
+    match Ddg_workloads.Registry.find name with
+    | Some w -> w
+    | None ->
+        Format.eprintf "unknown workload %s; try one of: %s@." name
+          (String.concat " " Ddg_workloads.Registry.names);
+        exit 1
+  in
+  let _, trace =
+    Ddg_workloads.Workload.trace workload Ddg_workloads.Workload.Default
+  in
+  let total =
+    (Analyzer.analyze Config.default trace).available_parallelism
+  in
+  Format.printf "workload %s: unbounded-window parallelism %.2f@.@."
+    workload.name total;
+  let rows =
+    List.map
+      (fun w ->
+        let stats =
+          Analyzer.analyze Config.(with_window (Some w) default) trace
+        in
+        [ Ddg_report.Table.int_cell w;
+          Ddg_report.Table.float_cell stats.available_parallelism;
+          Printf.sprintf "%.2f%%"
+            (100.0 *. stats.available_parallelism /. total) ])
+      windows
+  in
+  print_string
+    (Ddg_report.Table.render
+       ~headers:
+         [ ("Window size", Ddg_report.Table.Right);
+           ("Parallelism", Ddg_report.Table.Right);
+           ("% of total", Ddg_report.Table.Right) ]
+       rows);
+  print_newline ();
+  let curve =
+    List.map
+      (fun w ->
+        let stats =
+          Analyzer.analyze Config.(with_window (Some w) default) trace
+        in
+        (float_of_int w, 100.0 *. stats.available_parallelism /. total))
+      windows
+  in
+  print_string
+    (Ddg_report.Chart.log_log_scatter
+       ~x_label:"window size (instructions)"
+       ~y_label:"percent of total parallelism"
+       [ (workload.name, '*', curve) ])

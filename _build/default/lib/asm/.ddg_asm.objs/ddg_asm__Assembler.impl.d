@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Array Ast Ddg_isa Format Hashtbl Insn List Parser Program Reg Segment

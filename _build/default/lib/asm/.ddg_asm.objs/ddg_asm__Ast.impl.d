@@ -1,0 +1,1 @@
+lib/asm/ast.ml: Ddg_isa Format

@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Ast Ddg_isa Format List String

@@ -1,0 +1,1 @@
+lib/asm/program.ml: Array Ddg_isa Format List

@@ -1,0 +1,1 @@
+lib/asm/program.mli: Ddg_isa Format

@@ -1,0 +1,280 @@
+open Ddg_isa
+
+exception Error of { lineno : int; msg : string }
+
+let fail lineno fmt =
+  Format.kasprintf (fun msg -> raise (Error { lineno; msg })) fmt
+
+type section = Text | Data
+
+(* --- Pass one: symbol table -------------------------------------------- *)
+
+let align_word a = (a + Segment.word_size - 1) land lnot (Segment.word_size - 1)
+
+let data_size lineno d ops =
+  match d, ops with
+  | "word", _ -> Segment.word_size * List.length ops
+  | "float", _ -> Segment.word_size * List.length ops
+  | "space", [ Ast.Int n ] when n >= 0 -> align_word n
+  | "space", _ -> fail lineno ".space expects a non-negative byte count"
+  | _ -> fail lineno "unknown data directive .%s" d
+
+let collect_symbols lines =
+  let symbols = Hashtbl.create 64 in
+  let add lineno name value =
+    if Hashtbl.mem symbols name then fail lineno "duplicate label %S" name;
+    Hashtbl.replace symbols name value
+  in
+  let rec go lines section pc daddr =
+    match lines with
+    | [] -> daddr
+    | { Ast.lineno; item } :: rest -> (
+        match item with
+        | Ast.Label l ->
+            (match section with
+            | Text -> add lineno l pc
+            | Data -> add lineno l daddr);
+            go rest section pc daddr
+        | Ast.Directive ("text", _) -> go rest Text pc daddr
+        | Ast.Directive ("data", _) -> go rest Data pc daddr
+        | Ast.Directive ("loc", _) -> go rest section pc daddr
+        | Ast.Directive (d, ops) -> (
+            match section with
+            | Data -> go rest section pc (daddr + data_size lineno d ops)
+            | Text -> fail lineno "directive .%s outside .data" d)
+        | Ast.Insn _ -> (
+            match section with
+            | Text -> go rest section (pc + 1) daddr
+            | Data -> fail lineno "instruction inside .data"))
+  in
+  let data_end = go lines Text 0 Segment.data_base in
+  (symbols, data_end)
+
+(* --- Pass two: encoding ------------------------------------------------- *)
+
+let lookup symbols lineno s =
+  match Hashtbl.find_opt symbols s with
+  | Some v -> v
+  | None -> fail lineno "undefined symbol %S" s
+
+let binop_of_mnemonic = function
+  | "add" | "addi" -> Some Insn.Add
+  | "sub" | "subi" -> Some Insn.Sub
+  | "mul" | "muli" -> Some Insn.Mul
+  | "div" | "divi" -> Some Insn.Div
+  | "rem" | "remi" -> Some Insn.Rem
+  | "and" | "andi" -> Some Insn.And
+  | "or" | "ori" -> Some Insn.Or
+  | "xor" | "xori" -> Some Insn.Xor
+  | "nor" -> Some Insn.Nor
+  | "sll" | "slli" -> Some Insn.Sll
+  | "srl" | "srli" -> Some Insn.Srl
+  | "sra" | "srai" -> Some Insn.Sra
+  | "slt" | "slti" -> Some Insn.Slt
+  | "sle" | "slei" -> Some Insn.Sle
+  | "seq" | "seqi" -> Some Insn.Seq
+  | "sne" | "snei" -> Some Insn.Sne
+  | _ -> None
+
+let fbinop_of_mnemonic = function
+  | "fadd" -> Some Insn.Fadd
+  | "fsub" -> Some Insn.Fsub
+  | "fmul" -> Some Insn.Fmul
+  | "fdiv" -> Some Insn.Fdiv
+  | _ -> None
+
+let branch_cond = function
+  | "beq" | "beqz" -> Some Insn.Eq
+  | "bne" | "bnez" -> Some Insn.Ne
+  | "blt" | "bltz" -> Some Insn.Lt
+  | "ble" | "blez" -> Some Insn.Le
+  | "bgt" | "bgtz" -> Some Insn.Gt
+  | "bge" | "bgez" -> Some Insn.Ge
+  | _ -> None
+
+let fcmp_cond = function
+  | "fcmp.eq" -> Some Insn.Eq
+  | "fcmp.ne" -> Some Insn.Ne
+  | "fcmp.lt" -> Some Insn.Lt
+  | "fcmp.le" -> Some Insn.Le
+  | "fcmp.gt" -> Some Insn.Gt
+  | "fcmp.ge" -> Some Insn.Ge
+  | _ -> None
+
+(* Memory operand of a load/store: either an explicit indirect [off(base)],
+   a bare symbol (absolute addressing through the zero register), or a bare
+   integer address. *)
+let mem_operand symbols lineno = function
+  | Ast.Ind { offset = Ast.Ofs_int i; base } -> (base, i)
+  | Ast.Ind { offset = Ast.Ofs_sym s; base } -> (base, lookup symbols lineno s)
+  | Ast.Sym s -> (Reg.zero, lookup symbols lineno s)
+  | Ast.Int a -> (Reg.zero, a)
+  | Ast.Float _ | Ast.Reg _ | Ast.Freg _ ->
+      fail lineno "expected a memory operand"
+
+let encode symbols { Ast.lineno; item } =
+  let sym s = lookup symbols lineno s in
+  let bad () = fail lineno "malformed operands for %a" Ast.pp_item item in
+  match item with
+  | Ast.Label _ | Ast.Directive _ -> None
+  | Ast.Insn (m, ops) ->
+      let insn =
+        match m, ops with
+        (* integer ALU: register or immediate third operand *)
+        | _, [ Ast.Reg rd; Ast.Reg rs; Ast.Reg rt ]
+          when binop_of_mnemonic m <> None -> (
+            match binop_of_mnemonic m with
+            | Some op -> Insn.Binop (op, rd, rs, rt)
+            | None -> bad ())
+        | _, [ Ast.Reg rd; Ast.Reg rs; Ast.Int imm ]
+          when binop_of_mnemonic m <> None -> (
+            match binop_of_mnemonic m with
+            | Some op -> Insn.Binopi (op, rd, rs, imm)
+            | None -> bad ())
+        | "li", [ Ast.Reg rd; Ast.Int imm ] -> Insn.Li (rd, imm)
+        | ("li" | "la"), [ Ast.Reg rd; Ast.Sym s ] -> Insn.Li (rd, sym s)
+        | "move", [ Ast.Reg rd; Ast.Reg rs ] ->
+            Insn.Binop (Insn.Add, rd, rs, Reg.zero)
+        | "neg", [ Ast.Reg rd; Ast.Reg rs ] ->
+            Insn.Binop (Insn.Sub, rd, Reg.zero, rs)
+        | "not", [ Ast.Reg rd; Ast.Reg rs ] ->
+            Insn.Binop (Insn.Nor, rd, rs, Reg.zero)
+        (* floating point *)
+        | _, [ Ast.Freg fd; Ast.Freg fs; Ast.Freg ft ]
+          when fbinop_of_mnemonic m <> None -> (
+            match fbinop_of_mnemonic m with
+            | Some op -> Insn.Fbinop (op, fd, fs, ft)
+            | None -> bad ())
+        | "fli", [ Ast.Freg fd; Ast.Float x ] -> Insn.Fli (fd, x)
+        | "fli", [ Ast.Freg fd; Ast.Int i ] -> Insn.Fli (fd, float_of_int i)
+        | "fmov", [ Ast.Freg fd; Ast.Freg fs ] -> Insn.Fmov (fd, fs)
+        | "fneg", [ Ast.Freg fd; Ast.Freg fs ] -> Insn.Fneg (fd, fs)
+        | "cvt.i2f", [ Ast.Freg fd; Ast.Reg rs ] -> Insn.Cvt_i2f (fd, rs)
+        | "cvt.f2i", [ Ast.Reg rd; Ast.Freg fs ] -> Insn.Cvt_f2i (rd, fs)
+        | _, [ Ast.Reg rd; Ast.Freg fs; Ast.Freg ft ]
+          when fcmp_cond m <> None -> (
+            match fcmp_cond m with
+            | Some c -> Insn.Fcmp (c, rd, fs, ft)
+            | None -> bad ())
+        (* memory *)
+        | "lw", [ Ast.Reg rd; mem ] ->
+            let base, off = mem_operand symbols lineno mem in
+            Insn.Lw (rd, base, off)
+        | "sw", [ Ast.Reg rs; mem ] ->
+            let base, off = mem_operand symbols lineno mem in
+            Insn.Sw (rs, base, off)
+        | "flw", [ Ast.Freg fd; mem ] ->
+            let base, off = mem_operand symbols lineno mem in
+            Insn.Flw (fd, base, off)
+        | "fsw", [ Ast.Freg fs; mem ] ->
+            let base, off = mem_operand symbols lineno mem in
+            Insn.Fsw (fs, base, off)
+        (* control *)
+        | ("beq" | "bne" | "blt" | "ble" | "bgt" | "bge"),
+          [ Ast.Reg rs; Ast.Reg rt; Ast.Sym l ] -> (
+            match branch_cond m with
+            | Some c -> Insn.Branch (c, rs, rt, sym l)
+            | None -> bad ())
+        | ("beqz" | "bnez" | "bltz" | "blez" | "bgtz" | "bgez"),
+          [ Ast.Reg rs; Ast.Sym l ] -> (
+            match branch_cond m with
+            | Some c -> Insn.Branch (c, rs, Reg.zero, sym l)
+            | None -> bad ())
+        | ("j" | "b"), [ Ast.Sym l ] -> Insn.J (sym l)
+        | "jal", [ Ast.Sym l ] -> Insn.Jal (sym l)
+        | "jr", [ Ast.Reg rs ] -> Insn.Jr rs
+        | "jalr", [ Ast.Reg rs ] -> Insn.Jalr rs
+        | "syscall", [] -> Insn.Syscall
+        | "nop", [] -> Insn.Nop
+        | "halt", [] -> Insn.Halt
+        | _ -> fail lineno "unknown instruction %a" Ast.pp_item item
+      in
+      Some insn
+
+(* --- Data image --------------------------------------------------------- *)
+
+let encode_data lines =
+  let rec go lines section daddr acc =
+    match lines with
+    | [] -> List.rev acc
+    | { Ast.lineno; item } :: rest -> (
+        match item with
+        | Ast.Directive ("text", _) -> go rest Text daddr acc
+        | Ast.Directive ("data", _) -> go rest Data daddr acc
+        | Ast.Directive (d, ops) when section = Data ->
+            let size = data_size lineno d ops in
+            let acc =
+              match d with
+              | "word" ->
+                  List.rev_append
+                    (List.mapi
+                       (fun i op ->
+                         match op with
+                         | Ast.Int w ->
+                             (daddr + (i * Segment.word_size), Program.Word w)
+                         | Ast.Float x ->
+                             ( daddr + (i * Segment.word_size),
+                               Program.Word (int_of_float x) )
+                         | _ -> fail lineno ".word expects integers")
+                       ops)
+                    acc
+              | "float" ->
+                  List.rev_append
+                    (List.mapi
+                       (fun i op ->
+                         match op with
+                         | Ast.Float x ->
+                             ( daddr + (i * Segment.word_size),
+                               Program.Float_word x )
+                         | Ast.Int w ->
+                             ( daddr + (i * Segment.word_size),
+                               Program.Float_word (float_of_int w) )
+                         | _ -> fail lineno ".float expects numbers")
+                       ops)
+                    acc
+              | "space" -> (daddr, Program.Space size) :: acc
+              | _ -> fail lineno "unknown data directive .%s" d
+            in
+            go rest section (daddr + size) acc
+        | Ast.Label _ | Ast.Insn _ | Ast.Directive _ ->
+            go rest section daddr acc)
+  in
+  go lines Text Segment.data_base []
+
+(* --- Entry point -------------------------------------------------------- *)
+
+(* source line per instruction, from [.loc] directives *)
+let build_line_table lines ninsns =
+  let table = Array.make ninsns 0 in
+  let current = ref 0 and pc = ref 0 in
+  List.iter
+    (fun { Ast.item; _ } ->
+      match item with
+      | Ast.Directive ("loc", [ Ast.Int n ]) -> current := n
+      | Ast.Directive ("text", _) | Ast.Directive ("data", _)
+      | Ast.Directive _ | Ast.Label _ ->
+          ()
+      | Ast.Insn _ ->
+          if !pc < ninsns then table.(!pc) <- !current;
+          incr pc)
+    lines;
+  table
+
+let assemble lines =
+  let symbols, data_end = collect_symbols lines in
+  let insns = List.filter_map (encode symbols) lines in
+  let data = encode_data lines in
+  let entry =
+    match Hashtbl.find_opt symbols "main" with Some i -> i | None -> 0
+  in
+  let insns = Array.of_list insns in
+  {
+    Program.insns;
+    entry;
+    data;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
+    data_end;
+    line_table = build_line_table lines (Array.length insns);
+  }
+
+let assemble_string source = assemble (Parser.parse source)

@@ -1,0 +1,25 @@
+(** Two-pass assembler: {!Ast.line} list (or raw source) to {!Program.t}.
+
+    Pass one assigns instruction indices to text labels and byte addresses
+    (starting at {!Ddg_isa.Segment.data_base}) to data labels; pass two
+    encodes instructions, resolving symbols.
+
+    Pseudo-instructions (each expands to exactly one machine instruction):
+    - [la rd, sym] — load the address of [sym];
+    - [move rd, rs], [neg rd, rs], [not rd, rs];
+    - [lw rd, sym] (and [sw]/[flw]/[fsw]) — absolute addressing through the
+      zero register, like the paper's [load r0,A];
+    - [beqz]/[bnez]/[bltz]/[blez]/[bgtz]/[bgez rs, label] — compare against
+      the zero register;
+    - [b label] — unconditional branch;
+    - integer ALU mnemonics accept an immediate third operand
+      ([add t0, t1, 4] ≡ [addi t0, t1, 4]). *)
+
+exception Error of { lineno : int; msg : string }
+
+val assemble : Ast.line list -> Program.t
+(** @raise Error on undefined symbols or malformed operands. *)
+
+val assemble_string : string -> Program.t
+(** [Parser.parse] followed by {!assemble}.
+    @raise Parser.Error @raise Error *)

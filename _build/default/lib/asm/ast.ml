@@ -1,0 +1,41 @@
+type operand =
+  | Int of int
+  | Float of float
+  | Reg of int
+  | Freg of int
+  | Sym of string
+  | Ind of indirect
+
+and indirect = { offset : offset; base : int }
+
+and offset = Ofs_int of int | Ofs_sym of string
+
+type item =
+  | Label of string
+  | Directive of string * operand list
+  | Insn of string * operand list
+
+type line = { lineno : int; item : item }
+
+let pp_offset ppf = function
+  | Ofs_int i -> Format.pp_print_int ppf i
+  | Ofs_sym s -> Format.pp_print_string ppf s
+
+let pp_operand ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float x -> Format.pp_print_float ppf x
+  | Reg r -> Format.pp_print_string ppf (Ddg_isa.Reg.name r)
+  | Freg f -> Format.pp_print_string ppf (Ddg_isa.Reg.fname f)
+  | Sym s -> Format.pp_print_string ppf s
+  | Ind { offset; base } ->
+      Format.fprintf ppf "%a(%s)" pp_offset offset (Ddg_isa.Reg.name base)
+
+let pp_operands ppf ops =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_operand ppf ops
+
+let pp_item ppf = function
+  | Label l -> Format.fprintf ppf "%s:" l
+  | Directive (d, ops) -> Format.fprintf ppf ".%s %a" d pp_operands ops
+  | Insn (m, ops) -> Format.fprintf ppf "%s %a" m pp_operands ops

@@ -1,0 +1,30 @@
+(** Abstract syntax of assembly source, as produced by {!Parser}.
+
+    Operands are still symbolic at this stage: labels are unresolved and
+    mnemonics are plain strings. {!Assembler} turns a list of items into a
+    {!Program.t} with absolute instruction indices and data addresses. *)
+
+type operand =
+  | Int of int              (** integer literal (decimal or 0x-hex) *)
+  | Float of float          (** floating-point literal *)
+  | Reg of int              (** integer register *)
+  | Freg of int             (** floating-point register *)
+  | Sym of string           (** symbolic label reference *)
+  | Ind of indirect         (** [off(base)] memory operand *)
+
+and indirect = { offset : offset; base : int }
+
+and offset = Ofs_int of int | Ofs_sym of string
+
+(** A single source item, tagged with its 1-based source line. *)
+type item =
+  | Label of string
+  | Directive of string * operand list
+      (** [.data], [.text], [.word w…], [.float x…], [.space n] *)
+  | Insn of string * operand list
+      (** mnemonic + operands, e.g. [Insn ("add", [Reg 4; Reg 5; Reg 6])] *)
+
+type line = { lineno : int; item : item }
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp_item : Format.formatter -> item -> unit

@@ -1,0 +1,141 @@
+exception Error of { lineno : int; msg : string }
+
+let fail lineno fmt = Format.kasprintf (fun msg -> raise (Error { lineno; msg })) fmt
+
+(* --- Tokenizer (per line) ---------------------------------------------- *)
+
+type token =
+  | Tword of string          (* identifier, mnemonic, register name *)
+  | Tint of int
+  | Tfloat of float
+  | Tcolon
+  | Tlparen
+  | Trparen
+  | Tdot_word of string      (* directive name without the dot *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* A number token starts with a digit, '-', '+' or '.'; it is a float when
+   it contains '.', 'e' or 'E' (outside a 0x prefix). *)
+let scan_number lineno s i =
+  let n = String.length s in
+  let start = i in
+  let i = if i < n && (s.[i] = '-' || s.[i] = '+') then i + 1 else i in
+  let hex = i + 1 < n && s.[i] = '0' && (s.[i + 1] = 'x' || s.[i + 1] = 'X') in
+  let rec consume j seen_dot seen_exp =
+    if j >= n then j
+    else
+      let c = s.[j] in
+      if is_digit c then consume (j + 1) seen_dot seen_exp
+      else if hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c = 'x' || c = 'X')
+      then consume (j + 1) seen_dot seen_exp
+      else if (not hex) && c = '.' && not seen_dot then consume (j + 1) true seen_exp
+      else if (not hex) && (c = 'e' || c = 'E') && not seen_exp then
+        let j' = if j + 1 < n && (s.[j + 1] = '-' || s.[j + 1] = '+') then j + 2 else j + 1 in
+        consume j' seen_dot true
+      else j
+  in
+  let stop = consume i false false in
+  let text = String.sub s start (stop - start) in
+  let tok =
+    if (not hex) && (String.contains text '.' || String.contains text 'e'
+                     || String.contains text 'E')
+    then
+      match float_of_string_opt text with
+      | Some x -> Tfloat x
+      | None -> fail lineno "bad float literal %S" text
+    else
+      match int_of_string_opt text with
+      | Some k -> Tint k
+      | None -> fail lineno "bad integer literal %S" text
+  in
+  (tok, stop)
+
+let tokenize lineno s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\r' | ',' -> go (i + 1) acc
+      | '#' | ';' -> List.rev acc
+      | ':' -> go (i + 1) (Tcolon :: acc)
+      | '(' -> go (i + 1) (Tlparen :: acc)
+      | ')' -> go (i + 1) (Trparen :: acc)
+      | '.' when i + 1 < n && not (is_digit s.[i + 1]) ->
+          let stop = ref (i + 1) in
+          while !stop < n && is_word_char s.[!stop] do incr stop done;
+          go !stop (Tdot_word (String.sub s (i + 1) (!stop - i - 1)) :: acc)
+      | c when is_digit c || c = '-' || c = '+' || c = '.' ->
+          let tok, stop = scan_number lineno s i in
+          go stop (tok :: acc)
+      | c when is_word_char c ->
+          let stop = ref i in
+          while !stop < n && is_word_char s.[!stop] do incr stop done;
+          go !stop (Tword (String.sub s i (!stop - i)) :: acc)
+      | c -> fail lineno "unexpected character %C" c
+  in
+  go 0 []
+
+(* --- Parser ------------------------------------------------------------ *)
+
+let operand_of_token lineno tok rest =
+  match tok with
+  | Tint i -> (Ast.Int i, rest)
+  | Tfloat x -> (Ast.Float x, rest)
+  | Tword w -> (
+      match Ddg_isa.Reg.of_name w with
+      | Some r -> (Ast.Reg r, rest)
+      | None -> (
+          match Ddg_isa.Reg.fof_name w with
+          | Some f -> (Ast.Freg f, rest)
+          | None -> (Ast.Sym w, rest)))
+  | Tcolon | Tlparen | Trparen | Tdot_word _ ->
+      fail lineno "expected an operand"
+
+(* Operands: plain, or indirect  off(base) / sym(base) / (base). *)
+let rec parse_operands lineno toks acc =
+  match toks with
+  | [] -> List.rev acc
+  | Tlparen :: _ -> parse_indirect lineno (Ast.Ofs_int 0) toks acc
+  | tok :: rest -> (
+      let op, rest = operand_of_token lineno tok rest in
+      match op, rest with
+      | Ast.Int i, Tlparen :: _ ->
+          parse_indirect lineno (Ast.Ofs_int i) rest acc
+      | Ast.Sym s, Tlparen :: _ ->
+          parse_indirect lineno (Ast.Ofs_sym s) rest acc
+      | _ -> parse_operands lineno rest (op :: acc))
+
+and parse_indirect lineno offset toks acc =
+  match toks with
+  | Tlparen :: Tword w :: Trparen :: rest -> (
+      match Ddg_isa.Reg.of_name w with
+      | Some base ->
+          parse_operands lineno rest (Ast.Ind { offset; base } :: acc)
+      | None -> fail lineno "bad base register %S" w)
+  | _ -> fail lineno "malformed indirect operand"
+
+let rec parse_line lineno s =
+  match tokenize lineno s with
+  | [] -> []
+  | Tword l :: Tcolon :: rest ->
+      let label = { Ast.lineno; item = Ast.Label l } in
+      if rest = [] then [ label ]
+      else label :: parse_tail lineno rest
+  | toks -> parse_tail lineno toks
+
+and parse_tail lineno = function
+  | Tdot_word d :: rest ->
+      [ { Ast.lineno; item = Ast.Directive (d, parse_operands lineno rest []) } ]
+  | Tword m :: rest ->
+      [ { Ast.lineno; item = Ast.Insn (m, parse_operands lineno rest []) } ]
+  | _ -> fail lineno "expected a label, directive or instruction"
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  List.concat (List.mapi (fun i line -> parse_line (i + 1) line) lines)

@@ -1,0 +1,27 @@
+(** Line-oriented parser for assembly source.
+
+    Syntax, one item per line (a label may share a line with an instruction
+    or directive):
+
+    {v
+            .data
+    A:      .word 1 2 3
+    PI:     .float 3.14
+    buf:    .space 400
+            .text
+    main:   li   t0, 5
+            la   t1, A
+    loop:   addi t0, t0, -1
+            bne  t0, zero, loop
+            halt
+    v}
+
+    Comments run from [#] or [;] to end of line. Operand separators
+    (commas) are optional. Numbers may be decimal, negative, 0x-hex, or
+    floating point ([1.5], [2e3], [.5]). Register names are symbolic
+    ([sp], [t0]) or numeric ([r13], [f5]). *)
+
+exception Error of { lineno : int; msg : string }
+
+val parse : string -> Ast.line list
+(** Parse a whole source file. @raise Error on the first malformed line. *)

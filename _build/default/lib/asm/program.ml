@@ -1,0 +1,34 @@
+type datum = Word of int | Float_word of float | Space of int
+
+type t = {
+  insns : Ddg_isa.Insn.t array;
+  entry : int;
+  data : (int * datum) list;
+  symbols : (string * int) list;
+  data_end : int;
+  line_table : int array;
+}
+
+let source_line t pc =
+  if pc >= 0 && pc < Array.length t.line_table && t.line_table.(pc) > 0 then
+    Some t.line_table.(pc)
+  else None
+
+let find_symbol t name = List.assoc_opt name t.symbols
+
+let pp_datum ppf = function
+  | Word w -> Format.fprintf ppf ".word %d" w
+  | Float_word x -> Format.fprintf ppf ".float %g" x
+  | Space n -> Format.fprintf ppf ".space %d" n
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>.text (entry @%d)@," t.entry;
+  Array.iteri
+    (fun i insn ->
+      Format.fprintf ppf "%4d: %a@," i Ddg_isa.Insn.pp insn)
+    t.insns;
+  Format.fprintf ppf ".data@,";
+  List.iter
+    (fun (addr, d) -> Format.fprintf ppf "0x%x: %a@," addr pp_datum d)
+    t.data;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** An assembled program: resolved instructions plus initial data image. *)
+
+(** One unit of static data placed in the data segment. *)
+type datum =
+  | Word of int          (** one initialised integer word *)
+  | Float_word of float  (** one initialised floating-point word *)
+  | Space of int         (** [n] zero-initialised bytes *)
+
+type t = {
+  insns : Ddg_isa.Insn.t array;  (** code, indexed by instruction index *)
+  entry : int;                   (** index of the entry point ([main] if
+                                     defined, else instruction 0) *)
+  data : (int * datum) list;     (** (byte address, datum), ascending *)
+  symbols : (string * int) list; (** label -> instruction index or address *)
+  data_end : int;                (** first free data-segment address *)
+  line_table : int array;        (** source line per instruction (from
+                                     [.loc] directives; 0 when unknown) *)
+}
+
+val source_line : t -> int -> int option
+(** Source line of instruction [pc], if debug info recorded one. *)
+
+val find_symbol : t -> string -> int option
+(** Look up a label (code or data). *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing, for debugging and tests. *)

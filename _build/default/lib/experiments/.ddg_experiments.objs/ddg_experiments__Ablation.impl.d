@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Analyzer Config Ddg_paragraph Ddg_report Ddg_workloads List Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/compiler_fx.ml: Ddg_minic Ddg_paragraph Ddg_report Ddg_sim Ddg_workloads Format List Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/compiler_fx.mli: Runner

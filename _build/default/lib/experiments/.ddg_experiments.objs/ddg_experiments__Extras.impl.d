@@ -1,0 +1,1 @@
+lib/experiments/extras.ml: Analyzer Config Ddg_paragraph Ddg_report Ddg_workloads Dist List Printf Profile Runner Table Two_pass

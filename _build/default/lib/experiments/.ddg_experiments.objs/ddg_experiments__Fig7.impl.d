@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Analyzer Config Ddg_paragraph Ddg_report Ddg_workloads List Printf Profile Runner String

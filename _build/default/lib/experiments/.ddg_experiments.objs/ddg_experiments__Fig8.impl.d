@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Analyzer Array Config Ddg_paragraph Ddg_report Ddg_workloads List Printf Runner

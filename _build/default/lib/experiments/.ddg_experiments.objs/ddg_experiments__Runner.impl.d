@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Atomic Ddg_paragraph Ddg_sim Ddg_workloads Domain Format Hashtbl List Mutex Printf Registry Workload

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Ddg_paragraph Ddg_sim Ddg_workloads

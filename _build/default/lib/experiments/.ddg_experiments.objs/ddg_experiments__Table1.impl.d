@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Ddg_isa Ddg_report List

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Ddg_report Ddg_sim Ddg_workloads List Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Analyzer Config Ddg_paragraph Ddg_report Ddg_workloads List Printf Runner Table

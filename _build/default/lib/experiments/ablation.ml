@@ -1,0 +1,66 @@
+open Ddg_paragraph
+open Ddg_report
+
+let fu_limits = [ 1; 2; 4; 8; 16; 64 ]
+
+let render_resources runner =
+  let rows =
+    List.map
+      (fun (w : Ddg_workloads.Workload.t) ->
+        let unlimited =
+          (Runner.analyze runner w Config.default)
+            .Analyzer.available_parallelism
+        in
+        let limited k =
+          let fu = { Config.unlimited_fu with total = Some k } in
+          (Runner.analyze runner w Config.(with_fu fu default))
+            .Analyzer.available_parallelism
+        in
+        (w.name :: List.map (fun k -> Table.float_cell (limited k)) fu_limits)
+        @ [ Table.float_cell unlimited ])
+      (Runner.workloads runner)
+  in
+  Table.render
+    ~title:
+      "Resource Dependencies (Figure 4 generalised): available parallelism \
+       with k generic functional units"
+    ~headers:
+      (("Benchmark", Table.Left)
+      :: List.map (fun k -> (Printf.sprintf "FU=%d" k, Table.Right)) fu_limits
+      @ [ ("Unlimited", Table.Right) ])
+    rows
+
+let policies =
+  [ ("perfect", Config.Perfect);
+    ("taken", Config.Predict_taken);
+    ("not-taken", Config.Predict_not_taken);
+    ("2-bit", Config.Two_bit 12) ]
+
+let render_branches runner =
+  let rows =
+    List.map
+      (fun (w : Ddg_workloads.Workload.t) ->
+        w.name
+        :: List.concat_map
+             (fun (_, policy) ->
+               let stats =
+                 Runner.analyze runner w Config.(with_branch policy default)
+               in
+               [ Table.float_cell stats.Analyzer.available_parallelism ])
+             policies
+        @ [ (let stats =
+               Runner.analyze runner w
+                 Config.(with_branch (Two_bit 12) default)
+             in
+             Table.int_cell stats.Analyzer.mispredicts) ])
+      (Runner.workloads runner)
+  in
+  Table.render
+    ~title:
+      "Control Dependencies (section 3.2 firewall extension): available \
+       parallelism when mispredicted branches stall fetch"
+    ~headers:
+      (("Benchmark", Table.Left)
+      :: List.map (fun (name, _) -> (name, Table.Right)) policies
+      @ [ ("2-bit mispredicts", Table.Right) ])
+    rows

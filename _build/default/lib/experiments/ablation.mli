@@ -1,0 +1,14 @@
+(** Ablations beyond the paper's headline experiments:
+
+    - resource dependencies (paper Figure 4 generalised): available
+      parallelism under finite numbers of generic functional units;
+    - control dependencies (the paper's section 3.2 firewall extension):
+      available parallelism when mispredicted branches stall the window,
+      under static and 2-bit prediction. *)
+
+val fu_limits : int list
+(** 1, 2, 4, 8, 16, 64 generic units (plus unlimited as reference). *)
+
+val render_resources : Runner.t -> string
+
+val render_branches : Runner.t -> string

@@ -1,0 +1,53 @@
+open Ddg_report
+
+let analyze_at runner (w : Ddg_workloads.Workload.t) opt =
+  let source = w.source (Runner.size runner) in
+  let program = Ddg_minic.Driver.compile ~opt source in
+  let result, trace = Ddg_sim.Machine.run_to_trace program in
+  (match result.stop with
+  | Ddg_sim.Machine.Halted -> ()
+  | s ->
+      failwith
+        (Format.asprintf "%s at %s: %a" w.name
+           (match opt with
+           | Ddg_minic.Optimize.O0 -> "O0"
+           | O1 -> "O1"
+           | O2 -> "O2")
+           Ddg_sim.Machine.pp_stop_reason s));
+  let stats =
+    Ddg_paragraph.Analyzer.analyze Ddg_paragraph.Config.default trace
+  in
+  (result.instructions, stats.available_parallelism)
+
+let render runner =
+  let rows =
+    List.map
+      (fun (w : Ddg_workloads.Workload.t) ->
+        let i0, p0 = analyze_at runner w Ddg_minic.Optimize.O0 in
+        let i1, p1 = analyze_at runner w Ddg_minic.Optimize.O1 in
+        let i2, p2 = analyze_at runner w Ddg_minic.Optimize.O2 in
+        [ w.name;
+          Table.int_cell i0;
+          Table.float_cell p0;
+          Table.int_cell i1;
+          Table.float_cell p1;
+          Table.int_cell i2;
+          Table.float_cell p2;
+          Printf.sprintf "%+.0f%%" (100.0 *. ((p2 /. p0) -. 1.0)) ])
+      (Runner.workloads runner)
+  in
+  Table.render
+    ~title:
+      "Compiler Effects (section 3.1): dataflow parallelism of the same \
+       source compiled at O0 / O1 (folding) / O2 (folding + 4-way \
+       unrolling)"
+    ~headers:
+      [ ("Benchmark", Table.Left);
+        ("O0 instrs", Table.Right);
+        ("O0 par", Table.Right);
+        ("O1 instrs", Table.Right);
+        ("O1 par", Table.Right);
+        ("O2 instrs", Table.Right);
+        ("O2 par", Table.Right);
+        ("O2/O0", Table.Right) ]
+    rows

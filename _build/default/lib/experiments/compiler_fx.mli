@@ -1,0 +1,13 @@
+(** The compiler's second-order effect on parallelism (paper section 3.1:
+    "the compiler can actually create a second order effect on the
+    parallelism in the program. For instance, the MIPS compiler commonly
+    performs loop unrolling which tends to decrease the recurrences
+    created by loop counters, thus increasing the parallelism").
+
+    Recompiles each workload at O0 (no optimisation), O1 (constant
+    folding) and O2 (folding + 4-way loop unrolling) and measures the
+    dataflow parallelism of each binary. The workload sources already
+    contain the hand-unrolling a 1992 compiler would have done, so the
+    O2 delta shows the effect on the loops that were left rolled. *)
+
+val render : Runner.t -> string

@@ -1,0 +1,46 @@
+open Ddg_paragraph
+open Ddg_report
+
+let render runner =
+  let rows =
+    List.map
+      (fun (w : Ddg_workloads.Workload.t) ->
+        let stats = Runner.analyze runner w Config.default in
+        let _, trace = Runner.trace runner w in
+        let _, peak_working_set = Two_pass.analyze Config.default trace in
+        let lt = stats.Analyzer.lifetimes and sh = stats.Analyzer.sharing in
+        [ w.name;
+          Table.int_cell (Dist.count lt);
+          Printf.sprintf "%.1f" (Dist.mean lt);
+          Table.int_cell (Dist.quantile lt 0.9);
+          Table.int_cell (Dist.max_value lt);
+          Printf.sprintf "%.2f" (Dist.mean sh);
+          Table.int_cell (Dist.max_value sh);
+          Table.float_cell
+            (Profile.average_parallelism stats.storage_profile);
+          Table.float_cell
+            (Profile.max_ops_per_level stats.storage_profile);
+          Table.int_cell stats.live_locations;
+          Table.int_cell peak_working_set ])
+      (Runner.workloads runner)
+  in
+  Table.render
+    ~title:
+      "Value Lifetimes, Degree of Sharing and Storage Requirements \
+       (section 2.3 analyses; lifetimes in DDG levels, sharing in uses \
+       per computed value, storage in simultaneously live values; the \
+       last column is the live-well working set under two-pass \
+       dead-value elimination)"
+    ~headers:
+      [ ("Benchmark", Table.Left);
+        ("Values", Table.Right);
+        ("Life mean", Table.Right);
+        ("Life p90", Table.Right);
+        ("Life max", Table.Right);
+        ("Sharing mean", Table.Right);
+        ("Sharing max", Table.Right);
+        ("Storage mean", Table.Right);
+        ("Storage peak", Table.Right);
+        ("Live locations", Table.Right);
+        ("2-pass peak", Table.Right) ]
+    rows

@@ -1,0 +1,5 @@
+(** The paper's section 2.3 secondary DDG analyses: value-lifetime and
+    degree-of-sharing distributions, and live-well occupancy (the storage
+    the abstract machine would need). *)
+
+val render : Runner.t -> string

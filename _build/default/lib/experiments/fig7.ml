@@ -1,0 +1,31 @@
+open Ddg_paragraph
+
+let profile runner w = (Runner.analyze runner w Config.default).Analyzer.profile
+
+let points runner w =
+  List.map
+    (fun (lo, hi, avg) -> (float_of_int (lo + hi) /. 2.0, avg))
+    (Profile.series (profile runner w))
+
+let render_one runner (w : Ddg_workloads.Workload.t) =
+  let profile = profile runner w in
+  Printf.sprintf "%s Parallelism Profile (levels=%s, ops=%s, avg=%.2f)\n%s"
+    w.name
+    (Ddg_report.Table.int_cell (Profile.levels profile))
+    (Ddg_report.Table.int_cell (Profile.total_ops profile))
+    (Profile.average_parallelism profile)
+    (Ddg_report.Chart.column_chart ~y_label:"operations available"
+       ~log_y:true (points runner w))
+
+let render runner =
+  String.concat "\n"
+    ("Figure 7: Parallelism Profiles for the SPEC-analog Benchmarks\n"
+    :: List.map (render_one runner) (Runner.workloads runner))
+
+let csv runner w =
+  Ddg_report.Csv.to_string
+    ~header:[ "level_lo"; "level_hi"; "ops_per_level" ]
+    (List.map
+       (fun (lo, hi, avg) ->
+         [ string_of_int lo; string_of_int hi; Printf.sprintf "%.4f" avg ])
+       (Profile.series (profile runner w)))

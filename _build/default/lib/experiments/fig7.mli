@@ -1,0 +1,11 @@
+(** Paper Figure 7: the parallelism profile of each benchmark —
+    operations available per DDG level under conservative system calls
+    with full renaming. Rendered as an ASCII column chart per benchmark;
+    the raw series is also available as CSV rows. *)
+
+val render : Runner.t -> string
+
+val render_one : Runner.t -> Ddg_workloads.Workload.t -> string
+
+val csv : Runner.t -> Ddg_workloads.Workload.t -> string
+(** Columns: [level_lo,level_hi,ops_per_level]. *)

@@ -1,0 +1,76 @@
+open Ddg_paragraph
+
+let window_sizes = [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
+
+let parallelism runner w config =
+  (Runner.analyze runner w config).Analyzer.available_parallelism
+
+let series runner =
+  List.map
+    (fun (w : Ddg_workloads.Workload.t) ->
+      let total = parallelism runner w Config.default in
+      let points =
+        List.map
+          (fun ws ->
+            let p =
+              parallelism runner w Config.(with_window (Some ws) default)
+            in
+            (ws, if total <= 0.0 then 0.0 else 100.0 *. p /. total))
+          window_sizes
+      in
+      (w.name, points))
+    (Runner.workloads runner)
+
+let symbols = [| 'c'; 'd'; 'q'; 'e'; 'f'; 'm'; 'n'; 's'; 't'; 'x' |]
+
+let render runner =
+  let all = series runner in
+  let chart_series =
+    List.mapi
+      (fun i (name, points) ->
+        ( name,
+          symbols.(i mod Array.length symbols),
+          List.map (fun (w, pct) -> (float_of_int w, pct)) points ))
+      all
+  in
+  let chart =
+    Ddg_report.Chart.log_log_scatter ~x_label:"window size (instructions)"
+      ~y_label:"percent of total available parallelism" chart_series
+  in
+  let table =
+    Ddg_report.Table.render
+      ~headers:
+        (("Benchmark", Ddg_report.Table.Left)
+        :: List.map
+             (fun w -> (Printf.sprintf "W=%d" w, Ddg_report.Table.Right))
+             window_sizes)
+      (List.map
+         (fun (name, points) ->
+           name
+           :: List.map (fun (_, pct) -> Printf.sprintf "%.2f%%" pct) points)
+         all)
+  in
+  "Figure 8: Window Size vs Parallelism (percent of total exposed)\n\n"
+  ^ chart ^ "\n" ^ table
+
+let csv runner =
+  let rows =
+    List.concat_map
+      (fun (w : Ddg_workloads.Workload.t) ->
+        let total = parallelism runner w Config.default in
+        List.map
+          (fun ws ->
+            let p =
+              parallelism runner w Config.(with_window (Some ws) default)
+            in
+            [ w.name;
+              string_of_int ws;
+              Printf.sprintf "%.4f" p;
+              Printf.sprintf "%.4f"
+                (if total <= 0.0 then 0.0 else 100.0 *. p /. total) ])
+          window_sizes)
+      (Runner.workloads runner)
+  in
+  Ddg_report.Csv.to_string
+    ~header:[ "benchmark"; "window"; "parallelism"; "percent_of_total" ]
+    rows

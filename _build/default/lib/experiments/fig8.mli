@@ -1,0 +1,14 @@
+(** Paper Figure 8: percent of total available parallelism exposed as a
+    function of instruction-window size (log-log), under conservative
+    system calls with full renaming. *)
+
+val window_sizes : int list
+(** The sweep: 1, 10, 100, 1k, 10k, 100k, 1M instructions. *)
+
+val series : Runner.t -> (string * (int * float) list) list
+(** Per workload: [(window, percent_of_total)] points. *)
+
+val render : Runner.t -> string
+
+val csv : Runner.t -> string
+(** Columns: [benchmark,window,parallelism,percent_of_total]. *)

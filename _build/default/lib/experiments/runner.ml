@@ -1,0 +1,88 @@
+open Ddg_workloads
+
+type t = {
+  size : Workload.size;
+  progress : string -> unit;
+  traces : (string, Ddg_sim.Machine.result * Ddg_sim.Trace.t) Hashtbl.t;
+  stats : (string * string, Ddg_paragraph.Analyzer.stats) Hashtbl.t;
+}
+
+let create ?(size = Workload.Default) ?(progress = fun _ -> ()) () =
+  { size; progress; traces = Hashtbl.create 16; stats = Hashtbl.create 64 }
+
+let size t = t.size
+let workloads _ = Registry.all
+
+let trace t (w : Workload.t) =
+  match Hashtbl.find_opt t.traces w.name with
+  | Some cached -> cached
+  | None ->
+      t.progress (Printf.sprintf "tracing %s (%s)" w.name
+           (Workload.size_to_string t.size));
+      let result, tr = Workload.trace w t.size in
+      (match result.stop with
+      | Ddg_sim.Machine.Halted -> ()
+      | s ->
+          failwith
+            (Format.asprintf "workload %s did not halt: %a" w.name
+               Ddg_sim.Machine.pp_stop_reason s));
+      Hashtbl.replace t.traces w.name (result, tr);
+      (result, tr)
+
+let analyze t (w : Workload.t) config =
+  let key = (w.Workload.name, Ddg_paragraph.Config.describe config) in
+  match Hashtbl.find_opt t.stats key with
+  | Some cached -> cached
+  | None ->
+      let _, tr = trace t w in
+      t.progress
+        (Printf.sprintf "analyzing %s under %s" w.name (snd key));
+      let stats = Ddg_paragraph.Analyzer.analyze config tr in
+      Hashtbl.replace t.stats key stats;
+      stats
+
+(* Parallel cache fill: simulate any missing traces first (sequentially,
+   so nothing is simulated twice), then run the independent analyses on a
+   small domain pool. The caches are only written under the mutex; traces
+   are read-only once simulated, so the worker domains can share them. *)
+let prefetch t jobs =
+  let jobs =
+    List.filter
+      (fun ((w : Workload.t), config) ->
+        not
+          (Hashtbl.mem t.stats
+             (w.name, Ddg_paragraph.Config.describe config)))
+      jobs
+  in
+  if jobs <> [] then begin
+    List.iter (fun (w, _) -> ignore (trace t w)) jobs;
+    let arr = Array.of_list jobs in
+    let next = Atomic.make 0 in
+    let mutex = Mutex.create () in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length arr then begin
+          let (w : Workload.t), config = arr.(i) in
+          let _, tr = Hashtbl.find t.traces w.name in
+          let stats = Ddg_paragraph.Analyzer.analyze config tr in
+          Mutex.lock mutex;
+          Hashtbl.replace t.stats
+            (w.name, Ddg_paragraph.Config.describe config)
+            stats;
+          t.progress
+            (Printf.sprintf "analyzed %s under %s" w.name
+               (Ddg_paragraph.Config.describe config));
+          Mutex.unlock mutex;
+          go ()
+        end
+      in
+      go ()
+    in
+    let extra_domains =
+      max 0 (min 7 (Domain.recommended_domain_count () - 1))
+    in
+    let domains = List.init extra_domains (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end

@@ -1,0 +1,37 @@
+(** Shared infrastructure for the table/figure experiments: traces are
+    generated once per workload and analysis results cached per switch
+    configuration, so that regenerating every table and figure costs one
+    simulation plus one analysis pass per distinct configuration. *)
+
+type t
+
+val create :
+  ?size:Ddg_workloads.Workload.size ->
+  ?progress:(string -> unit) ->
+  unit ->
+  t
+(** [size] defaults to [Default]; [progress] (default silent) receives
+    one-line status messages as traces are generated and analyses run. *)
+
+val size : t -> Ddg_workloads.Workload.size
+
+val workloads : t -> Ddg_workloads.Workload.t list
+(** The full registry, in Table 2 order. *)
+
+val trace : t -> Ddg_workloads.Workload.t -> Ddg_sim.Machine.result * Ddg_sim.Trace.t
+(** Simulate (cached). *)
+
+val analyze :
+  t ->
+  Ddg_workloads.Workload.t ->
+  Ddg_paragraph.Config.t ->
+  Ddg_paragraph.Analyzer.stats
+(** Analyze a workload's trace under a configuration (cached by the
+    configuration's {!Ddg_paragraph.Config.describe} string). *)
+
+val prefetch :
+  t -> (Ddg_workloads.Workload.t * Ddg_paragraph.Config.t) list -> unit
+(** Fill the analysis cache for the given jobs using multiple domains
+    (traces are simulated sequentially first; the independent analyses
+    then run in parallel). Subsequent {!analyze} calls for these jobs hit
+    the cache. *)

@@ -1,0 +1,17 @@
+let render () =
+  let rows =
+    List.filter_map
+      (fun cls ->
+        match cls with
+        | Ddg_isa.Opclass.Control -> None
+        | _ ->
+            Some
+              [ Ddg_isa.Opclass.to_string cls;
+                string_of_int (Ddg_isa.Opclass.latency cls) ])
+      Ddg_isa.Opclass.all
+  in
+  Ddg_report.Table.render
+    ~title:"Table 1: Instruction Class Operation Times"
+    ~headers:[ ("Operation Class", Ddg_report.Table.Left);
+               ("Steps", Ddg_report.Table.Right) ]
+    rows

@@ -1,0 +1,4 @@
+(** Paper Table 1: instruction-class operation times (an input of the
+    analysis, printed for completeness). *)
+
+val render : unit -> string

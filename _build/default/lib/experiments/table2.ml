@@ -1,0 +1,28 @@
+open Ddg_report
+
+let render runner =
+  let rows =
+    List.map
+      (fun (w : Ddg_workloads.Workload.t) ->
+        let result, trace = Runner.trace runner w in
+        [ w.name;
+          w.spec_analog;
+          w.language_kind;
+          Table.int_cell result.instructions;
+          Table.int_cell (Ddg_sim.Trace.length trace);
+          Table.int_cell result.syscalls ])
+      (Runner.workloads runner)
+  in
+  Table.render
+    ~title:
+      (Printf.sprintf
+         "Table 2: Benchmarks Analyzed (Mini-C SPEC'89 analogs, %s size)"
+         (Ddg_workloads.Workload.size_to_string (Runner.size runner)))
+    ~headers:
+      [ ("Benchmark", Table.Left);
+        ("SPEC Analog", Table.Left);
+        ("Type", Table.Left);
+        ("Instructions Executed", Table.Right);
+        ("Instructions In Trace", Table.Right);
+        ("System Calls", Table.Right) ]
+    rows

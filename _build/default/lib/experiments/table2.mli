@@ -1,0 +1,4 @@
+(** Paper Table 2: the benchmarks analyzed — our SPEC'89 analogs with
+    their trace sizes at the runner's size class. *)
+
+val render : Runner.t -> string

@@ -1,0 +1,42 @@
+open Ddg_paragraph
+open Ddg_report
+
+let rows runner =
+  List.map
+    (fun (w : Ddg_workloads.Workload.t) ->
+      ( w.name,
+        Runner.analyze runner w Config.default,
+        Runner.analyze runner w Config.dataflow ))
+    (Runner.workloads runner)
+
+let render runner =
+  let body =
+    List.map
+      (fun (name, (cons : Analyzer.stats), (opt : Analyzer.stats)) ->
+        let error =
+          if opt.available_parallelism <= 0.0 then 0.0
+          else
+            (opt.available_parallelism -. cons.available_parallelism)
+            /. opt.available_parallelism
+        in
+        [ name;
+          Table.int_cell cons.syscalls;
+          Table.int_cell cons.critical_path;
+          Table.float_cell cons.available_parallelism;
+          Table.int_cell opt.critical_path;
+          Table.float_cell opt.available_parallelism;
+          Printf.sprintf "%.2f" error ])
+      (rows runner)
+  in
+  Table.render
+    ~title:
+      "Table 3: Dataflow Results (conservative vs optimistic system calls)"
+    ~headers:
+      [ ("Benchmark", Table.Left);
+        ("System Calls", Table.Right);
+        ("Critical Path (cons)", Table.Right);
+        ("Parallelism (cons)", Table.Right);
+        ("Critical Path (opt)", Table.Right);
+        ("Parallelism (opt)", Table.Right);
+        ("Max Error", Table.Right) ]
+    body

@@ -1,0 +1,9 @@
+(** Paper Table 3: dataflow results — critical path length and available
+    parallelism under the conservative and optimistic system-call
+    assumptions (all renaming on, unbounded window, no resource limits),
+    plus the maximum measurement error between the two. *)
+
+val render : Runner.t -> string
+
+val rows : Runner.t -> (string * Ddg_paragraph.Analyzer.stats * Ddg_paragraph.Analyzer.stats) list
+(** [(name, conservative, optimistic)] per workload, for tests and CSV. *)

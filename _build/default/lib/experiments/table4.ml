@@ -1,0 +1,37 @@
+open Ddg_paragraph
+open Ddg_report
+
+let rows runner =
+  List.map
+    (fun (w : Ddg_workloads.Workload.t) ->
+      let parallelism renaming =
+        (Runner.analyze runner w Config.(with_renaming renaming default))
+          .Analyzer.available_parallelism
+      in
+      ( w.name,
+        parallelism Config.rename_none,
+        parallelism Config.rename_registers_only,
+        parallelism Config.rename_registers_stack,
+        parallelism Config.rename_all ))
+    (Runner.workloads runner)
+
+let render runner =
+  let body =
+    List.map
+      (fun (name, none, regs, regs_stack, regs_mem) ->
+        [ name;
+          Table.float_cell none;
+          Table.float_cell regs;
+          Table.float_cell regs_stack;
+          Table.float_cell regs_mem ])
+      (rows runner)
+  in
+  Table.render
+    ~title:"Table 4: Available Parallelism under Different Renaming Conditions"
+    ~headers:
+      [ ("Benchmark", Table.Left);
+        ("No Renaming", Table.Right);
+        ("Regs Renamed", Table.Right);
+        ("Regs/Stack Renamed", Table.Right);
+        ("Reg/Mem Renamed", Table.Right) ]
+    body

@@ -1,0 +1,9 @@
+(** Paper Table 4: available parallelism under the four renaming
+    conditions — none, registers, registers+stack, registers+memory —
+    with conservative system calls, unbounded window, no resource
+    limits. *)
+
+val render : Runner.t -> string
+
+val rows : Runner.t -> (string * float * float * float * float) list
+(** [(name, none, regs, regs_stack, regs_mem)] per workload. *)

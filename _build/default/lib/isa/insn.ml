@@ -1,0 +1,138 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Nor
+  | Sll | Srl | Sra
+  | Slt | Sle | Seq | Sne
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Binop of binop * int * int * int
+  | Binopi of binop * int * int * int
+  | Li of int * int
+  | Fbinop of fbinop * int * int * int
+  | Fli of int * float
+  | Fmov of int * int
+  | Fneg of int * int
+  | Cvt_i2f of int * int
+  | Cvt_f2i of int * int
+  | Fcmp of cond * int * int * int
+  | Lw of int * int * int
+  | Sw of int * int * int
+  | Flw of int * int * int
+  | Fsw of int * int * int
+  | Branch of cond * int * int * int
+  | J of int
+  | Jal of int
+  | Jr of int
+  | Jalr of int
+  | Syscall
+  | Nop
+  | Halt
+
+let class_of : t -> Opclass.t = function
+  | Binop (Mul, _, _, _) | Binopi (Mul, _, _, _) -> Int_multiply
+  | Binop ((Div | Rem), _, _, _) | Binopi ((Div | Rem), _, _, _) ->
+      Int_divide
+  | Binop (_, _, _, _) | Binopi (_, _, _, _) | Li _ -> Int_alu
+  | Fbinop ((Fadd | Fsub), _, _, _) -> Fp_add_sub
+  | Fbinop (Fmul, _, _, _) -> Fp_multiply
+  | Fbinop (Fdiv, _, _, _) -> Fp_divide
+  (* register moves and immediate materialisation are single-cycle
+     transport, not arithmetic *)
+  | Fli _ | Fmov _ -> Int_alu
+  | Fneg _ | Fcmp _ -> Fp_add_sub
+  | Cvt_i2f _ | Cvt_f2i _ -> Fp_add_sub
+  | Lw _ | Sw _ | Flw _ | Fsw _ -> Load_store
+  | Syscall -> Syscall
+  | Branch _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt -> Control
+
+let reg r = if r = Reg.zero then None else Some (Loc.Reg r)
+
+let defines : t -> Loc.t option = function
+  | Binop (_, rd, _, _) | Binopi (_, rd, _, _) | Li (rd, _)
+  | Cvt_f2i (rd, _) | Fcmp (_, rd, _, _) | Lw (rd, _, _) ->
+      reg rd
+  | Fbinop (_, fd, _, _) | Fli (fd, _) | Fmov (fd, _) | Fneg (fd, _)
+  | Cvt_i2f (fd, _) | Flw (fd, _, _) ->
+      Some (Loc.Freg fd)
+  | Jal _ | Jalr _ -> Some (Loc.Reg Reg.ra)
+  | Sw _ | Fsw _ | Branch _ | J _ | Jr _ | Syscall | Nop | Halt -> None
+
+let register_uses : t -> Loc.t list =
+  let regs rs = List.filter_map reg rs in
+  function
+  | Binop (_, _, rs, rt) -> regs [ rs; rt ]
+  | Binopi (_, _, rs, _) -> regs [ rs ]
+  | Li _ | Fli _ | J _ | Jal _ | Nop | Halt | Syscall -> []
+  | Fbinop (_, _, fs, ft) -> [ Loc.Freg fs; Loc.Freg ft ]
+  | Fmov (_, fs) | Fneg (_, fs) | Cvt_f2i (_, fs) -> [ Loc.Freg fs ]
+  | Cvt_i2f (_, rs) -> regs [ rs ]
+  | Fcmp (_, _, fs, ft) -> [ Loc.Freg fs; Loc.Freg ft ]
+  | Lw (_, base, _) | Flw (_, base, _) -> regs [ base ]
+  | Sw (rs, base, _) -> regs [ rs; base ]
+  | Fsw (fs, base, _) -> Loc.Freg fs :: regs [ base ]
+  | Branch (_, rs, rt, _) -> regs [ rs; rt ]
+  | Jr rs | Jalr rs -> regs [ rs ]
+
+let is_control t =
+  match t with
+  | Branch _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt -> true
+  | Binop _ | Binopi _ | Li _ | Fbinop _ | Fli _ | Fmov _ | Fneg _
+  | Cvt_i2f _ | Cvt_f2i _ | Fcmp _ | Lw _ | Sw _ | Flw _ | Fsw _ | Syscall
+    ->
+      false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Nor -> "nor"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra"
+  | Slt -> "slt" | Sle -> "sle" | Seq -> "seq" | Sne -> "sne"
+
+let fbinop_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let cond_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_binop ppf op = Format.pp_print_string ppf (binop_name op)
+let pp_fbinop ppf op = Format.pp_print_string ppf (fbinop_name op)
+let pp_cond ppf c = Format.pp_print_string ppf (cond_name c)
+
+let pp ppf t =
+  let r = Reg.name and f = Reg.fname in
+  match t with
+  | Binop (op, rd, rs, rt) ->
+      Format.fprintf ppf "%s %s, %s, %s" (binop_name op) (r rd) (r rs) (r rt)
+  | Binopi (op, rd, rs, imm) ->
+      Format.fprintf ppf "%si %s, %s, %d" (binop_name op) (r rd) (r rs) imm
+  | Li (rd, imm) -> Format.fprintf ppf "li %s, %d" (r rd) imm
+  | Fbinop (op, fd, fs, ft) ->
+      Format.fprintf ppf "%s %s, %s, %s" (fbinop_name op) (f fd) (f fs) (f ft)
+  | Fli (fd, x) -> Format.fprintf ppf "fli %s, %h" (f fd) x
+  | Fmov (fd, fs) -> Format.fprintf ppf "fmov %s, %s" (f fd) (f fs)
+  | Fneg (fd, fs) -> Format.fprintf ppf "fneg %s, %s" (f fd) (f fs)
+  | Cvt_i2f (fd, rs) -> Format.fprintf ppf "cvt.i2f %s, %s" (f fd) (r rs)
+  | Cvt_f2i (rd, fs) -> Format.fprintf ppf "cvt.f2i %s, %s" (r rd) (f fs)
+  | Fcmp (c, rd, fs, ft) ->
+      Format.fprintf ppf "fcmp.%s %s, %s, %s" (cond_name c) (r rd) (f fs)
+        (f ft)
+  | Lw (rd, base, off) -> Format.fprintf ppf "lw %s, %d(%s)" (r rd) off (r base)
+  | Sw (rs, base, off) -> Format.fprintf ppf "sw %s, %d(%s)" (r rs) off (r base)
+  | Flw (fd, base, off) ->
+      Format.fprintf ppf "flw %s, %d(%s)" (f fd) off (r base)
+  | Fsw (fs, base, off) ->
+      Format.fprintf ppf "fsw %s, %d(%s)" (f fs) off (r base)
+  | Branch (c, rs, rt, tgt) ->
+      Format.fprintf ppf "b%s %s, %s, @%d" (cond_name c) (r rs) (r rt) tgt
+  | J tgt -> Format.fprintf ppf "j @%d" tgt
+  | Jal tgt -> Format.fprintf ppf "jal @%d" tgt
+  | Jr rs -> Format.fprintf ppf "jr %s" (r rs)
+  | Jalr rs -> Format.fprintf ppf "jalr %s" (r rs)
+  | Syscall -> Format.pp_print_string ppf "syscall"
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let to_string t = Format.asprintf "%a" pp t

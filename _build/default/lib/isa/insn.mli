@@ -1,0 +1,87 @@
+(** The instruction set of the simulated machine.
+
+    A MIPS-like three-address RISC: 32 integer and 32 floating-point
+    registers, load/store architecture, compare-and-branch control flow.
+    Branch and jump targets are {e absolute instruction indices} — the
+    assembler ({!Ddg_asm}) resolves symbolic labels before producing
+    [Insn.t] values, so this type is completely position-independent of any
+    textual syntax.
+
+    The instruction set is deliberately small but covers everything the
+    paper's dependency analysis distinguishes: the eight operation classes
+    of Table 1, register and memory traffic, stack vs data addressing, and
+    system calls. *)
+
+(** Integer ALU operations (three-register or register-immediate). [Mul],
+    [Div] and [Rem] belong to the multiply/divide classes; all others are
+    single-cycle ALU operations. *)
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Nor
+  | Sll | Srl | Sra
+  | Slt | Sle | Seq | Sne
+
+(** Floating-point arithmetic. *)
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+(** Comparison conditions for branches and FP compares. *)
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Binop of binop * int * int * int
+      (** [Binop (op, rd, rs, rt)]: [rd <- rs op rt]. *)
+  | Binopi of binop * int * int * int
+      (** [Binopi (op, rd, rs, imm)]: [rd <- rs op imm]. *)
+  | Li of int * int
+      (** [Li (rd, imm)]: load immediate; no source dependencies. *)
+  | Fbinop of fbinop * int * int * int
+      (** [Fbinop (op, fd, fs, ft)]. *)
+  | Fli of int * float
+      (** [Fli (fd, imm)]: load floating-point immediate. *)
+  | Fmov of int * int      (** [fd <- fs] *)
+  | Fneg of int * int      (** [fd <- -. fs] *)
+  | Cvt_i2f of int * int   (** [Cvt_i2f (fd, rs)]: int to float. *)
+  | Cvt_f2i of int * int   (** [Cvt_f2i (rd, fs)]: float to int (truncate). *)
+  | Fcmp of cond * int * int * int
+      (** [Fcmp (c, rd, fs, ft)]: [rd <- fs c ft] as 0/1. *)
+  | Lw of int * int * int  (** [Lw (rd, base, off)]: [rd <- mem[base+off]]. *)
+  | Sw of int * int * int  (** [Sw (rs, base, off)]: [mem[base+off] <- rs]. *)
+  | Flw of int * int * int (** FP load. *)
+  | Fsw of int * int * int (** FP store. *)
+  | Branch of cond * int * int * int
+      (** [Branch (c, rs, rt, target)]: if [rs c rt] jump to instruction
+          index [target]. *)
+  | J of int               (** unconditional jump to instruction index. *)
+  | Jal of int             (** call: [ra <- return index]; jump. *)
+  | Jr of int              (** jump to the index held in a register. *)
+  | Jalr of int            (** indirect call through a register. *)
+  | Syscall
+      (** System call: number in [v0], integer argument in [a0], FP
+          argument in [f12]; result (if any) in [v0]/[f0]. *)
+  | Nop
+  | Halt                   (** stop the machine. *)
+
+val class_of : t -> Opclass.t
+(** The Table 1 operation class of an instruction. [Nop] and [Halt] are
+    classified as [Control] (they create no value). *)
+
+val defines : t -> Loc.t option
+(** The register location written by the instruction, if any. Memory
+    destinations of stores are runtime-dependent and therefore not
+    reported here (the simulator supplies them); [defines (Sw _)] is
+    [None]. Writes to register [zero] are reported as [None]. *)
+
+val register_uses : t -> Loc.t list
+(** The register locations read by the instruction (memory sources are
+    runtime-dependent and supplied by the simulator). Reads of register
+    [zero] are omitted: r0 is a constant, not a value-carrying location. *)
+
+val is_control : t -> bool
+(** Branches, jumps, [Nop] and [Halt]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_fbinop : Format.formatter -> fbinop -> unit
+val pp_cond : Format.formatter -> cond -> unit

@@ -1,0 +1,42 @@
+type t = Reg of int | Freg of int | Mem of int
+
+type segment = Data | Heap | Stack
+type storage_class = Register | Stack_memory | Data_memory
+
+let equal a b =
+  match a, b with
+  | Reg i, Reg j | Freg i, Freg j | Mem i, Mem j -> i = j
+  | (Reg _ | Freg _ | Mem _), _ -> false
+
+(* Registers are dense in [0..63]; memory words are spread out. Mixing the
+   tag into the hash keeps register and memory keys from colliding in the
+   live well's hash table. *)
+let hash = function
+  | Reg i -> i
+  | Freg i -> 64 + i
+  | Mem a -> 128 + (a lxor (a lsr 16)) * 2654435761
+
+let compare a b =
+  let rank = function Reg _ -> 0 | Freg _ -> 1 | Mem _ -> 2 in
+  match a, b with
+  | Reg i, Reg j | Freg i, Freg j | Mem i, Mem j -> Int.compare i j
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Reg i -> Format.fprintf ppf "r%d" i
+  | Freg i -> Format.fprintf ppf "f%d" i
+  | Mem a -> Format.fprintf ppf "[0x%x]" a
+
+let to_string t = Format.asprintf "%a" pp t
+
+let pp_segment ppf = function
+  | Data -> Format.pp_print_string ppf "data"
+  | Heap -> Format.pp_print_string ppf "heap"
+  | Stack -> Format.pp_print_string ppf "stack"
+
+let segment_to_string s = Format.asprintf "%a" pp_segment s
+
+let pp_storage_class ppf = function
+  | Register -> Format.pp_print_string ppf "register"
+  | Stack_memory -> Format.pp_print_string ppf "stack-memory"
+  | Data_memory -> Format.pp_print_string ppf "data-memory"

@@ -1,0 +1,37 @@
+(** Storage locations and memory segments.
+
+    A {e location} names a unit of architectural storage that can hold one
+    value: an integer register, a floating-point register, or one word of
+    memory. Paragraph's live well is keyed by locations, and the renaming
+    switches of the paper (rename registers / rename stack / rename data)
+    are expressed in terms of the {!storage_class} of a location. *)
+
+(** A storage location. Memory is word-addressed: [Mem a] names the aligned
+    word whose byte address is [a]. *)
+type t =
+  | Reg of int   (** integer register [0..31] *)
+  | Freg of int  (** floating-point register [0..31] *)
+  | Mem of int   (** one word of memory at byte address [a] *)
+
+(** Memory segments, classified by address (see {!Segment.classify}). The
+    paper distinguishes the stack segment from all other ("data") segments
+    for the Rename-Stack vs Rename-Data switches; we additionally separate
+    statically-allocated data from the heap, both of which count as
+    non-stack segments. *)
+type segment = Data | Heap | Stack
+
+(** The classes of storage a renaming switch can target. [Register] covers
+    both integer and floating-point registers. *)
+type storage_class = Register | Stack_memory | Data_memory
+
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val pp_segment : Format.formatter -> segment -> unit
+val segment_to_string : segment -> string
+
+val pp_storage_class : Format.formatter -> storage_class -> unit

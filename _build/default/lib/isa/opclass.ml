@@ -1,0 +1,49 @@
+type t =
+  | Int_alu
+  | Int_multiply
+  | Int_divide
+  | Fp_add_sub
+  | Fp_multiply
+  | Fp_divide
+  | Load_store
+  | Syscall
+  | Control
+
+let all =
+  [ Int_alu; Int_multiply; Int_divide; Fp_add_sub; Fp_multiply; Fp_divide;
+    Load_store; Syscall; Control ]
+
+let latency = function
+  | Int_alu -> 1
+  | Int_multiply -> 6
+  | Int_divide -> 12
+  | Fp_add_sub -> 6
+  | Fp_multiply -> 6
+  | Fp_divide -> 12
+  | Load_store -> 1
+  | Syscall -> 1
+  | Control -> 1
+
+let creates_value = function
+  | Control -> false
+  | Int_alu | Int_multiply | Int_divide | Fp_add_sub | Fp_multiply
+  | Fp_divide | Load_store | Syscall -> true
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t =
+  let s =
+    match t with
+    | Int_alu -> "Integer ALU"
+    | Int_multiply -> "Integer Multiply"
+    | Int_divide -> "Integer Division"
+    | Fp_add_sub -> "Floating Point Add/Sub"
+    | Fp_multiply -> "Floating Point Multiply"
+    | Fp_divide -> "Floating Point Division"
+    | Load_store -> "Load/Store"
+    | Syscall -> "System Calls"
+    | Control -> "Control"
+  in
+  Format.pp_print_string ppf s
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,34 @@
+(** Operation classes and their latencies (paper Table 1).
+
+    Every executed instruction belongs to exactly one operation class, and
+    the class determines how many DDG levels the operation spans before the
+    value it creates becomes available to subsequent operations. The default
+    latencies reproduce Table 1 of the paper (the MIPS R2000/R3000 values
+    the authors used); an analysis may substitute its own table. *)
+
+type t =
+  | Int_alu          (** integer add/sub/logical/shift/compare, moves *)
+  | Int_multiply
+  | Int_divide
+  | Fp_add_sub
+  | Fp_multiply
+  | Fp_divide
+  | Load_store       (** memory reads and writes *)
+  | Syscall
+  | Control          (** branches and jumps: never create values, never
+                         placed in the DDG; latency is irrelevant *)
+
+val all : t list
+(** Every class, in Table 1 order (with [Control] last). *)
+
+val latency : t -> int
+(** Paper Table 1: Int_alu 1, Int_multiply 6, Int_divide 12, Fp_add_sub 6,
+    Fp_multiply 6, Fp_divide 12, Load_store 1, Syscall 1, Control 1. *)
+
+val creates_value : t -> bool
+(** Whether instructions of this class produce a value and therefore appear
+    as nodes of the DDG. [Control] does not; everything else does. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

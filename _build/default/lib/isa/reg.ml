@@ -1,0 +1,66 @@
+let count = 32
+
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t_first = 8
+let t_last = 15
+let s_first = 16
+let s_last = 23
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31
+
+let f_result = 0
+let f_arg = 12
+let ft_first = 4
+let ft_last = 11
+let fs_first = 20
+let fs_last = 27
+
+let names =
+  [| "zero"; "at"; "v0"; "v1"; "a0"; "a1"; "a2"; "a3";
+     "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7";
+     "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+     "t8"; "t9"; "k0"; "k1"; "gp"; "sp"; "fp"; "ra" |]
+
+let name i =
+  if i >= 0 && i < count then names.(i) else Printf.sprintf "r%d" i
+
+let fname i = Printf.sprintf "f%d" i
+
+let of_name s =
+  let numeric prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      match int_of_string_opt (String.sub s n (String.length s - n)) with
+      | Some i when i >= 0 && i < count -> Some i
+      | Some _ | None -> None
+    else None
+  in
+  match numeric "r" with
+  | Some i -> Some i
+  | None ->
+      let rec find i =
+        if i >= count then None
+        else if String.equal names.(i) s then Some i
+        else find (i + 1)
+      in
+      find 0
+
+let fof_name s =
+  if String.length s > 1 && s.[0] = 'f' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i when i >= 0 && i < count -> Some i
+    | Some _ | None -> None
+  else None
+
+(* [at] is exported for completeness of the convention table even though the
+   assembler never synthesises instructions that need it. *)
+let _ = at

@@ -1,0 +1,87 @@
+(** Integer and floating-point register conventions.
+
+    The register file follows a MIPS-like convention: 32 integer registers
+    and 32 floating-point registers. Register [r0] is hardwired to zero.
+    The software conventions below are used by the Mini-C code generator
+    and by the assembler's symbolic register names. *)
+
+val count : int
+(** Registers per file (32). *)
+
+(** r0: always zero; writes are discarded. *)
+val zero : int
+
+(** r2: function result / syscall number. *)
+val v0 : int
+
+(** r3: second result register. *)
+val v1 : int
+
+(** r4: first argument register. *)
+val a0 : int
+
+(** r5 *)
+val a1 : int
+
+(** r6 *)
+val a2 : int
+
+(** r7 *)
+val a3 : int
+
+(** r8: first caller-saved temporary. *)
+val t_first : int
+
+(** r15: last caller-saved temporary. *)
+val t_last : int
+
+(** r16: first callee-saved register. *)
+val s_first : int
+
+(** r23: last callee-saved register. *)
+val s_last : int
+
+(** r28: global pointer. *)
+val gp : int
+
+(** r29: stack pointer. *)
+val sp : int
+
+(** r30: frame pointer. *)
+val fp : int
+
+(** r31: return address. *)
+val ra : int
+
+
+(** f0: floating-point result register. *)
+val f_result : int
+
+(** f12: first floating-point argument register. *)
+val f_arg : int
+
+(** f4: first floating-point temporary. *)
+val ft_first : int
+
+(** f11: last floating-point temporary. *)
+val ft_last : int
+
+(** f20: first callee-saved floating-point register. *)
+val fs_first : int
+
+(** f27: last callee-saved floating-point register. *)
+val fs_last : int
+
+
+val name : int -> string
+(** Symbolic name of integer register [i], e.g. [name 29 = "sp"]. *)
+
+val fname : int -> string
+(** Name of floating-point register [i], e.g. ["f4"]. *)
+
+val of_name : string -> int option
+(** Parse an integer register name: either numeric ("r13") or symbolic
+    ("sp", "a0", "t3", ...). *)
+
+val fof_name : string -> int option
+(** Parse a floating-point register name ("f0".."f31"). *)

@@ -1,0 +1,17 @@
+let data_base = 0x1000_0000
+let heap_base = 0x4000_0000
+let stack_limit = 0x7000_0000
+let stack_top = 0x7fff_fff0
+let word_size = 4
+
+let classify addr : Loc.segment =
+  if addr >= stack_limit then Stack
+  else if addr >= heap_base then Heap
+  else Data
+
+let storage_class_of_loc : Loc.t -> Loc.storage_class = function
+  | Reg _ | Freg _ -> Register
+  | Mem a -> (
+      match classify a with
+      | Stack -> Stack_memory
+      | Heap | Data -> Data_memory)

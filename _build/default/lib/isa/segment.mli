@@ -1,0 +1,33 @@
+(** The simulated address-space layout and address classification.
+
+    The simulator places statically-allocated data at [data_base], grows the
+    heap upward from [heap_base] (via the [sbrk] system call) and grows the
+    stack downward from [stack_top]. Paragraph classifies every memory
+    location into a segment so that the Rename-Stack and Rename-Data
+    switches can be applied independently (paper section 3.2). *)
+
+val data_base : int
+(** Base byte address of the static data segment. *)
+
+val heap_base : int
+(** Base byte address of the heap; everything in [[heap_base, stack_limit)]
+    is heap. *)
+
+val stack_limit : int
+(** Lowest address considered part of the stack segment. *)
+
+val stack_top : int
+(** Initial stack pointer (exclusive top of the stack segment). *)
+
+val word_size : int
+(** Bytes per machine word (4). *)
+
+val classify : int -> Loc.segment
+(** [classify addr] names the segment containing byte address [addr].
+    Addresses below [heap_base] are [Data], addresses in
+    [[heap_base, stack_limit)] are [Heap], and addresses at or above
+    [stack_limit] are [Stack]. *)
+
+val storage_class_of_loc : Loc.t -> Loc.storage_class
+(** The storage class a renaming switch applies to: registers, stack
+    memory, or (static + heap) data memory. *)

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Buffer Ddg_asm Ddg_isa Format List Printf Tast

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Codegen Ddg_sim Lexer Optimize Parser Typecheck

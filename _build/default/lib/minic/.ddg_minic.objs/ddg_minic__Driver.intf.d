@@ -1,0 +1,1 @@
+lib/minic/driver.mli: Ddg_asm Ddg_sim Optimize

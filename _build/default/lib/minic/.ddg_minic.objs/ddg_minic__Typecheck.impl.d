@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Array Ast Format Hashtbl List Tast

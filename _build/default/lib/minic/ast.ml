@@ -1,0 +1,60 @@
+type ty = Tint | Tfloat | Tvoid
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Neg | Not
+
+type expr = { eline : int; enode : enode }
+
+and enode =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list
+  | Call of string * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type stmt = { sline : int; snode : snode }
+
+and snode =
+  | Decl of ty * string * expr option
+  | Decl_array of ty * string * int list
+  | Assign of string * expr
+  | Assign_index of string * expr list * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Do_while of block * expr
+  | For of stmt option * expr option * stmt option * block
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr
+  | Block of block
+
+and block = stmt list
+
+type global =
+  | Gvar of ty * string * expr option
+  | Garray of ty * string * int list
+
+type func = {
+  fline : int;
+  name : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : block;
+}
+
+type program = { globals : global list; funcs : func list }
+
+let ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tvoid -> "void"
+
+let pp_ty ppf ty = Format.pp_print_string ppf (ty_to_string ty)

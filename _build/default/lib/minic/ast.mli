@@ -1,0 +1,75 @@
+(** Abstract syntax of Mini-C.
+
+    Mini-C is the small imperative language in which the SPEC-analog
+    workloads are written — "ordinary programs" in the paper's sense. It
+    has [int] and [float] scalars, fixed-size one- and multi-dimensional
+    arrays (global or stack-allocated local; multi-dimensional accesses
+    are lowered to row-major linear indexing by the typechecker),
+    functions with value parameters and recursion, the usual control flow
+    ([if]/[while]/[do]/[for] with [break]/[continue]) with short-circuit
+    booleans and C-precedence bitwise operators, and I/O builtins mapping
+    to system calls ([print_int], [print_float], [print_char],
+    [read_int], [read_float]). Conversion builtins [float_of_int] and
+    [int_of_float] cast explicitly; mixed int/float arithmetic promotes
+    implicitly. *)
+
+type ty = Tint | Tfloat | Tvoid
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or  (** short-circuit; [Band]..[Shr] are the int-only bitwise
+                  operators [& | ^ << >>]; [Shr] is arithmetic *)
+
+type unop = Neg | Not
+
+type expr = { eline : int; enode : enode }
+
+and enode =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list  (** [a[i]] or [a[i][j]] *)
+  | Call of string * expr list   (** user function or builtin *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type stmt = { sline : int; snode : snode }
+
+and snode =
+  | Decl of ty * string * expr option      (** [int x = e;] *)
+  | Decl_array of ty * string * int list
+      (** [int a[n];] or [int a[n][m];] (local) *)
+  | Assign of string * expr
+  | Assign_index of string * expr list * expr
+      (** [a[i] = e;] or [a[i][j] = e;] *)
+  | If of expr * block * block
+  | While of expr * block
+  | Do_while of block * expr               (** [do { … } while (e);] *)
+  | For of stmt option * expr option * stmt option * block
+      (** [for (init; cond; step) …]; missing cond means [1] *)
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr                           (** expression statement *)
+  | Block of block
+
+and block = stmt list
+
+type global =
+  | Gvar of ty * string * expr option      (** constant initialiser only *)
+  | Garray of ty * string * int list
+
+type func = {
+  fline : int;
+  name : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : block;
+}
+
+type program = { globals : global list; funcs : func list }
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string

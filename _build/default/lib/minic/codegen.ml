@@ -1,0 +1,831 @@
+open Tast
+module Reg = Ddg_isa.Reg
+
+(* Where a scalar local or parameter lives. *)
+type storage =
+  | Sreg of int        (* callee-saved integer register *)
+  | Fsreg of int       (* callee-saved float register *)
+  | Treg of int        (* caller-saved integer register (leaf functions) *)
+  | Ftreg of int       (* caller-saved float register (leaf functions) *)
+  | Frame of int       (* word at [offset](fp), offset negative *)
+  | Arg_slot of int    (* overflow parameter k in its incoming stack slot *)
+  | Array_base of int  (* local array based at [offset](fp) *)
+
+(* How a parameter is passed. *)
+type passing = Preg of int | Pfreg of int | Pstack of int
+
+(* Register pools for expression temporaries. *)
+let ifull = [ 8; 9; 10; 11; 12; 13; 14; 15 ]         (* t0..t7 *)
+let ffull = [ 4; 5; 6; 7; 8; 9; 10; 11 ]             (* f4..f11 *)
+let iscratch = 1                                     (* at *)
+let fscratch = 2                                     (* f2 *)
+let int_arg_regs = [ 4; 5; 6; 7 ]                    (* a0..a3 *)
+let float_arg_regs = [ 12; 13; 14; 15 ]              (* f12..f15 *)
+let max_leaf_regs = 4
+
+type ctx = {
+  buf : Buffer.t;
+  mutable labels : int;
+  fn : tfunc;
+  storage : storage array;       (* per local slot *)
+  epilogue : string;
+  pure_leaf : bool;              (* no frame at all: sp and ra untouched *)
+  ipool : int list;              (* this function's int temporary pool *)
+  fpool : int list;
+  mutable rotation : int;        (* spreads temporaries across the pool,
+                                    statement by statement, the way a real
+                                    allocator avoids funnelling every value
+                                    through the same register *)
+  mutable loop_labels : (string * string) list;
+                                 (* (break target, continue target) stack *)
+}
+
+let ins ctx fmt =
+  Format.kasprintf
+    (fun s ->
+      Buffer.add_string ctx.buf "        ";
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let label ctx l =
+  Buffer.add_string ctx.buf l;
+  Buffer.add_string ctx.buf ":\n"
+
+let fresh_label ctx prefix =
+  ctx.labels <- ctx.labels + 1;
+  Printf.sprintf "L%s_%d_%s" prefix ctx.labels ctx.fn.fname
+
+let r = Reg.name
+let f = Reg.fname
+
+(* --- calling convention -------------------------------------------------- *)
+
+(* The first four integer parameters travel in a0..a3, the first four float
+   parameters in f12..f15 (counted separately); the rest go on the stack in
+   order of appearance. *)
+let param_passing (params : local array) nparams =
+  let passing = Array.make nparams (Pstack 0) in
+  let next_int = ref 0 and next_float = ref 0 and next_stack = ref 0 in
+  for i = 0 to nparams - 1 do
+    match params.(i).lty with
+    | Ast.Tfloat when !next_float < List.length float_arg_regs ->
+        passing.(i) <- Pfreg (List.nth float_arg_regs !next_float);
+        incr next_float
+    | Ast.Tint when !next_int < List.length int_arg_regs ->
+        passing.(i) <- Preg (List.nth int_arg_regs !next_int);
+        incr next_int
+    | Ast.Tint | Ast.Tfloat | Ast.Tvoid ->
+        passing.(i) <- Pstack !next_stack;
+        incr next_stack
+  done;
+  passing
+
+let stack_args (passing : passing array) =
+  Array.fold_left
+    (fun acc p -> match p with Pstack _ -> acc + 1 | Preg _ | Pfreg _ -> acc)
+    0 passing
+
+(* --- leaf detection -------------------------------------------------------- *)
+
+let rec expr_calls (e : texpr) =
+  match e.node with
+  | TInt _ | TFloat _ | TVar _ -> false
+  | TCall _ -> true
+  | TIndex (_, i) -> expr_calls i
+  | TBuiltin (_, args) -> List.exists expr_calls args
+  | TUnop (_, a) | TCast_i2f a | TCast_f2i a -> expr_calls a
+  | TBinop (_, a, b) -> expr_calls a || expr_calls b
+
+let rec stmt_calls (s : tstmt) =
+  match s with
+  | SLine _ | SBreak | SContinue -> false
+  | SAssign (_, e) | SExpr e -> expr_calls e
+  | SAssign_index (_, i, e) -> expr_calls i || expr_calls e
+  | SIf (c, a, b) ->
+      expr_calls c || List.exists stmt_calls a || List.exists stmt_calls b
+  | SWhile (c, b) | SDo_while (b, c) ->
+      expr_calls c || List.exists stmt_calls b
+  | SReturn (Some e) -> expr_calls e
+  | SReturn None -> false
+
+let is_leaf (fn : tfunc) = not (List.exists stmt_calls fn.body)
+
+(* --- storage assignment ------------------------------------------------- *)
+
+type layout = {
+  storage : storage array;
+  passing : passing array;
+  sreg_saves : (int * int) list;   (* (reg, frame offset) *)
+  fsreg_saves : (int * int) list;
+  frame_size : int;
+  leaf_iregs : int list;           (* caller-saved regs taken from the pool *)
+  leaf_fregs : int list;
+}
+
+let assign_storage (fn : tfunc) ~leaf =
+  let storage = Array.make (Array.length fn.locals) (Frame 0) in
+  let passing = param_passing fn.locals fn.nparams in
+  let next_sreg = ref Reg.s_first in
+  let next_fsreg = ref Reg.fs_first in
+  let used_sregs = ref [] and used_fsregs = ref [] in
+  let leaf_iregs = ref [] and leaf_fregs = ref [] in
+  let offset = ref 0 in
+  (* leaf functions take their first scalars from the caller-saved pools:
+     no save/restore, no frame *)
+  let leaf_int = ref (if leaf then List.rev ifull else []) in
+  let leaf_float = ref (if leaf then List.rev ffull else []) in
+  Array.iteri
+    (fun i (local : local) ->
+      match local.array_size, local.lty with
+      | Some _, _ -> ()
+      | None, Ast.Tint -> (
+          match !leaf_int with
+          | reg :: rest when List.length !leaf_iregs < max_leaf_regs ->
+              storage.(i) <- Treg reg;
+              leaf_iregs := reg :: !leaf_iregs;
+              leaf_int := rest
+          | _ ->
+              if !next_sreg <= Reg.s_last then begin
+                storage.(i) <- Sreg !next_sreg;
+                used_sregs := !next_sreg :: !used_sregs;
+                incr next_sreg
+              end)
+      | None, Ast.Tfloat -> (
+          match !leaf_float with
+          | reg :: rest when List.length !leaf_fregs < max_leaf_regs ->
+              storage.(i) <- Ftreg reg;
+              leaf_fregs := reg :: !leaf_fregs;
+              leaf_float := rest
+          | _ ->
+              if !next_fsreg <= Reg.fs_last then begin
+                storage.(i) <- Fsreg !next_fsreg;
+                used_fsregs := !next_fsreg :: !used_fsregs;
+                incr next_fsreg
+              end)
+      | None, Ast.Tvoid -> ())
+    fn.locals;
+  (* frame slots for s-register saves *)
+  let sreg_saves =
+    List.map
+      (fun reg -> offset := !offset - 4; (reg, !offset))
+      (List.rev !used_sregs)
+  in
+  let fsreg_saves =
+    List.map
+      (fun reg -> offset := !offset - 4; (reg, !offset))
+      (List.rev !used_fsregs)
+  in
+  (* frame slots for everything left *)
+  Array.iteri
+    (fun i (local : local) ->
+      match storage.(i), local.array_size with
+      | (Sreg _ | Fsreg _ | Treg _ | Ftreg _), _ -> ()
+      | _, Some size ->
+          offset := !offset - (4 * size);
+          storage.(i) <- Array_base !offset
+      | _, None -> (
+          match if i < fn.nparams then Some passing.(i) else None with
+          | Some (Pstack k) -> storage.(i) <- Arg_slot k
+          | Some (Preg _ | Pfreg _) | None ->
+              offset := !offset - 4;
+              storage.(i) <- Frame !offset))
+    fn.locals;
+  {
+    storage;
+    passing;
+    sreg_saves;
+    fsreg_saves;
+    frame_size = - !offset;
+    leaf_iregs = !leaf_iregs;
+    leaf_fregs = !leaf_fregs;
+  }
+
+(* --- expression evaluation ------------------------------------------------ *)
+
+(* [eval ctx (ipool, fpool) e] emits code leaving the value of [e] in the
+   returned register: the head of the appropriate pool, or a home register
+   (which must not be written). Pools are non-empty on entry for the
+   value's type. *)
+
+let is_pool_reg reg pool = match pool with hd :: _ -> hd = reg | [] -> false
+
+(* pool after protecting [reg]: consumed if it came from the pool *)
+let consume reg (ipool, fpool) ~is_float =
+  if is_float then
+    match fpool with
+    | hd :: tl when hd = reg -> (ipool, tl)
+    | _ -> (ipool, fpool)
+  else
+    match ipool with
+    | hd :: tl when hd = reg -> (tl, fpool)
+    | _ -> (ipool, fpool)
+
+let ihead = function
+  | (hd :: _, _) -> hd
+  | ([], _) -> invalid_arg "Codegen: integer register pool exhausted"
+
+let fhead = function
+  | (_, hd :: _) -> hd
+  | (_, []) -> invalid_arg "Codegen: float register pool exhausted"
+
+let is_float_ty = function Ast.Tfloat -> true | Ast.Tint | Ast.Tvoid -> false
+
+(* overflow parameter k: relative to fp in framed functions (old sp =
+   fp + 8), relative to the untouched sp in pure leaves *)
+let arg_slot_operand ctx k =
+  if ctx.pure_leaf then Printf.sprintf "%d(sp)" (4 * k)
+  else Printf.sprintf "%d(fp)" (8 + (4 * k))
+
+let int_binop_mnemonic : Ast.binop -> string = function
+  | Ast.Add -> "add"
+  | Ast.Sub -> "sub"
+  | Ast.Mul -> "mul"
+  | Ast.Div -> "div"
+  | Ast.Mod -> "rem"
+  | Ast.Band -> "and"
+  | Ast.Bor -> "or"
+  | Ast.Bxor -> "xor"
+  | Ast.Shl -> "sll"
+  | Ast.Shr -> "sra"
+  | Ast.Lt -> "slt"
+  | Ast.Le -> "sle"
+  | Ast.Eq -> "seq"
+  | Ast.Ne -> "sne"
+  | Ast.Gt | Ast.Ge | Ast.And | Ast.Or -> assert false
+
+let float_arith_mnemonic : Ast.binop -> string = function
+  | Ast.Add -> "fadd"
+  | Ast.Sub -> "fsub"
+  | Ast.Mul -> "fmul"
+  | Ast.Div -> "fdiv"
+  | _ -> assert false
+
+let fcmp_mnemonic : Ast.binop -> string = function
+  | Ast.Lt -> "fcmp.lt"
+  | Ast.Le -> "fcmp.le"
+  | Ast.Gt -> "fcmp.gt"
+  | Ast.Ge -> "fcmp.ge"
+  | Ast.Eq -> "fcmp.eq"
+  | Ast.Ne -> "fcmp.ne"
+  | _ -> assert false
+
+let rec eval ctx pools (e : texpr) : int =
+  match e.node with
+  | TInt k ->
+      let rd = ihead pools in
+      ins ctx "li %s, %d" (r rd) k;
+      rd
+  | TFloat x ->
+      let fd = fhead pools in
+      ins ctx "fli %s, %.17g" (f fd) x;
+      fd
+  | TVar vref -> eval_var ctx pools vref (is_float_ty e.ty)
+  | TIndex (vref, idx) -> eval_index_load ctx pools vref idx (is_float_ty e.ty)
+  | TCast_i2f e1 ->
+      let r1 = eval ctx pools e1 in
+      let fd = fhead pools in
+      ins ctx "cvt.i2f %s, %s" (f fd) (r r1);
+      fd
+  | TCast_f2i e1 ->
+      let f1 = eval ctx pools e1 in
+      let rd = ihead pools in
+      ins ctx "cvt.f2i %s, %s" (r rd) (f f1);
+      rd
+  | TUnop (Ast.Neg, e1) when is_float_ty e.ty ->
+      let f1 = eval ctx pools e1 in
+      let fd = fhead pools in
+      ins ctx "fneg %s, %s" (f fd) (f f1);
+      fd
+  | TUnop (Ast.Neg, e1) ->
+      let r1 = eval ctx pools e1 in
+      let rd = ihead pools in
+      ins ctx "neg %s, %s" (r rd) (r r1);
+      rd
+  | TUnop (Ast.Not, e1) ->
+      let r1 = eval ctx pools e1 in
+      let rd = ihead pools in
+      ins ctx "seq %s, %s, zero" (r rd) (r r1);
+      rd
+  | TBinop (Ast.And, e1, e2) -> eval_short_circuit ctx pools ~is_and:true e1 e2
+  | TBinop (Ast.Or, e1, e2) -> eval_short_circuit ctx pools ~is_and:false e1 e2
+  | TBinop (op, e1, e2) -> eval_binop ctx pools op e1 e2
+  | TCall (name, args) -> eval_call ctx pools name args e.ty
+  | TBuiltin (b, args) -> eval_builtin ctx pools b args
+
+and eval_var ctx pools vref is_float =
+  match vref with
+  | Local slot -> (
+      match (ctx.storage.(slot) : storage) with
+      | Sreg s | Treg s -> s
+      | Fsreg s | Ftreg s -> s
+      | Frame off ->
+          if is_float then begin
+            let fd = fhead pools in
+            ins ctx "flw %s, %d(fp)" (f fd) off;
+            fd
+          end
+          else begin
+            let rd = ihead pools in
+            ins ctx "lw %s, %d(fp)" (r rd) off;
+            rd
+          end
+      | Arg_slot k ->
+          if is_float then begin
+            let fd = fhead pools in
+            ins ctx "flw %s, %s" (f fd) (arg_slot_operand ctx k);
+            fd
+          end
+          else begin
+            let rd = ihead pools in
+            ins ctx "lw %s, %s" (r rd) (arg_slot_operand ctx k);
+            rd
+          end
+      | Array_base _ -> assert false)
+  | Global name ->
+      if is_float then begin
+        let fd = fhead pools in
+        ins ctx "flw %s, g_%s" (f fd) name;
+        fd
+      end
+      else begin
+        let rd = ihead pools in
+        ins ctx "lw %s, g_%s" (r rd) name;
+        rd
+      end
+  | Global_array _ | Local_array _ -> assert false
+
+(* scaled-and-based address for an array access; returns the textual
+   memory operand *)
+and eval_index_address ctx pools vref idx =
+  let ri = eval ctx pools idx in
+  let rtmp = if is_pool_reg ri (fst pools) then ri else ihead pools in
+  match vref with
+  | Global_array name ->
+      ins ctx "sll %s, %s, 2" (r rtmp) (r ri);
+      Printf.sprintf "g_%s(%s)" name (r rtmp)
+  | Local_array slot -> (
+      match (ctx.storage.(slot) : storage) with
+      | Array_base off ->
+          ins ctx "sll %s, %s, 2" (r rtmp) (r ri);
+          ins ctx "add %s, %s, fp" (r rtmp) (r rtmp);
+          Printf.sprintf "%d(%s)" off (r rtmp)
+      | Sreg _ | Fsreg _ | Treg _ | Ftreg _ | Frame _ | Arg_slot _ ->
+          assert false)
+  | Global _ | Local _ -> assert false
+
+and eval_index_load ctx pools vref idx is_float =
+  let operand = eval_index_address ctx pools vref idx in
+  if is_float then begin
+    let fd = fhead pools in
+    ins ctx "flw %s, %s" (f fd) operand;
+    fd
+  end
+  else begin
+    let rd = ihead pools in
+    ins ctx "lw %s, %s" (r rd) operand;
+    rd
+  end
+
+and eval_short_circuit ctx pools ~is_and e1 e2 =
+  let rd = ihead pools in
+  let l_skip = fresh_label ctx "sc" in
+  let l_end = fresh_label ctx "scend" in
+  let r1 = eval ctx pools e1 in
+  if is_and then ins ctx "beqz %s, %s" (r r1) l_skip
+  else ins ctx "bnez %s, %s" (r r1) l_skip;
+  (* r1 is dead past the branch: e2 may reuse the full pools *)
+  let r2 = eval ctx pools e2 in
+  ins ctx "sne %s, %s, zero" (r rd) (r r2);
+  ins ctx "j %s" l_end;
+  label ctx l_skip;
+  ins ctx "li %s, %d" (r rd) (if is_and then 0 else 1);
+  label ctx l_end;
+  rd
+
+and eval_binop ctx pools op e1 e2 =
+  let operands_float = is_float_ty e1.ty in
+  let r1 = eval ctx pools e1 in
+  let pools1 = consume r1 pools ~is_float:operands_float in
+  let pool_left = if operands_float then snd pools1 else fst pools1 in
+  let r1, r2 =
+    if pool_left <> [] then (r1, eval ctx pools1 e2)
+    else if operands_float then begin
+      (* expression deeper than the pool: spill e1's value around e2 *)
+      ins ctx "addi sp, sp, -4";
+      ins ctx "fsw %s, 0(sp)" (f r1);
+      let r2 = eval ctx pools e2 in
+      ins ctx "flw %s, 0(sp)" (f fscratch);
+      ins ctx "addi sp, sp, 4";
+      (fscratch, r2)
+    end
+    else begin
+      ins ctx "addi sp, sp, -4";
+      ins ctx "sw %s, 0(sp)" (r r1);
+      let r2 = eval ctx pools e2 in
+      ins ctx "lw %s, 0(sp)" (r iscratch);
+      ins ctx "addi sp, sp, 4";
+      (iscratch, r2)
+    end
+  in
+  if operands_float then begin
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+        let fd = fhead pools in
+        ins ctx "%s %s, %s, %s" (float_arith_mnemonic op) (f fd) (f r1) (f r2);
+        fd
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+        let rd = ihead pools in
+        ins ctx "%s %s, %s, %s" (fcmp_mnemonic op) (r rd) (f r1) (f r2);
+        rd
+    | Ast.Mod | Ast.And | Ast.Or | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl
+    | Ast.Shr ->
+        assert false
+  end
+  else begin
+    let rd = ihead pools in
+    (match op with
+    | Ast.Gt -> ins ctx "slt %s, %s, %s" (r rd) (r r2) (r r1)
+    | Ast.Ge -> ins ctx "sle %s, %s, %s" (r rd) (r r2) (r r1)
+    | _ -> ins ctx "%s %s, %s, %s" (int_binop_mnemonic op) (r rd) (r r1) (r r2));
+    rd
+  end
+
+(* Calls. Arguments travel in a0..a3 / f12..f15 where possible; each
+   argument value is evaluated into a pool temporary and moved into its
+   argument register just before [jal], so that nested calls inside later
+   arguments cannot clobber it (the temporary-save mechanism protects pool
+   registers). When the pool is too small to hold every register argument,
+   or arguments overflow to the stack, values are staged through a stack
+   area instead. *)
+and eval_call ctx pools name args ret_ty =
+  let callee_passing =
+    (* the callee's parameter passing, derived from argument types — the
+       typechecker guarantees they match the signature *)
+    let locals =
+      Array.of_list
+        (List.map
+           (fun (a : texpr) ->
+             { lname = ""; lty = a.ty; array_size = None })
+           args)
+    in
+    param_passing locals (Array.length locals)
+  in
+  let live_i =
+    List.filter (fun reg -> not (List.mem reg (fst pools))) ctx.ipool
+  in
+  let live_f =
+    List.filter (fun reg -> not (List.mem reg (snd pools))) ctx.fpool
+  in
+  let saved = List.length live_i + List.length live_f in
+  if saved > 0 then begin
+    ins ctx "addi sp, sp, %d" (-4 * saved);
+    List.iteri (fun k reg -> ins ctx "sw %s, %d(sp)" (r reg) (4 * k)) live_i;
+    List.iteri
+      (fun k reg ->
+        ins ctx "fsw %s, %d(sp)" (f reg) (4 * (List.length live_i + k)))
+      live_f
+  end;
+  let n_int_args =
+    Array.fold_left
+      (fun acc p -> match p with Preg _ -> acc + 1 | _ -> acc)
+      0 callee_passing
+  in
+  let n_float_args =
+    Array.fold_left
+      (fun acc p -> match p with Pfreg _ -> acc + 1 | _ -> acc)
+      0 callee_passing
+  in
+  let n_stack = stack_args callee_passing in
+  let can_hold =
+    n_stack = 0
+    && List.length ifull >= n_int_args + 2
+    && List.length ffull >= n_float_args + 2
+  in
+  if can_hold then begin
+    (* evaluate argument values into pool temporaries, then move into the
+       argument registers together *)
+    let rec eval_args i pools_left acc = function
+      | [] -> List.rev acc
+      | (arg : texpr) :: rest ->
+          let reg = eval ctx pools_left arg in
+          let pools_left = consume reg pools_left ~is_float:(is_float_ty arg.ty) in
+          eval_args (i + 1) pools_left ((i, reg, arg.ty) :: acc) rest
+    in
+    let staged = eval_args 0 (ctx.ipool, ctx.fpool) [] args in
+    List.iter
+      (fun (i, reg, ty) ->
+        match callee_passing.(i), is_float_ty ty with
+        | Preg a, false -> if a <> reg then ins ctx "move %s, %s" (r a) (r reg)
+        | Pfreg a, true -> if a <> reg then ins ctx "fmov %s, %s" (f a) (f reg)
+        | _ -> assert false)
+      staged;
+    ins ctx "jal mc_%s" name
+  end
+  else begin
+    (* stage every argument through a stack area *)
+    let nargs = List.length args in
+    if nargs > 0 then ins ctx "addi sp, sp, %d" (-4 * nargs);
+    List.iteri
+      (fun i (arg : texpr) ->
+        let reg = eval ctx (ctx.ipool, ctx.fpool) arg in
+        if is_float_ty arg.ty then ins ctx "fsw %s, %d(sp)" (f reg) (4 * i)
+        else ins ctx "sw %s, %d(sp)" (r reg) (4 * i))
+      args;
+    (* load register arguments; compact the stack-passed ones downward *)
+    let stack_slot = ref 0 in
+    Array.iteri
+      (fun i p ->
+        match p with
+        | Preg a -> ins ctx "lw %s, %d(sp)" (r a) (4 * i)
+        | Pfreg a -> ins ctx "flw %s, %d(sp)" (f a) (4 * i)
+        | Pstack _ ->
+            if !stack_slot <> i then
+              if is_float_ty (List.nth args i).ty then begin
+                ins ctx "flw %s, %d(sp)" (f fscratch) (4 * i);
+                ins ctx "fsw %s, %d(sp)" (f fscratch) (4 * !stack_slot)
+              end
+              else begin
+                ins ctx "lw %s, %d(sp)" (r iscratch) (4 * i);
+                ins ctx "sw %s, %d(sp)" (r iscratch) (4 * !stack_slot)
+              end;
+            incr stack_slot)
+      callee_passing;
+    ins ctx "jal mc_%s" name;
+    if nargs > 0 then ins ctx "addi sp, sp, %d" (4 * nargs)
+  end;
+  if saved > 0 then begin
+    List.iteri (fun k reg -> ins ctx "lw %s, %d(sp)" (r reg) (4 * k)) live_i;
+    List.iteri
+      (fun k reg ->
+        ins ctx "flw %s, %d(sp)" (f reg) (4 * (List.length live_i + k)))
+      live_f;
+    ins ctx "addi sp, sp, %d" (4 * saved)
+  end;
+  match ret_ty with
+  | Ast.Tvoid -> Reg.v0 (* never read *)
+  | Ast.Tint ->
+      let rd = ihead pools in
+      ins ctx "move %s, v0" (r rd);
+      rd
+  | Ast.Tfloat ->
+      let fd = fhead pools in
+      ins ctx "fmov %s, f0" (f fd);
+      fd
+
+and eval_builtin ctx pools b args =
+  match b, args with
+  | Print_int, [ a ] ->
+      let ra_ = eval ctx pools a in
+      ins ctx "move a0, %s" (r ra_);
+      ins ctx "li v0, 1";
+      ins ctx "syscall";
+      Reg.v0
+  | Print_float, [ a ] ->
+      let fa = eval ctx pools a in
+      ins ctx "fmov f12, %s" (f fa);
+      ins ctx "li v0, 2";
+      ins ctx "syscall";
+      Reg.v0
+  | Print_char, [ a ] ->
+      let ra_ = eval ctx pools a in
+      ins ctx "move a0, %s" (r ra_);
+      ins ctx "li v0, 3";
+      ins ctx "syscall";
+      Reg.v0
+  | Read_int, [] ->
+      ins ctx "li v0, 5";
+      ins ctx "syscall";
+      let rd = ihead pools in
+      ins ctx "move %s, v0" (r rd);
+      rd
+  | Read_float, [] ->
+      ins ctx "li v0, 6";
+      ins ctx "syscall";
+      let fd = fhead pools in
+      ins ctx "fmov %s, f0" (f fd);
+      fd
+  | (Print_int | Print_float | Print_char | Read_int | Read_float), _ ->
+      assert false
+
+(* --- statements ------------------------------------------------------------ *)
+
+let store_scalar (ctx : ctx) vref reg ~is_float =
+  match vref with
+  | Local slot -> (
+      match (ctx.storage.(slot) : storage) with
+      | Sreg s | Treg s -> if s <> reg then ins ctx "move %s, %s" (r s) (r reg)
+      | Fsreg s | Ftreg s ->
+          if s <> reg then ins ctx "fmov %s, %s" (f s) (f reg)
+      | Frame off ->
+          if is_float then ins ctx "fsw %s, %d(fp)" (f reg) off
+          else ins ctx "sw %s, %d(fp)" (r reg) off
+      | Arg_slot k ->
+          if is_float then ins ctx "fsw %s, %s" (f reg) (arg_slot_operand ctx k)
+          else ins ctx "sw %s, %s" (r reg) (arg_slot_operand ctx k)
+      | Array_base _ -> assert false)
+  | Global name ->
+      if is_float then ins ctx "fsw %s, g_%s" (f reg) name
+      else ins ctx "sw %s, g_%s" (r reg) name
+  | Global_array _ | Local_array _ -> assert false
+
+let rotate k pool =
+  let n = List.length pool in
+  if n = 0 then pool
+  else begin
+    let k = k mod n in
+    let rec split i acc = function
+      | rest when i = k -> rest @ List.rev acc
+      | x :: rest -> split (i + 1) (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    split 0 [] pool
+  end
+
+let rec gen_stmt ctx (s : tstmt) =
+  ctx.rotation <- ctx.rotation + 1;
+  let pools = (rotate ctx.rotation ctx.ipool, rotate ctx.rotation ctx.fpool) in
+  match s with
+  | SLine n -> ins ctx ".loc %d" n
+  | SAssign (vref, e) ->
+      let reg = eval ctx pools e in
+      store_scalar ctx vref reg ~is_float:(is_float_ty e.ty)
+  | SAssign_index (vref, idx, e) ->
+      let rv = eval ctx pools e in
+      let pools1 = consume rv pools ~is_float:(is_float_ty e.ty) in
+      let operand = eval_index_address ctx pools1 vref idx in
+      if is_float_ty e.ty then ins ctx "fsw %s, %s" (f rv) operand
+      else ins ctx "sw %s, %s" (r rv) operand
+  | SIf (cond, then_, []) ->
+      let l_end = fresh_label ctx "endif" in
+      let rc = eval ctx pools cond in
+      ins ctx "beqz %s, %s" (r rc) l_end;
+      List.iter (gen_stmt ctx) then_;
+      label ctx l_end
+  | SIf (cond, then_, else_) ->
+      let l_else = fresh_label ctx "else" in
+      let l_end = fresh_label ctx "endif" in
+      let rc = eval ctx pools cond in
+      ins ctx "beqz %s, %s" (r rc) l_else;
+      List.iter (gen_stmt ctx) then_;
+      ins ctx "j %s" l_end;
+      label ctx l_else;
+      List.iter (gen_stmt ctx) else_;
+      label ctx l_end
+  | SWhile (cond, body) ->
+      let l_cond = fresh_label ctx "wcond" in
+      let l_body = fresh_label ctx "wbody" in
+      let l_end = fresh_label ctx "wend" in
+      ins ctx "j %s" l_cond;
+      label ctx l_body;
+      ctx.loop_labels <- (l_end, l_cond) :: ctx.loop_labels;
+      List.iter (gen_stmt ctx) body;
+      ctx.loop_labels <- List.tl ctx.loop_labels;
+      label ctx l_cond;
+      let rc = eval ctx pools cond in
+      ins ctx "bnez %s, %s" (r rc) l_body;
+      label ctx l_end
+  | SDo_while (body, cond) ->
+      let l_body = fresh_label ctx "dbody" in
+      let l_cond = fresh_label ctx "dcond" in
+      let l_end = fresh_label ctx "dend" in
+      label ctx l_body;
+      ctx.loop_labels <- (l_end, l_cond) :: ctx.loop_labels;
+      List.iter (gen_stmt ctx) body;
+      ctx.loop_labels <- List.tl ctx.loop_labels;
+      label ctx l_cond;
+      let rc = eval ctx pools cond in
+      ins ctx "bnez %s, %s" (r rc) l_body;
+      label ctx l_end
+  | SBreak -> (
+      match ctx.loop_labels with
+      | (l_break, _) :: _ -> ins ctx "j %s" l_break
+      | [] -> assert false (* rejected by the typechecker *))
+  | SContinue -> (
+      match ctx.loop_labels with
+      | (_, l_continue) :: _ -> ins ctx "j %s" l_continue
+      | [] -> assert false)
+  | SReturn None -> ins ctx "j %s" ctx.epilogue
+  | SReturn (Some e) ->
+      let reg = eval ctx pools e in
+      if is_float_ty e.ty then begin
+        if reg <> Reg.f_result then ins ctx "fmov f0, %s" (f reg)
+      end
+      else if reg <> Reg.v0 then ins ctx "move v0, %s" (r reg);
+      ins ctx "j %s" ctx.epilogue
+  | SExpr e ->
+      let (_ : int) = eval ctx pools e in
+      ()
+
+(* --- functions ----------------------------------------------------------------- *)
+
+let gen_func buf labels (fn : tfunc) =
+  let leaf = is_leaf fn in
+  let layout = assign_storage fn ~leaf in
+  let pure_leaf =
+    (* no frame at all; stack-passed parameters would need sp-relative
+       access that expression spills could displace, so they disqualify *)
+    leaf && layout.frame_size = 0 && layout.sreg_saves = []
+    && layout.fsreg_saves = []
+    && stack_args layout.passing = 0
+  in
+  let ctx =
+    {
+      buf;
+      labels;
+      fn;
+      storage = layout.storage;
+      epilogue = Printf.sprintf "Lret_%s" fn.fname;
+      pure_leaf;
+      ipool = List.filter (fun reg -> not (List.mem reg layout.leaf_iregs)) ifull;
+      fpool = List.filter (fun reg -> not (List.mem reg layout.leaf_fregs)) ffull;
+      rotation = 0;
+      loop_labels = [];
+    }
+  in
+  label ctx (Printf.sprintf "mc_%s" fn.fname);
+  (* prologue: a single stack-pointer adjustment covers the ra/fp save
+     area and the whole frame, so each call contributes only two links to
+     the sp dependence chain (entry and exit) — what an optimising MIPS
+     compiler emits *)
+  let total_frame = layout.frame_size + 8 in
+  if not pure_leaf then begin
+    ins ctx "addi sp, sp, %d" (-total_frame);
+    ins ctx "sw ra, %d(sp)" (layout.frame_size + 4);
+    ins ctx "sw fp, %d(sp)" layout.frame_size;
+    (* fp sits just below the ra/fp save words: locals at negative
+       offsets, the save words at fp+0/fp+4, overflow args at fp+8+4k *)
+    ins ctx "addi fp, sp, %d" layout.frame_size;
+    List.iter
+      (fun (reg, off) -> ins ctx "sw %s, %d(fp)" (r reg) off)
+      layout.sreg_saves;
+    List.iter
+      (fun (reg, off) -> ins ctx "fsw %s, %d(fp)" (f reg) off)
+      layout.fsreg_saves
+  end;
+  (* move register-passed parameters to their homes *)
+  Array.iteri
+    (fun i (st : storage) ->
+      if i < fn.nparams then
+        match layout.passing.(i), st with
+        | Preg a, (Sreg s | Treg s) ->
+            if a <> s then ins ctx "move %s, %s" (r s) (r a)
+        | Pfreg a, (Fsreg s | Ftreg s) ->
+            if a <> s then ins ctx "fmov %s, %s" (f s) (f a)
+        | Preg a, Frame off -> ins ctx "sw %s, %d(fp)" (r a) off
+        | Pfreg a, Frame off -> ins ctx "fsw %s, %d(fp)" (f a) off
+        | Pstack k, (Sreg s | Treg s) ->
+            ins ctx "lw %s, %s" (r s) (arg_slot_operand ctx k)
+        | Pstack k, (Fsreg s | Ftreg s) ->
+            ins ctx "flw %s, %s" (f s) (arg_slot_operand ctx k)
+        | Pstack _, Arg_slot _ -> ()
+        | (Preg _ | Pfreg _ | Pstack _), _ -> assert false)
+    layout.storage;
+  (* body *)
+  List.iter (gen_stmt ctx) fn.body;
+  (* epilogue *)
+  label ctx ctx.epilogue;
+  if pure_leaf then ins ctx "jr ra"
+  else begin
+    List.iter
+      (fun (reg, off) -> ins ctx "lw %s, %d(fp)" (r reg) off)
+      layout.sreg_saves;
+    List.iter
+      (fun (reg, off) -> ins ctx "flw %s, %d(fp)" (f reg) off)
+      layout.fsreg_saves;
+    ins ctx "lw fp, %d(sp)" layout.frame_size;
+    ins ctx "lw ra, %d(sp)" (layout.frame_size + 4);
+    ins ctx "addi sp, sp, %d" total_frame;
+    ins ctx "jr ra"
+  end;
+  ctx.labels
+
+(* --- program --------------------------------------------------------------------- *)
+
+let emit (p : tprogram) =
+  let buf = Buffer.create 4096 in
+  if p.tglobals <> [] then begin
+    Buffer.add_string buf "        .data\n";
+    List.iter
+      (fun g ->
+        match g with
+        | TGvar (_, name, Iint k) ->
+            Buffer.add_string buf (Printf.sprintf "g_%s: .word %d\n" name k)
+        | TGvar (_, name, Ifloat x) ->
+            Buffer.add_string buf (Printf.sprintf "g_%s: .float %.17g\n" name x)
+        | TGarray (_, name, size) ->
+            Buffer.add_string buf
+              (Printf.sprintf "g_%s: .space %d\n" name (4 * size)))
+      p.tglobals
+  end;
+  Buffer.add_string buf "        .text\n";
+  (* entry stub: call the Mini-C main, then exit *)
+  Buffer.add_string buf "main:\n";
+  Buffer.add_string buf "        jal mc_main\n";
+  Buffer.add_string buf "        li v0, 10\n";
+  Buffer.add_string buf "        syscall\n";
+  let labels = ref 0 in
+  List.iter (fun fn -> labels := gen_func buf !labels fn) p.tfuncs;
+  Buffer.contents buf
+
+let compile p = Ddg_asm.Assembler.assemble_string (emit p)

@@ -1,0 +1,28 @@
+(** Code generation: {!Tast.tprogram} to textual assembly for {!Ddg_asm}.
+
+    Conventions (deliberately close to what a simple optimising compiler
+    for a MIPS-like machine produces, because the workloads' dependency
+    character — register reuse, stack discipline, loop recurrences — is
+    what Paragraph measures):
+
+    - Expression temporaries live in the caller-saved pools [t0..t7]
+      (integer) and [f4..f11] (float), with push/pop spilling when an
+      expression is deeper than the pool.
+    - The first eight scalar integer locals of each function (parameters
+      first) are register-allocated to the callee-saved [s0..s7]; the
+      first eight scalar float locals to [f20..f27]. Remaining scalars and
+      all local arrays live in the frame; parameters left unallocated are
+      accessed directly from their incoming stack slots.
+    - Frames: the caller pushes arguments; the callee saves [ra]/[fp],
+      sets up [fp], allocates its frame, and saves the callee-saved
+      registers it uses.
+    - Function results return in [v0] (int) / [f0] (float).
+    - Globals are words in the data segment ([g_<name>]); functions are
+      labelled [mc_<name>]; the entry stub [main] calls [mc_main] and
+      issues the exit system call. *)
+
+val emit : Tast.tprogram -> string
+(** Generate the assembly text. *)
+
+val compile : Tast.tprogram -> Ddg_asm.Program.t
+(** {!emit} followed by assembly. *)

@@ -1,0 +1,31 @@
+(** One-call Mini-C compilation pipeline. *)
+
+exception Error of { line : int; msg : string }
+(** Any front-end error (lexing, parsing, typing), normalised. *)
+
+val compile : ?opt:Optimize.level -> string -> Ddg_asm.Program.t
+(** Source text to an executable program; [opt] defaults to
+    {!Optimize.O1} (constant folding).
+    @raise Error on any front-end error. *)
+
+val emit_asm : ?opt:Optimize.level -> string -> string
+(** Source text to assembly text (for inspection and tests).
+    @raise Error *)
+
+val run :
+  ?opt:Optimize.level ->
+  ?max_instructions:int ->
+  ?input:Ddg_sim.Value.t list ->
+  string ->
+  Ddg_sim.Machine.result
+(** Compile and execute.
+    @raise Error *)
+
+val run_to_trace :
+  ?opt:Optimize.level ->
+  ?max_instructions:int ->
+  ?input:Ddg_sim.Value.t list ->
+  string ->
+  Ddg_sim.Machine.result * Ddg_sim.Trace.t
+(** Compile and execute, collecting the trace.
+    @raise Error *)

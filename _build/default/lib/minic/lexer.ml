@@ -1,0 +1,109 @@
+type token =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tident of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+type t = { token : token; line : int }
+
+exception Error of { line : int; msg : string }
+
+let fail line fmt = Format.kasprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let keywords =
+  [ "int"; "float"; "void"; "if"; "else"; "while"; "do"; "for"; "return";
+    "break"; "continue" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_alpha c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit token = tokens := { token; line = !line } :: !tokens in
+  let rec skip_block_comment i =
+    if i + 1 >= n then fail !line "unterminated comment"
+    else if source.[i] = '\n' then begin incr line; skip_block_comment (i + 1) end
+    else if source.[i] = '*' && source.[i + 1] = '/' then i + 2
+    else skip_block_comment (i + 1)
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match source.[i] with
+      | '\n' -> incr line; go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && source.[i + 1] = '/' ->
+          let rec eol j = if j >= n || source.[j] = '\n' then j else eol (j + 1) in
+          go (eol (i + 1))
+      | '/' when i + 1 < n && source.[i + 1] = '*' ->
+          go (skip_block_comment (i + 2))
+      | c when is_digit c || (c = '.' && i + 1 < n && is_digit source.[i + 1]) ->
+          let stop = ref i in
+          let is_float = ref false in
+          let hex = c = '0' && i + 1 < n && (source.[i+1] = 'x' || source.[i+1] = 'X') in
+          if hex then stop := i + 2;
+          while
+            !stop < n
+            && (is_digit source.[!stop]
+               || (hex && (let ch = source.[!stop] in
+                           (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')))
+               || ((not hex) && (source.[!stop] = '.' || source.[!stop] = 'e'
+                                 || source.[!stop] = 'E'
+                                 || ((source.[!stop] = '-' || source.[!stop] = '+')
+                                    && !stop > i
+                                    && (source.[!stop - 1] = 'e'
+                                       || source.[!stop - 1] = 'E')))))
+          do
+            (match source.[!stop] with
+            | '.' | 'e' | 'E' when not hex -> is_float := true
+            | _ -> ());
+            incr stop
+          done;
+          let text = String.sub source i (!stop - i) in
+          if !is_float then (
+            match float_of_string_opt text with
+            | Some x -> emit (Tfloat_lit x)
+            | None -> fail !line "bad float literal %S" text)
+          else (
+            match int_of_string_opt text with
+            | Some k -> emit (Tint_lit k)
+            | None -> fail !line "bad integer literal %S" text);
+          go !stop
+      | c when is_alpha c ->
+          let stop = ref i in
+          while !stop < n && is_ident_char source.[!stop] do incr stop done;
+          let word = String.sub source i (!stop - i) in
+          if List.mem word keywords then emit (Tkw word) else emit (Tident word);
+          go !stop
+      | c -> (
+          let two =
+            if i + 1 < n then String.sub source i 2 else ""
+          in
+          match two with
+          | "<=" | ">=" | "==" | "!=" | "&&" | "||" | "<<" | ">>" ->
+              emit (Tpunct two);
+              go (i + 2)
+          | _ -> (
+              match c with
+              | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '=' | '('
+              | ')' | '[' | ']' | '{' | '}' | ';' | ',' | '&' | '|' | '^' ->
+                  emit (Tpunct (String.make 1 c));
+                  go (i + 1)
+              | _ -> fail !line "unexpected character %C" c))
+  in
+  go 0;
+  emit Teof;
+  List.rev !tokens
+
+let token_to_string = function
+  | Tint_lit i -> string_of_int i
+  | Tfloat_lit x -> string_of_float x
+  | Tident s -> s
+  | Tkw s -> s
+  | Tpunct s -> s
+  | Teof -> "<eof>"

@@ -1,0 +1,22 @@
+(** Hand-written lexer for Mini-C. *)
+
+type token =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tident of string
+  | Tkw of string
+      (** int, float, void, if, else, while, do, for, return, break,
+          continue *)
+  | Tpunct of string
+      (** one of: + - * / % < <= > >= == != && || ! = ( ) [ ] { } ; ,
+          & | ^ << >> *)
+  | Teof
+
+type t = { token : token; line : int }
+
+exception Error of { line : int; msg : string }
+
+val tokenize : string -> t list
+(** Comments: [//] to end of line and [/* ... */]. @raise Error *)
+
+val token_to_string : token -> string

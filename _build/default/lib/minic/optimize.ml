@@ -1,0 +1,303 @@
+open Tast
+
+type level = O0 | O1 | O2
+
+let unroll_factor = 4
+
+(* --- purity ----------------------------------------------------------------- *)
+
+(* An expression is pure when re-evaluating or discarding it cannot change
+   observable behaviour: everything except calls and I/O builtins (array
+   reads cannot fault on this machine — addresses are word-aligned by
+   construction and unwritten words read as zero). Division is excluded
+   because eliminating [x * 0] must not suppress a division-by-zero
+   fault. *)
+let rec pure (e : texpr) =
+  match e.node with
+  | TInt _ | TFloat _ | TVar _ -> true
+  | TIndex (_, i) -> pure i
+  | TUnop (_, a) | TCast_i2f a | TCast_f2i a -> pure a
+  | TBinop ((Ast.Div | Ast.Mod), a, b) -> (
+      pure a && pure b
+      && match b.node with TInt k -> k <> 0 | TFloat _ -> true | _ -> false)
+  | TBinop (_, a, b) -> pure a && pure b
+  | TCall _ | TBuiltin _ -> false
+
+(* --- constant evaluation, matching the machine semantics ------------------- *)
+
+let eval_int_binop op a b =
+  match (op : Ast.binop) with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Mod -> if b = 0 then None else Some (a mod b)
+  | Band -> Some (a land b)
+  | Bor -> Some (a lor b)
+  | Bxor -> Some (a lxor b)
+  | Shl -> Some (a lsl (b land 31))
+  | Shr -> Some (a asr (b land 31))
+  | Lt -> Some (if a < b then 1 else 0)
+  | Le -> Some (if a <= b then 1 else 0)
+  | Gt -> Some (if a > b then 1 else 0)
+  | Ge -> Some (if a >= b then 1 else 0)
+  | Eq -> Some (if a = b then 1 else 0)
+  | Ne -> Some (if a <> b then 1 else 0)
+  | And -> Some (if a <> 0 && b <> 0 then 1 else 0)
+  | Or -> Some (if a <> 0 || b <> 0 then 1 else 0)
+
+let eval_float_binop op a b =
+  match (op : Ast.binop) with
+  | Add -> Some (`F (a +. b))
+  | Sub -> Some (`F (a -. b))
+  | Mul -> Some (`F (a *. b))
+  | Div -> Some (`F (a /. b))
+  | Lt -> Some (`I (if a < b then 1 else 0))
+  | Le -> Some (`I (if a <= b then 1 else 0))
+  | Gt -> Some (`I (if a > b then 1 else 0))
+  | Ge -> Some (`I (if a >= b then 1 else 0))
+  | Eq -> Some (`I (if a = b then 1 else 0))
+  | Ne -> Some (`I (if a <> b then 1 else 0))
+  | Mod | Band | Bor | Bxor | Shl | Shr | And | Or -> None
+
+(* --- folding ------------------------------------------------------------------ *)
+
+let int_lit k = { ty = Ast.Tint; node = TInt k }
+
+let rec fold_expr (e : texpr) : texpr =
+  match e.node with
+  | TInt _ | TFloat _ | TVar _ -> e
+  | TIndex (v, i) -> { e with node = TIndex (v, fold_expr i) }
+  | TCall (f, args) -> { e with node = TCall (f, List.map fold_expr args) }
+  | TBuiltin (b, args) ->
+      { e with node = TBuiltin (b, List.map fold_expr args) }
+  | TCast_i2f a -> (
+      let a = fold_expr a in
+      match a.node with
+      | TInt k -> { e with node = TFloat (float_of_int k) }
+      | _ -> { e with node = TCast_i2f a })
+  | TCast_f2i a -> (
+      let a = fold_expr a in
+      match a.node with
+      | TFloat x -> { e with node = TInt (int_of_float x) }
+      | _ -> { e with node = TCast_f2i a })
+  | TUnop (Ast.Neg, a) -> (
+      let a = fold_expr a in
+      match a.node with
+      | TInt k -> { e with node = TInt (-k) }
+      | TFloat x -> { e with node = TFloat (-.x) }
+      | _ -> { e with node = TUnop (Ast.Neg, a) })
+  | TUnop (Ast.Not, a) -> (
+      let a = fold_expr a in
+      match a.node with
+      | TInt k -> { e with node = TInt (if k = 0 then 1 else 0) }
+      | _ -> { e with node = TUnop (Ast.Not, a) })
+  | TBinop (op, a, b) -> fold_binop e op (fold_expr a) (fold_expr b)
+
+and fold_binop e op a b =
+  let original () = { e with node = TBinop (op, a, b) } in
+  match a.node, b.node with
+  | TInt x, TInt y -> (
+      match eval_int_binop op x y with
+      | Some k -> { e with node = TInt k }
+      | None -> original ())
+  | TFloat x, TFloat y -> (
+      match eval_float_binop op x y with
+      | Some (`F v) -> { e with node = TFloat v }
+      | Some (`I v) -> { e with node = TInt v }
+      | None -> original ())
+  (* algebraic identities; [x * 0] only when x is pure *)
+  | _, TInt 0 when op = Ast.Add || op = Ast.Sub -> a
+  | TInt 0, _ when op = Ast.Add -> b
+  | _, TInt 1 when op = Ast.Mul || op = Ast.Div -> a
+  | TInt 1, _ when op = Ast.Mul -> b
+  | _, TInt 0 when op = Ast.Mul && pure a -> int_lit 0
+  | TInt 0, _ when op = Ast.Mul && pure b -> int_lit 0
+  | _, TFloat 0.0 when op = Ast.Add || op = Ast.Sub -> a
+  | TFloat 0.0, _ when op = Ast.Add -> b
+  | _, TFloat 1.0 when op = Ast.Mul || op = Ast.Div -> a
+  | TFloat 1.0, _ when op = Ast.Mul -> b
+  | _, TInt 0 when op = Ast.Shl || op = Ast.Shr -> a
+  | _, TInt 0 when op = Ast.Bor || op = Ast.Bxor -> a
+  | TInt 0, _ when op = Ast.Bor || op = Ast.Bxor -> b
+  | _ -> original ()
+
+let rec fold_stmt (s : tstmt) : tstmt list =
+  match s with
+  | SLine _ | SBreak | SContinue -> [ s ]
+  | SAssign (v, e) -> [ SAssign (v, fold_expr e) ]
+  | SAssign_index (v, i, e) -> [ SAssign_index (v, fold_expr i, fold_expr e) ]
+  | SIf (c, a, b) -> (
+      match (fold_expr c).node with
+      | TInt 0 -> fold_block b
+      | TInt _ -> fold_block a
+      | _ -> [ SIf (fold_expr c, fold_block a, fold_block b) ])
+  | SWhile (c, body) -> (
+      match (fold_expr c).node with
+      | TInt 0 -> []
+      | _ -> [ SWhile (fold_expr c, fold_block body) ])
+  | SDo_while (body, c) -> [ SDo_while (fold_block body, fold_expr c) ]
+  | SReturn e -> [ SReturn (Option.map fold_expr e) ]
+  | SExpr e ->
+      let e = fold_expr e in
+      if pure e then [] else [ SExpr e ]
+
+and fold_block b = List.concat_map fold_stmt b
+
+(* --- loop unrolling -------------------------------------------------------------- *)
+
+(* Does the body contain a break/continue that targets the current loop
+   (i.e. not nested inside an inner loop)? Such loops must not unroll:
+   an exit in the first cloned iteration would wrongly skip its
+   siblings. *)
+let rec has_loop_exit (s : tstmt) =
+  match s with
+  | SBreak | SContinue -> true
+  | SIf (_, a, b) -> List.exists has_loop_exit a || List.exists has_loop_exit b
+  | SWhile _ | SDo_while _ | SLine _ | SAssign _ | SAssign_index _
+  | SReturn _ | SExpr _ ->
+      false
+
+(* Does any statement (or nested statement) assign the local [slot]? *)
+let rec assigns_local slot (s : tstmt) =
+  match s with
+  | SAssign (Local l, _) -> l = slot
+  | SLine _ | SBreak | SContinue | SAssign (_, _) | SAssign_index _
+  | SExpr _ | SReturn _ ->
+      false
+  | SIf (_, a, b) ->
+      List.exists (assigns_local slot) a || List.exists (assigns_local slot) b
+  | SWhile (_, b) | SDo_while (b, _) -> List.exists (assigns_local slot) b
+
+(* Substitute reads of local [slot] with [slot + delta] in an expression. *)
+let rec shift_expr slot delta (e : texpr) : texpr =
+  match e.node with
+  | TVar (Local l) when l = slot ->
+      { e with node = TBinop (Ast.Add, e, int_lit delta) }
+  | TInt _ | TFloat _ | TVar _ -> e
+  | TIndex (v, i) -> { e with node = TIndex (v, shift_expr slot delta i) }
+  | TCall (f, args) ->
+      { e with node = TCall (f, List.map (shift_expr slot delta) args) }
+  | TBuiltin (b, args) ->
+      { e with node = TBuiltin (b, List.map (shift_expr slot delta) args) }
+  | TUnop (op, a) -> { e with node = TUnop (op, shift_expr slot delta a) }
+  | TCast_i2f a -> { e with node = TCast_i2f (shift_expr slot delta a) }
+  | TCast_f2i a -> { e with node = TCast_f2i (shift_expr slot delta a) }
+  | TBinop (op, a, b) ->
+      {
+        e with
+        node = TBinop (op, shift_expr slot delta a, shift_expr slot delta b);
+      }
+
+let rec shift_stmt slot delta (s : tstmt) : tstmt =
+  match s with
+  | SLine _ | SBreak | SContinue -> s
+  | SAssign (v, e) -> SAssign (v, shift_expr slot delta e)
+  | SAssign_index (v, i, e) ->
+      SAssign_index (v, shift_expr slot delta i, shift_expr slot delta e)
+  | SIf (c, a, b) ->
+      SIf
+        ( shift_expr slot delta c,
+          List.map (shift_stmt slot delta) a,
+          List.map (shift_stmt slot delta) b )
+  | SWhile (c, b) ->
+      SWhile (shift_expr slot delta c, List.map (shift_stmt slot delta) b)
+  | SDo_while (b, c) ->
+      SDo_while (List.map (shift_stmt slot delta) b, shift_expr slot delta c)
+  | SReturn e -> SReturn (Option.map (shift_expr slot delta) e)
+  | SExpr e -> SExpr (shift_expr slot delta e)
+
+(* Recognise a counted loop of the shape the [for] desugaring emits:
+   [while (i < lit) { body…; i = i + step }] with a positive literal
+   step and no other assignment to [i]. *)
+type counted = {
+  slot : int;
+  cmp : Ast.binop;  (* Lt or Le *)
+  bound : int;
+  step : int;
+  body : tstmt list;  (* without the step statement *)
+}
+
+let recognise_counted cond body =
+  match cond with
+  | { node = TBinop ((Ast.Lt | Ast.Le) as cmp, { node = TVar (Local slot); _ }, { node = TInt bound; _ }); _ }
+    -> (
+      match List.rev body with
+      | SAssign
+          ( Local l,
+            { node = TBinop (Ast.Add, { node = TVar (Local l'); _ }, { node = TInt step; _ }); _ } )
+        :: rev_rest
+        when l = slot && l' = slot && step >= 1 ->
+          let rest = List.rev rev_rest in
+          if
+            List.exists (assigns_local slot) rest
+            || List.exists has_loop_exit rest
+          then None
+          else Some { slot; cmp; bound; step; body = rest }
+      | _ -> None)
+  | _ -> None
+
+let rec unroll_stmt (s : tstmt) : tstmt list =
+  match s with
+  | SWhile (cond, body) -> (
+      let body = List.concat_map unroll_stmt body in
+      match recognise_counted cond body with
+      | Some { slot; cmp; bound; step; body = iteration } ->
+          let u = unroll_factor in
+          (* guard: i + (u-1)*step <cmp> bound, expressed by tightening the
+             literal bound so the counter expression stays simple *)
+          let tightened = bound - ((u - 1) * step) in
+          let var = { ty = Ast.Tint; node = TVar (Local slot) } in
+          let guard =
+            { ty = Ast.Tint; node = TBinop (cmp, var, int_lit tightened) }
+          in
+          let unrolled_body =
+            List.concat
+              (List.init u (fun j ->
+                   if j = 0 then iteration
+                   else List.map (shift_stmt slot (j * step)) iteration))
+            @ [ SAssign
+                  ( Local slot,
+                    {
+                      ty = Ast.Tint;
+                      node = TBinop (Ast.Add, var, int_lit (u * step));
+                    } ) ]
+          in
+          let remainder =
+            SWhile
+              ( cond,
+                iteration
+                @ [ SAssign
+                      ( Local slot,
+                        {
+                          ty = Ast.Tint;
+                          node = TBinop (Ast.Add, var, int_lit step);
+                        } ) ] )
+          in
+          [ SWhile (guard, unrolled_body); remainder ]
+      | None -> [ SWhile (cond, body) ])
+  | SIf (c, a, b) ->
+      [ SIf (c, List.concat_map unroll_stmt a, List.concat_map unroll_stmt b) ]
+  | SDo_while (b, c) -> [ SDo_while (List.concat_map unroll_stmt b, c) ]
+  | SLine _ | SBreak | SContinue | SAssign _ | SAssign_index _ | SReturn _
+  | SExpr _ ->
+      [ s ]
+
+let unroll_block b = List.concat_map unroll_stmt b
+
+(* --- driver ---------------------------------------------------------------------- *)
+
+let optimise_func level (fn : tfunc) =
+  match level with
+  | O0 -> fn
+  | O1 -> { fn with body = fold_block fn.body }
+  | O2 ->
+      let body = fold_block fn.body in
+      let body = unroll_block body in
+      (* fold again: the substituted [i + 0] and tightened guards *)
+      { fn with body = fold_block body }
+
+let program level (p : tprogram) =
+  match level with
+  | O0 -> p
+  | O1 | O2 -> { p with tfuncs = List.map (optimise_func level) p.tfuncs }

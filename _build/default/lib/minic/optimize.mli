@@ -1,0 +1,33 @@
+(** Optimisation passes over the typed IR.
+
+    The paper (section 3.1) points out that the compiler has a
+    second-order effect on measured parallelism — "the MIPS compiler
+    commonly performs loop unrolling which tends to decrease the
+    recurrences created by loop counters, thus increasing the parallelism
+    in the program". These passes let that effect be measured directly
+    (see the benchmark harness's compiler-effects section):
+
+    - {b constant folding and algebraic simplification}: literal
+      arithmetic is evaluated, [x+0], [x*1], [x*0] (when [x] is pure),
+      [if (0)]/[if (1)] branches and [while (0)] loops are resolved;
+    - {b loop unrolling}: counted [while] loops of the shape produced by
+      desugared [for] statements ([i] starts anywhere, the condition is
+      [i < lit] or [i <= lit] on a local, the last body statement is
+      [i = i + lit]) whose bodies neither reassign the counter nor call
+      functions are unrolled four-way, with a scalar remainder loop.
+
+    Passes are semantics-preserving: the test suite checks program output
+    equality at every optimisation level on every workload. *)
+
+type level =
+  | O0  (** no optimisation *)
+  | O1  (** constant folding + simplification (the default) *)
+  | O2  (** O1 + four-way loop unrolling *)
+
+val program : level -> Tast.tprogram -> Tast.tprogram
+
+val fold_expr : Tast.texpr -> Tast.texpr
+(** Constant-fold one expression (exposed for tests). *)
+
+val unroll_factor : int
+(** The fixed unroll factor (4). *)

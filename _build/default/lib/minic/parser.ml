@@ -1,0 +1,359 @@
+exception Error of { line : int; msg : string }
+
+let fail line fmt = Format.kasprintf (fun msg -> raise (Error { line; msg })) fmt
+
+type state = { tokens : Lexer.t array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.tokens then Some st.tokens.(st.pos + 1)
+  else None
+
+let line st = (peek st).line
+let advance st = st.pos <- st.pos + 1
+
+let expect_punct st p =
+  match (peek st).token with
+  | Lexer.Tpunct q when q = p -> advance st
+  | tok ->
+      fail (line st) "expected %S, found %S" p (Lexer.token_to_string tok)
+
+let accept_punct st p =
+  match (peek st).token with
+  | Lexer.Tpunct q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_ident st =
+  match (peek st).token with
+  | Lexer.Tident name ->
+      advance st;
+      name
+  | tok -> fail (line st) "expected identifier, found %S" (Lexer.token_to_string tok)
+
+let parse_ty st =
+  match (peek st).token with
+  | Lexer.Tkw "int" -> advance st; Ast.Tint
+  | Lexer.Tkw "float" -> advance st; Ast.Tfloat
+  | Lexer.Tkw "void" -> advance st; Ast.Tvoid
+  | tok -> fail (line st) "expected a type, found %S" (Lexer.token_to_string tok)
+
+let is_ty st =
+  match (peek st).token with
+  | Lexer.Tkw ("int" | "float" | "void") -> true
+  | _ -> false
+
+(* --- expressions --------------------------------------------------------- *)
+
+(* binary operator precedence tiers, low to high *)
+let tiers =
+  [ [ ("||", Ast.Or) ];
+    [ ("&&", Ast.And) ];
+    [ ("|", Ast.Bor) ];
+    [ ("^", Ast.Bxor) ];
+    [ ("&", Ast.Band) ];
+    [ ("==", Ast.Eq); ("!=", Ast.Ne) ];
+    [ ("<", Ast.Lt); ("<=", Ast.Le); (">", Ast.Gt); (">=", Ast.Ge) ];
+    [ ("<<", Ast.Shl); (">>", Ast.Shr) ];
+    [ ("+", Ast.Add); ("-", Ast.Sub) ];
+    [ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Mod) ] ]
+
+let rec parse_expr_prec st tier_index =
+  if tier_index >= List.length tiers then parse_unary st
+  else begin
+    let ops = List.nth tiers tier_index in
+    let left = ref (parse_expr_prec st (tier_index + 1)) in
+    let continue = ref true in
+    while !continue do
+      match (peek st).token with
+      | Lexer.Tpunct p when List.mem_assoc p ops ->
+          let eline = line st in
+          advance st;
+          let right = parse_expr_prec st (tier_index + 1) in
+          left :=
+            { Ast.eline; enode = Ast.Binop (List.assoc p ops, !left, right) }
+      | _ -> continue := false
+    done;
+    !left
+  end
+
+and parse_unary st =
+  let eline = line st in
+  match (peek st).token with
+  | Lexer.Tpunct "-" ->
+      advance st;
+      { Ast.eline; enode = Ast.Unop (Ast.Neg, parse_unary st) }
+  | Lexer.Tpunct "!" ->
+      advance st;
+      { Ast.eline; enode = Ast.Unop (Ast.Not, parse_unary st) }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let eline = line st in
+  match (peek st).token with
+  | Lexer.Tint_lit i ->
+      advance st;
+      { Ast.eline; enode = Ast.Int_lit i }
+  | Lexer.Tfloat_lit x ->
+      advance st;
+      { Ast.eline; enode = Ast.Float_lit x }
+  | Lexer.Tpunct "(" ->
+      advance st;
+      let e = parse_expr_prec st 0 in
+      expect_punct st ")";
+      e
+  | Lexer.Tident name -> (
+      advance st;
+      match (peek st).token with
+      | Lexer.Tpunct "(" ->
+          advance st;
+          let args = parse_args st in
+          { Ast.eline; enode = Ast.Call (name, args) }
+      | Lexer.Tpunct "[" ->
+          let indices = parse_indices st in
+          { Ast.eline; enode = Ast.Index (name, indices) }
+      | _ -> { Ast.eline; enode = Ast.Var name })
+  | tok -> fail eline "expected an expression, found %S" (Lexer.token_to_string tok)
+
+(* one or more bracketed index expressions: [i] or [i][j] ... *)
+and parse_indices st =
+  expect_punct st "[";
+  let index = parse_expr_prec st 0 in
+  expect_punct st "]";
+  match (peek st).token with
+  | Lexer.Tpunct "[" -> index :: parse_indices st
+  | _ -> [ index ]
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr_prec st 0 in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_expression st = parse_expr_prec st 0
+
+(* --- statements ------------------------------------------------------------ *)
+
+(* assignment or expression statement, without the trailing ';' (shared by
+   plain statements and for-loop init/step clauses) *)
+let parse_simple st =
+  let sline = line st in
+  match (peek st).token, peek2 st with
+  | Lexer.Tident name, Some { Lexer.token = Lexer.Tpunct "="; _ } ->
+      advance st;
+      advance st;
+      let e = parse_expression st in
+      { Ast.sline; snode = Ast.Assign (name, e) }
+  | Lexer.Tident name, Some { Lexer.token = Lexer.Tpunct "["; _ } -> (
+      (* could be a[i]… = e or an expression mentioning a[i]…; disambiguate
+         by parsing the indices then checking for '=' *)
+      let save = st.pos in
+      advance st;
+      let indices = parse_indices st in
+      if accept_punct st "=" then
+        let e = parse_expression st in
+        { Ast.sline; snode = Ast.Assign_index (name, indices, e) }
+      else begin
+        st.pos <- save;
+        let e = parse_expression st in
+        { Ast.sline; snode = Ast.Expr e }
+      end)
+  | _ ->
+      let e = parse_expression st in
+      { Ast.sline; snode = Ast.Expr e }
+
+(* one or more literal array dimensions: [n] or [n][m] ... *)
+let rec parse_dims st =
+  expect_punct st "[";
+  let size =
+    match (peek st).token with
+    | Lexer.Tint_lit k when k > 0 ->
+        advance st;
+        k
+    | _ -> fail (line st) "array size must be a positive integer literal"
+  in
+  expect_punct st "]";
+  match (peek st).token with
+  | Lexer.Tpunct "[" -> size :: parse_dims st
+  | _ -> [ size ]
+
+let rec parse_stmt st =
+  let sline = line st in
+  match (peek st).token with
+  | Lexer.Tkw ("int" | "float") ->
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      if (peek st).token = Lexer.Tpunct "[" then begin
+        let dims = parse_dims st in
+        expect_punct st ";";
+        { Ast.sline; snode = Ast.Decl_array (ty, name, dims) }
+      end
+      else begin
+        let init = if accept_punct st "=" then Some (parse_expression st) else None in
+        expect_punct st ";";
+        { Ast.sline; snode = Ast.Decl (ty, name, init) }
+      end
+  | Lexer.Tkw "if" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expression st in
+      expect_punct st ")";
+      let then_ = parse_body st in
+      let else_ =
+        match (peek st).token with
+        | Lexer.Tkw "else" ->
+            advance st;
+            parse_body st
+        | _ -> []
+      in
+      { Ast.sline; snode = Ast.If (cond, then_, else_) }
+  | Lexer.Tkw "while" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expression st in
+      expect_punct st ")";
+      { Ast.sline; snode = Ast.While (cond, parse_body st) }
+  | Lexer.Tkw "do" ->
+      advance st;
+      let body = parse_body st in
+      (match (peek st).token with
+      | Lexer.Tkw "while" -> advance st
+      | tok -> fail (line st) "expected 'while', found %S" (Lexer.token_to_string tok));
+      expect_punct st "(";
+      let cond = parse_expression st in
+      expect_punct st ")";
+      expect_punct st ";";
+      { Ast.sline; snode = Ast.Do_while (body, cond) }
+  | Lexer.Tkw "for" ->
+      advance st;
+      expect_punct st "(";
+      let init =
+        if accept_punct st ";" then None
+        else begin
+          let s = parse_simple st in
+          expect_punct st ";";
+          Some s
+        end
+      in
+      let cond =
+        if accept_punct st ";" then None
+        else begin
+          let e = parse_expression st in
+          expect_punct st ";";
+          Some e
+        end
+      in
+      let step =
+        if accept_punct st ")" then None
+        else begin
+          let s = parse_simple st in
+          expect_punct st ")";
+          Some s
+        end
+      in
+      { Ast.sline; snode = Ast.For (init, cond, step, parse_body st) }
+  | Lexer.Tkw "break" ->
+      advance st;
+      expect_punct st ";";
+      { Ast.sline; snode = Ast.Break }
+  | Lexer.Tkw "continue" ->
+      advance st;
+      expect_punct st ";";
+      { Ast.sline; snode = Ast.Continue }
+  | Lexer.Tkw "return" ->
+      advance st;
+      if accept_punct st ";" then { Ast.sline; snode = Ast.Return None }
+      else begin
+        let e = parse_expression st in
+        expect_punct st ";";
+        { Ast.sline; snode = Ast.Return (Some e) }
+      end
+  | Lexer.Tpunct "{" -> { Ast.sline; snode = Ast.Block (parse_block st) }
+  | _ ->
+      let s = parse_simple st in
+      expect_punct st ";";
+      s
+
+and parse_block st =
+  expect_punct st "{";
+  let rec go acc =
+    if accept_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* an if/while/for body: a block, or a single statement treated as one *)
+and parse_body st =
+  match (peek st).token with
+  | Lexer.Tpunct "{" -> parse_block st
+  | _ -> [ parse_stmt st ]
+
+(* --- top level --------------------------------------------------------------- *)
+
+let parse_program st =
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match (peek st).token with
+    | Lexer.Teof -> ()
+    | _ ->
+        if not (is_ty st) then
+          fail (line st) "expected a declaration, found %S"
+            (Lexer.token_to_string (peek st).token);
+        let fline = line st in
+        let ty = parse_ty st in
+        let name = expect_ident st in
+        (match (peek st).token with
+        | Lexer.Tpunct "(" ->
+            advance st;
+            let params =
+              if accept_punct st ")" then []
+              else begin
+                let rec params acc =
+                  let pty = parse_ty st in
+                  let pname = expect_ident st in
+                  if accept_punct st "," then params ((pty, pname) :: acc)
+                  else begin
+                    expect_punct st ")";
+                    List.rev ((pty, pname) :: acc)
+                  end
+                in
+                params []
+              end
+            in
+            let body = parse_block st in
+            funcs := { Ast.fline; name; ret = ty; params; body } :: !funcs
+        | Lexer.Tpunct "[" ->
+            let dims = parse_dims st in
+            expect_punct st ";";
+            globals := Ast.Garray (ty, name, dims) :: !globals
+        | _ ->
+            let init =
+              if accept_punct st "=" then Some (parse_expression st) else None
+            in
+            expect_punct st ";";
+            globals := Ast.Gvar (ty, name, init) :: !globals);
+        go ()
+  in
+  go ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let state_of_string source =
+  { tokens = Array.of_list (Lexer.tokenize source); pos = 0 }
+
+let parse source = parse_program (state_of_string source)
+
+let parse_expr source =
+  let st = state_of_string source in
+  let e = parse_expression st in
+  (match (peek st).token with
+  | Lexer.Teof -> ()
+  | tok -> fail (line st) "trailing input: %S" (Lexer.token_to_string tok));
+  e

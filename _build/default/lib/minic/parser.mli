@@ -1,0 +1,21 @@
+(** Recursive-descent parser for Mini-C.
+
+    Grammar sketch:
+    {v
+    program  := (global | function)*
+    global   := ty ident ('=' expr)? ';'  |  ty ident '[' intlit ']' ';'
+    function := ty ident '(' params? ')' '{' stmt* '}'
+    stmt     := decl ';' | assignment ';' | 'if' | 'while' | 'do' | 'for'
+              | 'return' expr? ';' | expr ';' | '{' stmt* '}'
+    v}
+
+    Operator precedence, low to high:
+    [||], [&&], [== !=], [< <= > >=], [+ -], [* / %], unary [- !]. *)
+
+exception Error of { line : int; msg : string }
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors, @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)

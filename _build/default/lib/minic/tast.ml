@@ -1,0 +1,69 @@
+(* Typed, resolved intermediate representation.
+
+   Produced by {!Typecheck} from the surface AST: names are resolved to
+   globals or per-function local slots, implicit int->float promotions are
+   explicit casts, [for] loops are desugared to [while], declarations
+   become plain assignments (scoping is resolved here, so blocks flatten
+   into statement lists). This is the input to {!Codegen}. *)
+
+type ty = Ast.ty
+
+type vref =
+  | Global of string        (* scalar global, by source name *)
+  | Global_array of string
+  | Local of int            (* slot index into the function's locals *)
+  | Local_array of int
+
+type builtin =
+  | Print_int
+  | Print_float
+  | Print_char
+  | Read_int
+  | Read_float
+
+type texpr = { ty : ty; node : tnode }
+
+and tnode =
+  | TInt of int
+  | TFloat of float
+  | TVar of vref
+  | TIndex of vref * texpr
+  | TCall of string * texpr list      (* user function, by source name *)
+  | TBuiltin of builtin * texpr list
+  | TUnop of Ast.unop * texpr
+  | TBinop of Ast.binop * texpr * texpr
+      (* operands share a type; comparisons/And/Or produce int *)
+  | TCast_i2f of texpr
+  | TCast_f2i of texpr
+
+type tstmt =
+  | SLine of int
+      (* debug marker: the following statements come from this source
+         line; becomes a [.loc] directive in the emitted assembly *)
+  | SAssign of vref * texpr
+  | SAssign_index of vref * texpr * texpr
+  | SIf of texpr * tstmt list * tstmt list
+  | SWhile of texpr * tstmt list
+  | SDo_while of tstmt list * texpr
+  | SBreak
+  | SContinue
+  | SReturn of texpr option
+  | SExpr of texpr
+
+type local = { lty : ty; lname : string; array_size : int option }
+
+type tfunc = {
+  fname : string;
+  ret : ty;
+  nparams : int;          (* locals 0..nparams-1 are the parameters *)
+  locals : local array;   (* parameters first, then declared locals *)
+  body : tstmt list;
+}
+
+type init = Iint of int | Ifloat of float
+
+type tglobal =
+  | TGvar of ty * string * init
+  | TGarray of ty * string * int
+
+type tprogram = { tglobals : tglobal list; tfuncs : tfunc list }

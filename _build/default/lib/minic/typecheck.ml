@@ -1,0 +1,449 @@
+open Ast
+
+exception Error of { line : int; msg : string }
+
+let fail line fmt = Format.kasprintf (fun msg -> raise (Error { line; msg })) fmt
+
+(* --- environments ------------------------------------------------------- *)
+
+type binding =
+  | Bglobal of ty
+  | Bglobal_array of ty * int list   (* dimensions *)
+  | Blocal of int * ty
+  | Blocal_array of int * ty * int list
+
+type fsig = { fret : ty; fparams : ty list }
+
+type env = {
+  globals : (string, binding) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  (* per-function state *)
+  mutable scopes : (string * binding) list list;
+  mutable locals : Tast.local list;  (* reversed *)
+  mutable nlocals : int;
+  mutable current_ret : ty;
+  mutable loop_depth : int;
+}
+
+let builtins =
+  [ "print_int"; "print_float"; "print_char"; "read_int"; "read_float";
+    "float_of_int"; "int_of_float" ]
+
+let lookup env line name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some b -> Some b
+        | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some b -> b
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some b -> b
+      | None -> fail line "undeclared variable %S" name)
+
+let declare_local env line ty name ~dims =
+  (match env.scopes with
+  | scope :: _ when List.mem_assoc name scope ->
+      fail line "duplicate declaration of %S" name
+  | _ -> ());
+  let slot = env.nlocals in
+  env.nlocals <- slot + 1;
+  let array_size =
+    match dims with
+    | None -> None
+    | Some dims -> Some (List.fold_left ( * ) 1 dims)
+  in
+  env.locals <- { Tast.lty = ty; lname = name; array_size } :: env.locals;
+  let binding =
+    match dims with
+    | None -> Blocal (slot, ty)
+    | Some dims -> Blocal_array (slot, ty, dims)
+  in
+  (match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, binding) :: scope) :: rest
+  | [] -> env.scopes <- [ [ (name, binding) ] ]);
+  slot
+
+(* --- expressions --------------------------------------------------------- *)
+
+let promote line (e : Tast.texpr) ty =
+  match e.ty, ty with
+  | a, b when a = b -> e
+  | Tint, Tfloat -> { Tast.ty = Tfloat; node = Tast.TCast_i2f e }
+  | Tfloat, Tint ->
+      fail line "cannot implicitly convert float to int (use int_of_float)"
+  | a, b ->
+      fail line "type mismatch: expected %s, found %s" (ty_to_string b)
+        (ty_to_string a)
+
+let arith_result line a b =
+  match a, b with
+  | Tint, Tint -> Tint
+  | (Tfloat | Tint), (Tfloat | Tint) -> Tfloat
+  | _ -> fail line "arithmetic on non-numeric type"
+
+let rec check_expr env (e : expr) : Tast.texpr =
+  let line = e.eline in
+  match e.enode with
+  | Int_lit i -> { ty = Tint; node = Tast.TInt i }
+  | Float_lit x -> { ty = Tfloat; node = Tast.TFloat x }
+  | Var name -> (
+      match lookup env line name with
+      | Bglobal ty -> { ty; node = Tast.TVar (Tast.Global name) }
+      | Blocal (slot, ty) -> { ty; node = Tast.TVar (Tast.Local slot) }
+      | Bglobal_array _ | Blocal_array _ ->
+          fail line "%S is an array; index it" name)
+  | Index (name, idxs) -> (
+      match lookup env line name with
+      | Bglobal_array (ty, dims) ->
+          let tidx = linear_index env line name dims idxs in
+          { ty; node = Tast.TIndex (Tast.Global_array name, tidx) }
+      | Blocal_array (slot, ty, dims) ->
+          let tidx = linear_index env line name dims idxs in
+          { ty; node = Tast.TIndex (Tast.Local_array slot, tidx) }
+      | Bglobal _ | Blocal _ -> fail line "%S is not an array" name)
+  | Unop (Neg, e1) -> (
+      let t1 = check_expr env e1 in
+      match t1.ty with
+      | Tint | Tfloat -> { ty = t1.ty; node = Tast.TUnop (Neg, t1) }
+      | Tvoid -> fail line "cannot negate void")
+  | Unop (Not, e1) ->
+      let t1 = check_expr env e1 in
+      if t1.ty <> Tint then fail line "'!' requires an int operand";
+      { ty = Tint; node = Tast.TUnop (Not, t1) }
+  | Binop (op, e1, e2) -> (
+      let t1 = check_expr env e1 and t2 = check_expr env e2 in
+      match op with
+      | Add | Sub | Mul | Div ->
+          let ty = arith_result line t1.ty t2.ty in
+          {
+            ty;
+            node = Tast.TBinop (op, promote line t1 ty, promote line t2 ty);
+          }
+      | Mod | Band | Bor | Bxor | Shl | Shr ->
+          if t1.ty <> Tint || t2.ty <> Tint then
+            fail line "bitwise and remainder operators require int operands";
+          { ty = Tint; node = Tast.TBinop (op, t1, t2) }
+      | Lt | Le | Gt | Ge | Eq | Ne ->
+          let ty = arith_result line t1.ty t2.ty in
+          {
+            ty = Tint;
+            node = Tast.TBinop (op, promote line t1 ty, promote line t2 ty);
+          }
+      | And | Or ->
+          if t1.ty <> Tint || t2.ty <> Tint then
+            fail line "logical operators require int operands";
+          { ty = Tint; node = Tast.TBinop (op, t1, t2) })
+  | Call (name, args) -> check_call env line name args ~as_stmt:false
+
+(* Lower a (possibly multi-dimensional) index list to one linear index
+   expression in row-major order: [a[i][j]] over dims [n][m] becomes
+   [i * m + j]. *)
+and linear_index env line name dims idxs : Tast.texpr =
+  if List.length idxs <> List.length dims then
+    fail line "%S expects %d index(es), got %d" name (List.length dims)
+      (List.length idxs);
+  let checked =
+    List.map
+      (fun idx ->
+        let t = check_expr env idx in
+        if t.ty <> Tint then fail line "array index must be int";
+        t)
+      idxs
+  in
+  match checked, dims with
+  | [ only ], _ -> only
+  | first :: rest_idx, _ :: rest_dims
+    when List.length rest_idx = List.length rest_dims ->
+      List.fold_left2
+        (fun acc idx dim ->
+          {
+            Tast.ty = Tint;
+            node =
+              Tast.TBinop
+                ( Ast.Add,
+                  {
+                    Tast.ty = Tint;
+                    node = Tast.TBinop (Ast.Mul, acc, { Tast.ty = Tint; node = Tast.TInt dim });
+                  },
+                  idx );
+          })
+        first rest_idx rest_dims
+  | _ -> fail line "missing index"
+
+and check_call env line name args ~as_stmt : Tast.texpr =
+  let targs () = List.map (check_expr env) args in
+  let arity k =
+    if List.length args <> k then
+      fail line "%s expects %d argument(s), got %d" name k (List.length args)
+  in
+  if List.mem name builtins then begin
+    match name with
+    | "print_int" ->
+        arity 1;
+        let t = targs () in
+        let t0 = List.nth t 0 in
+        if t0.ty <> Tint then fail line "print_int expects an int";
+        { ty = Tvoid; node = Tast.TBuiltin (Tast.Print_int, t) }
+    | "print_float" ->
+        arity 1;
+        let t = List.map (fun a -> promote line a Tfloat) (targs ()) in
+        { ty = Tvoid; node = Tast.TBuiltin (Tast.Print_float, t) }
+    | "print_char" ->
+        arity 1;
+        let t = targs () in
+        if (List.nth t 0).ty <> Tint then fail line "print_char expects an int";
+        { ty = Tvoid; node = Tast.TBuiltin (Tast.Print_char, t) }
+    | "read_int" ->
+        arity 0;
+        { ty = Tint; node = Tast.TBuiltin (Tast.Read_int, []) }
+    | "read_float" ->
+        arity 0;
+        { ty = Tfloat; node = Tast.TBuiltin (Tast.Read_float, []) }
+    | "float_of_int" ->
+        arity 1;
+        let t0 = List.nth (targs ()) 0 in
+        if t0.ty <> Tint then fail line "float_of_int expects an int";
+        { ty = Tfloat; node = Tast.TCast_i2f t0 }
+    | "int_of_float" ->
+        arity 1;
+        let t0 = List.nth (targs ()) 0 in
+        if t0.ty <> Tfloat then fail line "int_of_float expects a float";
+        { ty = Tint; node = Tast.TCast_f2i t0 }
+    | _ -> assert false
+  end
+  else
+    match Hashtbl.find_opt env.funcs name with
+    | None -> fail line "undeclared function %S" name
+    | Some { fret; fparams } ->
+        arity (List.length fparams);
+        let t =
+          List.map2 (fun a pty -> promote line (check_expr env a) pty) args
+            fparams
+        in
+        if fret = Tvoid && not as_stmt then
+          fail line "void function %S used in an expression" name;
+        { ty = fret; node = Tast.TCall (name, t) }
+
+(* --- statements ------------------------------------------------------------ *)
+
+let rec check_stmt env (s : stmt) : Tast.tstmt list =
+  let line = s.sline in
+  match s.snode with
+  | Decl (ty, name, init) ->
+      if ty = Tvoid then fail line "variables cannot be void";
+      let slot = declare_local env line ty name ~dims:None in
+      (match init with
+      | Some e ->
+          let te = promote line (check_expr env e) ty in
+          [ Tast.SAssign (Tast.Local slot, te) ]
+      | None -> [])
+  | Decl_array (ty, name, dims) ->
+      if ty = Tvoid then fail line "arrays cannot be void";
+      let _slot = declare_local env line ty name ~dims:(Some dims) in
+      []
+  | Assign (name, e) -> (
+      let te = check_expr env e in
+      match lookup env line name with
+      | Bglobal ty -> [ Tast.SAssign (Tast.Global name, promote line te ty) ]
+      | Blocal (slot, ty) ->
+          [ Tast.SAssign (Tast.Local slot, promote line te ty) ]
+      | Bglobal_array _ | Blocal_array _ ->
+          fail line "cannot assign to array %S without an index" name)
+  | Assign_index (name, idxs, e) -> (
+      let te = check_expr env e in
+      match lookup env line name with
+      | Bglobal_array (ty, dims) ->
+          let tidx = linear_index env line name dims idxs in
+          [ Tast.SAssign_index (Tast.Global_array name, tidx, promote line te ty) ]
+      | Blocal_array (slot, ty, dims) ->
+          let tidx = linear_index env line name dims idxs in
+          [ Tast.SAssign_index (Tast.Local_array slot, tidx, promote line te ty) ]
+      | Bglobal _ | Blocal _ -> fail line "%S is not an array" name)
+  | If (cond, then_, else_) ->
+      let tcond = check_expr env cond in
+      if tcond.ty <> Tint then fail line "condition must be int";
+      [ Tast.SIf (tcond, check_block env then_, check_block env else_) ]
+  | While (cond, body) ->
+      let tcond = check_expr env cond in
+      if tcond.ty <> Tint then fail line "condition must be int";
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      [ Tast.SWhile (tcond, tbody) ]
+  | Do_while (body, cond) ->
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      let tcond = check_expr env cond in
+      if tcond.ty <> Tint then fail line "condition must be int";
+      [ Tast.SDo_while (tbody, tcond) ]
+  | For (init, cond, step, body) ->
+      (* desugar: { init; while (cond) { body; step; } } in its own scope *)
+      env.scopes <- [] :: env.scopes;
+      let tinit =
+        match init with Some s -> check_stmt_with_line env s | None -> []
+      in
+      let tcond =
+        match cond with
+        | Some e ->
+            let t = check_expr env e in
+            if t.ty <> Tint then fail line "condition must be int";
+            t
+        | None -> { Tast.ty = Tint; node = Tast.TInt 1 }
+      in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      let tstep = match step with Some s -> check_stmt_with_line env s | None -> [] in
+      env.scopes <- List.tl env.scopes;
+      (* a [continue] in the for body must run the step first; splice the
+         step in front of every continue that targets this loop *)
+      let rec inject stmts =
+        List.concat_map
+          (fun ts ->
+            match ts with
+            | Tast.SContinue -> tstep @ [ Tast.SContinue ]
+            | Tast.SIf (c, a, b) -> [ Tast.SIf (c, inject a, inject b) ]
+            | Tast.SWhile _ | Tast.SDo_while _ | Tast.SLine _ | Tast.SBreak
+            | Tast.SAssign _ | Tast.SAssign_index _ | Tast.SReturn _
+            | Tast.SExpr _ ->
+                [ ts ])
+          stmts
+      in
+      tinit @ [ Tast.SWhile (tcond, inject tbody @ tstep) ]
+  | Break ->
+      if env.loop_depth = 0 then fail line "'break' outside a loop";
+      [ Tast.SBreak ]
+  | Continue ->
+      if env.loop_depth = 0 then fail line "'continue' outside a loop";
+      [ Tast.SContinue ]
+  | Return None ->
+      if env.current_ret <> Tvoid then
+        fail line "non-void function must return a value";
+      [ Tast.SReturn None ]
+  | Return (Some e) ->
+      if env.current_ret = Tvoid then
+        fail line "void function cannot return a value";
+      let te = promote line (check_expr env e) env.current_ret in
+      [ Tast.SReturn (Some te) ]
+  | Expr ({ enode = Call (name, args); eline } as _e) ->
+      let te = check_call env eline name args ~as_stmt:true in
+      [ Tast.SExpr te ]
+  | Expr e ->
+      let te = check_expr env e in
+      [ Tast.SExpr te ]
+  | Block b ->
+      env.scopes <- [] :: env.scopes;
+      let ts = check_block env b in
+      env.scopes <- List.tl env.scopes;
+      ts
+
+and check_stmt_with_line env (s : stmt) : Tast.tstmt list =
+  match check_stmt env s with
+  | [] -> []
+  | ts -> Tast.SLine s.sline :: ts
+
+and check_block env (b : block) : Tast.tstmt list =
+  env.scopes <- [] :: env.scopes;
+  let ts = List.concat_map (check_stmt_with_line env) b in
+  env.scopes <- List.tl env.scopes;
+  ts
+
+(* --- top level --------------------------------------------------------------- *)
+
+let const_init line ty (e : expr option) : Tast.init =
+  let bad () = fail line "global initialisers must be numeric literals" in
+  let value =
+    match e with
+    | None -> `I 0
+    | Some { enode = Int_lit i; _ } -> `I i
+    | Some { enode = Float_lit x; _ } -> `F x
+    | Some { enode = Unop (Neg, { enode = Int_lit i; _ }); _ } -> `I (-i)
+    | Some { enode = Unop (Neg, { enode = Float_lit x; _ }); _ } -> `F (-.x)
+    | Some _ -> bad ()
+  in
+  match ty, value with
+  | Tint, `I i -> Tast.Iint i
+  | Tfloat, `F x -> Tast.Ifloat x
+  | Tfloat, `I i -> Tast.Ifloat (float_of_int i)
+  | Tint, `F _ -> fail line "cannot initialise int with a float literal"
+  | Tvoid, _ -> fail line "globals cannot be void"
+
+let check (p : program) : Tast.tprogram =
+  let env =
+    {
+      globals = Hashtbl.create 64;
+      funcs = Hashtbl.create 64;
+      scopes = [];
+      locals = [];
+      nlocals = 0;
+      current_ret = Tvoid;
+      loop_depth = 0;
+    }
+  in
+  (* globals *)
+  let tglobals =
+    List.map
+      (fun g ->
+        match g with
+        | Gvar (ty, name, init) ->
+            if Hashtbl.mem env.globals name then
+              fail 0 "duplicate global %S" name;
+            Hashtbl.replace env.globals name (Bglobal ty);
+            Tast.TGvar (ty, name, const_init 0 ty init)
+        | Garray (ty, name, dims) ->
+            if Hashtbl.mem env.globals name then
+              fail 0 "duplicate global %S" name;
+            if ty = Tvoid then fail 0 "arrays cannot be void";
+            Hashtbl.replace env.globals name (Bglobal_array (ty, dims));
+            Tast.TGarray (ty, name, List.fold_left ( * ) 1 dims))
+      p.globals
+  in
+  (* function signatures first: mutual recursion *)
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.name then
+        fail f.fline "duplicate function %S" f.name;
+      if List.mem f.name builtins then
+        fail f.fline "%S is a builtin" f.name;
+      List.iter
+        (fun (ty, _) ->
+          if ty = Tvoid then fail f.fline "parameters cannot be void")
+        f.params;
+      Hashtbl.replace env.funcs f.name
+        { fret = f.ret; fparams = List.map fst f.params })
+    p.funcs;
+  (* function bodies *)
+  let tfuncs =
+    List.map
+      (fun f ->
+        env.scopes <- [ [] ];
+        env.locals <- [];
+        env.nlocals <- 0;
+        env.current_ret <- f.ret;
+        List.iter
+          (fun (ty, name) ->
+            let (_ : int) =
+              declare_local env f.fline ty name ~dims:None
+            in
+            ())
+          f.params;
+        let body = check_block env f.body in
+        {
+          Tast.fname = f.name;
+          ret = f.ret;
+          nparams = List.length f.params;
+          locals = Array.of_list (List.rev env.locals);
+          body;
+        })
+      p.funcs
+  in
+  (match Hashtbl.find_opt env.funcs "main" with
+  | Some { fparams = []; _ } -> ()
+  | Some _ -> fail 0 "main must take no parameters"
+  | None -> fail 0 "no main function");
+  { Tast.tglobals; tfuncs }

@@ -1,0 +1,23 @@
+(** Type checking and name resolution: {!Ast.program} to {!Tast.tprogram}.
+
+    Checks performed:
+    - every name is declared before use, no duplicate declarations in the
+      same scope, no shadowing of a function by a variable of the same
+      name in a call position;
+    - arrays are indexed with [int] expressions and only arrays are
+      indexed; scalars and arrays are not mixed;
+    - arithmetic promotes [int] to [float] implicitly (explicit casts via
+      the [float_of_int]/[int_of_float] builtins); [float] never demotes
+      implicitly; [%] and the logical operators are [int]-only;
+    - calls match arity and (promoted) parameter types; [void] functions
+      are only called as statements;
+    - [return] matches the function's return type;
+    - a function [main] with no parameters exists.
+
+    Desugarings: [for] to [while]; declarations with initialisers to
+    assignments; implicit promotions to explicit cast nodes. *)
+
+exception Error of { line : int; msg : string }
+
+val check : Ast.program -> Tast.tprogram
+(** @raise Error on the first type or scoping error. *)

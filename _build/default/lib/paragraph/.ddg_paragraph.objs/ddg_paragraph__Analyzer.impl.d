@@ -1,0 +1,1 @@
+lib/paragraph/analyzer.ml: Branch_pred Config Ddg_isa Ddg_sim Dist Format Intervals List Live_well Loc Opclass Option Profile Resources Segment Window

@@ -1,0 +1,1 @@
+lib/paragraph/analyzer.mli: Config Ddg_isa Ddg_sim Dist Format Profile

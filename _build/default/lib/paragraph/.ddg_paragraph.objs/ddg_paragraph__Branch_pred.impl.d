@@ -1,0 +1,1 @@
+lib/paragraph/branch_pred.ml: Bytes Char Config

@@ -1,0 +1,1 @@
+lib/paragraph/config.ml: Ddg_isa Printf

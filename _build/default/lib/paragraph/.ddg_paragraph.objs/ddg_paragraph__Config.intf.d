@@ -1,0 +1,1 @@
+lib/paragraph/config.mli: Ddg_isa

@@ -1,0 +1,1 @@
+lib/paragraph/ddg.ml: Array Branch_pred Buffer Config Ddg_isa Ddg_sim Hashtbl List Loc Opclass Printf Queue Resources Segment

@@ -1,0 +1,1 @@
+lib/paragraph/ddg.mli: Config Ddg_isa Ddg_sim

@@ -1,0 +1,1 @@
+lib/paragraph/dist.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/paragraph/dist.mli: Format

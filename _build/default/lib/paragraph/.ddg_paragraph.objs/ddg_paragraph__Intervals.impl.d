@@ -1,0 +1,1 @@
+lib/paragraph/intervals.ml: Array Profile

@@ -1,0 +1,1 @@
+lib/paragraph/intervals.mli: Profile

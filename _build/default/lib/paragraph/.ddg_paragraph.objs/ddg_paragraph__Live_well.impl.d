@@ -1,0 +1,1 @@
+lib/paragraph/live_well.ml: Ddg_isa Hashtbl

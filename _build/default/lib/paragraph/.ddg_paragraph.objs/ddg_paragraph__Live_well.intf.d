@@ -1,0 +1,1 @@
+lib/paragraph/live_well.mli: Ddg_isa

@@ -1,0 +1,1 @@
+lib/paragraph/profile.ml: Array Float Format List

@@ -1,0 +1,1 @@
+lib/paragraph/profile.mli: Format

@@ -1,0 +1,1 @@
+lib/paragraph/resources.ml: Config Ddg_isa Fun Hashtbl List Option

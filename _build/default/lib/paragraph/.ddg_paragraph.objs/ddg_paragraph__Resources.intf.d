@@ -1,0 +1,1 @@
+lib/paragraph/resources.mli: Config Ddg_isa

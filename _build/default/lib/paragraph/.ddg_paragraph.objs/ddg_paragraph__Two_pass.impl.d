@@ -1,0 +1,1 @@
+lib/paragraph/two_pass.ml: Analyzer Array Ddg_sim Hashtbl List

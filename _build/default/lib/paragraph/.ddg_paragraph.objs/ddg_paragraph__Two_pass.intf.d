@@ -1,0 +1,1 @@
+lib/paragraph/two_pass.mli: Analyzer Config Ddg_sim

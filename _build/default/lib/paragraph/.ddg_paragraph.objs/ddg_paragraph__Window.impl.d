@@ -1,0 +1,1 @@
+lib/paragraph/window.ml: Array

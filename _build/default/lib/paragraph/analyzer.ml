@@ -1,0 +1,233 @@
+open Ddg_isa
+
+type stats = {
+  events : int;
+  placed_ops : int;
+  syscalls : int;
+  critical_path : int;
+  available_parallelism : float;
+  profile : Profile.t;
+  storage_profile : Profile.t;
+  lifetimes : Dist.t;
+  sharing : Dist.t;
+  live_locations : int;
+  mispredicts : int;
+}
+
+type t = {
+  config : Config.t;
+  live_well : Live_well.t;
+  profile : Profile.t;
+  liveness : Intervals.t;
+  lifetimes : Dist.t;
+  sharing : Dist.t;
+  window : Window.t option;
+  resources : Resources.t;
+  predictor : Branch_pred.t;
+  mutable highest_level : int;         (* first placeable level *)
+  mutable deepest_level : int;         (* deepest completion level used *)
+  mutable events : int;
+  mutable placed : int;
+  mutable syscalls : int;
+  mutable mispredicts : int;
+}
+
+let create (config : Config.t) =
+  {
+    config;
+    live_well = Live_well.create ();
+    profile = Profile.create ();
+    liveness = Intervals.create ();
+    lifetimes = Dist.create ();
+    sharing = Dist.create ();
+    window = Option.map Window.create config.window;
+    resources = Resources.create config.fu;
+    predictor = Branch_pred.create config.branch;
+    highest_level = 0;
+    deepest_level = -1;
+    events = 0;
+    placed = 0;
+    syscalls = 0;
+    mispredicts = 0;
+  }
+
+let storage_dependencies_apply config loc =
+  let { Config.registers; stack; data } = config.Config.renaming in
+  match Segment.storage_class_of_loc loc with
+  | Loc.Register -> not registers
+  | Loc.Stack_memory -> not stack
+  | Loc.Data_memory -> not data
+
+let retire t (r : Live_well.retirement) =
+  Dist.add t.lifetimes r.lifetime;
+  Dist.add t.sharing r.uses;
+  (* the value occupies one storage location from its creation level to
+     its last use: the storage profile reads as live values per level *)
+  if r.created >= 0 then Intervals.add t.liveness ~lo:r.created ~hi:r.last_use
+
+(* Window bookkeeping: every trace event occupies one slot. When the
+   incoming event displaces the oldest one, the displaced event's
+   completion level becomes a firewall — nothing from here on (including
+   the incoming event itself) may be placed at or above it, so the room is
+   made before placement. Control events carry no level; they push
+   [highest_level - 1], which raises nothing when displaced. *)
+let window_make_room t =
+  match t.window with
+  | None -> ()
+  | Some w -> (
+      match Window.make_room w with
+      | Some displaced ->
+          if displaced + 1 > t.highest_level then
+            t.highest_level <- displaced + 1
+      | None -> ())
+
+let window_admit t level =
+  match t.window with
+  | None -> ()
+  | Some w -> (
+      match Window.push w level with
+      | Some _ -> assert false (* room was made at event entry *)
+      | None -> ())
+
+(* Place a value-creating operation: compute its completion level, update
+   profile, live well and counters; returns the completion level. *)
+let place t (e : Ddg_sim.Trace.event) =
+  let ready =
+    List.fold_left
+      (fun acc loc ->
+        max acc
+          (Live_well.source_level t.live_well loc
+             ~highest_level:t.highest_level))
+      (t.highest_level - 1) e.srcs
+  in
+  let level = ready + t.config.latency e.op_class in
+  let level =
+    match e.dest with
+    | Some dest when storage_dependencies_apply t.config dest -> (
+        match Live_well.storage_constraint t.live_well dest with
+        | Some d -> max level (d + 1)
+        | None -> level)
+    | Some _ | None -> level
+  in
+  let level =
+    if Resources.unlimited t.resources then level
+    else Resources.place t.resources e.op_class level
+  in
+  Profile.add t.profile level;
+  t.placed <- t.placed + 1;
+  if level > t.deepest_level then t.deepest_level <- level;
+  List.iter (fun loc -> Live_well.record_use t.live_well loc ~level) e.srcs;
+  (match e.dest with
+  | Some dest -> (
+      match Live_well.define t.live_well dest ~level with
+      | Some r -> retire t r
+      | None -> ())
+  | None -> ());
+  level
+
+(* A conservative system call is a firewall: it is placed immediately
+   after the deepest computation yet, and the level following it becomes
+   the new topologically highest placeable level. *)
+let place_syscall_conservative t (e : Ddg_sim.Trace.event) =
+  let level = t.deepest_level + t.config.latency e.op_class in
+  let level = max level t.highest_level in
+  Profile.add t.profile level;
+  t.placed <- t.placed + 1;
+  if level > t.deepest_level then t.deepest_level <- level;
+  List.iter
+    (fun loc ->
+      let (_ : int) =
+        Live_well.source_level t.live_well loc ~highest_level:t.highest_level
+      in
+      Live_well.record_use t.live_well loc ~level)
+    e.srcs;
+  (match e.dest with
+  | Some dest -> (
+      match Live_well.define t.live_well dest ~level with
+      | Some r -> retire t r
+      | None -> ())
+  | None -> ());
+  t.highest_level <- level + 1;
+  level
+
+(* A mispredicted branch stalls fetch until it resolves: a firewall at the
+   branch's resolution level (its sources' readiness plus one step). *)
+let handle_branch t (e : Ddg_sim.Trace.event) taken =
+  if
+    (not (Branch_pred.predicts_perfectly t.predictor))
+    && Branch_pred.mispredicted t.predictor ~pc:e.pc ~taken
+  then begin
+    t.mispredicts <- t.mispredicts + 1;
+    let ready =
+      List.fold_left
+        (fun acc loc ->
+          max acc
+            (Live_well.source_level t.live_well loc
+               ~highest_level:t.highest_level))
+        (t.highest_level - 1) e.srcs
+    in
+    let resolve = ready + 1 in
+    if resolve > t.highest_level then t.highest_level <- resolve
+  end
+
+let feed t (e : Ddg_sim.Trace.event) =
+  t.events <- t.events + 1;
+  window_make_room t;
+  match e.op_class with
+  | Opclass.Control ->
+      (match e.branch with
+      | Some { taken } -> handle_branch t e taken
+      | None -> ());
+      window_admit t (t.highest_level - 1)
+  | Opclass.Syscall ->
+      t.syscalls <- t.syscalls + 1;
+      if t.config.syscall_stall then
+        window_admit t (place_syscall_conservative t e)
+      else
+        (* optimistic: the system call is assumed to modify nothing and is
+           ignored entirely *)
+        window_admit t (t.highest_level - 1)
+  | Opclass.Int_alu | Opclass.Int_multiply | Opclass.Int_divide
+  | Opclass.Fp_add_sub | Opclass.Fp_multiply | Opclass.Fp_divide
+  | Opclass.Load_store ->
+      window_admit t (place t e)
+
+let evict t loc =
+  match Live_well.remove t.live_well loc with
+  | Some r -> retire t r
+  | None -> ()
+
+let live_well_size t = Live_well.size t.live_well
+
+let finish t =
+  List.iter (retire t) (Live_well.retire_all t.live_well);
+  let critical_path = t.deepest_level + 1 in
+  {
+    events = t.events;
+    placed_ops = t.placed;
+    syscalls = t.syscalls;
+    critical_path;
+    available_parallelism =
+      (if critical_path = 0 then 0.0
+       else float_of_int t.placed /. float_of_int critical_path);
+    profile = t.profile;
+    storage_profile = Intervals.to_profile t.liveness;
+    lifetimes = t.lifetimes;
+    sharing = t.sharing;
+    live_locations = Live_well.size t.live_well;
+    mispredicts = t.mispredicts;
+  }
+
+let analyze config trace =
+  let t = create config in
+  Ddg_sim.Trace.iter (feed t) trace;
+  finish t
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "@[<v>events               %d@,placed ops           %d@,\
+     system calls         %d@,critical path length %d@,\
+     available parallelism %.2f@,live locations       %d@,\
+     mispredicted branches %d@]"
+    s.events s.placed_ops s.syscalls s.critical_path
+    s.available_parallelism s.live_locations s.mispredicts

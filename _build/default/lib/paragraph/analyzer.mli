@@ -1,0 +1,76 @@
+(** The streaming DDG analyzer — the Paragraph placement engine.
+
+    Consumes a serial execution trace one event at a time and maintains
+    the live well, the firewall state ([highestLevel],
+    [deepestLevelYetUsed]), the instruction window, optional resource
+    pools and branch predictor, the parallelism profile and the
+    value-lifetime / degree-of-sharing distributions. Memory use is
+    bounded by the live-value working set, never by trace length, so
+    arbitrarily long traces can be analyzed online (the paper's
+    single-forward-pass mode).
+
+    Placement semantics (validated against the paper's worked examples —
+    Figure 1: critical path 4, profile 4,2,1,1; Figure 2: critical path 6,
+    profile 2,1,2,1,1,1; Figure 5's live-well state):
+
+    - DDG levels are 0-based; [highestLevel] is the topologically highest
+      level at which an operation may currently be placed (0 initially).
+    - A source value is available at the level its producer completed;
+      pre-existing values materialise at [highestLevel - 1].
+    - [ready = max(highestLevel - 1, source levels)];
+      [Ldest = ready + t_op].
+    - Storage dependency (renaming disabled for the destination's class):
+      [Ldest = max(Ldest, Ddest + 1)] where [Ddest] is the deepest level
+      at which the previous value in the destination location was created
+      or used.
+    - Resource limits move [Ldest] down to the first level with a free
+      functional unit.
+    - A conservative system call places itself at
+      [deepestLevelYetUsed + t] and raises [highestLevel] to the level
+      after it (the firewall); an optimistic system call is ignored.
+    - An event displaced from the instruction window raises
+      [highestLevel] to one past its completion level.
+    - A mispredicted branch (extension; off by default) raises
+      [highestLevel] to the branch's resolution level. *)
+
+(** Results of one analysis. *)
+type stats = {
+  events : int;           (** trace events processed *)
+  placed_ops : int;       (** operations placed in the DDG *)
+  syscalls : int;         (** system calls encountered *)
+  critical_path : int;    (** DDG levels used = length of critical path *)
+  available_parallelism : float;  (** placed_ops / critical_path *)
+  profile : Profile.t;    (** the parallelism profile *)
+  storage_profile : Profile.t;
+      (** live computed values per DDG level — the paper's section 2.3
+          "amount of temporary storage required to exploit the
+          parallelism" ([Profile.average_parallelism] of this profile is
+          the mean number of simultaneously live values) *)
+  lifetimes : Dist.t;     (** value lifetimes in DDG levels *)
+  sharing : Dist.t;       (** uses per computed value *)
+  live_locations : int;   (** distinct storage locations in the live well *)
+  mispredicts : int;      (** 0 under perfect branch handling *)
+}
+
+type t
+
+val create : Config.t -> t
+val feed : t -> Ddg_sim.Trace.event -> unit
+
+val evict : t -> Ddg_isa.Loc.t -> unit
+(** Drop a location from the live well, retiring its computed value into
+    the statistics. Only sound when the location is never referenced
+    again in the trace — the two-pass mode ({!Two_pass}) establishes that
+    with its reverse pass. *)
+
+val live_well_size : t -> int
+(** Current live-well occupancy (distinct locations held). *)
+
+val finish : t -> stats
+(** Retire remaining live values into the distributions and report. The
+    analyzer must not be fed after [finish]. *)
+
+val analyze : Config.t -> Ddg_sim.Trace.t -> stats
+(** [create] + [feed] each event + [finish]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,30 @@
+type t =
+  | Perfect
+  | Static of bool                    (* predicted direction *)
+  | Two_bit of { mask : int; counters : Bytes.t }
+
+let create : Config.branch_policy -> t = function
+  | Config.Perfect -> Perfect
+  | Config.Predict_taken -> Static true
+  | Config.Predict_not_taken -> Static false
+  | Config.Two_bit bits ->
+      let bits = max 1 (min 24 bits) in
+      let size = 1 lsl bits in
+      (* counters start weakly taken (2) *)
+      Two_bit { mask = size - 1; counters = Bytes.make size '\002' }
+
+let predicts_perfectly = function
+  | Perfect -> true
+  | Static _ | Two_bit _ -> false
+
+let mispredicted t ~pc ~taken =
+  match t with
+  | Perfect -> false
+  | Static p -> p <> taken
+  | Two_bit { mask; counters } ->
+      let i = pc land mask in
+      let c = Char.code (Bytes.get counters i) in
+      let predicted = c >= 2 in
+      let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+      Bytes.set counters i (Char.chr c');
+      predicted <> taken

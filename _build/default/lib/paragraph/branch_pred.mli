@@ -1,0 +1,18 @@
+(** Branch predictors for the control-dependency extension.
+
+    The paper runs every experiment with perfect control flow but notes
+    that its firewall mechanism "can also be used to represent the effect
+    of a mispredicted conditional branch" (§3.2). This module provides the
+    predictors used by that extension: static taken / not-taken and a
+    classic 2-bit saturating-counter table indexed by pc. *)
+
+type t
+
+val create : Config.branch_policy -> t
+
+val predicts_perfectly : t -> bool
+(** True for {!Config.Perfect}: no branch ever constrains the DDG. *)
+
+val mispredicted : t -> pc:int -> taken:bool -> bool
+(** Record one executed conditional branch and report whether the
+    predictor got it wrong. Always false for [Perfect]. *)

@@ -1,0 +1,83 @@
+type renaming = { registers : bool; stack : bool; data : bool }
+
+let rename_all = { registers = true; stack = true; data = true }
+let rename_none = { registers = false; stack = false; data = false }
+let rename_registers_only = { registers = true; stack = false; data = false }
+let rename_registers_stack = { registers = true; stack = true; data = false }
+
+type fu_limits = {
+  total : int option;
+  int_units : int option;
+  fp_units : int option;
+  mem_units : int option;
+}
+
+let unlimited_fu =
+  { total = None; int_units = None; fp_units = None; mem_units = None }
+
+type branch_policy = Perfect | Predict_taken | Predict_not_taken | Two_bit of int
+
+type t = {
+  syscall_stall : bool;
+  renaming : renaming;
+  window : int option;
+  latency : Ddg_isa.Opclass.t -> int;
+  fu : fu_limits;
+  branch : branch_policy;
+}
+
+let default =
+  {
+    syscall_stall = true;
+    renaming = rename_all;
+    window = None;
+    latency = Ddg_isa.Opclass.latency;
+    fu = unlimited_fu;
+    branch = Perfect;
+  }
+
+let dataflow = { default with syscall_stall = false }
+
+let with_renaming renaming t = { t with renaming }
+let with_window window t = { t with window }
+let with_syscall_stall syscall_stall t = { t with syscall_stall }
+let with_fu fu t = { t with fu }
+let with_branch branch t = { t with branch }
+
+let describe t =
+  let renaming =
+    match t.renaming with
+    | { registers = true; stack = true; data = true } -> "rename all"
+    | { registers = true; stack = true; data = false } -> "rename regs+stack"
+    | { registers = true; stack = false; data = false } -> "rename regs"
+    | { registers = false; stack = false; data = false } -> "no renaming"
+    | { registers = r; stack = s; data = d } ->
+        Printf.sprintf "rename{regs=%b;stack=%b;data=%b}" r s d
+  in
+  let window =
+    match t.window with
+    | None -> "window=inf"
+    | Some w -> Printf.sprintf "window=%d" w
+  in
+  let fu =
+    match t.fu with
+    | { total = None; int_units = None; fp_units = None; mem_units = None } ->
+        "fu=inf"
+    | { total; int_units; fp_units; mem_units } ->
+        let f name = function
+          | None -> ""
+          | Some k -> Printf.sprintf "%s=%d " name k
+        in
+        "fu{" ^ f "total" total ^ f "int" int_units ^ f "fp" fp_units
+        ^ f "mem" mem_units ^ "}"
+  in
+  let branch =
+    match t.branch with
+    | Perfect -> "branch=perfect"
+    | Predict_taken -> "branch=taken"
+    | Predict_not_taken -> "branch=not-taken"
+    | Two_bit n -> Printf.sprintf "branch=2bit(%d)" n
+  in
+  Printf.sprintf "%s syscalls, %s, %s, %s, %s"
+    (if t.syscall_stall then "conservative" else "optimistic")
+    renaming window fu branch

@@ -1,0 +1,58 @@
+type t = {
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable n : int;
+  mutable max_hi : int;
+}
+
+let create () =
+  { lo = Array.make 1024 0; hi = Array.make 1024 0; n = 0; max_hi = -1 }
+
+let add t ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Intervals.add";
+  if t.n = Array.length t.lo then begin
+    let grow a = 
+      let bigger = Array.make (2 * Array.length a) 0 in
+      Array.blit a 0 bigger 0 (Array.length a);
+      bigger
+    in
+    t.lo <- grow t.lo;
+    t.hi <- grow t.hi
+  end;
+  t.lo.(t.n) <- lo;
+  t.hi.(t.n) <- hi;
+  t.n <- t.n + 1;
+  if hi > t.max_hi then t.max_hi <- hi
+
+let count t = t.n
+
+let to_profile ?(slots = 65536) t =
+  if slots < 2 then invalid_arg "Intervals.to_profile: slots < 2";
+  let width = ref 1 in
+  while t.max_hi / !width >= slots do
+    width := !width * 2
+  done;
+  let width = !width in
+  let counts = Array.make slots 0 in
+  (* difference array for the full middle buckets; partial edge buckets
+     are added directly *)
+  let diff = Array.make (slots + 1) 0 in
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    let lo = t.lo.(i) and hi = t.hi.(i) in
+    total := !total + (hi - lo + 1);
+    let ls = lo / width and hs = hi / width in
+    if ls = hs then counts.(ls) <- counts.(ls) + (hi - lo + 1)
+    else begin
+      counts.(ls) <- counts.(ls) + (((ls + 1) * width) - lo);
+      counts.(hs) <- counts.(hs) + (hi - (hs * width) + 1);
+      diff.(ls + 1) <- diff.(ls + 1) + width;
+      diff.(hs) <- diff.(hs) - width
+    end
+  done;
+  let running = ref 0 in
+  for s = 0 to slots - 1 do
+    running := !running + diff.(s);
+    counts.(s) <- counts.(s) + !running
+  done;
+  Profile.of_buckets ~width ~max_level:t.max_hi ~total:!total counts

@@ -1,0 +1,25 @@
+(** O(1)-per-interval accumulation into a level profile.
+
+    The storage (memory-requirement) profile needs one unit added to every
+    level in each value's live range. Doing that directly is proportional
+    to range length — quadratic over a trace whose values live for
+    millions of levels. This accumulator records raw [(created, last_use)]
+    intervals in O(1) each and resolves them into a bucketed
+    {!Profile.t} once, with a difference array, when the final bucket
+    width is known. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> lo:int -> hi:int -> unit
+(** Record one closed interval. @raise Invalid_argument if [lo < 0] or
+    [hi < lo]. *)
+
+val count : t -> int
+(** Intervals recorded. *)
+
+val to_profile : ?slots:int -> t -> Profile.t
+(** Resolve into a profile of "units live per level", bucketed exactly
+    like {!Profile.create} [~slots] would bucket it. The accumulator
+    remains usable afterwards. *)

@@ -1,0 +1,74 @@
+module Table = Hashtbl.Make (struct
+  type t = Ddg_isa.Loc.t
+
+  let equal = Ddg_isa.Loc.equal
+  let hash = Ddg_isa.Loc.hash
+end)
+
+type entry = {
+  mutable create_level : int;
+  mutable deepest_use : int;   (* = create_level until first use *)
+  mutable uses : int;
+  mutable computed : bool;     (* false for pre-existing values *)
+}
+
+type retirement = { created : int; last_use : int; lifetime : int; uses : int }
+
+type t = entry Table.t
+
+let create () : t = Table.create 4096
+
+let source_level t loc ~highest_level =
+  match Table.find_opt t loc with
+  | Some e -> e.create_level
+  | None ->
+      let level = highest_level - 1 in
+      Table.replace t loc
+        { create_level = level; deepest_use = level; uses = 0; computed = false };
+      level
+
+let record_use t loc ~level =
+  match Table.find_opt t loc with
+  | Some e ->
+      if level > e.deepest_use then e.deepest_use <- level;
+      e.uses <- e.uses + 1
+  | None -> invalid_arg "Live_well.record_use: location not present"
+
+let storage_constraint t loc =
+  match Table.find_opt t loc with
+  | Some e -> Some (max e.create_level e.deepest_use)
+  | None -> None
+
+let retirement_of e =
+  {
+    created = e.create_level;
+    last_use = max e.create_level e.deepest_use;
+    lifetime = max 0 (e.deepest_use - e.create_level);
+    uses = e.uses;
+  }
+
+let define t loc ~level =
+  match Table.find_opt t loc with
+  | Some e ->
+      let retired = if e.computed then Some (retirement_of e) else None in
+      e.create_level <- level;
+      e.deepest_use <- level;
+      e.uses <- 0;
+      e.computed <- true;
+      retired
+  | None ->
+      Table.replace t loc
+        { create_level = level; deepest_use = level; uses = 0; computed = true };
+      None
+
+let remove t loc =
+  match Table.find_opt t loc with
+  | Some e ->
+      Table.remove t loc;
+      if e.computed then Some (retirement_of e) else None
+  | None -> None
+
+let retire_all t =
+  Table.fold (fun _ e acc -> if e.computed then retirement_of e :: acc else acc) t []
+
+let size t = Table.length t

@@ -1,0 +1,61 @@
+(** The live well: Paragraph's hash table of live values (paper §3.2).
+
+    Each live value is keyed by the storage location currently holding it
+    and records the DDG level at which it was created, the deepest level at
+    which it has been used, and its use count. When an instruction is
+    processed, its source values are located here by register number or
+    memory address; the destination location's previous value is retired
+    (yielding its lifetime and degree-of-sharing statistics) and replaced.
+
+    Values that existed before execution began — pre-initialised registers
+    or DATA-segment words — are materialised on first reference at the
+    level immediately preceding the topologically highest placeable level,
+    so they never delay any computation (paper's first special case). *)
+
+type t
+
+(** Statistics of a retired (overwritten or final) computed value. *)
+type retirement = {
+  created : int;   (** DDG level at which the value was created *)
+  last_use : int;  (** deepest level at which it was read; [created] if
+                       never read *)
+  lifetime : int;
+      (** [last_use - created]; 0 if never used *)
+  uses : int;  (** number of operand reads of the value *)
+}
+
+val create : unit -> t
+
+val source_level : t -> Ddg_isa.Loc.t -> highest_level:int -> int
+(** Level at which the value in a location was created. If the location
+    has never been written, a pre-existing value is inserted at
+    [highest_level - 1] and that level returned. *)
+
+val record_use : t -> Ddg_isa.Loc.t -> level:int -> unit
+(** Note that the value in the location was consumed by an operation
+    completing at [level]. The location must be present (call
+    {!source_level} first). *)
+
+val storage_constraint : t -> Ddg_isa.Loc.t -> int option
+(** [Ddest] for the paper's storage-dependency rule: the deepest level at
+    which the value currently in the location was created or used, or
+    [None] if the location is empty. *)
+
+val define : t -> Ddg_isa.Loc.t -> level:int -> retirement option
+(** Bind a new value, created at [level], to the location. Returns the
+    retirement record of the previous {e computed} value, or [None] if
+    the location was empty or held a pre-existing value. *)
+
+val remove : t -> Ddg_isa.Loc.t -> retirement option
+(** Evict a location, returning the retirement record of the computed
+    value it held (if any). Used by the two-pass analysis mode, which
+    knows from its reverse pass that the location will never be
+    referenced again. *)
+
+val retire_all : t -> retirement list
+(** Retirement records for every computed value still live — called once
+    at the end of a trace so final values contribute to the lifetime and
+    sharing distributions. *)
+
+val size : t -> int
+(** Number of distinct locations present (live values + pre-existing). *)

@@ -1,0 +1,90 @@
+type t = {
+  mutable counts : int array;
+  mutable width : int;        (* levels per slot, a power of two *)
+  mutable max_level : int;    (* highest level seen, -1 when empty *)
+  mutable total : int;
+}
+
+let create ?(slots = 65536) () =
+  if slots < 2 then invalid_arg "Profile.create: slots < 2";
+  { counts = Array.make slots 0; width = 1; max_level = -1; total = 0 }
+
+let slots t = Array.length t.counts
+
+(* Halve the resolution: slot i absorbs old slots 2i and 2i+1. *)
+let coalesce t =
+  let n = slots t in
+  let fresh = Array.make n 0 in
+  for i = 0 to (n / 2) - 1 do
+    fresh.(i) <- t.counts.(2 * i) + t.counts.((2 * i) + 1)
+  done;
+  t.counts <- fresh;
+  t.width <- t.width * 2
+
+let add t level =
+  if level < 0 then invalid_arg "Profile.add: negative level";
+  while level / t.width >= slots t do
+    coalesce t
+  done;
+  let i = level / t.width in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  if level > t.max_level then t.max_level <- level
+
+let add_range t lo hi =
+  if lo < 0 || hi < lo then invalid_arg "Profile.add_range";
+  while hi / t.width >= slots t do
+    coalesce t
+  done;
+  for slot = lo / t.width to hi / t.width do
+    let slot_lo = slot * t.width and slot_hi = ((slot + 1) * t.width) - 1 in
+    let overlap = min hi slot_hi - max lo slot_lo + 1 in
+    t.counts.(slot) <- t.counts.(slot) + overlap
+  done;
+  t.total <- t.total + (hi - lo + 1);
+  if hi > t.max_level then t.max_level <- hi
+
+let of_buckets ~width ~max_level ~total counts =
+  if width < 1 || width land (width - 1) <> 0 then
+    invalid_arg "Profile.of_buckets: width must be a positive power of two";
+  if Array.length counts < 2 then
+    invalid_arg "Profile.of_buckets: need at least two buckets";
+  if max_level < -1 || max_level >= Array.length counts * width then
+    invalid_arg "Profile.of_buckets: max_level out of range";
+  { counts = Array.copy counts; width; max_level; total }
+
+let total_ops t = t.total
+let levels t = t.max_level + 1
+let bucket_width t = t.width
+
+let average_parallelism t =
+  if t.max_level < 0 then 0.0
+  else float_of_int t.total /. float_of_int (t.max_level + 1)
+
+let series t =
+  if t.max_level < 0 then []
+  else begin
+    let last_slot = t.max_level / t.width in
+    let acc = ref [] in
+    for i = last_slot downto 0 do
+      let lo = i * t.width in
+      let hi = min t.max_level ((i + 1) * t.width - 1) in
+      let span = hi - lo + 1 in
+      acc := (lo, hi, float_of_int t.counts.(i) /. float_of_int span) :: !acc
+    done;
+    !acc
+  end
+
+let ops_in_bucket t i = t.counts.(i)
+
+let max_ops_per_level t =
+  List.fold_left (fun m (_, _, avg) -> Float.max m avg) 0.0 (series t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>levels=%d ops=%d width=%d@," (levels t) t.total
+    t.width;
+  List.iter
+    (fun (lo, hi, avg) ->
+      Format.fprintf ppf "  %8d-%-8d %.2f@," lo hi avg)
+    (series t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,60 @@
+(** The parallelism profile: operations per DDG level.
+
+    "Plotting the number of operations by level in the topologically
+    sorted DDG yields the parallelism profile of the DDG" (paper
+    section 2.3). A profile is a histogram indexed by completion level.
+    Because a long trace can span millions of levels, the histogram has a
+    fixed number of slots and doubles its {e bucket width} whenever the
+    level range overflows; readers then see the average number of
+    operations per level within each bucket — exactly the paper's
+    "a range of Ldest values is mapped to each distribution entry, and in
+    the final output, the average number of operations per level within
+    the range is computed". *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** [slots] (default 65536) is the fixed number of histogram slots; it
+    must be at least 2. *)
+
+val add : t -> int -> unit
+(** Record one operation completing at a level (0-based). Negative levels
+    are rejected with [Invalid_argument]. *)
+
+val add_range : t -> int -> int -> unit
+(** [add_range t lo hi] adds one unit to every level in [lo..hi]
+    (inclusive) — the profile then reads as "live values per level". Cost
+    is proportional to the number of buckets spanned; for bulk interval
+    data prefer {!Intervals}, which is O(1) per interval.
+    @raise Invalid_argument if [lo < 0] or [hi < lo]. *)
+
+val of_buckets : width:int -> max_level:int -> total:int -> int array -> t
+(** Advanced: construct a profile directly from bucket counts (bucket [i]
+    covers levels [i*width .. (i+1)*width - 1]); [max_level] is [-1] for
+    an empty profile. Used by {!Intervals} and by deserialisers.
+    @raise Invalid_argument if [width] is not a power of two or arguments
+    are inconsistent. *)
+
+val total_ops : t -> int
+val levels : t -> int
+(** Number of DDG levels spanned: highest level seen + 1; 0 when empty. *)
+
+val bucket_width : t -> int
+(** Current width (a power of two). *)
+
+val average_parallelism : t -> float
+(** [total_ops / levels]; 0 when empty. *)
+
+val series : t -> (int * int * float) list
+(** [(level_lo, level_hi, avg_ops_per_level)] for each non-empty-range
+    bucket up to the highest level seen, in order. Levels are 0-based and
+    inclusive. *)
+
+val ops_in_bucket : t -> int -> int
+(** Raw count in slot [i] (for tests). *)
+
+val max_ops_per_level : t -> float
+(** Peak of the profile (averaged within buckets when coalesced). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact textual rendering of the series. *)

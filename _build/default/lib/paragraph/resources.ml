@@ -1,0 +1,87 @@
+(* One pool = a capacity plus a per-level usage table. Finding the first
+   level with a free unit uses a path-compressed "next candidate" map:
+   once a level saturates it points past itself, so repeated searches
+   over a dense prefix are amortised nearly O(1) instead of rescanning
+   (a linear scan is quadratic when capacity is small and every
+   operation is ready early, e.g. one universal FU). *)
+type pool = {
+  capacity : int;
+  used : (int, int) Hashtbl.t;
+  next_free : (int, int) Hashtbl.t;  (* level -> first candidate >= level *)
+}
+
+let make_pool capacity =
+  { capacity; used = Hashtbl.create 1024; next_free = Hashtbl.create 1024 }
+
+let pool_used p level =
+  match Hashtbl.find_opt p.used level with Some n -> n | None -> 0
+
+let pool_free p level = pool_used p level < p.capacity
+
+(* find the first level >= [level] with spare capacity, compressing the
+   candidate chain behind us *)
+let rec pool_first_free p level =
+  match Hashtbl.find_opt p.next_free level with
+  | Some hint when hint > level ->
+      let target = pool_first_free p hint in
+      if target <> hint then Hashtbl.replace p.next_free level target;
+      target
+  | Some _ | None ->
+      if pool_free p level then level
+      else begin
+        let target = pool_first_free p (level + 1) in
+        Hashtbl.replace p.next_free level target;
+        target
+      end
+
+let pool_acquire p level =
+  let n = pool_used p level + 1 in
+  Hashtbl.replace p.used level n;
+  if n >= p.capacity then Hashtbl.replace p.next_free level (level + 1)
+
+type t = {
+  total : pool option;
+  int_units : pool option;
+  fp_units : pool option;
+  mem_units : pool option;
+}
+
+let create (limits : Config.fu_limits) =
+  let mk = Option.map make_pool in
+  {
+    total = mk limits.total;
+    int_units = mk limits.int_units;
+    fp_units = mk limits.fp_units;
+    mem_units = mk limits.mem_units;
+  }
+
+let unlimited t =
+  t.total = None && t.int_units = None && t.fp_units = None
+  && t.mem_units = None
+
+let class_pool t (cls : Ddg_isa.Opclass.t) =
+  match cls with
+  | Int_alu | Int_multiply | Int_divide -> t.int_units
+  | Fp_add_sub | Fp_multiply | Fp_divide -> t.fp_units
+  | Load_store -> t.mem_units
+  | Syscall | Control -> None
+
+let place t cls ready_level =
+  let pools = List.filter_map Fun.id [ t.total; class_pool t cls ] in
+  match pools with
+  | [] -> ready_level
+  | [ p ] ->
+      let level = pool_first_free p ready_level in
+      pool_acquire p level;
+      level
+  | pools ->
+      (* iterate until a level is free in every pool *)
+      let rec find level =
+        let level' =
+          List.fold_left (fun l p -> max l (pool_first_free p l)) level pools
+        in
+        if level' = level then level else find level'
+      in
+      let level = find ready_level in
+      List.iter (fun p -> pool_acquire p level) pools;
+      level

@@ -1,0 +1,19 @@
+(** Functional-unit pools for resource dependencies (paper Figure 4).
+
+    When limits are finite, an operation that is data-ready at level [l]
+    issues at the first level [l' >= l] at which both the total pool and
+    its class pool have a free unit, and every unit it acquires is held
+    for that level only (fully pipelined units). The paper's two-generic-
+    FU example in Figure 4 corresponds to [{ total = Some 2; ... }]. *)
+
+type t
+
+val create : Config.fu_limits -> t
+
+val unlimited : t -> bool
+
+val place : t -> Ddg_isa.Opclass.t -> int -> int
+(** [place t cls ready_level] finds the issue level for an operation of
+    class [cls] that is ready at [ready_level], acquires the units, and
+    returns the level. With unlimited pools this is the identity on
+    [ready_level]. *)

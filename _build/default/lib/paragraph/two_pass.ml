@@ -1,0 +1,53 @@
+(* Bit 0 of an event's annotation word flags the destination as final;
+   bit (j+1) flags source operand j. *)
+type annotations = int array
+
+let annotate trace =
+  let n = Ddg_sim.Trace.length trace in
+  let flags = Array.make n 0 in
+  let seen = Hashtbl.create 4096 in
+  let fresh loc =
+    if Hashtbl.mem seen loc then false
+    else begin
+      Hashtbl.replace seen loc ();
+      true
+    end
+  in
+  for i = n - 1 downto 0 do
+    let e = Ddg_sim.Trace.get trace i in
+    let word = ref 0 in
+    (match e.dest with
+    | Some d -> if fresh d then word := !word lor 1
+    | None -> ());
+    List.iteri
+      (fun j src -> if fresh src then word := !word lor (1 lsl (j + 1)))
+      e.srcs;
+    flags.(i) <- !word
+  done;
+  flags
+
+let final_dest (a : annotations) i = a.(i) land 1 <> 0
+let final_src (a : annotations) i j = a.(i) land (1 lsl (j + 1)) <> 0
+
+let analyze config trace =
+  let annotations = annotate trace in
+  let analyzer = Analyzer.create config in
+  let peak = ref 0 in
+  Ddg_sim.Trace.iteri
+    (fun i e ->
+      Analyzer.feed analyzer e;
+      let word = annotations.(i) in
+      if word <> 0 then begin
+        (match e.dest with
+        | Some d when word land 1 <> 0 -> Analyzer.evict analyzer d
+        | Some _ | None -> ());
+        List.iteri
+          (fun j src ->
+            if word land (1 lsl (j + 1)) <> 0 then
+              Analyzer.evict analyzer src)
+          e.srcs
+      end;
+      let size = Analyzer.live_well_size analyzer in
+      if size > !peak then peak := size)
+    trace;
+  (Analyzer.finish analyzer, !peak)

@@ -1,0 +1,28 @@
+type t = {
+  levels : int array;
+  mutable head : int;  (* slot of the oldest entry *)
+  mutable len : int;
+}
+
+let create w =
+  if w < 1 then invalid_arg "Window.create: size must be >= 1";
+  { levels = Array.make w 0; head = 0; len = 0 }
+
+let capacity t = Array.length t.levels
+let length t = t.len
+
+let make_room t =
+  if t.len < Array.length t.levels then None
+  else begin
+    let displaced = t.levels.(t.head) in
+    t.head <- (t.head + 1) mod Array.length t.levels;
+    t.len <- t.len - 1;
+    Some displaced
+  end
+
+let push t level =
+  let displaced = make_room t in
+  let cap = Array.length t.levels in
+  t.levels.((t.head + t.len) mod cap) <- level;
+  t.len <- t.len + 1;
+  displaced

@@ -1,0 +1,29 @@
+(** The instruction window: a sliding view of W contiguous trace
+    instructions (paper §3.2, Figure 6).
+
+    The analyzer pushes the completion level of every processed trace
+    event. Once the window is full, each push displaces the oldest event;
+    the displaced event's level is returned and becomes a firewall — no
+    later instruction may be placed above it. This caps the DDG width at
+    W operations per level. *)
+
+type t
+
+val create : int -> t
+(** [create w] for a window of [w] instructions; [w >= 1].
+    @raise Invalid_argument otherwise. *)
+
+val capacity : t -> int
+val length : t -> int
+(** Current occupancy (at most [capacity]). *)
+
+val make_room : t -> int option
+(** If the window is full, displace the oldest event and return its level
+    (the firewall level for the instruction about to enter); [None] when
+    there is room already. Call before placing the incoming instruction. *)
+
+val push : t -> int -> int option
+(** Push the newest event's level. If the window is full this displaces
+    the oldest event and returns its level — prefer
+    {!make_room}-then-[push] so the firewall is visible to the incoming
+    instruction's own placement. *)

@@ -1,0 +1,129 @@
+let column_chart ?(width = 72) ?(height = 12) ?(y_label = "") ?(log_y = false)
+    points =
+  match points with
+  | [] -> "(empty profile)\n"
+  | _ ->
+      let xmax = List.fold_left (fun m (x, _) -> Float.max m x) 0.0 points in
+      let ymax = List.fold_left (fun m (_, y) -> Float.max m y) 0.0 points in
+      let ymax = if ymax <= 0.0 then 1.0 else ymax in
+      let sums = Array.make width 0.0 and counts = Array.make width 0 in
+      List.iter
+        (fun (x, y) ->
+          let bin =
+            if xmax <= 0.0 then 0
+            else min (width - 1) (int_of_float (x /. xmax *. float_of_int (width - 1)))
+          in
+          sums.(bin) <- sums.(bin) +. y;
+          counts.(bin) <- counts.(bin) + 1)
+        points;
+      let columns =
+        Array.init width (fun i ->
+            if counts.(i) = 0 then 0.0 else sums.(i) /. float_of_int counts.(i))
+      in
+      (* on a log scale the rows span 1..ymax in equal log steps *)
+      let scale v =
+        if not log_y then v /. ymax
+        else if v < 1.0 then 0.0
+        else Float.log (v +. 1.0) /. Float.log (ymax +. 1.0)
+      in
+      let buf = Buffer.create ((width + 16) * (height + 2)) in
+      if y_label <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "%s (max %.6g%s)\n" y_label ymax
+             (if log_y then ", log scale" else ""));
+      for row = height downto 1 do
+        let threshold = float_of_int row /. float_of_int height in
+        Buffer.add_string buf "  |";
+        Array.iter
+          (fun v ->
+            let s = scale v in
+            Buffer.add_char buf
+              (if s >= threshold then '#'
+               else if s >= threshold -. (0.5 /. float_of_int height) && v > 0.
+               then '.'
+               else ' '))
+          columns;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf "  +";
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "   0%sDDG level %.6g\n"
+           (String.make (max 1 (width - 18)) ' ')
+           xmax);
+      Buffer.contents buf
+
+let log_log_scatter ?(width = 64) ?(height = 20) ?(x_label = "x")
+    ?(y_label = "y") series =
+  let all_points =
+    List.concat_map (fun (_, _, pts) -> pts) series
+    |> List.filter (fun (x, y) -> x > 0.0 && y > 0.0)
+  in
+  match all_points with
+  | [] -> "(no points)\n"
+  | _ ->
+      let log10 = Float.log10 in
+      let fold f init sel =
+        List.fold_left (fun acc p -> f acc (sel p)) init all_points
+      in
+      let xmin = fold Float.min infinity (fun (x, _) -> log10 x) in
+      let xmax = fold Float.max neg_infinity (fun (x, _) -> log10 x) in
+      let ymin = fold Float.min infinity (fun (_, y) -> log10 y) in
+      let ymax = fold Float.max neg_infinity (fun (_, y) -> log10 y) in
+      let xspan = if xmax -. xmin < 1e-9 then 1.0 else xmax -. xmin in
+      let yspan = if ymax -. ymin < 1e-9 then 1.0 else ymax -. ymin in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun (_, symbol, pts) ->
+          List.iter
+            (fun (x, y) ->
+              if x > 0.0 && y > 0.0 then begin
+                let cx =
+                  int_of_float ((log10 x -. xmin) /. xspan *. float_of_int (width - 1))
+                in
+                let cy =
+                  int_of_float ((log10 y -. ymin) /. yspan *. float_of_int (height - 1))
+                in
+                grid.(height - 1 - cy).(cx) <- symbol
+              end)
+            pts)
+        series;
+      let buf = Buffer.create ((width + 12) * (height + 4)) in
+      Buffer.add_string buf
+        (Printf.sprintf "%s (log), 10^%.1f .. 10^%.1f\n" y_label ymin ymax);
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf "  |";
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf "  +";
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "   %s (log), 10^%.1f .. 10^%.1f\n" x_label xmin xmax);
+      Buffer.add_string buf "   legend:";
+      List.iter
+        (fun (name, symbol, _) ->
+          Buffer.add_string buf (Printf.sprintf " %c=%s" symbol name))
+        series;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf
+
+let sparkline values =
+  let blocks = [| " "; "_"; "."; ":"; "-"; "="; "+"; "*"; "#" |] in
+  match values with
+  | [] -> ""
+  | _ ->
+      let vmax = List.fold_left Float.max 0.0 values in
+      if vmax <= 0.0 then String.concat "" (List.map (fun _ -> " ") values)
+      else
+        String.concat ""
+          (List.map
+             (fun v ->
+               let i =
+                 int_of_float (v /. vmax *. float_of_int (Array.length blocks - 1))
+               in
+               blocks.(max 0 (min (Array.length blocks - 1) i)))
+             values)

@@ -1,0 +1,33 @@
+(** ASCII charts for the figure-regenerating benchmarks.
+
+    Figure 7 (parallelism profiles) renders as a filled column chart of
+    operations-per-level against DDG level; Figure 8 (window size vs
+    percent of parallelism) renders as a log-log scatter with one symbol
+    per series. *)
+
+val column_chart :
+  ?width:int ->
+  ?height:int ->
+  ?y_label:string ->
+  ?log_y:bool ->
+  (float * float) list ->
+  string
+(** [column_chart points] plots (x, y) samples as vertical bars, binning x
+    into [width] columns (y is averaged within a bin) and scaling y to
+    [height] rows; [log_y] (default false) uses a logarithmic y scale,
+    which keeps bursty profiles readable. Intended for parallelism
+    profiles. *)
+
+val log_log_scatter :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * char * (float * float) list) list ->
+  string
+(** [log_log_scatter series]: each series is (name, symbol, points); axes
+    are log10. Points with non-positive coordinates are dropped. A legend
+    line lists symbol = name pairs. *)
+
+val sparkline : float list -> string
+(** One-line profile summary using block characters. *)

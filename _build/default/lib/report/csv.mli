@@ -1,0 +1,7 @@
+(** Minimal CSV output (for piping figure data into external plotters). *)
+
+val to_string : header:string list -> string list list -> string
+(** Fields containing commas, quotes or newlines are quoted and escaped. *)
+
+val write : string -> header:string list -> string list list -> unit
+(** Write to a file path. *)

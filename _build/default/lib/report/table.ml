@@ -1,0 +1,70 @@
+type align = Left | Right
+
+let group_digits s =
+  (* insert ',' every three digits, from the right, integer part only *)
+  let int_part, rest =
+    match String.index_opt s '.' with
+    | Some i -> (String.sub s 0 i, String.sub s i (String.length s - i))
+    | None -> (s, "")
+  in
+  let sign, digits =
+    if String.length int_part > 0 && int_part.[0] = '-' then
+      ("-", String.sub int_part 1 (String.length int_part - 1))
+    else ("", int_part)
+  in
+  let n = String.length digits in
+  let buf = Buffer.create (n + (n / 3) + 2) in
+  Buffer.add_string buf sign;
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    digits;
+  Buffer.add_string buf rest;
+  Buffer.contents buf
+
+let float_cell ?(decimals = 2) x = group_digits (Printf.sprintf "%.*f" decimals x)
+let int_cell k = group_digits (string_of_int k)
+
+let render ?title ~headers rows =
+  let ncols = List.length headers in
+  let rows =
+    List.map
+      (fun row ->
+        let len = List.length row in
+        if len > ncols then invalid_arg "Table.render: row too long"
+        else row @ List.init (ncols - len) (fun _ -> ""))
+      rows
+  in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let width = List.nth widths i in
+        let _, align = List.nth headers i in
+        Buffer.add_string buf (pad align width cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map fst headers);
+  emit_row (List.map (fun w -> String.make w '-') widths);
+  List.iter emit_row rows;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string -> headers:(string * align) list -> string list list -> string
+(** [render ~headers rows]: columns are sized to their widest cell; rows
+    shorter than the header list are padded with empty cells.
+    @raise Invalid_argument if a row is longer than the header list. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point with thousands grouping, e.g. [23,302.60]. *)
+
+val int_cell : int -> string
+(** Thousands-grouped integer, e.g. [1,321,698]. *)

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Buffer Char Ddg_asm Ddg_isa Format Insn Loc Memory Opclass Printf Reg Segment Trace Value

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Ddg_asm Format Trace Value

@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Ddg_asm Ddg_isa Hashtbl List Value

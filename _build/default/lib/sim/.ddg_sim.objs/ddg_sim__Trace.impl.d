@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Ddg_isa Format List

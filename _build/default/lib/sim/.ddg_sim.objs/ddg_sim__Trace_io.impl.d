@@ -1,0 +1,1 @@
+lib/sim/trace_io.ml: Bytes Ddg_isa Format Fun List String Trace

@@ -1,0 +1,299 @@
+open Ddg_isa
+
+type stop_reason = Halted | Instruction_limit | Fault of string
+
+type result = {
+  stop : stop_reason;
+  instructions : int;
+  syscalls : int;
+  output : string;
+  memory_footprint : int;
+}
+
+exception Machine_fault of string
+
+let fault fmt = Format.kasprintf (fun msg -> raise (Machine_fault msg)) fmt
+
+type state = {
+  program : Ddg_asm.Program.t;
+  regs : int array;
+  fregs : float array;
+  memory : Memory.t;
+  mutable pc : int;
+  mutable brk : int;            (* heap allocation frontier *)
+  mutable input : Value.t list;
+  output : Buffer.t;
+  mutable executed : int;
+  mutable syscall_count : int;
+  mutable running : bool;
+  mutable stop : stop_reason;
+  on_event : Trace.event -> unit;
+}
+
+let write_reg st rd v = if rd <> Reg.zero then st.regs.(rd) <- v
+let read_reg st rs = if rs = Reg.zero then 0 else st.regs.(rs)
+
+let eval_binop op a b =
+  match (op : Insn.binop) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then fault "integer division by zero" else a / b
+  | Rem -> if b = 0 then fault "integer remainder by zero" else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Nor -> lnot (a lor b)
+  | Sll -> a lsl (b land 31)
+  | Srl -> (a land 0xffffffff) lsr (b land 31)
+  | Sra -> a asr (b land 31)
+  | Slt -> if a < b then 1 else 0
+  | Sle -> if a <= b then 1 else 0
+  | Seq -> if a = b then 1 else 0
+  | Sne -> if a <> b then 1 else 0
+
+let eval_fbinop op a b =
+  match (op : Insn.fbinop) with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+
+let eval_cond c a b =
+  match (c : Insn.cond) with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let eval_fcond c a b =
+  match (c : Insn.cond) with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+(* Emit the trace event for [insn] executed at [pc]. [mem_src]/[mem_dest]
+   carry runtime-resolved memory locations; [extra] overrides for
+   syscalls. *)
+let emit st pc insn ?mem_src ?mem_dest ?branch_taken () =
+  let srcs = Insn.register_uses insn in
+  let srcs =
+    match mem_src with Some a -> srcs @ [ Loc.Mem a ] | None -> srcs
+  in
+  let dest =
+    match mem_dest with
+    | Some a -> Some (Loc.Mem a)
+    | None -> Insn.defines insn
+  in
+  let branch =
+    match branch_taken with
+    | Some taken -> Some { Trace.taken }
+    | None -> None
+  in
+  st.on_event
+    { Trace.pc; op_class = Insn.class_of insn; dest; srcs; branch }
+
+let emit_syscall st pc ~srcs ~dest =
+  st.on_event
+    { Trace.pc; op_class = Opclass.Syscall; dest; srcs; branch = None }
+
+let check_code_target st tgt =
+  if tgt < 0 || tgt > Array.length st.program.insns then
+    fault "jump target @%d out of range" tgt
+
+let do_syscall st pc =
+  let num = read_reg st Reg.v0 in
+  st.syscall_count <- st.syscall_count + 1;
+  let v0_src = if Reg.v0 = Reg.zero then [] else [ Loc.Reg Reg.v0 ] in
+  match num with
+  | 1 ->
+      Buffer.add_string st.output (string_of_int (read_reg st Reg.a0));
+      emit_syscall st pc ~srcs:(v0_src @ [ Loc.Reg Reg.a0 ]) ~dest:None
+  | 2 ->
+      Buffer.add_string st.output
+        (Printf.sprintf "%.6g" st.fregs.(Reg.f_arg));
+      emit_syscall st pc ~srcs:(v0_src @ [ Loc.Freg Reg.f_arg ]) ~dest:None
+  | 3 ->
+      Buffer.add_char st.output (Char.chr (read_reg st Reg.a0 land 0xff));
+      emit_syscall st pc ~srcs:(v0_src @ [ Loc.Reg Reg.a0 ]) ~dest:None
+  | 5 ->
+      let v, rest =
+        match st.input with
+        | v :: rest -> (Value.to_int v, rest)
+        | [] -> (0, [])
+      in
+      st.input <- rest;
+      write_reg st Reg.v0 v;
+      emit_syscall st pc ~srcs:v0_src ~dest:(Some (Loc.Reg Reg.v0))
+  | 6 ->
+      let v, rest =
+        match st.input with
+        | v :: rest -> (Value.to_float v, rest)
+        | [] -> (0.0, [])
+      in
+      st.input <- rest;
+      st.fregs.(Reg.f_result) <- v;
+      emit_syscall st pc ~srcs:v0_src ~dest:(Some (Loc.Freg Reg.f_result))
+  | 9 ->
+      let bytes = read_reg st Reg.a0 in
+      if bytes < 0 then fault "sbrk with negative size";
+      let addr = st.brk in
+      let aligned = (bytes + Segment.word_size - 1) land lnot (Segment.word_size - 1) in
+      st.brk <- st.brk + aligned;
+      if st.brk >= Segment.stack_limit then fault "heap exhausted";
+      write_reg st Reg.v0 addr;
+      emit_syscall st pc
+        ~srcs:(v0_src @ [ Loc.Reg Reg.a0 ])
+        ~dest:(Some (Loc.Reg Reg.v0));
+  | 10 ->
+      emit_syscall st pc ~srcs:v0_src ~dest:None;
+      st.running <- false;
+      st.stop <- Halted
+  | n -> fault "unknown syscall %d" n
+
+let step st =
+  let pc = st.pc in
+  if pc < 0 || pc >= Array.length st.program.insns then
+    fault "pc @%d out of range" pc;
+  let insn = st.program.insns.(pc) in
+  st.pc <- pc + 1;
+  st.executed <- st.executed + 1;
+  match insn with
+  | Insn.Binop (op, rd, rs, rt) ->
+      write_reg st rd (eval_binop op (read_reg st rs) (read_reg st rt));
+      emit st pc insn ()
+  | Insn.Binopi (op, rd, rs, imm) ->
+      write_reg st rd (eval_binop op (read_reg st rs) imm);
+      emit st pc insn ()
+  | Insn.Li (rd, imm) ->
+      write_reg st rd imm;
+      emit st pc insn ()
+  | Insn.Fbinop (op, fd, fs, ft) ->
+      st.fregs.(fd) <- eval_fbinop op st.fregs.(fs) st.fregs.(ft);
+      emit st pc insn ()
+  | Insn.Fli (fd, x) ->
+      st.fregs.(fd) <- x;
+      emit st pc insn ()
+  | Insn.Fmov (fd, fs) ->
+      st.fregs.(fd) <- st.fregs.(fs);
+      emit st pc insn ()
+  | Insn.Fneg (fd, fs) ->
+      st.fregs.(fd) <- -.st.fregs.(fs);
+      emit st pc insn ()
+  | Insn.Cvt_i2f (fd, rs) ->
+      st.fregs.(fd) <- float_of_int (read_reg st rs);
+      emit st pc insn ()
+  | Insn.Cvt_f2i (rd, fs) ->
+      write_reg st rd (int_of_float st.fregs.(fs));
+      emit st pc insn ()
+  | Insn.Fcmp (c, rd, fs, ft) ->
+      write_reg st rd (if eval_fcond c st.fregs.(fs) st.fregs.(ft) then 1 else 0);
+      emit st pc insn ()
+  | Insn.Lw (rd, base, off) ->
+      let addr = read_reg st base + off in
+      write_reg st rd (Value.to_int (Memory.load st.memory addr));
+      emit st pc insn ~mem_src:addr ()
+  | Insn.Sw (rs, base, off) ->
+      let addr = read_reg st base + off in
+      Memory.store st.memory addr (Value.Int (read_reg st rs));
+      emit st pc insn ~mem_dest:addr ()
+  | Insn.Flw (fd, base, off) ->
+      let addr = read_reg st base + off in
+      st.fregs.(fd) <- Value.to_float (Memory.load st.memory addr);
+      emit st pc insn ~mem_src:addr ()
+  | Insn.Fsw (fs, base, off) ->
+      let addr = read_reg st base + off in
+      Memory.store st.memory addr (Value.Float st.fregs.(fs));
+      emit st pc insn ~mem_dest:addr ()
+  | Insn.Branch (c, rs, rt, tgt) ->
+      check_code_target st tgt;
+      let taken = eval_cond c (read_reg st rs) (read_reg st rt) in
+      if taken then st.pc <- tgt;
+      emit st pc insn ~branch_taken:taken ()
+  | Insn.J tgt ->
+      check_code_target st tgt;
+      st.pc <- tgt;
+      emit st pc insn ()
+  | Insn.Jal tgt ->
+      check_code_target st tgt;
+      write_reg st Reg.ra (pc + 1);
+      st.pc <- tgt;
+      emit st pc insn ()
+  | Insn.Jr rs ->
+      let tgt = read_reg st rs in
+      check_code_target st tgt;
+      st.pc <- tgt;
+      emit st pc insn ()
+  | Insn.Jalr rs ->
+      let tgt = read_reg st rs in
+      check_code_target st tgt;
+      write_reg st Reg.ra (pc + 1);
+      st.pc <- tgt;
+      emit st pc insn ()
+  | Insn.Syscall -> do_syscall st pc
+  | Insn.Nop -> emit st pc insn ()
+  | Insn.Halt ->
+      emit st pc insn ();
+      st.running <- false;
+      st.stop <- Halted
+
+let run ?(max_instructions = 100_000_000) ?(input = []) ?(on_event = fun _ -> ())
+    program =
+  let memory = Memory.create () in
+  Memory.init_of_program memory program;
+  let st =
+    {
+      program;
+      regs = Array.make Reg.count 0;
+      fregs = Array.make Reg.count 0.0;
+      memory;
+      pc = program.entry;
+      brk = Segment.heap_base;
+      input;
+      output = Buffer.create 256;
+      executed = 0;
+      syscall_count = 0;
+      running = true;
+      stop = Instruction_limit;
+      on_event;
+    }
+  in
+  st.regs.(Reg.sp) <- Segment.stack_top;
+  st.regs.(Reg.fp) <- Segment.stack_top;
+  st.regs.(Reg.gp) <- Segment.data_base;
+  (* [ra] initially points at the end of the code: a [jr ra] from the entry
+     function would fall off the end, which faults — programs are expected
+     to [halt] or exit. *)
+  st.regs.(Reg.ra) <- Array.length program.insns;
+  (try
+     while st.running && st.executed < max_instructions do
+       step st
+     done
+   with
+  | Machine_fault msg -> st.stop <- Fault msg
+  | Memory.Unaligned addr ->
+      st.stop <- Fault (Printf.sprintf "unaligned access at 0x%x" addr));
+  {
+    stop = st.stop;
+    instructions = st.executed;
+    syscalls = st.syscall_count;
+    output = Buffer.contents st.output;
+    memory_footprint = Memory.footprint st.memory;
+  }
+
+let run_to_trace ?max_instructions ?input program =
+  let trace = Trace.create () in
+  let result =
+    run ?max_instructions ?input ~on_event:(Trace.add trace) program
+  in
+  (result, trace)
+
+let pp_stop_reason ppf = function
+  | Halted -> Format.pp_print_string ppf "halted"
+  | Instruction_limit -> Format.pp_print_string ppf "instruction limit"
+  | Fault msg -> Format.fprintf ppf "fault: %s" msg

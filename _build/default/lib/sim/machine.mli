@@ -1,0 +1,49 @@
+(** The functional simulator (our Pixie substitute).
+
+    Executes an assembled {!Ddg_asm.Program.t} instruction by instruction,
+    emitting one {!Trace.event} per executed instruction through a callback.
+    The machine is architectural only — no pipeline, no caches — because
+    Paragraph consumes the {e serial} execution trace; all timing comes from
+    the analysis side (Table 1 latencies).
+
+    System calls (number in [v0], argument in [a0]/[f12], result in
+    [v0]/[f0]):
+    - 1: print integer [a0]
+    - 2: print float [f12]
+    - 3: print character [chr (a0 land 0xff)]
+    - 5: read integer into [v0] (from the [input] list; 0 when exhausted)
+    - 6: read float into [f0]
+    - 9: sbrk — allocate [a0] bytes of heap, address in [v0]
+    - 10: exit *)
+
+type stop_reason =
+  | Halted               (** [halt] instruction or exit syscall *)
+  | Instruction_limit    (** [max_instructions] reached *)
+  | Fault of string      (** runtime error: bad pc, unaligned access,
+                             division by zero, unknown syscall *)
+
+type result = {
+  stop : stop_reason;
+  instructions : int;      (** executed instruction count *)
+  syscalls : int;          (** executed syscall count *)
+  output : string;         (** everything printed by the program *)
+  memory_footprint : int;  (** distinct memory words written *)
+}
+
+val run :
+  ?max_instructions:int ->
+  ?input:Value.t list ->
+  ?on_event:(Trace.event -> unit) ->
+  Ddg_asm.Program.t ->
+  result
+(** Execute from the program's entry point. [max_instructions] defaults to
+    100,000,000 (the paper's trace-length cap). *)
+
+val run_to_trace :
+  ?max_instructions:int ->
+  ?input:Value.t list ->
+  Ddg_asm.Program.t ->
+  result * Trace.t
+(** {!run} with the events collected into an in-memory trace. *)
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,31 @@
+type t = (int, Value.t) Hashtbl.t
+
+exception Unaligned of int
+
+let create () : t = Hashtbl.create 4096
+
+let check_aligned addr =
+  if addr land (Ddg_isa.Segment.word_size - 1) <> 0 then raise (Unaligned addr)
+
+let load t addr =
+  check_aligned addr;
+  match Hashtbl.find_opt t addr with Some v -> v | None -> Value.zero
+
+let store t addr v =
+  check_aligned addr;
+  Hashtbl.replace t addr v
+
+let load_initialised t addr =
+  check_aligned addr;
+  Hashtbl.find_opt t addr
+
+let init_of_program t (p : Ddg_asm.Program.t) =
+  List.iter
+    (fun (addr, datum) ->
+      match datum with
+      | Ddg_asm.Program.Word w -> store t addr (Value.Int w)
+      | Ddg_asm.Program.Float_word x -> store t addr (Value.Float x)
+      | Ddg_asm.Program.Space _ -> ())
+    p.data
+
+let footprint t = Hashtbl.length t

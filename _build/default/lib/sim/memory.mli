@@ -1,0 +1,28 @@
+(** Sparse word-addressed memory.
+
+    Backed by a hash table from word-aligned byte addresses to values;
+    uninitialised reads return {!Value.zero}. The simulated programs touch
+    at most a few megabytes, so sparseness keeps the footprint proportional
+    to the live data. *)
+
+type t
+
+exception Unaligned of int
+
+val create : unit -> t
+
+val load : t -> int -> Value.t
+(** @raise Unaligned if the address is not word-aligned. *)
+
+val store : t -> int -> Value.t -> unit
+(** @raise Unaligned if the address is not word-aligned. *)
+
+val load_initialised : t -> int -> Value.t option
+(** [None] if the word was never written. *)
+
+val init_of_program : t -> Ddg_asm.Program.t -> unit
+(** Write a program's static data image ([.word], [.float]; [.space] is
+    left zero/unwritten). *)
+
+val footprint : t -> int
+(** Number of distinct words ever written. *)

@@ -1,0 +1,78 @@
+type branch_info = { taken : bool }
+
+type event = {
+  pc : int;
+  op_class : Ddg_isa.Opclass.t;
+  dest : Ddg_isa.Loc.t option;
+  srcs : Ddg_isa.Loc.t list;
+  branch : branch_info option;
+}
+
+let creates_value e = Ddg_isa.Opclass.creates_value e.op_class
+let is_syscall e = Ddg_isa.Opclass.equal e.op_class Ddg_isa.Opclass.Syscall
+
+let pp_event ppf e =
+  let pp_loc = Ddg_isa.Loc.pp in
+  Format.fprintf ppf "@[<h>%5d %-22s" e.pc
+    (Ddg_isa.Opclass.to_string e.op_class);
+  (match e.dest with
+  | Some d -> Format.fprintf ppf " %a <-" pp_loc d
+  | None -> Format.fprintf ppf " _ <-");
+  List.iter (fun s -> Format.fprintf ppf " %a" pp_loc s) e.srcs;
+  (match e.branch with
+  | Some { taken } -> Format.fprintf ppf " (%s)" (if taken then "T" else "NT")
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+(* Growable array. The dummy cell is never exposed: [length] bounds reads. *)
+type t = { mutable events : event array; mutable len : int }
+
+let dummy =
+  {
+    pc = -1;
+    op_class = Ddg_isa.Opclass.Control;
+    dest = None;
+    srcs = [];
+    branch = None;
+  }
+
+let create ?(capacity = 4096) () =
+  { events = Array.make (max 1 capacity) dummy; len = 0 }
+
+let add t e =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.events.(i)
+  done
+
+let of_list events =
+  let t = create ~capacity:(max 1 (List.length events)) () in
+  List.iter (add t) events;
+  t
+
+let to_list t =
+  List.init t.len (fun i -> t.events.(i))
+
+let count p t =
+  let n = ref 0 in
+  iter (fun e -> if p e then incr n) t;
+  !n

@@ -1,0 +1,49 @@
+(** Dynamic execution traces.
+
+    A trace is the sequence of events emitted by the simulator, one per
+    executed instruction, in serial program order — the same information a
+    Pixie-instrumented binary gave the paper's authors. Each event carries
+    exactly what Paragraph needs: the operation class (for its Table 1
+    latency), the source locations read, the destination location written
+    (if the instruction creates a value) and whether it is a system call.
+
+    Control instructions (branches, jumps) appear in the trace — they
+    occupy instruction-window slots — but create no values and are never
+    placed in the DDG. Conditional branches record their outcome so that
+    branch-prediction experiments can be layered on top. *)
+
+type branch_info = { taken : bool }
+
+type event = {
+  pc : int;                     (** instruction index in the program *)
+  op_class : Ddg_isa.Opclass.t;
+  dest : Ddg_isa.Loc.t option;  (** location written, if a value is created *)
+  srcs : Ddg_isa.Loc.t list;    (** locations read (registers and memory) *)
+  branch : branch_info option;  (** [Some _] for conditional branches *)
+}
+
+val creates_value : event -> bool
+(** True when the event has class other than [Control]; only such events
+    become DDG nodes. *)
+
+val is_syscall : event -> bool
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Growable in-memory trace buffer. *)
+type t
+
+val create : ?capacity:int -> unit -> t
+val add : t -> event -> unit
+val length : t -> int
+
+val get : t -> int -> event
+(** @raise Invalid_argument on out-of-range index. *)
+
+val iter : (event -> unit) -> t -> unit
+val iteri : (int -> event -> unit) -> t -> unit
+val of_list : event list -> t
+val to_list : t -> event list
+
+val count : (event -> bool) -> t -> int
+(** Number of events satisfying a predicate. *)

@@ -1,0 +1,151 @@
+exception Corrupt of string
+
+let magic = "DDGTRC01"
+let terminator = 0xFF
+
+let corrupt fmt = Format.kasprintf (fun msg -> raise (Corrupt msg)) fmt
+
+(* --- varint (LEB128, unsigned) ------------------------------------------- *)
+
+let write_varint oc v =
+  if v < 0 then invalid_arg "Trace_io: negative varint";
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      output_byte oc byte;
+      continue := false
+    end
+    else output_byte oc (byte lor 0x80)
+  done
+
+let read_varint ic =
+  let rec go shift acc =
+    if shift > 56 then corrupt "varint too long";
+    let byte = try input_byte ic with End_of_file -> corrupt "truncated varint" in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* --- classes and locations ------------------------------------------------ *)
+
+let class_code (c : Ddg_isa.Opclass.t) =
+  match c with
+  | Int_alu -> 0
+  | Int_multiply -> 1
+  | Int_divide -> 2
+  | Fp_add_sub -> 3
+  | Fp_multiply -> 4
+  | Fp_divide -> 5
+  | Load_store -> 6
+  | Syscall -> 7
+  | Control -> 8
+
+let class_of_code = function
+  | 0 -> Ddg_isa.Opclass.Int_alu
+  | 1 -> Ddg_isa.Opclass.Int_multiply
+  | 2 -> Ddg_isa.Opclass.Int_divide
+  | 3 -> Ddg_isa.Opclass.Fp_add_sub
+  | 4 -> Ddg_isa.Opclass.Fp_multiply
+  | 5 -> Ddg_isa.Opclass.Fp_divide
+  | 6 -> Ddg_isa.Opclass.Load_store
+  | 7 -> Ddg_isa.Opclass.Syscall
+  | 8 -> Ddg_isa.Opclass.Control
+  | k -> corrupt "unknown operation class %d" k
+
+let write_loc oc (loc : Ddg_isa.Loc.t) =
+  match loc with
+  | Reg r ->
+      output_byte oc 0;
+      write_varint oc r
+  | Freg r ->
+      output_byte oc 1;
+      write_varint oc r
+  | Mem a ->
+      output_byte oc 2;
+      write_varint oc a
+
+let read_loc ic : Ddg_isa.Loc.t =
+  let tag = try input_byte ic with End_of_file -> corrupt "truncated location" in
+  let v = read_varint ic in
+  match tag with
+  | 0 -> Reg v
+  | 1 -> Freg v
+  | 2 -> Mem v
+  | k -> corrupt "unknown location tag %d" k
+
+(* --- events ----------------------------------------------------------------- *)
+
+let write_event oc (e : Trace.event) =
+  let flags = class_code e.op_class in
+  let flags = if e.dest <> None then flags lor 0x10 else flags in
+  let flags =
+    match e.branch with
+    | Some { Trace.taken } -> flags lor 0x20 lor (if taken then 0x40 else 0)
+    | None -> flags
+  in
+  output_byte oc flags;
+  write_varint oc e.pc;
+  (match e.dest with Some d -> write_loc oc d | None -> ());
+  write_varint oc (List.length e.srcs);
+  List.iter (write_loc oc) e.srcs
+
+let read_event ic flags : Trace.event =
+  let op_class = class_of_code (flags land 0x0F) in
+  let pc = read_varint ic in
+  let dest = if flags land 0x10 <> 0 then Some (read_loc ic) else None in
+  let nsrcs = read_varint ic in
+  if nsrcs > 16 then corrupt "implausible source count %d" nsrcs;
+  let srcs = List.init nsrcs (fun _ -> read_loc ic) in
+  let branch =
+    if flags land 0x20 <> 0 then Some { Trace.taken = flags land 0x40 <> 0 }
+    else None
+  in
+  { Trace.pc; op_class; dest; srcs; branch }
+
+(* --- whole-trace and streaming APIs ------------------------------------------- *)
+
+let writer oc =
+  output_string oc magic;
+  let emit e = write_event oc e in
+  let close () = output_byte oc terminator in
+  (emit, close)
+
+let write_channel oc trace =
+  let emit, close = writer oc in
+  Trace.iter emit trace;
+  close ()
+
+let write_file path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_channel oc trace)
+
+let check_magic ic =
+  let buf = Bytes.create (String.length magic) in
+  (try really_input ic buf 0 (String.length magic)
+   with End_of_file -> corrupt "missing header");
+  if Bytes.to_string buf <> magic then corrupt "bad magic (not a trace file)"
+
+let fold_channel ic ~init ~f =
+  check_magic ic;
+  let rec go acc =
+    let flags =
+      try input_byte ic with End_of_file -> corrupt "missing terminator"
+    in
+    if flags = terminator then acc else go (f acc (read_event ic flags))
+  in
+  go init
+
+let read_channel ic =
+  let trace = Trace.create () in
+  fold_channel ic ~init:() ~f:(fun () e -> Trace.add trace e);
+  trace
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)

@@ -1,0 +1,38 @@
+(** Compact binary trace files.
+
+    Decouples tracing from analysis, the way the paper's Pixie traces
+    did: simulate once, write the trace to disk, then run as many
+    analyses as needed without re-executing. The format is a stream of
+    variable-length-encoded events behind a magic/version header, about
+    4-8 bytes per event for typical code.
+
+    Format (version 1): the 8-byte magic ["DDGTRC01"], then per event one
+    flags/class byte (low 4 bits: operation class; bit 4: has
+    destination; bit 5: is conditional branch; bit 6: branch taken), a
+    varint pc, the destination location if present, a source count and
+    the source locations. Locations are a tag byte (0 register, 1 float
+    register, 2 memory) followed by a varint. A 0xFF flags byte
+    terminates the stream. *)
+
+exception Corrupt of string
+(** Raised by the readers on malformed input. *)
+
+val write_channel : out_channel -> Trace.t -> unit
+val write_file : string -> Trace.t -> unit
+
+val writer : out_channel -> (Trace.event -> unit) * (unit -> unit)
+(** Streaming interface: [let emit, close = writer oc] writes the header
+    immediately; call [emit] per event and [close] to write the
+    terminator (the channel itself is left open). Useful as the
+    simulator's [on_event] callback for traces too large to hold in
+    memory. *)
+
+val read_channel : in_channel -> Trace.t
+(** @raise Corrupt *)
+
+val read_file : string -> Trace.t
+(** @raise Corrupt @raise Sys_error *)
+
+val fold_channel : in_channel -> init:'a -> f:('a -> Trace.event -> 'a) -> 'a
+(** Streaming read: fold over events without materialising the trace.
+    @raise Corrupt *)

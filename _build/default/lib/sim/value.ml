@@ -1,0 +1,16 @@
+type t = Int of int | Float of float
+
+let zero = Int 0
+
+let to_int = function Int i -> i | Float x -> int_of_float x
+let to_float = function Int i -> float_of_int i | Float x -> x
+
+let equal a b =
+  match a, b with
+  | Int i, Int j -> i = j
+  | Float x, Float y -> Float.equal x y
+  | Int _, Float _ | Float _, Int _ -> false
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float x -> Format.fprintf ppf "%g" x

@@ -1,0 +1,20 @@
+(** Machine values: one word is either an integer or a float.
+
+    The simulated machine is word-typed rather than bit-typed: a memory
+    word remembers whether it was written as an integer or a float, and
+    cross-typed reads coerce. This loses nothing for dependency analysis
+    (Paragraph only cares about {e which} location is read/written, never
+    the bits) and keeps the simulator simple and obviously correct. *)
+
+type t = Int of int | Float of float
+
+val zero : t
+
+val to_int : t -> int
+(** Coerce: [Float x] truncates. *)
+
+val to_float : t -> float
+(** Coerce: [Int i] converts. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

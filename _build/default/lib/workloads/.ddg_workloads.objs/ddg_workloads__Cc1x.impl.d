@@ -1,0 +1,1 @@
+lib/workloads/cc1x.ml: Printf Workload

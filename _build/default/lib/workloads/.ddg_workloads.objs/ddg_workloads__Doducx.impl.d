@@ -1,0 +1,1 @@
+lib/workloads/doducx.ml: Printf Workload

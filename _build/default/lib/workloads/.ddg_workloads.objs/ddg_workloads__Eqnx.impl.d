@@ -1,0 +1,1 @@
+lib/workloads/eqnx.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/espx.ml: Printf Workload

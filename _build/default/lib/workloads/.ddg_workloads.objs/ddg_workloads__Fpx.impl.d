@@ -1,0 +1,1 @@
+lib/workloads/fpx.ml: Buffer Printf Workload

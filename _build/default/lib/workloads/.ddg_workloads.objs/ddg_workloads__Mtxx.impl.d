@@ -1,0 +1,1 @@
+lib/workloads/mtxx.ml: Printf Workload

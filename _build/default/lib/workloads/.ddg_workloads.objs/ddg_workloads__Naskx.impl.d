@@ -1,0 +1,1 @@
+lib/workloads/naskx.ml: Printf Workload

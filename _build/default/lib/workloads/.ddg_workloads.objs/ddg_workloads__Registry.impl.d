@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cc1x Doducx Eqnx Espx Fpx List Mtxx Naskx Spicex Tomcx Workload Xlispx

@@ -1,0 +1,1 @@
+lib/workloads/spicex.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/tomcx.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Ddg_minic Ddg_sim

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Ddg_asm Ddg_sim

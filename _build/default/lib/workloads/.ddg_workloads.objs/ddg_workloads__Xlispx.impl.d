@@ -1,0 +1,1 @@
+lib/workloads/xlispx.ml: List Printf String Workload

@@ -1,0 +1,150 @@
+(* cc1 (GCC) analog: expression-tree constant folding with a symbol table.
+
+   cc1's profile is table-driven integer code over linked IR nodes:
+   pointer chasing, recursive tree walks, hash-table probes, a bump
+   allocator whose frontier is a serial recurrence, and the most frequent
+   system calls of the suite (one per ~15k instructions). We build random
+   expression trees in a node pool (bump-allocated), fold each
+   recursively, intern results in a linear-probing symbol table, and emit
+   a progress character regularly. Parallelism is low (paper: 36.2
+   conservative, 53.0 optimistic — the largest syscall effect in Table 3),
+   because the allocator frontier, the shared table and the per-tree walk
+   chains keep the DDG narrow. *)
+
+let trees = function
+  | Workload.Tiny -> 30
+  | Workload.Default -> 340
+  | Workload.Large -> 900
+
+let pool_nodes = 64        (* nodes per tree region, reused per tree *)
+let table_size = 512
+
+let source size =
+  let t = trees size in
+  Printf.sprintf
+    {|/* cc1x: IR constant folding (cc1 analog) */
+int op[%d];
+int lhs[%d];
+int rhs[%d];
+int val[%d];
+int table[%d];
+int chars[256];
+int freeptr = 0;
+
+/* bump-allocate one IR node: the allocator frontier is a serial chain */
+int alloc(int o, int l, int r, int v) {
+  int n;
+  n = freeptr;
+  freeptr = freeptr + 1;
+  op[n] = o;
+  lhs[n] = l;
+  rhs[n] = r;
+  val[n] = v;
+  return n;
+}
+
+/* build a random expression tree of the given depth; returns node id */
+int build(int depth, int seed) {
+  int l;
+  int r;
+  if (depth == 0) {
+    return alloc(0, 0, 0, seed %% 100);
+  }
+  l = build(depth - 1, seed * 3 + 1);
+  r = build(depth - 1, seed * 5 + 2);
+  return alloc(1 + seed %% 3, l, r, 0);
+}
+
+/* recursive constant folder */
+int fold(int n) {
+  int a;
+  int b;
+  int o;
+  o = op[n];
+  if (o == 0) return val[n];
+  a = fold(lhs[n]);
+  b = fold(rhs[n]);
+  if (o == 1) return (a + b + (a - b) * 3 + a * 5) %% 8191;
+  if (o == 2) return (a * 13 + b * 7 + (a + b) * 2) %% 8191;
+  return (a - b + (b - a) * 4 + a * 2 + b * 3 + 16382) %% 8191;
+}
+
+/* intern a folded constant: linear probing over a shared table; returns
+   the number of probes so the caller can fold it into its own stats */
+int intern(int v) {
+  int h;
+  int probes;
+  h = (v * 2654435) & %d;
+  probes = 0;
+  while (table[h] != 0 && table[h] != v + 1 && probes < 16) {
+    h = (h + 1) & %d;
+    probes = probes + 1;
+  }
+  table[h] = v + 1;
+  return probes;
+}
+
+/* token-scan phase: classify a pseudo-source buffer, like cc1's lexer;
+   independent of the tree fold, unrolled four ways */
+int scan(int seed) {
+  int p;
+  int c;
+  int idents;
+  idents = 0;
+  for (p = 0; p < 64; p = p + 4) {
+    c = (seed + p * 37) & 127;
+    if (c > 64) idents = idents + 1;
+    c = (seed + (p + 1) * 37) & 127;
+    if (c > 64) idents = idents + 1;
+    c = (seed + (p + 2) * 37) & 127;
+    if (c > 64) idents = idents + 1;
+    c = (seed + (p + 3) * 37) & 127;
+    if (c > 64) idents = idents + 1;
+  }
+  return idents;
+}
+
+void main() {
+  int i;
+  int root;
+  int folded;
+  int check;
+  int probes;
+  int idents;
+  for (i = 0; i < %d; i = i + 1) table[i] = 0;
+  check = 0;
+  probes = 0;
+  idents = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    freeptr = 0;             /* reuse the node pool per tree */
+    root = build(4, i * 7 + 3);
+    folded = fold(root);
+    probes = probes + intern(folded);
+    idents = idents + scan(i * 131 + folded);
+    check = check + folded;
+    if (check > 65535) check = check - 65536;
+    if (i %% 24 == 0) print_char(99);   /* frequent syscalls, like cc1 */
+  }
+  print_char(10);
+  print_int(check);
+  print_char(32);
+  print_int(probes + idents);
+  print_char(10);
+}
+|}
+    pool_nodes pool_nodes pool_nodes pool_nodes table_size (table_size - 1)
+    (table_size - 1) table_size t
+
+let workload =
+  {
+    Workload.name = "cc1x";
+    spec_analog = "cc1";
+    language_kind = "Int";
+    description =
+      "Bump-allocated expression trees folded recursively and interned in \
+       a linear-probing symbol table; allocator frontier, shared-table and \
+       tree-walk chains keep parallelism low, and syscalls are the most \
+       frequent of the suite.";
+    source;
+    self_check = (fun _ -> None);
+  }

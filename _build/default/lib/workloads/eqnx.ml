@@ -1,0 +1,89 @@
+(* eqntott analog: bit-vector truth-table comparison.
+
+   eqntott spends its time in doubly nested integer loops comparing
+   bit-vector terms word by word (the famous cmppt routine). Parallelism
+   is high because every term comparison is independent; the critical path
+   is the two loop-counter recurrences (outer unrolled 2x, as the MIPS
+   compiler would). Arrays are global (data segment): register renaming
+   alone recovers most of the parallelism, matching the paper's eqntott
+   row in Table 4 (532.7 regs / 782.5 full). *)
+
+let dims = function
+  | Workload.Tiny -> (24, 8)
+  | Workload.Default -> (420, 44)
+  | Workload.Large -> (900, 64)
+
+let source size =
+  let terms, words = dims size in
+  Printf.sprintf
+    {|/* eqnx: bit-vector term comparison (eqntott analog) */
+int pt[%d];
+int qt[%d];
+int order[%d];
+int sums[64];
+
+void main() {
+  int t;
+  int w;
+  int base;
+  int acc;
+  int x;
+  int y;
+  int d;
+  for (t = 0; t < %d; t = t + 1) {
+    for (w = 0; w < %d; w = w + 1) {
+      pt[t * %d + w] = (t * 40503 + w * 30011) & 65535;
+      qt[t * %d + w] = (t * 9377 + w * 52511) & 65535;
+    }
+  }
+  /* compare every term against its successor, two terms per iteration */
+  for (t = 0; t < %d; t = t + 2) {
+    base = t * %d;
+    acc = 0;
+    for (w = 0; w < %d; w = w + 1) {
+      x = pt[base + w];
+      y = qt[base + w];
+      d = ((x >> 8) & 15) - ((y >> 8) & 15);
+      if (d < 0) d = -d;
+      acc = acc + d + ((x & 15) << 1) - (y & 15);
+    }
+    order[t] = acc;
+    base = (t + 1) * %d;
+    acc = 0;
+    for (w = 0; w < %d; w = w + 1) {
+      x = pt[base + w];
+      y = qt[base + w];
+      d = ((x >> 8) & 15) - ((y >> 8) & 15);
+      if (d < 0) d = -d;
+      acc = acc + d + ((x & 15) << 1) - (y & 15);
+    }
+    order[t + 1] = acc;
+    if (t %% 256 == 128) print_char(35);
+  }
+  /* bucketed reduction: 64 independent accumulation chains */
+  for (w = 0; w < 64; w = w + 1) sums[w] = 0;
+  for (t = 0; t < %d; t = t + 1) {
+    sums[t & 63] = sums[t & 63] + order[t];
+  }
+  acc = 0;
+  for (w = 0; w < 64; w = w + 1) acc = acc + sums[w];
+  print_char(10);
+  print_int(acc);
+  print_char(10);
+}
+|}
+    (terms * words) (terms * words) terms terms words words words terms words
+    words words words terms
+
+let workload =
+  {
+    Workload.name = "eqnx";
+    spec_analog = "eqntott";
+    language_kind = "Int";
+    description =
+      "Doubly nested integer bit-vector comparisons over global arrays; \
+       independent term comparisons bounded by loop-counter recurrences, \
+       with a 64-way bucketed final reduction.";
+    source;
+    self_check = (fun _ -> None);
+  }

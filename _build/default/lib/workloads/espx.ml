@@ -1,0 +1,97 @@
+(* espresso analog: two-level logic cover manipulation.
+
+   espresso manipulates covers of cubes represented as bit-vectors:
+   pairwise cube intersection/containment checks with data-dependent
+   branches and running cover statistics. Parallelism is moderate: pair
+   checks are independent, but the cover-statistics accumulators form
+   integer chains that bound the DDG depth well below the eqntott level
+   (paper: 133.0 full renaming, 42.5 with registers only — the cube cover
+   itself is rewritten in the data segment, so memory renaming matters). *)
+
+let dims = function
+  | Workload.Tiny -> (12, 4)
+  | Workload.Default -> (72, 8)
+  | Workload.Large -> (128, 10)
+
+let source size =
+  let cubes, words = dims size in
+  Printf.sprintf
+    {|/* espx: cube cover manipulation (espresso analog) */
+int cover[%d];
+int tally[8];
+
+int contains(int i, int j) {
+  int w;
+  int ok;
+  int a;
+  int b;
+  ok = 1;
+  for (w = 0; w < %d; w = w + 1) {
+    a = cover[i * %d + w];
+    b = cover[j * %d + w];
+    /* i contains j iff j's bits are a subset of i's */
+    if ((a | b) != a) ok = 0;
+  }
+  return ok;
+}
+
+void main() {
+  int i;
+  int j;
+  int w;
+  int covered;
+  int distance;
+  int a;
+  int b;
+  for (i = 0; i < %d; i = i + 1) {
+    for (w = 0; w < %d; w = w + 1) {
+      cover[i * %d + w] = (i * 2654435 + w * 40503) & 8191;
+    }
+  }
+  for (w = 0; w < 8; w = w + 1) tally[w] = 0;
+  /* pairwise sweep: distance and containment statistics */
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      if (i != j) {
+        distance = 0;
+        for (w = 0; w < %d; w = w + 1) {
+          a = cover[i * %d + w];
+          b = cover[j * %d + w];
+          distance = distance + ((a ^ b) & 1) + (((a ^ b) >> 1) & 1)
+                   + (((a ^ b) >> 6) & 1);
+        }
+        tally[distance & 7] = tally[distance & 7] + 1;
+        if (distance == 0) {
+          covered = contains(i, j);
+          tally[7] = tally[7] + covered;
+        }
+      }
+    }
+    /* shrink the cover in place: rewrite row i (data-segment reuse) */
+    for (w = 0; w < %d; w = w + 1) {
+      cover[i * %d + w] = (cover[i * %d + w] * 3 + 1) & 8191;
+    }
+    if ((i & 15) == 0) print_char(64);
+  }
+  covered = 0;
+  for (w = 0; w < 8; w = w + 1) covered = covered + tally[w] * (w + 1);
+  print_char(10);
+  print_int(covered);
+  print_char(10);
+}
+|}
+    (cubes * words) words words words cubes words words cubes cubes words
+    words words words words words
+
+let workload =
+  {
+    Workload.name = "espx";
+    spec_analog = "espresso";
+    language_kind = "Int";
+    description =
+      "Pairwise cube distance/containment sweeps over a global cover that \
+       is rewritten in place; moderate parallelism bounded by tally \
+       accumulator chains and cover reuse.";
+    source;
+    self_check = (fun _ -> None);
+  }

@@ -1,0 +1,100 @@
+(* matrix300 analog: dense matrix multiply on stack-allocated arrays.
+
+   Dependency character targeted (paper Tables 3/4): the highest available
+   parallelism of the suite — a triply nested loop whose inner dot products
+   are all independent, so the critical path is set by the three loop-
+   counter recurrences rather than by the O(N^3) work.
+
+   Two stack-resident temporaries are reused for every column, exactly
+   like the staging/spill storage the 1992 MIPS compiler generated for
+   matrix300's blocked inner loops: [bcol] stages the B column at the
+   {e head} of each column's computation and [tmp] collects its results.
+   Without stack renaming, the next column's staging writes must wait for
+   the previous column's deepest reads, serialising the columns —
+   reproducing the paper's matrix300 row (1235.7 with registers renamed
+   vs 23302.6 with memory renaming). *)
+
+let dims = function
+  | Workload.Tiny -> (8, false)
+  | Workload.Default -> (44, true)
+  | Workload.Large -> (48, true)
+
+let source size =
+  let n, unrolled = dims size in
+  let inner =
+    if unrolled then
+      (* the MIPS compiler's loop unrolling, by hand: four products per
+         iteration shrink the k-counter recurrence, and pairing the adds
+         keeps the accumulator chain at one add per iteration. The
+         accumulator is the stack-resident column temporary itself — the
+         SAXPY-style formulation the original matrix300 uses — so without
+         stack renaming the columns serialise through it. *)
+      Printf.sprintf
+        {|      for (k = 0; k < %d; k = k + 4) {
+        tmp[i] = tmp[i] + ((a[i * %d + k] * bcol[k] + a[i * %d + k + 1] * bcol[k + 1])
+               + (a[i * %d + k + 2] * bcol[k + 2] + a[i * %d + k + 3] * bcol[k + 3]));
+      }|}
+        n n n n n
+    else
+      Printf.sprintf
+        {|      for (k = 0; k < %d; k = k + 1) {
+        tmp[i] = tmp[i] + a[i * %d + k] * bcol[k];
+      }|}
+        n n
+  in
+  Printf.sprintf
+    {|/* mtxx: dense matrix multiply (matrix300 analog) */
+void main() {
+  float a[%d];
+  float b[%d];
+  float c[%d];
+  float bcol[%d];
+  float tmp[%d];
+  int i;
+  int j;
+  int k;
+  float s;
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      a[i * %d + j] = float_of_int((i + 2 * j) %% 7) * 0.25;
+      b[i * %d + j] = float_of_int((3 * i + j) %% 5) * 0.5;
+    }
+  }
+  for (j = 0; j < %d; j = j + 1) {
+    /* stage column j of b (stack reuse at the head of the column) */
+    for (k = 0; k < %d; k = k + 1) {
+      bcol[k] = b[k * %d + j];
+    }
+    for (i = 0; i < %d; i = i + 1) {
+      tmp[i] = 0.0;
+%s
+    }
+    for (i = 0; i < %d; i = i + 1) {
+      c[i * %d + j] = tmp[i];
+    }
+    if (j %% 16 == 8) print_char(46);
+  }
+  s = 0.0;
+  for (i = 0; i < %d; i = i + 4) {
+    s = s + c[i * %d + i];
+  }
+  print_char(10);
+  print_float(s);
+  print_char(10);
+}
+|}
+    (n * n) (n * n) (n * n) n n n n n n n n n n inner n n n n
+
+let workload =
+  {
+    Workload.name = "mtxx";
+    spec_analog = "matrix300";
+    language_kind = "FP";
+    description =
+      "Dense matrix multiply over stack-allocated matrices with reused \
+       column staging and result temporaries; near-unbounded dataflow \
+       parallelism bounded only by loop-counter recurrences, collapsing \
+       without stack renaming.";
+    source;
+    self_check = (fun _ -> None);
+  }

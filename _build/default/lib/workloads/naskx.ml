@@ -1,0 +1,85 @@
+(* nasker analog: the NAS kernel collection.
+
+   nasker (NAS kernels) mixes embarrassingly parallel vector kernels with
+   first-order linear recurrences; the recurrences put long
+   floating-point chains (6 DDG levels per link) on the critical path, so
+   the available parallelism settles in the tens (paper: 51.0) even
+   though most of the instruction mass is parallel. Arrays are global;
+   register renaming already recovers nearly everything (paper: 50.8 regs
+   vs 51.0 full). *)
+
+let dims = function
+  | Workload.Tiny -> (64, 1)
+  | Workload.Default -> (1100, 3)
+  | Workload.Large -> (2400, 4)
+
+let source size =
+  let n, reps = dims size in
+  Printf.sprintf
+    {|/* naskx: vector kernels + linear recurrences (nasker analog) */
+float u[%d];
+float v[%d];
+float w[%d];
+
+void main() {
+  int i;
+  int r;
+  float s;
+  float prev;
+  for (i = 0; i < %d; i = i + 1) {
+    v[i] = float_of_int(i %% 19) * 0.125;
+    w[i] = float_of_int((i * 3) %% 23) * 0.0625;
+  }
+  for (r = 0; r < %d; r = r + 1) {
+    /* k1: SAXPY-like elementwise (parallel) */
+    for (i = 0; i < %d; i = i + 1) {
+      u[i] = v[i] * 1.5 + w[i];
+    }
+    /* k2: banded 5-point smooth (parallel, wider expression) */
+    for (i = 2; i < %d; i = i + 1) {
+      u[i] = 0.25 * (v[i - 2] + v[i - 1] + v[i] + v[i + 1]) + 0.125 * w[i];
+    }
+    /* k3: first-order linear recurrence, vectorised by the compiler into
+       four interleaved chains (serial FP chains on the critical path) */
+    prev = 1.0;
+    for (i = 0; i < %d; i = i + 2) {
+      prev = prev * 0.5 + u[i] * 0.25;
+      v[i] = prev;
+      v[i + 1] = prev * 0.75 + u[i + 1] * 0.125;
+    }
+    /* k4: inner product, partially unrolled (four partial sums) */
+    s = 0.0;
+    for (i = 0; i < %d; i = i + 4) {
+      s = s + ((u[i] * w[i] + u[i + 1] * w[i + 1])
+             + (u[i + 2] * w[i + 2] + u[i + 3] * w[i + 3]));
+    }
+    w[0] = s * 0.001;
+    /* k5: polynomial evaluation per element (parallel, deep per element) */
+    for (i = 0; i < %d; i = i + 1) {
+      w[i] = ((v[i] * 0.2 + 0.3) * v[i] + 0.5) * v[i] + 0.125;
+    }
+  }
+  print_char(110);
+  s = 0.0;
+  for (i = 0; i < %d; i = i + 16) {
+    s = s + v[i] + w[i];
+  }
+  print_char(10);
+  print_float(s);
+  print_char(10);
+}
+|}
+    n n n n reps n (n - 2) n n n n
+
+let workload =
+  {
+    Workload.name = "naskx";
+    spec_analog = "nasker";
+    language_kind = "FP";
+    description =
+      "Five vector kernels per sweep: SAXPY, 5-point smooth and polynomial \
+       evaluation (parallel) against a first-order linear recurrence and \
+       an inner product (serial FP chains) that pin the critical path.";
+    source;
+    self_check = (fun _ -> None);
+  }

@@ -1,0 +1,15 @@
+let all =
+  [ Cc1x.workload;
+    Doducx.workload;
+    Eqnx.workload;
+    Espx.workload;
+    Fpx.workload;
+    Mtxx.workload;
+    Naskx.workload;
+    Spicex.workload;
+    Tomcx.workload;
+    Xlispx.workload ]
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all
+
+let names = List.map (fun w -> w.Workload.name) all

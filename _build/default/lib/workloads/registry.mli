@@ -1,0 +1,9 @@
+(** The workload registry: all ten SPEC'89-analog programs (paper
+    Table 2), in the paper's alphabetical order. *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t option
+(** Look up a workload by its short name (e.g. ["mtxx"]). *)
+
+val names : string list

@@ -1,0 +1,93 @@
+(* tomcatv analog: 2-D mesh relaxation over stack-allocated grids.
+
+   Dependency character: very high parallelism — every interior cell of a
+   sweep is independent — limited by the sweep-to-sweep copy chain and the
+   row/column counter recurrences.
+
+   The real tomcatv loop body keeps dozens of doubles live at once, far
+   more than 32 registers, so the 1992 MIPS compiler spilled aggressively
+   to the stack; those spill slots are rewritten every cell. We model the
+   spills with a small stack-resident staging buffer written at the head
+   of each cell's computation: without stack renaming consecutive cells
+   serialise through it, reproducing the paper's tomcatv row (66.6 with
+   registers renamed vs 5772.4 once the stack is renamed too). *)
+
+let dims = function
+  | Workload.Tiny -> (10, 2)
+  | Workload.Default -> (40, 3)
+  | Workload.Large -> (72, 4)
+
+let source size =
+  let n, steps = dims size in
+  Printf.sprintf
+    {|/* tomcx: 2-D mesh relaxation (tomcatv analog) */
+void main() {
+  float x[%d];
+  float y[%d];
+  float rx[%d];
+  float ry[%d];
+  float spill[8];
+  int i;
+  int j;
+  int it;
+  float dxx;
+  float dyy;
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      x[i * %d + j] = float_of_int(i) * 0.1 + float_of_int((i * j) %% 9) * 0.01;
+      y[i * %d + j] = float_of_int(j) * 0.1 + float_of_int((i + j) %% 7) * 0.02;
+    }
+  }
+  for (it = 0; it < %d; it = it + 1) {
+    for (i = 1; i < %d; i = i + 1) {
+      for (j = 1; j < %d; j = j + 1) {
+        /* spill-slot staging of the stencil neighbourhood (stack reuse
+           at the head of every cell) */
+        spill[0] = x[(i - 1) * %d + j];
+        spill[1] = x[(i + 1) * %d + j];
+        spill[2] = x[i * %d + j - 1];
+        spill[3] = x[i * %d + j + 1];
+        spill[4] = y[(i - 1) * %d + j];
+        spill[5] = y[(i + 1) * %d + j];
+        spill[6] = y[i * %d + j - 1];
+        spill[7] = y[i * %d + j + 1];
+        dxx = (spill[0] + spill[1]) + (spill[2] + spill[3])
+            - 4.0 * x[i * %d + j];
+        dyy = (spill[4] + spill[5]) + (spill[6] + spill[7])
+            - 4.0 * y[i * %d + j];
+        rx[i * %d + j] = x[i * %d + j] + 0.125 * dxx + 0.0625 * dxx * dyy;
+        ry[i * %d + j] = y[i * %d + j] + 0.125 * dyy - 0.0625 * dxx * dyy;
+      }
+    }
+    for (i = 1; i < %d; i = i + 1) {
+      for (j = 1; j < %d; j = j + 1) {
+        x[i * %d + j] = rx[i * %d + j];
+        y[i * %d + j] = ry[i * %d + j];
+      }
+    }
+    print_char(43);
+  }
+  dxx = 0.0;
+  for (i = 1; i < %d; i = i + 4) {
+    dxx = dxx + x[i * %d + i] + y[i * %d + i];
+  }
+  print_char(10);
+  print_float(dxx);
+  print_char(10);
+}
+|}
+    (n * n) (n * n) (n * n) (n * n) n n n n steps (n - 1) (n - 1) n n n n n n
+    n n n n n n n n (n - 1) (n - 1) n n n n (n - 1) n n
+
+let workload =
+  {
+    Workload.name = "tomcx";
+    spec_analog = "tomcatv";
+    language_kind = "FP";
+    description =
+      "Jacobi-style 2-D mesh relaxation with two stack-resident grids \
+       rewritten each sweep and spill-slot staging per cell; per-sweep \
+       cells are fully independent once stack storage is renamed.";
+    source;
+    self_check = (fun _ -> None);
+  }

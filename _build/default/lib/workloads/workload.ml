@@ -1,0 +1,20 @@
+type size = Tiny | Default | Large
+
+type t = {
+  name : string;
+  spec_analog : string;
+  language_kind : string;
+  description : string;
+  source : size -> string;
+  self_check : size -> string option;
+}
+
+let program t size = Ddg_minic.Driver.compile (t.source size)
+
+let trace ?(max_instructions = 100_000_000) t size =
+  Ddg_sim.Machine.run_to_trace ~max_instructions (program t size)
+
+let size_to_string = function
+  | Tiny -> "tiny"
+  | Default -> "default"
+  | Large -> "large"

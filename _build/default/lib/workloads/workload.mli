@@ -1,0 +1,35 @@
+(** The workload abstraction: a named Mini-C program standing in for one
+    SPEC'89 benchmark (paper Table 2).
+
+    Each workload is generated at a {e size class}: [Tiny] for unit tests
+    (a few thousand instructions), [Default] for the benchmark harness
+    (hundreds of thousands of instructions — large enough for the
+    parallelism measures to stabilise), [Large] for longer runs. The
+    program prints a self-check value so that simulator regressions are
+    caught by the workload tests. *)
+
+type size = Tiny | Default | Large
+
+type t = {
+  name : string;           (** our short name, e.g. "mtxx" *)
+  spec_analog : string;    (** the SPEC'89 benchmark it stands in for *)
+  language_kind : string;  (** "Int", "FP", or "Int and FP" (Table 2) *)
+  description : string;    (** what the program computes and which
+                               dependency character it reproduces *)
+  source : size -> string; (** Mini-C source at a size class *)
+  self_check : size -> string option;
+      (** expected program output, when stable across platforms *)
+}
+
+val program : t -> size -> Ddg_asm.Program.t
+(** Compile the workload. *)
+
+val trace :
+  ?max_instructions:int ->
+  t ->
+  size ->
+  Ddg_sim.Machine.result * Ddg_sim.Trace.t
+(** Compile and run, collecting the trace. Defaults to the paper's
+    100M-instruction cap. *)
+
+val size_to_string : size -> string

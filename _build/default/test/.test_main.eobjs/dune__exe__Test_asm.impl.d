@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Assembler Ast Ddg_asm Ddg_isa Format List Parser Program String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablation Alcotest Ddg_experiments Ddg_paragraph Ddg_workloads Extras Fig7 Fig8 Lazy List Option Runner String Table1 Table2 Table3 Table4

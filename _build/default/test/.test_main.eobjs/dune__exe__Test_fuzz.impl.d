@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Ddg_minic Ddg_paragraph Ddg_sim Driver List Optimize Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Ddg_isa Insn List Loc Opclass Reg Segment

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Ast Ddg_asm Ddg_minic Ddg_sim Driver Fun Lexer List Parser String Typecheck

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Ast Ddg_minic Ddg_paragraph Ddg_sim Ddg_workloads Driver List Optimize Parser Printf String Tast Typecheck

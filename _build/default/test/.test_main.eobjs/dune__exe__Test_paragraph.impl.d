@@ -1,0 +1,1 @@
+test/test_paragraph.ml: Alcotest Analyzer Array Buffer Config Ddg Ddg_asm Ddg_paragraph Ddg_sim Dist Fun List Machine Printf Profile String Two_pass

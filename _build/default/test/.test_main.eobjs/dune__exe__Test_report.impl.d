@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Chart Csv Ddg_report Float Json List String Table

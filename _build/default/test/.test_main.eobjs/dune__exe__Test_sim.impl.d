@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ddg_asm Ddg_isa Ddg_sim Filename Fun Machine Printf Sys Trace Trace_io Value

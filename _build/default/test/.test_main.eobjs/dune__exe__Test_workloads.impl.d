@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analyzer Config Ddg_paragraph Ddg_sim Ddg_workloads Lazy List Option Registry String Workload

@@ -1,0 +1,202 @@
+(* Unit tests for the assembly parser and two-pass assembler. *)
+
+open Ddg_asm
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let assemble = Assembler.assemble_string
+
+let test_parse_simple () =
+  let lines = Parser.parse "main: li t0, 5\n  add t1, t0, t0 # comment\n" in
+  check_int "three items" 3 (List.length lines);
+  match lines with
+  | [ { item = Ast.Label "main"; lineno = 1 };
+      { item = Ast.Insn ("li", [ Ast.Reg 8; Ast.Int 5 ]); _ };
+      { item = Ast.Insn ("add", [ Ast.Reg 9; Ast.Reg 8; Ast.Reg 8 ]); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_indirect () =
+  match Parser.parse "lw t0, 4(sp)\nsw t1, -8(fp)\nlw t2, (s0)" with
+  | [ { item = Ast.Insn ("lw", [ Ast.Reg 8; Ast.Ind { offset = Ast.Ofs_int 4; base = 29 } ]); _ };
+      { item = Ast.Insn ("sw", [ Ast.Reg 9; Ast.Ind { offset = Ast.Ofs_int (-8); base = 30 } ]); _ };
+      { item = Ast.Insn ("lw", [ Ast.Reg 10; Ast.Ind { offset = Ast.Ofs_int 0; base = 16 } ]); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_numbers () =
+  match Parser.parse "li t0, 0x10\nli t1, -42\nfli f0, 1.5\nfli f1, 2e3\nfli f2, -0.25" with
+  | [ { item = Ast.Insn ("li", [ _; Ast.Int 16 ]); _ };
+      { item = Ast.Insn ("li", [ _; Ast.Int (-42) ]); _ };
+      { item = Ast.Insn ("fli", [ _; Ast.Float 1.5 ]); _ };
+      { item = Ast.Insn ("fli", [ _; Ast.Float 2000.0 ]); _ };
+      { item = Ast.Insn ("fli", [ _; Ast.Float (-0.25) ]); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_error_line () =
+  match Parser.parse "nop\nli t0, $bogus\n" with
+  | exception Parser.Error { lineno = 2; _ } -> ()
+  | exception _ -> Alcotest.fail "wrong exception"
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_assemble_labels () =
+  let p = assemble {|
+main:   li   t0, 3
+loop:   addi t0, t0, -1
+        bnez t0, loop
+        halt
+|} in
+  check_int "four instructions" 4 (Array.length p.insns);
+  check_int "entry at main" 0 p.entry;
+  (match Program.find_symbol p "loop" with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "loop label");
+  match p.insns.(2) with
+  | Ddg_isa.Insn.Branch (Ne, 8, 0, 1) -> ()
+  | i -> Alcotest.failf "bad branch: %s" (Ddg_isa.Insn.to_string i)
+
+let test_assemble_data () =
+  let p = assemble {|
+        .data
+A:      .word 1 2 3
+PI:     .float 3.5
+buf:    .space 10
+after:  .word 7
+        .text
+main:   lw t0, A
+        halt
+|} in
+  let base = Ddg_isa.Segment.data_base in
+  (match Program.find_symbol p "A" with
+  | Some a -> check_int "A at base" base a
+  | None -> Alcotest.fail "A undefined");
+  (match Program.find_symbol p "PI" with
+  | Some a -> check_int "PI after 3 words" (base + 12) a
+  | None -> Alcotest.fail "PI undefined");
+  (* .space 10 is aligned up to 12 *)
+  (match Program.find_symbol p "after" with
+  | Some a -> check_int "after aligned space" (base + 12 + 4 + 12) a
+  | None -> Alcotest.fail "after undefined");
+  (match p.insns.(0) with
+  | Ddg_isa.Insn.Lw (8, 0, a) -> check_int "absolute load" base a
+  | i -> Alcotest.failf "bad load: %s" (Ddg_isa.Insn.to_string i));
+  (* data image *)
+  let words =
+    List.filter_map
+      (function addr, Program.Word w -> Some (addr, w) | _ -> None)
+      p.data
+  in
+  check_int "four words" 4 (List.length words);
+  check_int "A[1] value" 2 (List.assoc (base + 4) words)
+
+let test_assemble_pseudo () =
+  let p = assemble {|
+main:   la   t0, main
+        move t1, t0
+        neg  t2, t1
+        beqz t2, main
+        halt
+|} in
+  (match p.insns.(0) with
+  | Ddg_isa.Insn.Li (8, 0) -> ()
+  | i -> Alcotest.failf "la: %s" (Ddg_isa.Insn.to_string i));
+  (match p.insns.(1) with
+  | Ddg_isa.Insn.Binop (Add, 9, 8, 0) -> ()
+  | i -> Alcotest.failf "move: %s" (Ddg_isa.Insn.to_string i));
+  match p.insns.(2) with
+  | Ddg_isa.Insn.Binop (Sub, 10, 0, 9) -> ()
+  | i -> Alcotest.failf "neg: %s" (Ddg_isa.Insn.to_string i)
+
+let test_assemble_imm_alu () =
+  let p = assemble "main: add t0, t1, 4\n sub t2, t0, -1\n halt" in
+  match p.insns.(0), p.insns.(1) with
+  | Ddg_isa.Insn.Binopi (Add, 8, 9, 4), Ddg_isa.Insn.Binopi (Sub, 10, 8, -1)
+    ->
+      ()
+  | _ -> Alcotest.fail "immediate ALU forms"
+
+let test_undefined_symbol () =
+  match assemble "main: j nowhere\n" with
+  | exception Assembler.Error { msg; _ } ->
+      Alcotest.(check bool) "nonempty message" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected error"
+
+let test_duplicate_label () =
+  match assemble "a: nop\na: nop\n" with
+  | exception Assembler.Error { msg = _; lineno } -> check_int "line" 2 lineno
+  | _ -> Alcotest.fail "expected error"
+
+let test_insn_in_data () =
+  match assemble ".data\nnop\n" with
+  | exception Assembler.Error _ -> ()
+  | _ -> Alcotest.fail "expected error"
+
+let test_entry_defaults_to_zero () =
+  let p = assemble "start: nop\n halt" in
+  check_int "entry" 0 p.entry
+
+let test_loc_directive () =
+  let p = assemble {|
+main:   .loc 10
+        li t0, 1
+        li t1, 2
+        .loc 12
+        add t2, t0, t1
+        halt
+|} in
+  Alcotest.(check (option int)) "insn 0 line" (Some 10)
+    (Program.source_line p 0);
+  Alcotest.(check (option int)) "insn 1 line" (Some 10)
+    (Program.source_line p 1);
+  Alcotest.(check (option int)) "insn 2 line" (Some 12)
+    (Program.source_line p 2);
+  Alcotest.(check (option int)) "out of range" None
+    (Program.source_line p 99)
+
+let test_no_loc_means_unknown () =
+  let p = assemble "main: nop\n halt" in
+  Alcotest.(check (option int)) "unknown" None (Program.source_line p 0)
+
+let test_disassembly_roundtrip () =
+  (* pp must produce something for every instruction form *)
+  let p = assemble {|
+        .data
+v:      .word 1
+        .text
+main:   li t0, 1
+        fli f1, 2.5
+        fadd f2, f1, f1
+        fcmp.lt t1, f1, f2
+        cvt.i2f f3, t0
+        cvt.f2i t2, f3
+        lw t3, v
+        sw t3, 0(sp)
+        flw f4, v
+        fsw f4, 4(sp)
+        jal main
+        jr ra
+        syscall
+        nop
+        halt
+|} in
+  let listing = Format.asprintf "%a" Program.pp p in
+  Alcotest.(check bool) "nonempty listing" true (String.length listing > 100)
+
+let tests =
+  [ Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse indirect" `Quick test_parse_indirect;
+    Alcotest.test_case "parse numbers" `Quick test_parse_numbers;
+    Alcotest.test_case "parse error line" `Quick test_parse_error_line;
+    Alcotest.test_case "labels and branches" `Quick test_assemble_labels;
+    Alcotest.test_case "data directives" `Quick test_assemble_data;
+    Alcotest.test_case "pseudo instructions" `Quick test_assemble_pseudo;
+    Alcotest.test_case "immediate ALU" `Quick test_assemble_imm_alu;
+    Alcotest.test_case "undefined symbol" `Quick test_undefined_symbol;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "instruction in .data" `Quick test_insn_in_data;
+    Alcotest.test_case "default entry" `Quick test_entry_defaults_to_zero;
+    Alcotest.test_case ".loc directive" `Quick test_loc_directive;
+    Alcotest.test_case "no .loc = unknown" `Quick test_no_loc_means_unknown;
+    Alcotest.test_case "disassembly" `Quick test_disassembly_roundtrip ]

@@ -1,0 +1,123 @@
+(* Tests for the experiments layer: every table/figure renders on tiny
+   workloads, the runner caches, and the CSV emitters produce well-formed
+   series. *)
+
+open Ddg_experiments
+
+let runner = lazy (Runner.create ~size:Ddg_workloads.Workload.Tiny ())
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table1 () =
+  let out = Table1.render () in
+  Alcotest.(check bool) "has classes" true (contains out "Integer Multiply");
+  Alcotest.(check bool) "latency 12" true (contains out "12")
+
+let test_table2 () =
+  let out = Table2.render (Lazy.force runner) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true (contains out name))
+    Ddg_workloads.Registry.names
+
+let test_table3 () =
+  let r = Lazy.force runner in
+  let out = Table3.render r in
+  Alcotest.(check bool) "has error column" true (contains out "Max Error");
+  let rows = Table3.rows r in
+  Alcotest.(check int) "ten rows" 10 (List.length rows);
+  List.iter
+    (fun (name, cons, opt) ->
+      Alcotest.(check bool)
+        (name ^ " cons <= opt")
+        true
+        (cons.Ddg_paragraph.Analyzer.available_parallelism
+         <= opt.Ddg_paragraph.Analyzer.available_parallelism +. 1e-9))
+    rows
+
+let test_table4 () =
+  let r = Lazy.force runner in
+  let out = Table4.render r in
+  Alcotest.(check bool) "has renaming columns" true
+    (contains out "Regs/Stack Renamed");
+  List.iter
+    (fun (name, none, regs, regs_stack, all) ->
+      Alcotest.(check bool) (name ^ " monotone") true
+        (none <= regs +. 1e-9 && regs <= regs_stack +. 1e-9
+        && regs_stack <= all +. 1e-9))
+    (Table4.rows r)
+
+let test_fig7 () =
+  let r = Lazy.force runner in
+  let w = Option.get (Ddg_workloads.Registry.find "mtxx") in
+  let out = Fig7.render_one r w in
+  Alcotest.(check bool) "chart rendered" true (contains out "operations");
+  let csv = Fig7.csv r w in
+  Alcotest.(check bool) "csv header" true
+    (contains csv "level_lo,level_hi,ops_per_level");
+  Alcotest.(check bool) "csv has rows" true
+    (List.length (String.split_on_char '\n' csv) > 2)
+
+let test_fig8 () =
+  let r = Lazy.force runner in
+  let series = Fig8.series r in
+  Alcotest.(check int) "ten series" 10 (List.length series);
+  List.iter
+    (fun (name, points) ->
+      Alcotest.(check int)
+        (name ^ " one point per window")
+        (List.length Fig8.window_sizes)
+        (List.length points);
+      (* percent of total is monotone in window size and capped at 100 *)
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+            if a > b +. 1e-6 then
+              Alcotest.failf "%s: percent not monotone (%f > %f)" name a b;
+            monotone rest
+        | [ _ ] | [] -> ()
+      in
+      monotone points;
+      List.iter
+        (fun (_, pct) ->
+          Alcotest.(check bool) (name ^ " pct bounded") true
+            (pct >= 0.0 && pct <= 100.0 +. 1e-6))
+        points)
+    series
+
+let test_extras () =
+  let out = Extras.render (Lazy.force runner) in
+  Alcotest.(check bool) "has sharing column" true (contains out "Sharing")
+
+let test_ablations () =
+  let r = Lazy.force runner in
+  let fu = Ablation.render_resources r in
+  Alcotest.(check bool) "has FU columns" true (contains fu "FU=2");
+  let br = Ablation.render_branches r in
+  Alcotest.(check bool) "has policies" true (contains br "not-taken")
+
+let test_fu_monotone () =
+  (* more functional units never reduce parallelism *)
+  let r = Lazy.force runner in
+  let w = Option.get (Ddg_workloads.Registry.find "eqnx") in
+  let parallelism k =
+    let fu = { Ddg_paragraph.Config.unlimited_fu with total = Some k } in
+    (Runner.analyze r w Ddg_paragraph.Config.(with_fu fu default))
+      .Ddg_paragraph.Analyzer.available_parallelism
+  in
+  let p1 = parallelism 1 and p4 = parallelism 4 and p64 = parallelism 64 in
+  Alcotest.(check bool) "monotone in units" true (p1 <= p4 && p4 <= p64);
+  Alcotest.(check bool) "one unit is nearly serial" true (p1 <= 1.0 +. 1e-9)
+
+let tests =
+  [ Alcotest.test_case "table 1 renders" `Quick test_table1;
+    Alcotest.test_case "table 2 renders" `Quick test_table2;
+    Alcotest.test_case "table 3 renders" `Quick test_table3;
+    Alcotest.test_case "table 4 renders" `Quick test_table4;
+    Alcotest.test_case "figure 7 renders" `Quick test_fig7;
+    Alcotest.test_case "figure 8 series" `Quick test_fig8;
+    Alcotest.test_case "extras render" `Quick test_extras;
+    Alcotest.test_case "ablations render" `Quick test_ablations;
+    Alcotest.test_case "FU limits monotone" `Quick test_fu_monotone ]

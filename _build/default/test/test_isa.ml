@@ -1,0 +1,170 @@
+(* Unit tests for the ISA library: operation classes and Table 1 latencies,
+   location hashing/equality, segment classification, register naming and
+   instruction defs/uses. *)
+
+open Ddg_isa
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- Table 1 latencies ------------------------------------------------ *)
+
+let test_table1_latencies () =
+  check "int alu" 1 (Opclass.latency Int_alu);
+  check "int mul" 6 (Opclass.latency Int_multiply);
+  check "int div" 12 (Opclass.latency Int_divide);
+  check "fp add" 6 (Opclass.latency Fp_add_sub);
+  check "fp mul" 6 (Opclass.latency Fp_multiply);
+  check "fp div" 12 (Opclass.latency Fp_divide);
+  check "load/store" 1 (Opclass.latency Load_store);
+  check "syscall" 1 (Opclass.latency Syscall)
+
+let test_creates_value () =
+  List.iter
+    (fun c ->
+      let expected = not (Opclass.equal c Opclass.Control) in
+      check_bool (Opclass.to_string c) expected (Opclass.creates_value c))
+    Opclass.all
+
+(* --- Locations -------------------------------------------------------- *)
+
+let test_loc_equal () =
+  check_bool "reg eq" true (Loc.equal (Reg 3) (Reg 3));
+  check_bool "reg ne" false (Loc.equal (Reg 3) (Reg 4));
+  check_bool "reg vs freg" false (Loc.equal (Reg 3) (Freg 3));
+  check_bool "mem eq" true (Loc.equal (Mem 0x1000) (Mem 0x1000));
+  check_bool "mem vs reg" false (Loc.equal (Mem 3) (Reg 3))
+
+let test_loc_hash_distinct () =
+  (* registers and float registers must never collide *)
+  for i = 0 to 31 do
+    check_bool "reg/freg hash" true (Loc.hash (Reg i) <> Loc.hash (Freg i))
+  done
+
+let test_loc_pp () =
+  check_str "reg" "r5" (Loc.to_string (Reg 5));
+  check_str "freg" "f2" (Loc.to_string (Freg 2));
+  check_str "mem" "[0x1000]" (Loc.to_string (Mem 0x1000))
+
+(* --- Segments ---------------------------------------------------------- *)
+
+let test_segments () =
+  let seg a = Loc.segment_to_string (Segment.classify a) in
+  check_str "data" "data" (seg Segment.data_base);
+  check_str "data2" "data" (seg (Segment.heap_base - 4));
+  check_str "heap" "heap" (seg Segment.heap_base);
+  check_str "heap2" "heap" (seg (Segment.stack_limit - 4));
+  check_str "stack" "stack" (seg Segment.stack_limit);
+  check_str "stack top" "stack" (seg (Segment.stack_top - 4))
+
+let test_storage_class () =
+  let open Loc in
+  Alcotest.(check bool)
+    "reg class" true
+    (Segment.storage_class_of_loc (Reg 4) = Register);
+  Alcotest.(check bool)
+    "freg class" true
+    (Segment.storage_class_of_loc (Freg 4) = Register);
+  Alcotest.(check bool)
+    "stack class" true
+    (Segment.storage_class_of_loc (Mem (Segment.stack_top - 8))
+    = Stack_memory);
+  Alcotest.(check bool)
+    "data class" true
+    (Segment.storage_class_of_loc (Mem Segment.data_base) = Data_memory);
+  Alcotest.(check bool)
+    "heap class is data" true
+    (Segment.storage_class_of_loc (Mem Segment.heap_base) = Data_memory)
+
+(* --- Registers --------------------------------------------------------- *)
+
+let test_reg_names () =
+  check_str "sp" "sp" (Reg.name Reg.sp);
+  check_str "zero" "zero" (Reg.name Reg.zero);
+  check_str "ra" "ra" (Reg.name Reg.ra);
+  Alcotest.(check (option int)) "parse sp" (Some 29) (Reg.of_name "sp");
+  Alcotest.(check (option int)) "parse r13" (Some 13) (Reg.of_name "r13");
+  Alcotest.(check (option int)) "parse t0" (Some 8) (Reg.of_name "t0");
+  Alcotest.(check (option int)) "parse bogus" None (Reg.of_name "r99");
+  Alcotest.(check (option int)) "parse f5" (Some 5) (Reg.fof_name "f5");
+  Alcotest.(check (option int)) "parse f33" None (Reg.fof_name "f33")
+
+(* --- Instructions ------------------------------------------------------ *)
+
+let test_insn_classes () =
+  let open Insn in
+  let cls i = Opclass.to_string (class_of i) in
+  check_str "add" "Integer ALU" (cls (Binop (Add, 1, 2, 3)));
+  check_str "mul" "Integer Multiply" (cls (Binop (Mul, 1, 2, 3)));
+  check_str "div" "Integer Division" (cls (Binop (Div, 1, 2, 3)));
+  check_str "rem" "Integer Division" (cls (Binopi (Rem, 1, 2, 3)));
+  check_str "fadd" "Floating Point Add/Sub" (cls (Fbinop (Fadd, 1, 2, 3)));
+  check_str "fmul" "Floating Point Multiply" (cls (Fbinop (Fmul, 1, 2, 3)));
+  check_str "fdiv" "Floating Point Division" (cls (Fbinop (Fdiv, 1, 2, 3)));
+  check_str "lw" "Load/Store" (cls (Lw (1, 2, 0)));
+  check_str "sw" "Load/Store" (cls (Sw (1, 2, 0)));
+  check_str "syscall" "System Calls" (cls Syscall);
+  check_str "branch" "Control" (cls (Branch (Eq, 1, 2, 0)));
+  check_str "halt" "Control" (cls Halt)
+
+let loc_testable = Alcotest.testable Loc.pp Loc.equal
+
+let test_insn_defs_uses () =
+  let open Insn in
+  Alcotest.(check (option loc_testable))
+    "add defines rd" (Some (Loc.Reg 4))
+    (defines (Binop (Add, 4, 5, 6)));
+  Alcotest.(check (option loc_testable))
+    "write to zero discarded" None
+    (defines (Binop (Add, 0, 5, 6)));
+  Alcotest.(check (option loc_testable))
+    "store has no register def" None
+    (defines (Sw (4, 29, 0)));
+  Alcotest.(check (option loc_testable))
+    "jal defines ra" (Some (Loc.Reg 31))
+    (defines (Jal 0));
+  Alcotest.(check (list loc_testable))
+    "add uses" [ Loc.Reg 5; Loc.Reg 6 ]
+    (register_uses (Binop (Add, 4, 5, 6)));
+  Alcotest.(check (list loc_testable))
+    "uses of zero omitted" [ Loc.Reg 6 ]
+    (register_uses (Binop (Add, 4, 0, 6)));
+  Alcotest.(check (list loc_testable))
+    "store uses value and base" [ Loc.Reg 4; Loc.Reg 29 ]
+    (register_uses (Sw (4, 29, 0)));
+  Alcotest.(check (list loc_testable))
+    "li uses nothing" []
+    (register_uses (Li (4, 42)));
+  Alcotest.(check (list loc_testable))
+    "fsw uses freg and base" [ Loc.Freg 2; Loc.Reg 29 ]
+    (register_uses (Fsw (2, 29, 8)))
+
+let test_insn_pp () =
+  let open Insn in
+  check_str "pp add" "add a0, a1, a2" (to_string (Binop (Add, 4, 5, 6)));
+  check_str "pp lw" "lw t0, 4(sp)" (to_string (Lw (8, 29, 4)));
+  check_str "pp branch" "beq t0, t1, @12" (to_string (Branch (Eq, 8, 9, 12)));
+  check_str "pp li" "li v0, 10" (to_string (Li (2, 10)))
+
+let test_is_control () =
+  let open Insn in
+  check_bool "branch" true (is_control (Branch (Eq, 1, 2, 0)));
+  check_bool "jr" true (is_control (Jr 31));
+  check_bool "nop" true (is_control Nop);
+  check_bool "add" false (is_control (Binop (Add, 1, 2, 3)));
+  check_bool "syscall" false (is_control Syscall)
+
+let tests =
+  [ Alcotest.test_case "table 1 latencies" `Quick test_table1_latencies;
+    Alcotest.test_case "creates_value" `Quick test_creates_value;
+    Alcotest.test_case "loc equal" `Quick test_loc_equal;
+    Alcotest.test_case "loc hash distinct" `Quick test_loc_hash_distinct;
+    Alcotest.test_case "loc pp" `Quick test_loc_pp;
+    Alcotest.test_case "segments" `Quick test_segments;
+    Alcotest.test_case "storage class" `Quick test_storage_class;
+    Alcotest.test_case "register names" `Quick test_reg_names;
+    Alcotest.test_case "instruction classes" `Quick test_insn_classes;
+    Alcotest.test_case "defs and uses" `Quick test_insn_defs_uses;
+    Alcotest.test_case "instruction printing" `Quick test_insn_pp;
+    Alcotest.test_case "is_control" `Quick test_is_control ]

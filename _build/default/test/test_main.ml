@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "ddg"
+    [ ("isa", Test_isa.tests);
+      ("asm", Test_asm.tests);
+      ("sim", Test_sim.tests);
+      ("minic", Test_minic.tests);
+      ("optimize", Test_optimize.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("paragraph", Test_paragraph.tests);
+      ("workloads", Test_workloads.tests);
+      ("report", Test_report.tests);
+      ("experiments", Test_experiments.tests);
+      ("properties", Test_props.tests) ]

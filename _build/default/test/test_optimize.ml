@@ -1,0 +1,265 @@
+(* Optimizer tests: constant folding correctness, loop-unrolling
+   semantics preservation (output equality at O0/O1/O2 on every
+   workload), and the paper-relevant effect — unrolling shortens the
+   loop-counter recurrence and raises available parallelism. *)
+
+open Ddg_minic
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let run_at opt src =
+  let result = Driver.run ~opt ~max_instructions:20_000_000 src in
+  (match result.stop with
+  | Ddg_sim.Machine.Halted -> ()
+  | s ->
+      Alcotest.failf "did not halt at %s: %a"
+        (match opt with Optimize.O0 -> "O0" | O1 -> "O1" | O2 -> "O2")
+        Ddg_sim.Machine.pp_stop_reason s);
+  result
+
+(* --- folding ------------------------------------------------------------- *)
+
+(* strip the SLine debug markers the typechecker interleaves *)
+let strip_lines body =
+  List.filter (function Tast.SLine _ -> false | _ -> true) body
+
+let fold_of src =
+  (* typecheck a one-expression program and fold the expression *)
+  let p = Typecheck.check (Parser.parse ("void main() { print_int(" ^ src ^ "); }")) in
+  match strip_lines (List.hd p.tfuncs).body with
+  | [ Tast.SExpr { node = Tast.TBuiltin (_, [ e ]); _ } ] ->
+      (Optimize.fold_expr e).node
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fold_literals () =
+  (match fold_of "2 + 3 * 4" with
+  | Tast.TInt 14 -> ()
+  | _ -> Alcotest.fail "arith");
+  (match fold_of "(7 & 3) << 2" with
+  | Tast.TInt 12 -> ()
+  | _ -> Alcotest.fail "bitwise");
+  (match fold_of "10 / 3 + 10 % 3" with
+  | Tast.TInt 4 -> ()
+  | _ -> Alcotest.fail "div mod");
+  match fold_of "3 < 4" with
+  | Tast.TInt 1 -> ()
+  | _ -> Alcotest.fail "compare"
+
+let test_fold_keeps_div_by_zero () =
+  (* 1/0 must NOT fold away: the machine faults on it *)
+  match fold_of "1 / 0" with
+  | Tast.TBinop (Ast.Div, _, _) -> ()
+  | _ -> Alcotest.fail "folded a trapping division"
+
+let test_fold_identities () =
+  let p =
+    Typecheck.check
+      (Parser.parse "void main() { int x = 5; print_int(x * 1 + 0); }")
+  in
+  match Optimize.program Optimize.O1 p with
+  | { tfuncs = [ { body; _ } ]; _ } -> (
+      match strip_lines body with
+      | [ _; Tast.SExpr { node = Tast.TBuiltin (_, [ { node = Tast.TVar _; _ } ]); _ } ] ->
+          ()
+      | _ -> Alcotest.fail "x*1+0 did not reduce to x")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fold_dead_branches () =
+  let p =
+    Typecheck.check
+      (Parser.parse
+         "void main() { if (0) print_int(1); else print_int(2); while (0) print_int(3); }")
+  in
+  match Optimize.program Optimize.O1 p with
+  | { tfuncs = [ { body; _ } ]; _ } -> (
+      match strip_lines body with
+      | [ Tast.SExpr _ ] -> ()
+      | stripped ->
+          Alcotest.failf "expected 1 statement, got %d" (List.length stripped))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fold_preserves_output () =
+  let src = {|
+void main() {
+  int x = 3 * 4 + 1;
+  float y = 2.0 * 0.5;
+  print_int(x + 0);
+  print_char(32);
+  print_float(y * 1.0 + 0.0);
+  print_char(10);
+}
+|} in
+  check_str "same output" (run_at Optimize.O0 src).output
+    (run_at Optimize.O1 src).output
+
+(* --- unrolling ---------------------------------------------------------------- *)
+
+let unroll_src = {|
+int a[100];
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    a[i] = i * 3;
+  }
+  for (i = 0; i < 99; i = i + 2) {   /* odd trip count: remainder loop */
+    s = s + a[i];
+  }
+  print_int(s);
+  print_char(10);
+}
+|}
+
+let test_unroll_preserves_output () =
+  check_str "O0 = O2" (run_at Optimize.O0 unroll_src).output
+    (run_at Optimize.O2 unroll_src).output
+
+let test_unroll_reduces_instructions () =
+  (* fewer counter increments and loop branches execute *)
+  let o0 = run_at Optimize.O0 unroll_src in
+  let o2 = run_at Optimize.O2 unroll_src in
+  Alcotest.(check bool) "fewer instructions" true
+    (o2.instructions < o0.instructions)
+
+let test_unroll_skips_counter_writers () =
+  (* a loop that reassigns its counter inside the body must not unroll;
+     output must be preserved *)
+  let src = {|
+void main() {
+  int i;
+  int n = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    if (i == 5) i = 10;
+    n = n + 1;
+  }
+  print_int(n);
+}
+|} in
+  check_str "same output" (run_at Optimize.O0 src).output
+    (run_at Optimize.O2 src).output
+
+let test_unroll_nested () =
+  let src = {|
+int m[64];
+void main() {
+  int i;
+  int j;
+  int s = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    for (j = 0; j < 8; j = j + 1) {
+      m[i * 8 + j] = i * j;
+    }
+  }
+  for (i = 0; i < 64; i = i + 1) s = s + m[i];
+  print_int(s);
+}
+|} in
+  check_str "nested same output" (run_at Optimize.O0 src).output
+    (run_at Optimize.O2 src).output
+
+let test_unroll_with_calls_and_reads () =
+  let src = {|
+int square(int x) { return x * x; }
+void main() {
+  int i;
+  int s = 0;
+  for (i = 1; i <= 10; i = i + 1) {
+    s = s + square(i);
+  }
+  print_int(s);
+}
+|} in
+  let o0 = run_at Optimize.O0 src and o2 = run_at Optimize.O2 src in
+  check_str "calls preserved" o0.output o2.output;
+  check_str "385" "385" o2.output
+
+(* --- workload equivalence across levels ---------------------------------------- *)
+
+let test_unroll_skips_loops_with_exits () =
+  (* break/continue loops must not unroll, and output is preserved *)
+  let src = {|
+void main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 40; i = i + 1) {
+    if (i == 25) break;
+    if (i % 3 == 0) continue;
+    s = s + i;
+  }
+  print_int(s);
+}
+|} in
+  check_str "same output with exits" (run_at Optimize.O0 src).output
+    (run_at Optimize.O2 src).output
+
+let test_workloads_agree_across_levels () =
+  List.iter
+    (fun (w : Ddg_workloads.Workload.t) ->
+      let source = w.source Ddg_workloads.Workload.Tiny in
+      let reference = (run_at Optimize.O0 source).output in
+      check_str (w.name ^ " O1") reference (run_at Optimize.O1 source).output;
+      check_str (w.name ^ " O2") reference (run_at Optimize.O2 source).output)
+    Ddg_workloads.Registry.all
+
+(* --- the paper's section 3.1 effect --------------------------------------------- *)
+
+let test_unrolling_raises_parallelism () =
+  (* a loop of independent iterations bound by the counter recurrence:
+     unrolling shortens the recurrence, so available parallelism rises
+     (the paper's "second order effect on the parallelism") *)
+  let src = {|
+int out[2048];
+void main() {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) {
+    out[i] = (i * 40503) & 65535;
+  }
+  print_int(out[2047]);
+}
+|} in
+  let parallelism opt =
+    let program = Driver.compile ~opt src in
+    let _, trace = Ddg_sim.Machine.run_to_trace program in
+    (Ddg_paragraph.Analyzer.analyze Ddg_paragraph.Config.default trace)
+      .Ddg_paragraph.Analyzer.available_parallelism
+  in
+  let p0 = parallelism Optimize.O0 and p2 = parallelism Optimize.O2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "unrolling raises parallelism (%.2f -> %.2f)" p0 p2)
+    true
+    (p2 > p0 *. 1.5)
+
+let test_o2_asm_has_remainder_loop () =
+  let asm = Driver.emit_asm ~opt:Optimize.O2 unroll_src in
+  (* two while loops in the source become four (each split into main +
+     remainder); just check the listing grew *)
+  let asm0 = Driver.emit_asm ~opt:Optimize.O0 unroll_src in
+  check_int "more code at O2" 1
+    (if String.length asm > String.length asm0 then 1 else 0)
+
+let tests =
+  [ Alcotest.test_case "fold literals" `Quick test_fold_literals;
+    Alcotest.test_case "fold keeps div by zero" `Quick
+      test_fold_keeps_div_by_zero;
+    Alcotest.test_case "fold identities" `Quick test_fold_identities;
+    Alcotest.test_case "fold dead branches" `Quick test_fold_dead_branches;
+    Alcotest.test_case "fold preserves output" `Quick
+      test_fold_preserves_output;
+    Alcotest.test_case "unroll preserves output" `Quick
+      test_unroll_preserves_output;
+    Alcotest.test_case "unroll reduces instructions" `Quick
+      test_unroll_reduces_instructions;
+    Alcotest.test_case "unroll skips counter writers" `Quick
+      test_unroll_skips_counter_writers;
+    Alcotest.test_case "unroll skips loops with exits" `Quick
+      test_unroll_skips_loops_with_exits;
+    Alcotest.test_case "unroll nested loops" `Quick test_unroll_nested;
+    Alcotest.test_case "unroll with calls" `Quick
+      test_unroll_with_calls_and_reads;
+    Alcotest.test_case "workloads agree across levels" `Quick
+      test_workloads_agree_across_levels;
+    Alcotest.test_case "unrolling raises parallelism (paper 3.1)" `Quick
+      test_unrolling_raises_parallelism;
+    Alcotest.test_case "O2 emits more code" `Quick
+      test_o2_asm_has_remainder_loop ]
