@@ -2,11 +2,13 @@
    paper's evaluation (Tables 1-4, Figures 7-8), the section 2.3
    secondary analyses, two ablations (finite functional units; branch
    misprediction firewalls), and a set of Bechamel microbenchmarks of the
-   tool itself.
+   tool itself. Results land both on stdout and in BENCH.json
+   (machine-readable: events/s per microbenchmark, wall time per
+   section, and the seed-revision baselines they are compared against).
 
-   Usage: main.exe [--size tiny|default|large] [--only SECTION] [--no-micro]
-   where SECTION is one of table1 table2 table3 table4 fig7 fig8 extras
-   resources branches. *)
+   Usage: main.exe [--size tiny|default|large] [--only SECTION]
+   [--no-micro] [--json PATH] where SECTION is one of table1 table2
+   table3 table4 fig7 fig8 extras resources branches compiler. *)
 
 open Ddg_experiments
 
@@ -14,6 +16,7 @@ let parse_args () =
   let size = ref Ddg_workloads.Workload.Default in
   let only = ref None in
   let micro = ref true in
+  let json_path = ref "BENCH.json" in
   let rec go = function
     | [] -> ()
     | "--size" :: s :: rest ->
@@ -30,16 +33,38 @@ let parse_args () =
     | "--no-micro" :: rest ->
         micro := false;
         go rest
+    | "--json" :: p :: rest ->
+        json_path := p;
+        go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!size, !only, !micro)
+  (!size, !only, !micro, !json_path)
 
 let section_banner name =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n\n" bar name bar
 
+(* Throughput of the seed revision on this harness's fixed microbenchmark
+   input (eqnx tiny, 15490 events), kept here so BENCH.json always
+   carries the baseline the current numbers are measured against. *)
+let seed_baseline =
+  [ ("analyze trace (full renaming) events/s", 4_710_000.0);
+    ("prefetch 210 tiny jobs seconds", 3.397) ]
+
 (* --- Bechamel microbenchmarks ------------------------------------------- *)
+
+(* Run one Bechamel test and return the OLS ns/run estimate. *)
+let estimate_ns cfg instances ols test =
+  let open Bechamel in
+  let results = Benchmark.all cfg instances test in
+  let analyzed = Analyze.all ols (List.hd instances) results in
+  Hashtbl.fold
+    (fun _ ols_result acc ->
+      match Bechamel.Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Some est
+      | Some _ | None -> acc)
+    analyzed None
 
 let microbenchmarks () =
   let open Bechamel in
@@ -48,38 +73,67 @@ let microbenchmarks () =
   let w = Option.get (Ddg_workloads.Registry.find "eqnx") in
   let _, trace = Ddg_workloads.Workload.trace w Ddg_workloads.Workload.Tiny in
   let events = Ddg_sim.Trace.length trace in
+  let record_events = Ddg_sim.Trace.to_list trace in
   let program =
     Ddg_workloads.Workload.program w Ddg_workloads.Workload.Tiny
   in
   let minic_source = w.Ddg_workloads.Workload.source Ddg_workloads.Workload.Tiny in
+  (* the harness's default configuration list: the renaming sweep the
+     paper's Table 3 is built from, plus the dataflow limit and an
+     optimistic-syscall variant — all windowless/unlimited, the shape
+     analyze_many fuses best *)
+  let fused_configs =
+    let open Ddg_paragraph.Config in
+    [ default; dataflow;
+      with_renaming rename_none default;
+      with_renaming rename_registers_only default;
+      with_renaming rename_registers_stack default;
+      with_syscall_stall false (with_renaming rename_none default) ]
+  in
+  let nconfigs = List.length fused_configs in
+  let fused_name = Printf.sprintf "analyze_many (%d configs, fused)" nconfigs in
+  let seq_name = Printf.sprintf "%d sequential analyze calls" nconfigs in
+  (* (label, per-run trace passes for the events/s column, thunk) *)
   let tests =
-    [ Test.make ~name:"analyze trace (full renaming)"
-        (Staged.stage (fun () ->
-             ignore
-               (Ddg_paragraph.Analyzer.analyze Ddg_paragraph.Config.default
-                  trace)));
-      Test.make ~name:"analyze trace (no renaming)"
-        (Staged.stage (fun () ->
-             ignore
-               (Ddg_paragraph.Analyzer.analyze
-                  Ddg_paragraph.Config.(
-                    with_renaming rename_none default)
-                  trace)));
-      Test.make ~name:"analyze trace (window=100)"
-        (Staged.stage (fun () ->
-             ignore
-               (Ddg_paragraph.Analyzer.analyze
-                  Ddg_paragraph.Config.(with_window (Some 100) default)
-                  trace)));
-      Test.make ~name:"simulate program"
-        (Staged.stage (fun () -> ignore (Ddg_sim.Machine.run program)));
-      Test.make ~name:"compile Mini-C workload"
-        (Staged.stage (fun () ->
-             ignore (Ddg_minic.Driver.compile minic_source)));
-      Test.make ~name:"explicit DDG build"
-        (Staged.stage (fun () ->
-             ignore
-               (Ddg_paragraph.Ddg.build Ddg_paragraph.Config.default trace)))
+    [ ("analyze trace (full renaming)", 1,
+       fun () ->
+         ignore
+           (Ddg_paragraph.Analyzer.analyze Ddg_paragraph.Config.default
+              trace));
+      ("analyze trace (no renaming)", 1,
+       fun () ->
+         ignore
+           (Ddg_paragraph.Analyzer.analyze
+              Ddg_paragraph.Config.(with_renaming rename_none default)
+              trace));
+      ("analyze trace (window=100)", 1,
+       fun () ->
+         ignore
+           (Ddg_paragraph.Analyzer.analyze
+              Ddg_paragraph.Config.(with_window (Some 100) default)
+              trace));
+      ("feed record events (construction path)", 1,
+       fun () ->
+         let t =
+           Ddg_paragraph.Analyzer.create Ddg_paragraph.Config.default
+         in
+         List.iter (Ddg_paragraph.Analyzer.feed t) record_events;
+         ignore (Ddg_paragraph.Analyzer.finish t));
+      (fused_name, nconfigs,
+       fun () ->
+         ignore (Ddg_paragraph.Analyzer.analyze_many fused_configs trace));
+      (seq_name, nconfigs,
+       fun () ->
+         List.iter
+           (fun c -> ignore (Ddg_paragraph.Analyzer.analyze c trace))
+           fused_configs);
+      ("simulate program", 0,
+       fun () -> ignore (Ddg_sim.Machine.run program));
+      ("compile Mini-C workload", 0,
+       fun () -> ignore (Ddg_minic.Driver.compile minic_source));
+      ("explicit DDG build", 1,
+       fun () ->
+         ignore (Ddg_paragraph.Ddg.build Ddg_paragraph.Config.default trace))
     ]
   in
   let cfg =
@@ -92,34 +146,113 @@ let microbenchmarks () =
   in
   Printf.printf
     "Microbenchmarks (eqnx tiny: %d trace events; ns per run):\n\n" events;
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analyzed = Analyze.all ols (List.hd instances) results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Bechamel.Analyze.OLS.estimates ols_result with
-          | Some [ est ] ->
-              Printf.printf "  %-36s %14s ns/run  (%10.0f events/s)\n" name
+  let measured =
+    List.map
+      (fun (name, passes, thunk) ->
+        let test = Test.make ~name (Staged.stage thunk) in
+        match estimate_ns cfg instances ols test with
+        | Some est ->
+            let events_per_s =
+              if est > 0.0 && passes > 0 then
+                float_of_int (passes * events) /. (est /. 1e9)
+              else 0.0
+            in
+            if passes > 0 then
+              Printf.printf "  %-40s %14s ns/run  (%10.0f events/s)\n" name
                 (Ddg_report.Table.float_cell est)
-                (if est > 0.0 then float_of_int events /. (est /. 1e9)
-                 else 0.0)
-          | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
-        analyzed)
-    tests;
-  print_newline ()
+                events_per_s
+            else
+              Printf.printf "  %-40s %14s ns/run\n" name
+                (Ddg_report.Table.float_cell est);
+            (name, Some (est, events_per_s))
+        | None ->
+            Printf.printf "  %-40s (no estimate)\n" name;
+            (name, None))
+      tests
+  in
+  let find name =
+    match List.assoc_opt name measured with
+    | Some (Some (est, _)) -> Some est
+    | _ -> None
+  in
+  let fused_speedup =
+    match (find seq_name, find fused_name) with
+    | Some seq, Some fused when fused > 0.0 ->
+        let s = seq /. fused in
+        Printf.printf
+          "\n  analyze_many speedup over %d sequential calls: %.2fx\n"
+          nconfigs s;
+        Some s
+    | _ -> None
+  in
+  print_newline ();
+  (events, measured, nconfigs, fused_speedup)
+
+(* --- BENCH.json ---------------------------------------------------------- *)
+
+let write_bench_json path ~size ~sections ~micro =
+  let open Ddg_report.Json in
+  let micro_fields =
+    match micro with
+    | None -> []
+    | Some (events, measured, nconfigs, fused_speedup) ->
+        [ ( "micro",
+            Obj
+              [ ("workload", String "eqnx");
+                ("size", String "tiny");
+                ("trace_events", Int events);
+                ( "benchmarks",
+                  List
+                    (List.filter_map
+                       (fun (name, r) ->
+                         match r with
+                         | None -> None
+                         | Some (ns, events_per_s) ->
+                             Some
+                               (Obj
+                                  [ ("name", String name);
+                                    ("ns_per_run", Float ns);
+                                    ("events_per_s", Float events_per_s) ]))
+                       measured) );
+                ( "fused",
+                  Obj
+                    [ ("configs", Int nconfigs);
+                      ( "speedup_vs_sequential",
+                        match fused_speedup with
+                        | Some s -> Float s
+                        | None -> Null ) ] ) ] ) ]
+  in
+  let json =
+    Obj
+      ([ ("size", String (Ddg_workloads.Workload.size_to_string size));
+         ( "seed_baseline",
+           Obj (List.map (fun (k, v) -> (k, Float v)) seed_baseline) );
+         ( "sections",
+           List
+             (List.map
+                (fun (name, seconds) ->
+                  Obj
+                    [ ("name", String name);
+                      ("wall_seconds", Float seconds) ])
+                (List.rev sections)) ) ]
+      @ micro_fields)
+  in
+  let oc = open_out path in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc
 
 (* --- main ------------------------------------------------------------------ *)
 
 let () =
-  let size, only, micro = parse_args () in
+  let size, only, micro, json_path = parse_args () in
   let t0 = Unix.gettimeofday () in
   let progress msg =
     Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
   in
   let runner = Runner.create ~size ~progress () in
-  (* fill the analysis cache in parallel: one job per (workload, switch
-     combination) used by any section *)
+  (* fill the analysis cache: one job per (workload, switch combination)
+     used by any section, analyzed per workload in fused passes *)
   let all_configs =
     let open Ddg_paragraph.Config in
     [ default; dataflow ]
@@ -138,9 +271,16 @@ let () =
       (fun w -> List.map (fun c -> (w, c)) all_configs)
       (Runner.workloads runner)
   in
+  let section_times = ref [] in
+  let timed name f =
+    let t = Unix.gettimeofday () in
+    let r = f () in
+    section_times := (name, Unix.gettimeofday () -. t) :: !section_times;
+    r
+  in
   (match only with
   | Some ("table1" | "compiler") -> ()
-  | _ -> Runner.prefetch runner jobs);
+  | _ -> timed "prefetch" (fun () -> Runner.prefetch runner jobs));
   let sections =
     [ ("table1", fun () -> Table1.render ());
       ("table2", fun () -> Table2.render runner);
@@ -167,11 +307,18 @@ let () =
   List.iter
     (fun (name, render) ->
       section_banner name;
-      print_string (render ());
+      print_string (timed name render);
       flush stdout)
     wanted;
-  if micro && only = None then begin
-    section_banner "microbenchmarks";
-    microbenchmarks ()
-  end;
-  Printf.eprintf "[%7.1fs] done\n%!" (Unix.gettimeofday () -. t0)
+  let micro_results =
+    if micro && only = None then begin
+      section_banner "microbenchmarks";
+      Some (timed "microbenchmarks" microbenchmarks)
+    end
+    else None
+  in
+  write_bench_json json_path ~size ~sections:!section_times
+    ~micro:micro_results;
+  Printf.eprintf "[%7.1fs] done (%s written)\n%!"
+    (Unix.gettimeofday () -. t0)
+    json_path

@@ -41,48 +41,50 @@ let analyze t (w : Workload.t) config =
       Hashtbl.replace t.stats key stats;
       stats
 
-(* Parallel cache fill: simulate any missing traces first (sequentially,
-   so nothing is simulated twice), then run the independent analyses on a
-   small domain pool. The caches are only written under the mutex; traces
-   are read-only once simulated, so the worker domains can share them. *)
+(* Cache fill: simulate any missing traces first (sequentially, so
+   nothing is simulated twice), then analyze each workload's pending
+   configurations in one fused trace pass ({!Analyzer.analyze_many},
+   which spreads its config groups over domains itself — so workloads
+   run one after another to avoid nesting domain pools). *)
 let prefetch t jobs =
+  let seen = Hashtbl.create 64 in
   let jobs =
     List.filter
       (fun ((w : Workload.t), config) ->
-        not
-          (Hashtbl.mem t.stats
-             (w.name, Ddg_paragraph.Config.describe config)))
+        let key = (w.name, Ddg_paragraph.Config.describe config) in
+        if Hashtbl.mem t.stats key || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
       jobs
   in
   if jobs <> [] then begin
     List.iter (fun (w, _) -> ignore (trace t w)) jobs;
-    let arr = Array.of_list jobs in
-    let next = Atomic.make 0 in
-    let mutex = Mutex.create () in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < Array.length arr then begin
-          let (w : Workload.t), config = arr.(i) in
-          let _, tr = Hashtbl.find t.traces w.name in
-          let stats = Ddg_paragraph.Analyzer.analyze config tr in
-          Mutex.lock mutex;
-          Hashtbl.replace t.stats
-            (w.name, Ddg_paragraph.Config.describe config)
-            stats;
-          t.progress
-            (Printf.sprintf "analyzed %s under %s" w.name
-               (Ddg_paragraph.Config.describe config));
-          Mutex.unlock mutex;
-          go ()
-        end
-      in
-      go ()
-    in
-    let extra_domains =
-      max 0 (min 7 (Domain.recommended_domain_count () - 1))
-    in
-    let domains = List.init extra_domains (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
+    (* group the pending configurations by workload, keeping job order *)
+    let by_workload = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun ((w : Workload.t), config) ->
+        match Hashtbl.find_opt by_workload w.name with
+        | None ->
+            order := w :: !order;
+            Hashtbl.add by_workload w.name [ config ]
+        | Some cs -> Hashtbl.replace by_workload w.name (config :: cs))
+      jobs;
+    List.iter
+      (fun (w : Workload.t) ->
+        let configs = List.rev (Hashtbl.find by_workload w.name) in
+        let _, tr = Hashtbl.find t.traces w.name in
+        t.progress
+          (Printf.sprintf "analyzing %s under %d configurations" w.name
+             (List.length configs));
+        let stats = Ddg_paragraph.Analyzer.analyze_many configs tr in
+        List.iter2
+          (fun config s ->
+            Hashtbl.replace t.stats
+              (w.name, Ddg_paragraph.Config.describe config)
+              s)
+          configs stats)
+      (List.rev !order)
   end

@@ -31,7 +31,9 @@ val analyze :
 
 val prefetch :
   t -> (Ddg_workloads.Workload.t * Ddg_paragraph.Config.t) list -> unit
-(** Fill the analysis cache for the given jobs using multiple domains
-    (traces are simulated sequentially first; the independent analyses
-    then run in parallel). Subsequent {!analyze} calls for these jobs hit
-    the cache. *)
+(** Fill the analysis cache for the given jobs. Traces are simulated
+    sequentially first; then each workload's pending configurations are
+    analyzed in one fused trace pass
+    ({!Ddg_paragraph.Analyzer.analyze_many}). Duplicate jobs and jobs
+    already cached are skipped. Subsequent {!analyze} calls for these
+    jobs hit the cache. *)

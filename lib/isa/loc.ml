@@ -16,6 +16,32 @@ let hash = function
   | Freg i -> 64 + i
   | Mem a -> 128 + (a lxor (a lsr 16)) * 2654435761
 
+(* Lossless single-int encoding: the constructor tag in the low two bits,
+   the register number / byte address above. Register numbers and addresses
+   are non-negative and well below 2^60, so the shift never overflows. *)
+let to_code = function
+  | Reg i -> (i lsl 2) lor 0
+  | Freg i -> (i lsl 2) lor 1
+  | Mem a -> (a lsl 2) lor 2
+
+let of_code c =
+  match c land 3 with
+  | 0 -> Reg (c lsr 2)
+  | 1 -> Freg (c lsr 2)
+  | 2 -> Mem (c lsr 2)
+  | _ -> invalid_arg "Loc.of_code"
+
+let storage_class_tag = function
+  | Register -> 0
+  | Stack_memory -> 1
+  | Data_memory -> 2
+
+let storage_class_of_tag = function
+  | 0 -> Register
+  | 1 -> Stack_memory
+  | 2 -> Data_memory
+  | k -> invalid_arg (Printf.sprintf "Loc.storage_class_of_tag: %d" k)
+
 let compare a b =
   let rank = function Reg _ -> 0 | Freg _ -> 1 | Mem _ -> 2 in
   match a, b with

@@ -28,6 +28,23 @@ val equal : t -> t -> bool
 val hash : t -> int
 val compare : t -> t -> int
 
+val to_code : t -> int
+(** Lossless encoding of a location as a single non-negative integer
+    (constructor tag in the low two bits, register number or byte address
+    above them). Distinct locations map to distinct codes, so the code can
+    key integer hash tables directly. *)
+
+val of_code : int -> t
+(** Inverse of {!to_code}. @raise Invalid_argument on a code no location
+    encodes to. *)
+
+val storage_class_tag : storage_class -> int
+(** Dense tag: [Register] 0, [Stack_memory] 1, [Data_memory] 2. Used as
+    the per-location storage-class byte of the packed trace. *)
+
+val storage_class_of_tag : int -> storage_class
+(** Inverse of {!storage_class_tag}. @raise Invalid_argument otherwise. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -29,6 +29,34 @@ let creates_value = function
   | Int_alu | Int_multiply | Int_divide | Fp_add_sub | Fp_multiply
   | Fp_divide | Load_store | Syscall -> true
 
+let count = 9
+
+let to_tag = function
+  | Int_alu -> 0
+  | Int_multiply -> 1
+  | Int_divide -> 2
+  | Fp_add_sub -> 3
+  | Fp_multiply -> 4
+  | Fp_divide -> 5
+  | Load_store -> 6
+  | Syscall -> 7
+  | Control -> 8
+
+let of_tag = function
+  | 0 -> Int_alu
+  | 1 -> Int_multiply
+  | 2 -> Int_divide
+  | 3 -> Fp_add_sub
+  | 4 -> Fp_multiply
+  | 5 -> Fp_divide
+  | 6 -> Load_store
+  | 7 -> Syscall
+  | 8 -> Control
+  | k -> invalid_arg (Printf.sprintf "Opclass.of_tag: %d" k)
+
+let syscall_tag = 7
+let control_tag = 8
+
 let equal (a : t) (b : t) = a = b
 
 let pp ppf t =

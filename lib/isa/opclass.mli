@@ -29,6 +29,23 @@ val creates_value : t -> bool
 (** Whether instructions of this class produce a value and therefore appear
     as nodes of the DDG. [Control] does not; everything else does. *)
 
+val count : int
+(** Number of classes (9); tags returned by {!to_tag} are [0 .. count-1]. *)
+
+val to_tag : t -> int
+(** Dense integer tag, in {!all} order: [Int_alu] 0 through [Control] 8.
+    The tag doubles as the class code of the binary trace format and as the
+    opclass column of the packed in-memory trace. *)
+
+val of_tag : int -> t
+(** Inverse of {!to_tag}. @raise Invalid_argument outside [0 .. count-1]. *)
+
+val syscall_tag : int
+(** [to_tag Syscall]. *)
+
+val control_tag : int
+(** [to_tag Control]. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

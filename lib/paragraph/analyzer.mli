@@ -71,6 +71,17 @@ val finish : t -> stats
     analyzer must not be fed after [finish]. *)
 
 val analyze : Config.t -> Ddg_sim.Trace.t -> stats
-(** [create] + [feed] each event + [finish]. *)
+(** One pass over the packed trace columns. Equivalent to [create] +
+    [feed] each event + [finish], but the hot loop reads the trace's flat
+    int rows directly (locations stay dense ids, operation classes stay
+    tags) and allocates nothing per event. *)
+
+val analyze_many : Config.t list -> Ddg_sim.Trace.t -> stats list
+(** Fused analysis: run one independent analyzer state per configuration
+    down a {e single} pass of the trace, reading each packed row once and
+    feeding it to every state. Returns the stats in the order of the
+    configurations. Equivalent to [List.map (fun c -> analyze c trace)]
+    but touches the trace columns once, so N configurations cost one
+    trace traversal plus N live-well updates per event. *)
 
 val pp_stats : Format.formatter -> stats -> unit

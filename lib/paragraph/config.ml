@@ -44,6 +44,18 @@ let with_syscall_stall syscall_stall t = { t with syscall_stall }
 let with_fu fu t = { t with fu }
 let with_branch branch t = { t with branch }
 
+let latency_table t =
+  Array.init Ddg_isa.Opclass.count (fun tag ->
+      t.latency (Ddg_isa.Opclass.of_tag tag))
+
+let storage_dependency_table t =
+  let { registers; stack; data } = t.renaming in
+  let a = Array.make 3 false in
+  a.(Ddg_isa.Loc.storage_class_tag Ddg_isa.Loc.Register) <- not registers;
+  a.(Ddg_isa.Loc.storage_class_tag Ddg_isa.Loc.Stack_memory) <- not stack;
+  a.(Ddg_isa.Loc.storage_class_tag Ddg_isa.Loc.Data_memory) <- not data;
+  a
+
 let describe t =
   let renaming =
     match t.renaming with

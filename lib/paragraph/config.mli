@@ -79,5 +79,15 @@ val with_syscall_stall : bool -> t -> t
 val with_fu : fu_limits -> t -> t
 val with_branch : branch_policy -> t -> t
 
+val latency_table : t -> int array
+(** The latency function tabulated by operation-class tag
+    ({!Ddg_isa.Opclass.to_tag}), for the analyzer's flat-integer hot
+    loop. *)
+
+val storage_dependency_table : t -> bool array
+(** Indexed by storage-class tag ({!Ddg_isa.Loc.storage_class_tag}):
+    true when storage (WAR/WAW) dependencies apply to that class, i.e.
+    its renaming switch is off. *)
+
 val describe : t -> string
 (** One-line human-readable summary of the switch settings. *)

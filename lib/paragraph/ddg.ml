@@ -18,6 +18,9 @@ type t = {
   edges : edge list;
   critical_path : int;
   placed : int;
+  incoming : edge list array;
+      (* edges into each node, indexed by node id, chronological; built
+         once so predecessors and chain walks don't rescan [edges] *)
 }
 
 (* A live-well entry extended with provenance: which node created the value
@@ -241,11 +244,16 @@ let build config trace =
   in
   Ddg_sim.Trace.iteri (fun i e -> feed b i e) trace;
   let nodes = Array.of_list (List.rev b.rev_nodes) in
+  let edges = List.rev b.edges in
+  let incoming = Array.make (Array.length nodes) [] in
+  List.iter (fun e -> incoming.(e.to_node) <- e :: incoming.(e.to_node)) edges;
+  Array.iteri (fun i es -> incoming.(i) <- List.rev es) incoming;
   {
     nodes;
-    edges = List.rev b.edges;
+    edges;
     critical_path = b.deepest_level + 1;
     placed = Array.length nodes;
+    incoming;
   }
 
 let nodes (t : t) = t.nodes
@@ -261,7 +269,8 @@ let available_parallelism (t : t) =
   if t.critical_path = 0 then 0.0
   else float_of_int t.placed /. float_of_int t.critical_path
 
-let predecessors (t : t) id = List.filter (fun e -> e.to_node = id) t.edges
+let predecessors (t : t) id =
+  if id < 0 || id >= Array.length t.incoming then [] else t.incoming.(id)
 
 let default_label n =
   let dest =
@@ -313,35 +322,22 @@ let to_dot ?(node_label = default_label) (t : t) =
 let critical_chain (t : t) =
   if Array.length t.nodes = 0 then []
   else begin
-    (* index incoming edges once *)
-    let incoming = Hashtbl.create (List.length t.edges) in
-    List.iter
-      (fun e ->
-        let existing =
-          match Hashtbl.find_opt incoming e.to_node with
-          | Some es -> es
-          | None -> []
-        in
-        Hashtbl.replace incoming e.to_node (e :: existing))
-      t.edges;
     let deepest =
       Array.fold_left
         (fun best n -> if n.level > best.level then n else best)
         t.nodes.(0) t.nodes
     in
     let rec walk n acc =
-      let preds =
-        match Hashtbl.find_opt incoming n.id with Some es -> es | None -> []
-      in
-      match preds with
+      match t.incoming.(n.id) with
       | [] -> List.rev (n :: acc)
-      | _ ->
+      | preds ->
+          (* level ties break to the chronologically last predecessor *)
           let best =
             List.fold_left
               (fun best e ->
                 let cand = t.nodes.(e.from_node) in
                 match best with
-                | Some b when b.level >= cand.level -> best
+                | Some b when b.level > cand.level -> best
                 | _ -> Some cand)
               None preds
           in

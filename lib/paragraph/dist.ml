@@ -18,8 +18,9 @@ let log2_floor v =
 let bucket_index v = if v <= 0 then 0 else 1 + log2_floor v
 
 let add t v =
-  let v = max 0 v in
-  t.buckets.(bucket_index v) <- t.buckets.(bucket_index v) + 1;
+  let v = if v < 0 then 0 else v in
+  let i = bucket_index v in
+  Array.unsafe_set t.buckets i (Array.unsafe_get t.buckets i + 1);
   t.n <- t.n + 1;
   t.sum <- t.sum + v;
   if v < t.min_v then t.min_v <- v;

@@ -33,6 +33,8 @@ let to_profile ?(slots = 65536) t =
     width := !width * 2
   done;
   let width = !width in
+  (* allocate only the buckets the level range reaches, not the cap *)
+  let slots = max 2 (min slots ((t.max_hi / width) + 1)) in
   let counts = Array.make slots 0 in
   (* difference array for the full middle buckets; partial edge buckets
      are added directly *)

@@ -1,74 +1,196 @@
-module Table = Hashtbl.Make (struct
-  type t = Ddg_isa.Loc.t
+(* Open-addressed, int-keyed live well (paper §3.2).
 
-  let equal = Ddg_isa.Loc.equal
-  let hash = Ddg_isa.Loc.hash
-end)
+   Keys are dense location ids (the trace interner's, or the analyzer's
+   own for the record-event path). One linear-probe find-or-insert
+   resolves a key to a slot index; the per-event bookkeeping (source
+   lookup, use recording, storage-constraint read, redefinition) then
+   touches that slot directly instead of re-hashing.
 
-type entry = {
-  mutable create_level : int;
-  mutable deepest_use : int;   (* = create_level until first use *)
-  mutable uses : int;
-  mutable computed : bool;     (* false for pre-existing values *)
+   A slot is four adjacent ints in one flat array — key, creation level,
+   deepest use, and uses*2+computed packed in one word — so every probe
+   and every slot operation lands on a single cache line, where separate
+   per-field arrays would touch four. A slot index is the base offset of
+   its quad; [empty] in the key cell marks never-used slots, [tombstone]
+   marks removals (reused by inserts, discarded on rehash). Capacity is a
+   power of two buckets and the load factor (live + tombstones) stays at
+   or below 1/2.
+
+   Probes never resize the table: callers bracket each event with
+   {!reserve}, which grows the table up front when the next few inserts
+   could push it past the load factor. Slot indices therefore stay valid
+   across the probes of one event, never longer. *)
+
+type t = {
+  mutable data : int array;  (* stride 4: key, create, deepest, meta *)
+  mutable mask : int;        (* buckets - 1 *)
+  mutable shift : int;       (* 63 - log2 buckets, for fibonacci hashing *)
+  mutable live : int;        (* occupied slots *)
+  mutable filled : int;      (* occupied + tombstones *)
 }
 
 type retirement = { created : int; last_use : int; lifetime : int; uses : int }
 
-type t = entry Table.t
+let stride = 4
+let empty = -1
+let tombstone = -2
 
-let create () : t = Table.create 4096
+(* odd 62-bit multiplier; the hash takes the high bits of key * phi so that
+   dense ids and strided location codes both spread over the table *)
+let multiplier = 0x2545F4914F6CDD1D
 
-let source_level t loc ~highest_level =
-  match Table.find_opt t loc with
-  | Some e -> e.create_level
-  | None ->
-      let level = highest_level - 1 in
-      Table.replace t loc
-        { create_level = level; deepest_use = level; uses = 0; computed = false };
-      level
+let log2 cap =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go cap 0
 
-let record_use t loc ~level =
-  match Table.find_opt t loc with
-  | Some e ->
-      if level > e.deepest_use then e.deepest_use <- level;
-      e.uses <- e.uses + 1
-  | None -> invalid_arg "Live_well.record_use: location not present"
+let make_data buckets = Array.make (buckets * stride) empty
 
-let storage_constraint t loc =
-  match Table.find_opt t loc with
-  | Some e -> Some (max e.create_level e.deepest_use)
-  | None -> None
+let create ?(capacity = 1024) () : t =
+  let cap = ref 16 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  { data = make_data cap; mask = cap - 1; shift = 63 - log2 cap;
+    live = 0; filled = 0 }
 
-let retirement_of e =
+let size t = t.live
+
+let bucket_of_key t key = (key * multiplier) lsr t.shift
+
+(* Probe workers are top-level and close over nothing, so the tail
+   recursion compiles to a loop with no per-call closure allocation. *)
+
+let rec find_loop data mask key b =
+  let k = Array.unsafe_get data (b * stride) in
+  if k = key then b * stride
+  else if k = empty then -1
+  else find_loop data mask key ((b + 1) land mask)
+
+(* find the slot holding [key], or -1 if absent (skipping tombstones) *)
+let find t key = find_loop t.data t.mask key (bucket_of_key t key)
+
+let insert_fresh t key ~level slot =
+  let data = t.data in
+  Array.unsafe_set data slot key;
+  Array.unsafe_set data (slot + 1) level;
+  Array.unsafe_set data (slot + 2) level;
+  Array.unsafe_set data (slot + 3) 0;
+  t.live <- t.live + 1
+
+let rec probe_loop t data mask key level b tomb =
+  let slot = b * stride in
+  let k = Array.unsafe_get data slot in
+  if k = key then slot
+  else if k = empty then begin
+    let slot =
+      if tomb >= 0 then tomb else (t.filled <- t.filled + 1; slot)
+    in
+    insert_fresh t key ~level slot;
+    lnot slot
+  end
+  else if k = tombstone then
+    probe_loop t data mask key level ((b + 1) land mask)
+      (if tomb >= 0 then tomb else slot)
+  else probe_loop t data mask key level ((b + 1) land mask) tomb
+
+let find_or_insert t key ~level =
+  probe_loop t t.data t.mask key level (bucket_of_key t key) (-1)
+
+let rehash t cap =
+  let odata = t.data in
+  let n = Array.length odata in
+  let data = make_data cap in
+  t.data <- data;
+  t.mask <- cap - 1;
+  t.shift <- 63 - log2 cap;
+  t.filled <- t.live;
+  let i = ref 0 in
+  while !i < n do
+    let key = Array.unsafe_get odata !i in
+    if key >= 0 then begin
+      (* re-insert without load-factor checks: cap was sized for it *)
+      let rec go b =
+        if Array.unsafe_get data (b * stride) = empty then b * stride
+        else go ((b + 1) land t.mask)
+      in
+      let slot = go (bucket_of_key t key) in
+      Array.unsafe_set data slot key;
+      Array.unsafe_set data (slot + 1) (Array.unsafe_get odata (!i + 1));
+      Array.unsafe_set data (slot + 2) (Array.unsafe_get odata (!i + 2));
+      Array.unsafe_set data (slot + 3) (Array.unsafe_get odata (!i + 3))
+    end;
+    i := !i + stride
+  done
+
+let reserve t n =
+  if (t.filled + n) * 2 > t.mask + 1 then begin
+    let cap = ref (t.mask + 1) in
+    while (t.live + n) * 2 > !cap do
+      cap := !cap * 2
+    done;
+    (* if tombstones caused the pressure, rehashing at the same (or the
+       doubled) capacity discards them *)
+    rehash t (max !cap (t.mask + 1))
+  end
+
+(* --- slot accessors --------------------------------------------------------- *)
+
+let slot_create_level t slot = Array.unsafe_get t.data (slot + 1)
+
+let slot_constraint t slot =
+  let c = Array.unsafe_get t.data (slot + 1)
+  and d = Array.unsafe_get t.data (slot + 2) in
+  if c > d then c else d
+
+let slot_record_use t slot ~level =
+  let data = t.data in
+  if level > Array.unsafe_get data (slot + 2) then
+    Array.unsafe_set data (slot + 2) level;
+  Array.unsafe_set data (slot + 3) (Array.unsafe_get data (slot + 3) + 2)
+
+let slot_is_computed t slot = Array.unsafe_get t.data (slot + 3) land 1 <> 0
+let slot_deepest_use t slot = Array.unsafe_get t.data (slot + 2)
+let slot_uses t slot = Array.unsafe_get t.data (slot + 3) lsr 1
+
+let slot_define t slot ~level =
+  let data = t.data in
+  Array.unsafe_set data (slot + 1) level;
+  Array.unsafe_set data (slot + 2) level;
+  Array.unsafe_set data (slot + 3) 1
+
+(* --- retirement ------------------------------------------------------------- *)
+
+let retirement_of t slot =
+  let created = t.data.(slot + 1) in
+  let deepest = t.data.(slot + 2) in
   {
-    created = e.create_level;
-    last_use = max e.create_level e.deepest_use;
-    lifetime = max 0 (e.deepest_use - e.create_level);
-    uses = e.uses;
+    created;
+    last_use = max created deepest;
+    lifetime = max 0 (deepest - created);
+    uses = t.data.(slot + 3) lsr 1;
   }
 
-let define t loc ~level =
-  match Table.find_opt t loc with
-  | Some e ->
-      let retired = if e.computed then Some (retirement_of e) else None in
-      e.create_level <- level;
-      e.deepest_use <- level;
-      e.uses <- 0;
-      e.computed <- true;
-      retired
-  | None ->
-      Table.replace t loc
-        { create_level = level; deepest_use = level; uses = 0; computed = true };
-      None
+let slot_retire = retirement_of
 
-let remove t loc =
-  match Table.find_opt t loc with
-  | Some e ->
-      Table.remove t loc;
-      if e.computed then Some (retirement_of e) else None
-  | None -> None
+let remove t key =
+  let slot = find t key in
+  if slot < 0 then None
+  else begin
+    let r =
+      if slot_is_computed t slot then Some (retirement_of t slot) else None
+    in
+    t.data.(slot) <- tombstone;
+    t.live <- t.live - 1;
+    r
+  end
 
 let retire_all t =
-  Table.fold (fun _ e acc -> if e.computed then retirement_of e :: acc else acc) t []
-
-let size t = Table.length t
+  let acc = ref [] in
+  let n = Array.length t.data in
+  let slot = ref 0 in
+  while !slot < n do
+    if t.data.(!slot) >= 0 && slot_is_computed t !slot then
+      acc := retirement_of t !slot :: !acc;
+    slot := !slot + stride
+  done;
+  !acc

@@ -1,16 +1,30 @@
-(** The live well: Paragraph's hash table of live values (paper §3.2).
+(** The live well: Paragraph's table of live values (paper §3.2).
 
     Each live value is keyed by the storage location currently holding it
     and records the DDG level at which it was created, the deepest level at
     which it has been used, and its use count. When an instruction is
-    processed, its source values are located here by register number or
-    memory address; the destination location's previous value is retired
-    (yielding its lifetime and degree-of-sharing statistics) and replaced.
+    processed, its source values are located here by location id; the
+    destination location's previous value is retired (yielding its lifetime
+    and degree-of-sharing statistics) and replaced.
 
     Values that existed before execution began — pre-initialised registers
     or DATA-segment words — are materialised on first reference at the
     level immediately preceding the topologically highest placeable level,
-    so they never delay any computation (paper's first special case). *)
+    so they never delay any computation (paper's first special case).
+
+    {1 The single-probe contract}
+
+    The table is open-addressed and keyed by dense integer location ids.
+    {!find_or_insert} is the only hashing operation: it resolves a key to a
+    {e slot index} in one probe, inserting a pre-existing value when the
+    key is absent. All per-event bookkeeping then goes through [slot_*]
+    accessors on that index — so an instruction's source lookup, its use
+    recording and its destination's constraint read + redefinition each
+    cost one probe total, not one per touch.
+
+    Slot indices are invalidated by growth. Callers must bracket each
+    event's probes with {!reserve} (which performs any growth up front);
+    a slot index must never be kept across events. *)
 
 type t
 
@@ -19,43 +33,65 @@ type retirement = {
   created : int;   (** DDG level at which the value was created *)
   last_use : int;  (** deepest level at which it was read; [created] if
                        never read *)
-  lifetime : int;
-      (** [last_use - created]; 0 if never used *)
-  uses : int;  (** number of operand reads of the value *)
+  lifetime : int;  (** [last_use - created]; 0 if never used *)
+  uses : int;      (** number of operand reads of the value *)
 }
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 1024, rounded up to a power of two) sizes the
+    table for an expected number of distinct locations; the table grows
+    as needed regardless. *)
 
-val source_level : t -> Ddg_isa.Loc.t -> highest_level:int -> int
-(** Level at which the value in a location was created. If the location
-    has never been written, a pre-existing value is inserted at
-    [highest_level - 1] and that level returned. *)
+val size : t -> int
+(** Number of distinct locations present (live values + pre-existing). *)
 
-val record_use : t -> Ddg_isa.Loc.t -> level:int -> unit
-(** Note that the value in the location was consumed by an operation
-    completing at [level]. The location must be present (call
-    {!source_level} first). *)
+val reserve : t -> int -> unit
+(** [reserve t n] guarantees the next [n] inserts will not grow the
+    table, growing it now if they could. Call once per event, before its
+    probes; growth invalidates previously returned slot indices. *)
 
-val storage_constraint : t -> Ddg_isa.Loc.t -> int option
+val find_or_insert : t -> int -> level:int -> int
+(** [find_or_insert t key ~level] returns the slot holding [key]. When
+    [key] is absent it inserts a {e pre-existing} (not computed) value
+    created at [level] — pass [highest_level - 1] — and returns the
+    bitwise complement [lnot slot] so the caller can tell a fresh insert
+    from a hit. The key must be non-negative. *)
+
+(** {1 Slot accessors} *)
+
+val slot_create_level : t -> int -> int
+(** Level at which the value in the slot was created. *)
+
+val slot_record_use : t -> int -> level:int -> unit
+(** Note that the slot's value was consumed by an operation completing at
+    [level]. *)
+
+val slot_constraint : t -> int -> int
 (** [Ddest] for the paper's storage-dependency rule: the deepest level at
-    which the value currently in the location was created or used, or
-    [None] if the location is empty. *)
+    which the slot's value was created or used. *)
 
-val define : t -> Ddg_isa.Loc.t -> level:int -> retirement option
-(** Bind a new value, created at [level], to the location. Returns the
-    retirement record of the previous {e computed} value, or [None] if
-    the location was empty or held a pre-existing value. *)
+val slot_is_computed : t -> int -> bool
+(** False for pre-existing values (those materialised by a probe rather
+    than defined by a placed operation). *)
 
-val remove : t -> Ddg_isa.Loc.t -> retirement option
-(** Evict a location, returning the retirement record of the computed
-    value it held (if any). Used by the two-pass analysis mode, which
-    knows from its reverse pass that the location will never be
-    referenced again. *)
+val slot_deepest_use : t -> int -> int
+val slot_uses : t -> int -> int
+
+val slot_define : t -> int -> level:int -> unit
+(** Bind a new computed value, created at [level], to the slot. The
+    caller retires the previous value first if [slot_is_computed]. *)
+
+val slot_retire : t -> int -> retirement
+(** The retirement record of the slot's current value. *)
+
+(** {1 Whole-table operations} *)
+
+val remove : t -> int -> retirement option
+(** Evict a key, returning the retirement record of the computed value it
+    held (if any). Used by the two-pass analysis mode, which knows from
+    its reverse pass that the location will never be referenced again. *)
 
 val retire_all : t -> retirement list
 (** Retirement records for every computed value still live — called once
     at the end of a trace so final values contribute to the lifetime and
     sharing distributions. *)
-
-val size : t -> int
-(** Number of distinct locations present (live values + pre-existing). *)

@@ -1,13 +1,19 @@
 type t = {
-  mutable counts : int array;
+  mutable counts : int array;   (* grows lazily up to max_slots *)
+  mutable max_slots : int;
   mutable width : int;        (* levels per slot, a power of two *)
+  mutable wshift : int;       (* log2 width, so adds shift instead of divide *)
   mutable max_level : int;    (* highest level seen, -1 when empty *)
   mutable total : int;
 }
 
+(* The bucket array starts small and doubles with the deepest level seen,
+   so short analyses never pay for (or zero) the full histogram; only
+   once it reaches [max_slots] does the bucket width start doubling. *)
 let create ?(slots = 65536) () =
   if slots < 2 then invalid_arg "Profile.create: slots < 2";
-  { counts = Array.make slots 0; width = 1; max_level = -1; total = 0 }
+  { counts = Array.make (min slots 256) 0; max_slots = slots; width = 1;
+    wshift = 0; max_level = -1; total = 0 }
 
 let slots t = Array.length t.counts
 
@@ -19,23 +25,40 @@ let coalesce t =
     fresh.(i) <- t.counts.(2 * i) + t.counts.((2 * i) + 1)
   done;
   t.counts <- fresh;
-  t.width <- t.width * 2
+  t.width <- t.width * 2;
+  t.wshift <- t.wshift + 1
+
+(* Make [level] addressable: enlarge the array while allowed, then
+   coarsen the bucket width. *)
+let ensure t level =
+  if Array.length t.counts < t.max_slots then begin
+    let need = (level lsr t.wshift) + 1 in
+    let n = ref (Array.length t.counts) in
+    while !n < need && !n < t.max_slots do
+      n := !n * 2
+    done;
+    let n = min !n t.max_slots in
+    if n > Array.length t.counts then begin
+      let fresh = Array.make n 0 in
+      Array.blit t.counts 0 fresh 0 (Array.length t.counts);
+      t.counts <- fresh
+    end
+  end;
+  while level lsr t.wshift >= Array.length t.counts do
+    coalesce t
+  done
 
 let add t level =
   if level < 0 then invalid_arg "Profile.add: negative level";
-  while level / t.width >= slots t do
-    coalesce t
-  done;
-  let i = level / t.width in
-  t.counts.(i) <- t.counts.(i) + 1;
+  if level lsr t.wshift >= Array.length t.counts then ensure t level;
+  let i = level lsr t.wshift in
+  Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + 1);
   t.total <- t.total + 1;
   if level > t.max_level then t.max_level <- level
 
 let add_range t lo hi =
   if lo < 0 || hi < lo then invalid_arg "Profile.add_range";
-  while hi / t.width >= slots t do
-    coalesce t
-  done;
+  if hi lsr t.wshift >= Array.length t.counts then ensure t hi;
   for slot = lo / t.width to hi / t.width do
     let slot_lo = slot * t.width and slot_hi = ((slot + 1) * t.width) - 1 in
     let overlap = min hi slot_hi - max lo slot_lo + 1 in
@@ -51,7 +74,12 @@ let of_buckets ~width ~max_level ~total counts =
     invalid_arg "Profile.of_buckets: need at least two buckets";
   if max_level < -1 || max_level >= Array.length counts * width then
     invalid_arg "Profile.of_buckets: max_level out of range";
-  { counts = Array.copy counts; width; max_level; total }
+  let wshift =
+    let rec go w acc = if w <= 1 then acc else go (w lsr 1) (acc + 1) in
+    go width 0
+  in
+  { counts = Array.copy counts; max_slots = Array.length counts; width;
+    wshift; max_level; total }
 
 let total_ops t = t.total
 let levels t = t.max_level + 1
@@ -75,7 +103,7 @@ let series t =
     !acc
   end
 
-let ops_in_bucket t i = t.counts.(i)
+let ops_in_bucket t i = if i >= Array.length t.counts then 0 else t.counts.(i)
 
 let max_ops_per_level t =
   List.fold_left (fun m (_, _, avg) -> Float.max m avg) 0.0 (series t)

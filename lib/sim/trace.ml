@@ -24,44 +24,236 @@ let pp_event ppf e =
   | None -> ());
   Format.fprintf ppf "@]"
 
-(* Growable array. The dummy cell is never exposed: [length] bounds reads. *)
-type t = { mutable events : event array; mutable len : int }
+(* --- packed flags byte ------------------------------------------------------
 
-let dummy =
-  {
-    pc = -1;
-    op_class = Ddg_isa.Opclass.Control;
-    dest = None;
-    srcs = [];
-    branch = None;
-  }
+   Bits 0-6 are exactly the flags/class byte of the binary trace format
+   (Trace_io): operation-class tag in the low four bits, then has-dest,
+   is-branch, branch-taken. Bit 7 is in-memory only: it marks rows whose
+   fourth-and-later sources spilled into the [extra] side table. *)
+
+let flags_class_mask = 0x0F
+let flags_has_dest = 0x10
+let flags_branch = 0x20
+let flags_taken = 0x40
+let flags_extra = 0x80
+
+(* --- the packed trace -------------------------------------------------------
+
+   Structure of arrays, one row per event: a flags byte, the pc, and up to
+   four location operands (one destination, three sources) as dense
+   location ids, -1 when absent. Locations are interned per trace:
+   [locs.(id)] recovers the location, [classes] holds one storage-class
+   tag byte per id. Events with more than three sources (none of the
+   simulated ISA's instructions, but the format allows up to 16) overflow
+   into the [extra] table keyed by row index. *)
+
+type t = {
+  mutable len : int;
+  mutable flags : Bytes.t;
+  mutable pcs : int array;
+  mutable dsts : int array;
+  mutable src0 : int array;
+  mutable src1 : int array;
+  mutable src2 : int array;
+  extra : (int, int array) Hashtbl.t;
+  (* location interner *)
+  mutable locs : Ddg_isa.Loc.t array;
+  mutable classes : Bytes.t;
+  ids : (int, int) Hashtbl.t;  (* Loc.to_code -> dense id *)
+  mutable num_locs : int;
+}
+
+type columns = {
+  n : int;
+  flags : Bytes.t;
+  pcs : int array;
+  dsts : int array;
+  src0 : int array;
+  src1 : int array;
+  src2 : int array;
+}
+
+let dummy_loc = Ddg_isa.Loc.Reg 0
 
 let create ?(capacity = 4096) () =
-  { events = Array.make (max 1 capacity) dummy; len = 0 }
-
-let add t e =
-  if t.len = Array.length t.events then begin
-    let bigger = Array.make (2 * t.len) dummy in
-    Array.blit t.events 0 bigger 0 t.len;
-    t.events <- bigger
-  end;
-  t.events.(t.len) <- e;
-  t.len <- t.len + 1
+  let capacity = max 1 capacity in
+  {
+    len = 0;
+    flags = Bytes.make capacity '\000';
+    pcs = Array.make capacity 0;
+    dsts = Array.make capacity (-1);
+    src0 = Array.make capacity (-1);
+    src1 = Array.make capacity (-1);
+    src2 = Array.make capacity (-1);
+    extra = Hashtbl.create 8;
+    locs = Array.make 256 dummy_loc;
+    classes = Bytes.make 256 '\000';
+    ids = Hashtbl.create 1024;
+    num_locs = 0;
+  }
 
 let length t = t.len
+let num_locs t = t.num_locs
+
+let loc_of_id t id =
+  if id < 0 || id >= t.num_locs then invalid_arg "Trace.loc_of_id";
+  t.locs.(id)
+
+let storage_classes t = t.classes
+
+let intern t loc =
+  let code = Ddg_isa.Loc.to_code loc in
+  match Hashtbl.find_opt t.ids code with
+  | Some id -> id
+  | None ->
+      let id = t.num_locs in
+      if id = Array.length t.locs then begin
+        let bigger = Array.make (2 * id) dummy_loc in
+        Array.blit t.locs 0 bigger 0 id;
+        t.locs <- bigger;
+        let bytes = Bytes.make (2 * id) '\000' in
+        Bytes.blit t.classes 0 bytes 0 id;
+        t.classes <- bytes
+      end;
+      t.locs.(id) <- loc;
+      Bytes.unsafe_set t.classes id
+        (Char.unsafe_chr
+           (Ddg_isa.Loc.storage_class_tag (Ddg_isa.Segment.storage_class_of_loc loc)));
+      Hashtbl.add t.ids code id;
+      t.num_locs <- id + 1;
+      id
+
+let find_id t loc = Hashtbl.find_opt t.ids (Ddg_isa.Loc.to_code loc)
+
+let grow (t : t) =
+  let cap = Array.length t.pcs in
+  let bigger = 2 * cap in
+  let grow_arr a =
+    let b = Array.make bigger (-1) in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  let bytes = Bytes.make bigger '\000' in
+  Bytes.blit t.flags 0 bytes 0 cap;
+  t.flags <- bytes;
+  t.pcs <- grow_arr t.pcs;
+  t.dsts <- grow_arr t.dsts;
+  t.src0 <- grow_arr t.src0;
+  t.src1 <- grow_arr t.src1;
+  t.src2 <- grow_arr t.src2
+
+(* --- row-level construction ------------------------------------------------ *)
+
+let start_row t ~flags ~pc =
+  if flags land flags_class_mask > 8 || flags land lnot 0x7F <> 0 then
+    invalid_arg "Trace.start_row: bad flags byte";
+  if t.len = Array.length t.pcs then grow t;
+  let i = t.len in
+  (* dest/extra bits are derived from the row_* calls that follow *)
+  Bytes.unsafe_set t.flags i
+    (Char.unsafe_chr (flags land lnot (flags_has_dest lor flags_extra)));
+  t.pcs.(i) <- pc;
+  t.dsts.(i) <- -1;
+  t.src0.(i) <- -1;
+  t.src1.(i) <- -1;
+  t.src2.(i) <- -1;
+  t.len <- i + 1
+
+let last_row t =
+  if t.len = 0 then invalid_arg "Trace: no current row";
+  t.len - 1
+
+let set_flag (t : t) i bit =
+  Bytes.unsafe_set t.flags i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.flags i) lor bit))
+
+let row_set_dest t loc =
+  let i = last_row t in
+  t.dsts.(i) <- intern t loc;
+  set_flag t i flags_has_dest
+
+let row_add_src t loc =
+  let i = last_row t in
+  let id = intern t loc in
+  if t.src0.(i) < 0 then t.src0.(i) <- id
+  else if t.src1.(i) < 0 then t.src1.(i) <- id
+  else if t.src2.(i) < 0 then t.src2.(i) <- id
+  else begin
+    let tail =
+      match Hashtbl.find_opt t.extra i with
+      | None ->
+          set_flag t i flags_extra;
+          [| id |]
+      | Some a ->
+          let b = Array.make (Array.length a + 1) id in
+          Array.blit a 0 b 0 (Array.length a);
+          b
+    in
+    Hashtbl.replace t.extra i tail
+  end
+
+let add t e =
+  let flags = Ddg_isa.Opclass.to_tag e.op_class in
+  let flags =
+    match e.branch with
+    | Some { taken } -> flags lor flags_branch lor (if taken then flags_taken else 0)
+    | None -> flags
+  in
+  start_row t ~flags ~pc:e.pc;
+  (match e.dest with Some d -> row_set_dest t d | None -> ());
+  List.iter (row_add_src t) e.srcs
+
+(* --- packed read access ----------------------------------------------------- *)
+
+let columns t : columns =
+  {
+    n = t.len;
+    flags = t.flags;
+    pcs = t.pcs;
+    dsts = t.dsts;
+    src0 = t.src0;
+    src1 = t.src1;
+    src2 = t.src2;
+  }
+
+let no_extra = [||]
+
+let extra_srcs t i =
+  match Hashtbl.find_opt t.extra i with Some a -> a | None -> no_extra
+
+(* --- record view ------------------------------------------------------------ *)
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Trace.get";
-  t.events.(i)
+  let flags = Char.code (Bytes.unsafe_get t.flags i) in
+  let op_class = Ddg_isa.Opclass.of_tag (flags land flags_class_mask) in
+  let dest =
+    if flags land flags_has_dest <> 0 then Some t.locs.(t.dsts.(i)) else None
+  in
+  let srcs =
+    let tail =
+      if flags land flags_extra <> 0 then
+        List.map (fun id -> t.locs.(id)) (Array.to_list (extra_srcs t i))
+      else []
+    in
+    let cons id rest = if id < 0 then rest else t.locs.(id) :: rest in
+    cons t.src0.(i) (cons t.src1.(i) (cons t.src2.(i) tail))
+  in
+  let branch =
+    if flags land flags_branch <> 0 then
+      Some { taken = flags land flags_taken <> 0 }
+    else None
+  in
+  { pc = t.pcs.(i); op_class; dest; srcs; branch }
 
 let iter f t =
   for i = 0 to t.len - 1 do
-    f t.events.(i)
+    f (get t i)
   done
 
 let iteri f t =
   for i = 0 to t.len - 1 do
-    f i t.events.(i)
+    f i (get t i)
   done
 
 let of_list events =
@@ -69,8 +261,7 @@ let of_list events =
   List.iter (add t) events;
   t
 
-let to_list t =
-  List.init t.len (fun i -> t.events.(i))
+let to_list t = List.init t.len (fun i -> get t i)
 
 let count p t =
   let n = ref 0 in

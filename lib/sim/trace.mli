@@ -10,7 +10,17 @@
     Control instructions (branches, jumps) appear in the trace — they
     occupy instruction-window slots — but create no values and are never
     placed in the DDG. Conditional branches record their outcome so that
-    branch-prediction experiments can be layered on top. *)
+    branch-prediction experiments can be layered on top.
+
+    {1 Representation}
+
+    Internally a trace is {e packed}: a structure of arrays holding one
+    flags byte, one pc and up to four operand columns per event, with
+    every storage location interned to a dense integer id ({!intern} order
+    of first reference). The {!event} record is the construction and
+    debugging view — {!add} packs a record, {!get}/{!iter} reconstruct
+    records on the fly — while the analysis hot path reads the integer
+    {!columns} directly and never allocates. *)
 
 type branch_info = { taken : bool }
 
@@ -30,7 +40,7 @@ val is_syscall : event -> bool
 
 val pp_event : Format.formatter -> event -> unit
 
-(** Growable in-memory trace buffer. *)
+(** Growable packed trace buffer. *)
 type t
 
 val create : ?capacity:int -> unit -> t
@@ -38,7 +48,8 @@ val add : t -> event -> unit
 val length : t -> int
 
 val get : t -> int -> event
-(** @raise Invalid_argument on out-of-range index. *)
+(** Reconstructs the record view of one row (allocates).
+    @raise Invalid_argument on out-of-range index. *)
 
 val iter : (event -> unit) -> t -> unit
 val iteri : (int -> event -> unit) -> t -> unit
@@ -47,3 +58,71 @@ val to_list : t -> event list
 
 val count : (event -> bool) -> t -> int
 (** Number of events satisfying a predicate. *)
+
+(** {1 Packed access}
+
+    The flags byte of a row shares bits 0-6 with the binary trace format:
+    operation-class tag ({!Ddg_isa.Opclass.to_tag}) in the low four bits,
+    then has-destination, is-conditional-branch and branch-taken bits.
+    Bit 7 ({!flags_extra}) is in-memory only and marks rows whose fourth
+    and later sources live in the {!extra_srcs} side table. *)
+
+val flags_class_mask : int
+val flags_has_dest : int
+val flags_branch : int
+val flags_taken : int
+val flags_extra : int
+
+(** A snapshot of the column arrays. Valid until the next {!add} /
+    {!start_row} (growth may replace the underlying arrays); rows
+    [0 .. n-1] are live. Operand columns hold dense location ids, [-1]
+    when the operand is absent. *)
+type columns = {
+  n : int;
+  flags : Bytes.t;
+  pcs : int array;
+  dsts : int array;
+  src0 : int array;
+  src1 : int array;
+  src2 : int array;
+}
+
+val columns : t -> columns
+
+val extra_srcs : t -> int -> int array
+(** Source ids four onward of row [i], in operand order; [[||]] for the
+    (overwhelmingly common) rows with at most three sources. Only rows
+    whose flags byte has {!flags_extra} set can return non-empty. *)
+
+(** {1 Location interning} *)
+
+val num_locs : t -> int
+(** Number of distinct locations interned; ids are [0 .. num_locs - 1]. *)
+
+val loc_of_id : t -> int -> Ddg_isa.Loc.t
+(** @raise Invalid_argument on out-of-range id. *)
+
+val find_id : t -> Ddg_isa.Loc.t -> int option
+(** The id of a location, if it appears in the trace. *)
+
+val storage_classes : t -> Bytes.t
+(** Byte [id] is the {!Ddg_isa.Loc.storage_class_tag} of location [id]
+    (indices at or beyond {!num_locs} are unspecified). The analyzer reads
+    destination storage classes from here instead of re-classifying
+    addresses per event. *)
+
+(** {1 Row-level construction}
+
+    The streaming build interface used by [Trace_io] (and by {!add}): open
+    a row with its flags byte and pc, then attach operands. The
+    has-destination and extra bits of [flags] are maintained automatically. *)
+
+val start_row : t -> flags:int -> pc:int -> unit
+(** @raise Invalid_argument if the class tag is out of range or bit 7 is
+    set. *)
+
+val row_set_dest : t -> Ddg_isa.Loc.t -> unit
+(** Set the destination of the last started row. *)
+
+val row_add_src : t -> Ddg_isa.Loc.t -> unit
+(** Append a source operand to the last started row. *)

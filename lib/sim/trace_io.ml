@@ -30,31 +30,7 @@ let read_varint ic =
   in
   go 0 0
 
-(* --- classes and locations ------------------------------------------------ *)
-
-let class_code (c : Ddg_isa.Opclass.t) =
-  match c with
-  | Int_alu -> 0
-  | Int_multiply -> 1
-  | Int_divide -> 2
-  | Fp_add_sub -> 3
-  | Fp_multiply -> 4
-  | Fp_divide -> 5
-  | Load_store -> 6
-  | Syscall -> 7
-  | Control -> 8
-
-let class_of_code = function
-  | 0 -> Ddg_isa.Opclass.Int_alu
-  | 1 -> Ddg_isa.Opclass.Int_multiply
-  | 2 -> Ddg_isa.Opclass.Int_divide
-  | 3 -> Ddg_isa.Opclass.Fp_add_sub
-  | 4 -> Ddg_isa.Opclass.Fp_multiply
-  | 5 -> Ddg_isa.Opclass.Fp_divide
-  | 6 -> Ddg_isa.Opclass.Load_store
-  | 7 -> Ddg_isa.Opclass.Syscall
-  | 8 -> Ddg_isa.Opclass.Control
-  | k -> corrupt "unknown operation class %d" k
+(* --- locations ------------------------------------------------------------ *)
 
 let write_loc oc (loc : Ddg_isa.Loc.t) =
   match loc with
@@ -80,11 +56,13 @@ let read_loc ic : Ddg_isa.Loc.t =
 (* --- events ----------------------------------------------------------------- *)
 
 let write_event oc (e : Trace.event) =
-  let flags = class_code e.op_class in
-  let flags = if e.dest <> None then flags lor 0x10 else flags in
+  let flags = Ddg_isa.Opclass.to_tag e.op_class in
+  let flags = if e.dest <> None then flags lor Trace.flags_has_dest else flags in
   let flags =
     match e.branch with
-    | Some { Trace.taken } -> flags lor 0x20 lor (if taken then 0x40 else 0)
+    | Some { Trace.taken } ->
+        flags lor Trace.flags_branch
+        lor (if taken then Trace.flags_taken else 0)
     | None -> flags
   in
   output_byte oc flags;
@@ -94,14 +72,19 @@ let write_event oc (e : Trace.event) =
   List.iter (write_loc oc) e.srcs
 
 let read_event ic flags : Trace.event =
-  let op_class = class_of_code (flags land 0x0F) in
+  if flags land Trace.flags_class_mask > 8 then
+    corrupt "unknown operation class %d" (flags land Trace.flags_class_mask);
+  let op_class = Ddg_isa.Opclass.of_tag (flags land Trace.flags_class_mask) in
   let pc = read_varint ic in
-  let dest = if flags land 0x10 <> 0 then Some (read_loc ic) else None in
+  let dest =
+    if flags land Trace.flags_has_dest <> 0 then Some (read_loc ic) else None
+  in
   let nsrcs = read_varint ic in
   if nsrcs > 16 then corrupt "implausible source count %d" nsrcs;
   let srcs = List.init nsrcs (fun _ -> read_loc ic) in
   let branch =
-    if flags land 0x20 <> 0 then Some { Trace.taken = flags land 0x40 <> 0 }
+    if flags land Trace.flags_branch <> 0 then
+      Some { Trace.taken = flags land Trace.flags_taken <> 0 }
     else None
   in
   { Trace.pc; op_class; dest; srcs; branch }
@@ -114,10 +97,36 @@ let writer oc =
   let close () = output_byte oc terminator in
   (emit, close)
 
+(* Write straight from the packed columns: the in-memory flags byte is the
+   file's flags byte (minus the in-memory extra bit), operand ids resolve
+   through the trace's interner. *)
 let write_channel oc trace =
-  let emit, close = writer oc in
-  Trace.iter emit trace;
-  close ()
+  output_string oc magic;
+  let cols = Trace.columns trace in
+  for i = 0 to cols.n - 1 do
+    let flags = Char.code (Bytes.unsafe_get cols.flags i) in
+    output_byte oc (flags land lnot Trace.flags_extra);
+    write_varint oc cols.pcs.(i);
+    let d = cols.dsts.(i) in
+    if d >= 0 then write_loc oc (Trace.loc_of_id trace d);
+    let s0 = cols.src0.(i) and s1 = cols.src1.(i) and s2 = cols.src2.(i) in
+    let extra =
+      if flags land Trace.flags_extra <> 0 then Trace.extra_srcs trace i
+      else [||]
+    in
+    let nsrcs =
+      (if s0 >= 0 then 1 else 0)
+      + (if s1 >= 0 then 1 else 0)
+      + (if s2 >= 0 then 1 else 0)
+      + Array.length extra
+    in
+    write_varint oc nsrcs;
+    if s0 >= 0 then write_loc oc (Trace.loc_of_id trace s0);
+    if s1 >= 0 then write_loc oc (Trace.loc_of_id trace s1);
+    if s2 >= 0 then write_loc oc (Trace.loc_of_id trace s2);
+    Array.iter (fun id -> write_loc oc (Trace.loc_of_id trace id)) extra
+  done;
+  output_byte oc terminator
 
 let write_file path trace =
   let oc = open_out_bin path in
@@ -141,9 +150,31 @@ let fold_channel ic ~init ~f =
   in
   go init
 
+(* Read straight into the packed columns, interning locations as they
+   stream past, without materialising event records. *)
 let read_channel ic =
+  check_magic ic;
   let trace = Trace.create () in
-  fold_channel ic ~init:() ~f:(fun () e -> Trace.add trace e);
+  let rec go () =
+    let flags =
+      try input_byte ic with End_of_file -> corrupt "missing terminator"
+    in
+    if flags <> terminator then begin
+      if flags land Trace.flags_class_mask > 8 then
+        corrupt "unknown operation class %d" (flags land Trace.flags_class_mask);
+      let pc = read_varint ic in
+      Trace.start_row trace ~flags:(flags land 0x7F) ~pc;
+      if flags land Trace.flags_has_dest <> 0 then
+        Trace.row_set_dest trace (read_loc ic);
+      let nsrcs = read_varint ic in
+      if nsrcs > 16 then corrupt "implausible source count %d" nsrcs;
+      for _ = 1 to nsrcs do
+        Trace.row_add_src trace (read_loc ic)
+      done;
+      go ()
+    end
+  in
+  go ();
   trace
 
 let read_file path =

@@ -7,12 +7,18 @@
     4-8 bytes per event for typical code.
 
     Format (version 1): the 8-byte magic ["DDGTRC01"], then per event one
-    flags/class byte (low 4 bits: operation class; bit 4: has
-    destination; bit 5: is conditional branch; bit 6: branch taken), a
-    varint pc, the destination location if present, a source count and
-    the source locations. Locations are a tag byte (0 register, 1 float
-    register, 2 memory) followed by a varint. A 0xFF flags byte
-    terminates the stream. *)
+    flags/class byte (low 4 bits: operation class, as
+    {!Ddg_isa.Opclass.to_tag}; bit 4: has destination; bit 5: is
+    conditional branch; bit 6: branch taken), a varint pc, the
+    destination location if present, a source count and the source
+    locations. Locations are a tag byte (0 register, 1 float register, 2
+    memory) followed by a varint. A 0xFF flags byte terminates the
+    stream.
+
+    The flags byte is bit-for-bit the flags byte of the packed in-memory
+    trace ({!Trace.columns}), so whole traces are written from and read
+    into the packed columns directly, without materialising event
+    records. *)
 
 exception Corrupt of string
 (** Raised by the readers on malformed input. *)

@@ -153,6 +153,43 @@ let prop_traces_analyzable =
       && stats.critical_path >= 1
       && none.critical_path >= stats.critical_path)
 
+(* Real compiled traces (not just synthetic events) down the three
+   analysis paths: packed columns, record events, and the fused
+   multi-config engine must agree exactly. *)
+let fuzz_configs =
+  Ddg_paragraph.Config.
+    [ default; dataflow;
+      with_renaming rename_none default;
+      with_window (Some 32) default ]
+
+let prop_compiled_paths_agree =
+  QCheck.Test.make ~name:"compiled traces: packed, record and fused agree"
+    ~count:30 arb_program (fun source ->
+      let _, trace = Driver.run_to_trace ~max_instructions:2_000_000 source in
+      let events = Ddg_sim.Trace.to_list trace in
+      let seq =
+        List.map
+          (fun c -> Ddg_paragraph.Analyzer.analyze c trace)
+          fuzz_configs
+      in
+      let fused = Ddg_paragraph.Analyzer.analyze_many fuzz_configs trace in
+      let agree (a : Ddg_paragraph.Analyzer.stats)
+          (b : Ddg_paragraph.Analyzer.stats) =
+        a.events = b.events
+        && a.placed_ops = b.placed_ops
+        && a.syscalls = b.syscalls
+        && a.critical_path = b.critical_path
+        && a.available_parallelism = b.available_parallelism
+        && a.live_locations = b.live_locations
+      in
+      List.for_all2 agree seq fused
+      && List.for_all2
+           (fun config (packed : Ddg_paragraph.Analyzer.stats) ->
+             let t = Ddg_paragraph.Analyzer.create config in
+             List.iter (Ddg_paragraph.Analyzer.feed t) events;
+             agree packed (Ddg_paragraph.Analyzer.finish t))
+           fuzz_configs seq)
+
 let prop_unrolled_trace_not_longer_dynamically =
   QCheck.Test.make
     ~name:"unrolling never increases the dynamic instruction count by much"
@@ -167,4 +204,5 @@ let tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_levels_agree;
       prop_traces_analyzable;
+      prop_compiled_paths_agree;
       prop_unrolled_trace_not_longer_dynamically ]

@@ -69,7 +69,19 @@ let gen_event =
       { Trace.pc; op_class = Opclass.Control; dest = None; srcs;
         branch = Some { Trace.taken } }
   in
-  frequency [ (4, alu); (2, fp); (3, load); (3, store); (1, syscall); (2, branch) ]
+  (* more sources than the packed trace's three inline columns, to
+     exercise the extra-source overflow table *)
+  let wide =
+    let* cls = oneofl [ Opclass.Int_alu; Opclass.Fp_add_sub ] in
+    let* dest = gen_reg in
+    let* srcs =
+      list_size (int_range 4 6) (oneof [ gen_reg; gen_freg; gen_mem ])
+    in
+    return { Trace.pc; op_class = cls; dest = Some dest; srcs; branch = None }
+  in
+  frequency
+    [ (4, alu); (2, fp); (3, load); (3, store); (1, syscall); (2, branch);
+      (1, wide) ]
 
 let print_event e = Format.asprintf "%a" Trace.pp_event e
 
@@ -218,6 +230,45 @@ let prop_feed_incremental =
       direct.critical_path = inc.critical_path
       && direct.placed_ops = inc.placed_ops
       && direct.available_parallelism = inc.available_parallelism)
+
+(* Full-stats equality, for the equivalence properties between the
+   packed, record-event and fused analysis paths. *)
+let stats_equal (a : Analyzer.stats) (b : Analyzer.stats) =
+  a.events = b.events
+  && a.placed_ops = b.placed_ops
+  && a.syscalls = b.syscalls
+  && a.critical_path = b.critical_path
+  && a.available_parallelism = b.available_parallelism
+  && a.live_locations = b.live_locations
+  && a.mispredicts = b.mispredicts
+  && Profile.series a.profile = Profile.series b.profile
+  && Profile.series a.storage_profile = Profile.series b.storage_profile
+  && Dist.buckets a.lifetimes = Dist.buckets b.lifetimes
+  && Dist.buckets a.sharing = Dist.buckets b.sharing
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"packed trace roundtrips events" ~count:300
+    arb_trace (fun events -> Trace.to_list (Trace.of_list events) = events)
+
+let prop_packed_equals_record =
+  QCheck.Test.make ~name:"packed path equals record path (all switches)"
+    ~count:300 arb_trace_and_config (fun (events, config) ->
+      let trace = Trace.of_list events in
+      let packed = Analyzer.analyze config trace in
+      let t = Analyzer.create config in
+      List.iter (Analyzer.feed t) events;
+      stats_equal packed (Analyzer.finish t))
+
+let prop_analyze_many_equals_map =
+  QCheck.Test.make ~name:"analyze_many equals map analyze" ~count:100
+    (QCheck.pair arb_trace
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 8) arb_config))
+    (fun (events, configs) ->
+      let trace = Trace.of_list events in
+      let fused = Analyzer.analyze_many configs trace in
+      let seq = List.map (fun c -> Analyzer.analyze c trace) configs in
+      List.length fused = List.length seq
+      && List.for_all2 stats_equal fused seq)
 
 (* --- container properties ---------------------------------------------------- *)
 
@@ -386,6 +437,9 @@ let tests =
       prop_critical_path_bounds;
       prop_parallelism_at_most_ops;
       prop_feed_incremental;
+      prop_trace_roundtrip;
+      prop_packed_equals_record;
+      prop_analyze_many_equals_map;
       prop_partition_sharing_conserves;
       prop_two_pass_equivalent;
       prop_intervals_match_add_range;
