@@ -7,39 +7,75 @@
    section, and the seed-revision baselines they are compared against).
 
    Usage: main.exe [--size tiny|default|large] [--only SECTION]
-   [--no-micro] [--json PATH] where SECTION is one of table1 table2
-   table3 table4 fig7 fig8 extras resources branches compiler. *)
+   [--no-micro] [--json PATH] [-j N] [--cache-dir DIR] [--no-cache]
+   [--cache-bench] where SECTION is one of table1 table2 table3 table4
+   fig7 fig8 extras resources branches compiler.
+
+   The harness runs uncached unless --cache-dir is given (committed
+   BENCH.json numbers must measure compute, not cache hits); -j sizes
+   the prefetch job-engine domain pool. --cache-bench additionally
+   benchmarks the store + job engine themselves — cold prefetch at -j 1,
+   cold at -j N, then a warm-store prefetch that must be fully cache-hot
+   (zero simulations, zero analyses; the harness exits nonzero
+   otherwise) — and records all three wall times in BENCH.json. *)
 
 open Ddg_experiments
 
+type opts = {
+  size : Ddg_workloads.Workload.size;
+  only : string option;
+  micro : bool;
+  json_path : string;
+  jobs : int;
+  cache_dir : string option;
+  no_cache : bool;
+  cache_bench : bool;
+}
+
 let parse_args () =
-  let size = ref Ddg_workloads.Workload.Default in
-  let only = ref None in
-  let micro = ref true in
-  let json_path = ref "BENCH.json" in
+  let o =
+    ref
+      { size = Ddg_workloads.Workload.Default; only = None; micro = true;
+        json_path = "BENCH.json"; jobs = 1; cache_dir = None;
+        no_cache = false; cache_bench = false }
+  in
   let rec go = function
     | [] -> ()
     | "--size" :: s :: rest ->
-        size :=
-          (match s with
-          | "tiny" -> Ddg_workloads.Workload.Tiny
-          | "default" -> Ddg_workloads.Workload.Default
-          | "large" -> Ddg_workloads.Workload.Large
-          | _ -> failwith ("unknown size " ^ s));
+        o :=
+          { !o with
+            size =
+              (match s with
+              | "tiny" -> Ddg_workloads.Workload.Tiny
+              | "default" -> Ddg_workloads.Workload.Default
+              | "large" -> Ddg_workloads.Workload.Large
+              | _ -> failwith ("unknown size " ^ s)) };
         go rest
     | "--only" :: s :: rest ->
-        only := Some s;
+        o := { !o with only = Some s };
         go rest
     | "--no-micro" :: rest ->
-        micro := false;
+        o := { !o with micro = false };
         go rest
     | "--json" :: p :: rest ->
-        json_path := p;
+        o := { !o with json_path = p };
+        go rest
+    | "-j" :: n :: rest | "--jobs" :: n :: rest ->
+        o := { !o with jobs = max 1 (int_of_string n) };
+        go rest
+    | "--cache-dir" :: d :: rest ->
+        o := { !o with cache_dir = Some d };
+        go rest
+    | "--no-cache" :: rest ->
+        o := { !o with no_cache = true };
+        go rest
+    | "--cache-bench" :: rest ->
+        o := { !o with cache_bench = true };
         go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!size, !only, !micro, !json_path)
+  !o
 
 let section_banner name =
   let bar = String.make 72 '=' in
@@ -188,9 +224,96 @@ let microbenchmarks () =
   print_newline ();
   (events, measured, nconfigs, fused_speedup)
 
+(* --- the suite's configuration list --------------------------------------- *)
+
+(* One job per (workload, switch combination) used by any section,
+   analyzed per workload in fused passes. *)
+let all_configs =
+  let open Ddg_paragraph.Config in
+  [ default; dataflow ]
+  @ List.map (fun r -> with_renaming r default)
+      [ rename_none; rename_registers_only; rename_registers_stack ]
+  @ List.map (fun w -> with_window (Some w) default) Fig8.window_sizes
+  @ List.map
+      (fun k -> with_fu { unlimited_fu with total = Some k } default)
+      Ablation.fu_limits
+  @ List.map (fun (_, p) -> with_branch p default)
+      [ ("taken", Predict_taken); ("not-taken", Predict_not_taken);
+        ("2bit", Two_bit 12) ]
+
+let suite_jobs runner =
+  List.concat_map
+    (fun w -> List.map (fun c -> (w, c)) all_configs)
+    (Runner.workloads runner)
+
+(* --- cache / job-engine benchmark ------------------------------------------ *)
+
+type cache_bench_result = {
+  cb_workers : int;
+  cb_suite_jobs : int;
+  cb_cold_j1 : float;   (* fresh store, sequential *)
+  cb_cold_jn : float;   (* fresh store, -j N domain pool *)
+  cb_warm : float;      (* warm store: must be fully cache-hot *)
+}
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let run_cache_bench ~size ~workers =
+  let fresh tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg-cache-bench-%d-%s" (Unix.getpid ()) tag)
+  in
+  let prefetch_with ~dir ~workers =
+    let tracing = ref 0 and analyzing = ref 0 in
+    let progress msg =
+      if String.starts_with ~prefix:"tracing " msg then incr tracing;
+      if String.starts_with ~prefix:"analyzing " msg then incr analyzing
+    in
+    let store = Ddg_store.Store.open_ ~dir () in
+    let runner = Runner.create ~size ~progress ~store ~workers () in
+    let jobs = suite_jobs runner in
+    let t0 = Unix.gettimeofday () in
+    Runner.prefetch runner jobs;
+    (Unix.gettimeofday () -. t0, !tracing, !analyzing, List.length jobs)
+  in
+  let dir1 = fresh "j1" and dirn = fresh "jn" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir1;
+      rm_rf dirn)
+    (fun () ->
+      Printf.eprintf "cache-bench: cold prefetch, -j 1\n%!";
+      let cold_j1, _, _, njobs = prefetch_with ~dir:dir1 ~workers:1 in
+      Printf.eprintf "cache-bench: cold prefetch, -j %d\n%!" workers;
+      let cold_jn, _, _, _ = prefetch_with ~dir:dirn ~workers in
+      Printf.eprintf "cache-bench: warm prefetch against the -j %d store\n%!"
+        workers;
+      let warm, tr, an, _ = prefetch_with ~dir:dirn ~workers in
+      if tr > 0 || an > 0 then begin
+        Printf.eprintf
+          "cache-bench: warm run recomputed (%d simulations, %d fused \
+           analyses) - the store is not cache-hot\n%!"
+          tr an;
+        exit 1
+      end;
+      Printf.printf
+        "cache bench (%d suite jobs): cold -j1 %.2fs, cold -j%d %.2fs, warm \
+         %.2fs (warm is cache-hot, %.1fx over cold -j1)\n"
+        njobs cold_j1 workers cold_jn warm
+        (if warm > 0.0 then cold_j1 /. warm else 0.0);
+      { cb_workers = workers; cb_suite_jobs = njobs; cb_cold_j1 = cold_j1;
+        cb_cold_jn = cold_jn; cb_warm = warm })
+
 (* --- BENCH.json ---------------------------------------------------------- *)
 
-let write_bench_json path ~size ~sections ~micro =
+let write_bench_json path ~size ~sections ~micro ~cache =
   let open Ddg_report.Json in
   let micro_fields =
     match micro with
@@ -222,6 +345,26 @@ let write_bench_json path ~size ~sections ~micro =
                         | Some s -> Float s
                         | None -> Null ) ] ) ] ) ]
   in
+  let cache_fields =
+    match cache with
+    | None -> []
+    | Some c ->
+        [ ( "cache",
+            Obj
+              [ ("workers", Int c.cb_workers);
+                ("suite_jobs", Int c.cb_suite_jobs);
+                ("cold_j1_seconds", Float c.cb_cold_j1);
+                ( Printf.sprintf "cold_j%d_seconds" c.cb_workers,
+                  Float c.cb_cold_jn );
+                ("warm_seconds", Float c.cb_warm);
+                ( "parallel_speedup",
+                  if c.cb_cold_jn > 0.0 then Float (c.cb_cold_j1 /. c.cb_cold_jn)
+                  else Null );
+                ( "warm_speedup",
+                  if c.cb_warm > 0.0 then Float (c.cb_cold_j1 /. c.cb_warm)
+                  else Null );
+                ("warm_run_cache_hot", Bool true) ] ) ]
+  in
   let json =
     Obj
       ([ ("size", String (Ddg_workloads.Workload.size_to_string size));
@@ -235,7 +378,7 @@ let write_bench_json path ~size ~sections ~micro =
                     [ ("name", String name);
                       ("wall_seconds", Float seconds) ])
                 (List.rev sections)) ) ]
-      @ micro_fields)
+      @ cache_fields @ micro_fields)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -245,32 +388,20 @@ let write_bench_json path ~size ~sections ~micro =
 (* --- main ------------------------------------------------------------------ *)
 
 let () =
-  let size, only, micro, json_path = parse_args () in
+  let { size; only; micro; json_path; jobs = workers; cache_dir; no_cache;
+        cache_bench } =
+    parse_args ()
+  in
   let t0 = Unix.gettimeofday () in
   let progress msg =
     Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
   in
-  let runner = Runner.create ~size ~progress () in
-  (* fill the analysis cache: one job per (workload, switch combination)
-     used by any section, analyzed per workload in fused passes *)
-  let all_configs =
-    let open Ddg_paragraph.Config in
-    [ default; dataflow ]
-    @ List.map (fun r -> with_renaming r default)
-        [ rename_none; rename_registers_only; rename_registers_stack ]
-    @ List.map (fun w -> with_window (Some w) default) Fig8.window_sizes
-    @ List.map
-        (fun k -> with_fu { unlimited_fu with total = Some k } default)
-        Ablation.fu_limits
-    @ List.map (fun (_, p) -> with_branch p default)
-        [ ("taken", Predict_taken); ("not-taken", Predict_not_taken);
-          ("2bit", Two_bit 12) ]
+  let store =
+    if no_cache then None
+    else Option.map (fun dir -> Ddg_store.Store.open_ ~dir ()) cache_dir
   in
-  let jobs =
-    List.concat_map
-      (fun w -> List.map (fun c -> (w, c)) all_configs)
-      (Runner.workloads runner)
-  in
+  let runner = Runner.create ~size ~progress ?store ~workers () in
+  let jobs = suite_jobs runner in
   let section_times = ref [] in
   let timed name f =
     let t = Unix.gettimeofday () in
@@ -317,8 +448,15 @@ let () =
     end
     else None
   in
+  let cache_results =
+    if cache_bench then begin
+      section_banner "cache + job-engine benchmark";
+      Some (timed "cache-bench" (fun () -> run_cache_bench ~size ~workers))
+    end
+    else None
+  in
   write_bench_json json_path ~size ~sections:!section_times
-    ~micro:micro_results;
+    ~micro:micro_results ~cache:cache_results;
   Printf.eprintf "[%7.1fs] done (%s written)\n%!"
     (Unix.gettimeofday () -. t0)
     json_path

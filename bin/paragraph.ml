@@ -16,29 +16,45 @@ open Ddg_paragraph
 
 type source = Workload_name of string | Minic_file of string | Asm_file of string
 
+(* One-line error + nonzero exit: missing or unreadable input files and
+   corrupt traces are user errors, not reasons for a backtrace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("paragraph: " ^ msg);
+      exit 2)
+    fmt
+
+let read_source path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> die "%s" msg
+
 let load_program = function
   | Workload_name name -> (
       match Ddg_workloads.Registry.find name with
       | Some w -> Ddg_workloads.Workload.program w Ddg_workloads.Workload.Default
       | None -> failwith (Printf.sprintf "unknown workload %S" name))
   | Minic_file path -> (
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let source = really_input_string ic n in
-      close_in ic;
+      let source = read_source path in
       try Ddg_minic.Driver.compile source
       with Ddg_minic.Driver.Error { line; msg } ->
         failwith (Printf.sprintf "%s:%d: %s" path line msg))
   | Asm_file path -> (
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let source = really_input_string ic n in
-      close_in ic;
+      let source = read_source path in
       try Ddg_asm.Assembler.assemble_string source
       with
       | Ddg_asm.Parser.Error { lineno; msg }
       | Ddg_asm.Assembler.Error { lineno; msg } ->
           failwith (Printf.sprintf "%s:%d: %s" path lineno msg))
+
+let read_trace_file path =
+  try Ddg_sim.Trace_io.read_file path with
+  | Ddg_sim.Trace_io.Corrupt msg -> die "%s: corrupt trace file: %s" path msg
+  | Sys_error msg -> die "%s" msg
 
 let classify_input input =
   if Filename.check_suffix input ".mc" || Filename.check_suffix input ".c"
@@ -51,7 +67,7 @@ let classify_input input =
    a saved trace file (no simulation happens) *)
 let trace_and_program_of_input input ~max_instructions =
   if Filename.check_suffix input ".trace" then
-    (None, None, Ddg_sim.Trace_io.read_file input)
+    (None, None, read_trace_file input)
   else begin
     let program = load_program (classify_input input) in
     let result, trace =
@@ -528,19 +544,52 @@ let size_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress on stderr.")
 
-let runner_of size verbose =
+let jobs_arg =
+  let doc =
+    "Parallel jobs: simulate and analyze up to $(docv) workloads \
+     concurrently (results are identical for any value)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Artifact store directory for traces and analysis results (default \
+     ~/.cache/ddg; see $(b,--no-cache))."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the on-disk artifact store (memory cache only)." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let runner_of size verbose jobs cache_dir no_cache =
   let progress =
     if verbose then fun msg -> Printf.eprintf "%s\n%!" msg else fun _ -> ()
   in
-  Ddg_experiments.Runner.create ~size ~progress ()
+  let store =
+    if no_cache then None
+    else
+      match Ddg_store.Store.open_ ?dir:cache_dir () with
+      | store -> Some store
+      | exception Sys_error msg ->
+          Printf.eprintf "paragraph: cannot open artifact store (%s); \
+                          continuing without cache\n%!"
+            msg;
+          None
+  in
+  Ddg_experiments.Runner.create ~size ~progress ?store ~workers:jobs ()
+
+let runner_term =
+  Term.(
+    const runner_of $ size_arg $ verbose_arg $ jobs_arg $ cache_dir_arg
+    $ no_cache_arg)
 
 let paper_cmd name doc render =
-  let run size verbose = print_string (render (runner_of size verbose)) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ size_arg $ verbose_arg)
+  let run runner = print_string (render runner) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ runner_term)
 
 let fig7_csv_cmd =
-  let run size verbose workload =
-    let runner = runner_of size verbose in
+  let run runner workload =
     match Ddg_workloads.Registry.find workload with
     | Some w -> print_string (Ddg_experiments.Fig7.csv runner w)
     | None -> failwith ("unknown workload " ^ workload)
@@ -550,15 +599,13 @@ let fig7_csv_cmd =
   in
   Cmd.v
     (Cmd.info "fig7-csv" ~doc:"Figure 7 series for one workload, as CSV.")
-    Term.(const run $ size_arg $ verbose_arg $ workload)
+    Term.(const run $ runner_term $ workload)
 
 let fig8_csv_cmd =
-  let run size verbose =
-    print_string (Ddg_experiments.Fig8.csv (runner_of size verbose))
-  in
+  let run runner = print_string (Ddg_experiments.Fig8.csv runner) in
   Cmd.v
     (Cmd.info "fig8-csv" ~doc:"Figure 8 series for all workloads, as CSV.")
-    Term.(const run $ size_arg $ verbose_arg)
+    Term.(const run $ runner_term)
 
 let main =
   let doc =

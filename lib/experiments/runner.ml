@@ -1,66 +1,191 @@
 open Ddg_workloads
+module Store = Ddg_store.Store
+module Jobs = Ddg_jobs.Engine
 
 type t = {
   size : Workload.size;
   progress : string -> unit;
+  store : Store.t option;
+  workers : int;
+  lock : Mutex.t;  (* guards the two memory caches *)
   traces : (string, Ddg_sim.Machine.result * Ddg_sim.Trace.t) Hashtbl.t;
   stats : (string * string, Ddg_paragraph.Analyzer.stats) Hashtbl.t;
 }
 
-let create ?(size = Workload.Default) ?(progress = fun _ -> ()) () =
-  { size; progress; traces = Hashtbl.create 16; stats = Hashtbl.create 64 }
+let create ?(size = Workload.Default) ?(progress = fun _ -> ()) ?store
+    ?(workers = 1) () =
+  { size; progress; store; workers = max 1 workers; lock = Mutex.create ();
+    traces = Hashtbl.create 16; stats = Hashtbl.create 64 }
 
 let size t = t.size
 let workloads _ = Registry.all
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- store keys ------------------------------------------------------------ *)
+
+let trace_key t (w : Workload.t) =
+  Printf.sprintf "%s/%s/%s" w.name
+    (Workload.size_to_string t.size)
+    Ddg_sim.Trace_io.format_version
+
+let stats_key t (w : Workload.t) config =
+  Printf.sprintf "%s/%s/analyzer-v%d" (trace_key t w)
+    (Ddg_paragraph.Config.describe config)
+    Ddg_paragraph.Stats_codec.version
+
+(* --- trace artifacts: a Machine.result header, then the trace stream ------- *)
+
+let write_result oc (r : Ddg_sim.Machine.result) =
+  (match r.stop with
+  | Ddg_sim.Machine.Halted -> Store.write_varint oc 0
+  | Ddg_sim.Machine.Instruction_limit -> Store.write_varint oc 1
+  | Ddg_sim.Machine.Fault msg ->
+      Store.write_varint oc 2;
+      Store.write_string oc msg);
+  Store.write_varint oc r.instructions;
+  Store.write_varint oc r.syscalls;
+  Store.write_string oc r.output;
+  Store.write_varint oc r.memory_footprint
+
+let read_result ic : Ddg_sim.Machine.result =
+  let stop =
+    match Store.read_varint ic with
+    | 0 -> Ddg_sim.Machine.Halted
+    | 1 -> Ddg_sim.Machine.Instruction_limit
+    | 2 -> Ddg_sim.Machine.Fault (Store.read_string ic)
+    | k -> raise (Store.Corrupt (Printf.sprintf "bad stop tag %d" k))
+  in
+  let instructions = Store.read_varint ic in
+  let syscalls = Store.read_varint ic in
+  let output = Store.read_string ic in
+  let memory_footprint = Store.read_varint ic in
+  { Ddg_sim.Machine.stop; instructions; syscalls; output; memory_footprint }
+
+(* A failed cache write (disk full, permissions) degrades to uncached
+   operation; it never fails the experiment. *)
+let try_put t ~kind ~key ~wall write_payload =
+  match t.store with
+  | None -> ()
+  | Some s -> (
+      try Store.put s ~kind ~key ~wall write_payload
+      with Sys_error msg ->
+        t.progress (Printf.sprintf "store write failed (%s): %s" kind msg))
+
 let trace t (w : Workload.t) =
-  match Hashtbl.find_opt t.traces w.name with
+  match locked t (fun () -> Hashtbl.find_opt t.traces w.name) with
   | Some cached -> cached
   | None ->
-      t.progress (Printf.sprintf "tracing %s (%s)" w.name
-           (Workload.size_to_string t.size));
-      let result, tr = Workload.trace w t.size in
-      (match result.stop with
-      | Ddg_sim.Machine.Halted -> ()
-      | s ->
-          failwith
-            (Format.asprintf "workload %s did not halt: %a" w.name
-               Ddg_sim.Machine.pp_stop_reason s));
-      Hashtbl.replace t.traces w.name (result, tr);
-      (result, tr)
+      let from_store =
+        match t.store with
+        | None -> None
+        | Some s ->
+            Store.find s ~kind:"trace" ~key:(trace_key t w) (fun ic ->
+                let result = read_result ic in
+                let tr = Ddg_sim.Trace_io.read_channel ic in
+                (result, tr))
+      in
+      let v =
+        match from_store with
+        | Some v ->
+            t.progress (Printf.sprintf "store hit: %s trace" w.name);
+            v
+        | None ->
+            t.progress
+              (Printf.sprintf "tracing %s (%s)" w.name
+                 (Workload.size_to_string t.size));
+            let t0 = Unix.gettimeofday () in
+            let result, tr = Workload.trace w t.size in
+            (match result.stop with
+            | Ddg_sim.Machine.Halted -> ()
+            | s ->
+                failwith
+                  (Format.asprintf "workload %s did not halt: %a" w.name
+                     Ddg_sim.Machine.pp_stop_reason s));
+            try_put t ~kind:"trace" ~key:(trace_key t w)
+              ~wall:(Unix.gettimeofday () -. t0)
+              (fun oc ->
+                write_result oc result;
+                Ddg_sim.Trace_io.write_channel oc tr);
+            (result, tr)
+      in
+      locked t (fun () -> Hashtbl.replace t.traces w.name v);
+      v
+
+(* --- analysis -------------------------------------------------------------- *)
+
+let find_store_stats t w config =
+  match t.store with
+  | None -> None
+  | Some s ->
+      Store.find s ~kind:"stats" ~key:(stats_key t w config)
+        Ddg_paragraph.Stats_codec.read
 
 let analyze t (w : Workload.t) config =
   let key = (w.Workload.name, Ddg_paragraph.Config.describe config) in
-  match Hashtbl.find_opt t.stats key with
+  match locked t (fun () -> Hashtbl.find_opt t.stats key) with
   | Some cached -> cached
   | None ->
-      let _, tr = trace t w in
-      t.progress
-        (Printf.sprintf "analyzing %s under %s" w.name (snd key));
-      let stats = Ddg_paragraph.Analyzer.analyze config tr in
-      Hashtbl.replace t.stats key stats;
+      let stats =
+        match find_store_stats t w config with
+        | Some s ->
+            t.progress
+              (Printf.sprintf "store hit: %s stats [%s]" w.name (snd key));
+            s
+        | None ->
+            let _, tr = trace t w in
+            t.progress
+              (Printf.sprintf "analyzing %s under %s" w.name (snd key));
+            let t0 = Unix.gettimeofday () in
+            let s = Ddg_paragraph.Analyzer.analyze config tr in
+            try_put t ~kind:"stats" ~key:(stats_key t w config)
+              ~wall:(Unix.gettimeofday () -. t0)
+              (fun oc -> Ddg_paragraph.Stats_codec.write oc s);
+            s
+      in
+      locked t (fun () -> Hashtbl.replace t.stats key stats);
       stats
 
-(* Cache fill: simulate any missing traces first (sequentially, so
-   nothing is simulated twice), then analyze each workload's pending
-   configurations in one fused trace pass ({!Analyzer.analyze_many},
-   which spreads its config groups over domains itself — so workloads
-   run one after another to avoid nesting domain pools). *)
+(* Cache fill, three layers deep: jobs already in the memory cache are
+   dropped; stats present in the disk store are loaded without touching
+   (or simulating) any trace; whatever remains becomes a job graph — one
+   simulate job per workload feeding one fused-analysis job
+   ({!Analyzer.analyze_many}) for that workload's pending configurations
+   — executed on a fixed pool of [workers] domains. analyze_many's
+   internal domain use is bounded by the pool width so the two levels of
+   parallelism compose without oversubscription; the bound changes
+   scheduling only, so results are identical whatever [workers] is. *)
 let prefetch t jobs =
   let seen = Hashtbl.create 64 in
-  let jobs =
+  let pending =
     List.filter
       (fun ((w : Workload.t), config) ->
         let key = (w.name, Ddg_paragraph.Config.describe config) in
-        if Hashtbl.mem t.stats key || Hashtbl.mem seen key then false
+        if locked t (fun () -> Hashtbl.mem t.stats key) || Hashtbl.mem seen key
+        then false
         else begin
           Hashtbl.add seen key ();
           true
         end)
       jobs
   in
-  if jobs <> [] then begin
-    List.iter (fun (w, _) -> ignore (trace t w)) jobs;
+  (* disk-store pass: a stats hit needs no trace at all *)
+  let pending =
+    List.filter
+      (fun ((w : Workload.t), config) ->
+        match find_store_stats t w config with
+        | Some s ->
+            let key = (w.name, Ddg_paragraph.Config.describe config) in
+            t.progress
+              (Printf.sprintf "store hit: %s stats [%s]" w.name (snd key));
+            locked t (fun () -> Hashtbl.replace t.stats key s);
+            false
+        | None -> true)
+      pending
+  in
+  if pending <> [] then begin
     (* group the pending configurations by workload, keeping job order *)
     let by_workload = Hashtbl.create 16 in
     let order = ref [] in
@@ -71,20 +196,50 @@ let prefetch t jobs =
             order := w :: !order;
             Hashtbl.add by_workload w.name [ config ]
         | Some cs -> Hashtbl.replace by_workload w.name (config :: cs))
-      jobs;
+      pending;
+    let engine = Jobs.create () in
+    let max_domains =
+      if t.workers <= 1 then None
+      else Some (max 1 (Domain.recommended_domain_count () / t.workers))
+    in
     List.iter
       (fun (w : Workload.t) ->
         let configs = List.rev (Hashtbl.find by_workload w.name) in
-        let _, tr = Hashtbl.find t.traces w.name in
-        t.progress
-          (Printf.sprintf "analyzing %s under %d configurations" w.name
-             (List.length configs));
-        let stats = Ddg_paragraph.Analyzer.analyze_many configs tr in
-        List.iter2
-          (fun config s ->
-            Hashtbl.replace t.stats
-              (w.name, Ddg_paragraph.Config.describe config)
-              s)
-          configs stats)
-      (List.rev !order)
+        let sim =
+          Jobs.add engine ~name:("simulate " ^ w.name) (fun () ->
+              ignore (trace t w))
+        in
+        ignore
+          (Jobs.add engine ~deps:[ sim ] ~name:("analyze " ^ w.name)
+             (fun () ->
+               let _, tr = trace t w in
+               t.progress
+                 (Printf.sprintf "analyzing %s under %d configurations" w.name
+                    (List.length configs));
+               let t0 = Unix.gettimeofday () in
+               let stats =
+                 Ddg_paragraph.Analyzer.analyze_many ?max_domains configs tr
+               in
+               let wall_each =
+                 (Unix.gettimeofday () -. t0)
+                 /. float_of_int (List.length configs)
+               in
+               List.iter2
+                 (fun config s ->
+                   try_put t ~kind:"stats" ~key:(stats_key t w config)
+                     ~wall:wall_each
+                     (fun oc -> Ddg_paragraph.Stats_codec.write oc s);
+                   locked t (fun () ->
+                       Hashtbl.replace t.stats
+                         (w.name, Ddg_paragraph.Config.describe config)
+                         s))
+                 configs stats)))
+      (List.rev !order);
+    Jobs.run ~workers:t.workers
+      ~progress:(function
+        | Jobs.Job_done (name, wall) ->
+            t.progress (Printf.sprintf "%s: %.2fs" name wall)
+        | Jobs.Job_failed (name, _) -> t.progress (name ^ ": failed")
+        | Jobs.Job_started _ | Jobs.Job_skipped _ -> ())
+      engine
   end

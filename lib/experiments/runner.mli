@@ -1,39 +1,65 @@
-(** Shared infrastructure for the table/figure experiments: traces are
-    generated once per workload and analysis results cached per switch
-    configuration, so that regenerating every table and figure costs one
-    simulation plus one analysis pass per distinct configuration. *)
+(** Shared infrastructure for the table/figure experiments: a three-layer
+    cache facade — memory, then the persistent artifact store
+    ({!Ddg_store.Store}), then compute — over traces and analysis
+    results, with a dependency-aware parallel job engine
+    ({!Ddg_jobs.Engine}) filling it. Regenerating every table and figure
+    costs one simulation plus one fused analysis pass per distinct
+    configuration the {e first} time; against a warm store it costs zero
+    simulations and zero analyses. *)
 
 type t
 
 val create :
   ?size:Ddg_workloads.Workload.size ->
   ?progress:(string -> unit) ->
+  ?store:Ddg_store.Store.t ->
+  ?workers:int ->
   unit ->
   t
 (** [size] defaults to [Default]; [progress] (default silent) receives
-    one-line status messages as traces are generated and analyses run. *)
+    one-line status messages as traces are generated, analyses run, and
+    store artifacts are hit or written. [store] (default none: memory
+    cache only) persists traces and stats across runs. [workers] (default
+    1: sequential, deterministic order) sizes the domain pool
+    {!prefetch} executes its job graph on; results are bit-identical for
+    every worker count. *)
 
 val size : t -> Ddg_workloads.Workload.size
 
 val workloads : t -> Ddg_workloads.Workload.t list
 (** The full registry, in Table 2 order. *)
 
-val trace : t -> Ddg_workloads.Workload.t -> Ddg_sim.Machine.result * Ddg_sim.Trace.t
-(** Simulate (cached). *)
+val trace_key : t -> Ddg_workloads.Workload.t -> string
+(** The artifact-store key for a workload's trace at this runner's size:
+    workload name / size class / {!Ddg_sim.Trace_io.format_version}. *)
+
+val stats_key :
+  t -> Ddg_workloads.Workload.t -> Ddg_paragraph.Config.t -> string
+(** The artifact-store key for an analysis result: {!trace_key} /
+    {!Ddg_paragraph.Config.describe} /
+    [analyzer-v]{!Ddg_paragraph.Stats_codec.version} — so a new trace
+    encoding, a different switch setting, or an analyzer semantics bump
+    each land in a fresh key and stale artifacts are never misread. *)
+
+val trace :
+  t -> Ddg_workloads.Workload.t -> Ddg_sim.Machine.result * Ddg_sim.Trace.t
+(** Simulate (memory cache → disk store → simulate). *)
 
 val analyze :
   t ->
   Ddg_workloads.Workload.t ->
   Ddg_paragraph.Config.t ->
   Ddg_paragraph.Analyzer.stats
-(** Analyze a workload's trace under a configuration (cached by the
-    configuration's {!Ddg_paragraph.Config.describe} string). *)
+(** Analyze a workload's trace under a configuration (memory cache →
+    disk store → analyze). *)
 
 val prefetch :
   t -> (Ddg_workloads.Workload.t * Ddg_paragraph.Config.t) list -> unit
-(** Fill the analysis cache for the given jobs. Traces are simulated
-    sequentially first; then each workload's pending configurations are
-    analyzed in one fused trace pass
-    ({!Ddg_paragraph.Analyzer.analyze_many}). Duplicate jobs and jobs
-    already cached are skipped. Subsequent {!analyze} calls for these
-    jobs hit the cache. *)
+(** Fill the analysis cache for the given jobs. Duplicates and memory
+    hits are dropped; disk-store stats hits are loaded without touching
+    any trace; the rest become a dependency graph — one simulate job per
+    workload feeding one fused {!Ddg_paragraph.Analyzer.analyze_many}
+    job for that workload's pending configurations — executed on the
+    runner's domain pool, so distinct workloads simulate and analyze
+    concurrently. Subsequent {!analyze} calls for these jobs hit the
+    memory cache. *)

@@ -1,0 +1,157 @@
+type state =
+  | Waiting of int  (* unfinished dependency count, > 0 *)
+  | Ready
+  | Running
+  | Done of float   (* wall seconds *)
+  | Failed of exn
+  | Skipped
+
+type event =
+  | Job_started of string
+  | Job_done of string * float
+  | Job_failed of string * exn
+  | Job_skipped of string
+
+type job = {
+  name : string;
+  thunk : unit -> unit;
+  owner : t;
+  mutable state : state;
+  mutable dependents : job list;
+}
+
+and t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  ready : job Queue.t;
+  mutable jobs : job list;     (* newest first *)
+  mutable remaining : int;     (* jobs not yet Done/Failed/Skipped, while running *)
+  mutable failure : exn option;
+  mutable running : bool;
+}
+
+let create () =
+  { lock = Mutex.create (); cond = Condition.create (); ready = Queue.create ();
+    jobs = []; remaining = 0; failure = None; running = false }
+
+let name j = j.name
+let wall j = match j.state with Done w -> Some w | _ -> None
+
+let add t ?(deps = []) ~name thunk =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.running then invalid_arg "Jobs.add: engine is running";
+      List.iter
+        (fun d ->
+          if d.owner != t then invalid_arg "Jobs.add: foreign dependency")
+        deps;
+      let pending =
+        List.length
+          (List.filter (fun d -> match d.state with Done _ -> false | _ -> true)
+             deps)
+      in
+      let j =
+        { name; thunk; owner = t;
+          state = (if pending = 0 then Ready else Waiting pending);
+          dependents = [] }
+      in
+      List.iter
+        (fun d ->
+          match d.state with
+          | Done _ -> ()
+          | _ -> d.dependents <- j :: d.dependents)
+        deps;
+      t.jobs <- j :: t.jobs;
+      j)
+
+(* Skip a failed job's dependents, transitively. Lock held. *)
+let rec skip t progress j =
+  match j.state with
+  | Waiting _ | Ready ->
+      j.state <- Skipped;
+      t.remaining <- t.remaining - 1;
+      progress (Job_skipped j.name);
+      List.iter (skip t progress) j.dependents
+  | Running | Done _ | Failed _ | Skipped -> ()
+
+let worker t progress () =
+  Mutex.lock t.lock;
+  let rec loop () =
+    if t.remaining = 0 then Mutex.unlock t.lock
+    else
+      match Queue.take_opt t.ready with
+      | None ->
+          Condition.wait t.cond t.lock;
+          loop ()
+      | Some j ->
+          j.state <- Running;
+          progress (Job_started j.name);
+          Mutex.unlock t.lock;
+          let t0 = Unix.gettimeofday () in
+          let outcome = try Ok (j.thunk ()) with e -> Error e in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Mutex.lock t.lock;
+          (match outcome with
+          | Ok () ->
+              j.state <- Done elapsed;
+              t.remaining <- t.remaining - 1;
+              progress (Job_done (j.name, elapsed));
+              List.iter
+                (fun d ->
+                  match d.state with
+                  | Waiting 1 ->
+                      d.state <- Ready;
+                      Queue.add d t.ready
+                  | Waiting n -> d.state <- Waiting (n - 1)
+                  | _ -> ())
+                j.dependents
+          | Error e ->
+              j.state <- Failed e;
+              t.remaining <- t.remaining - 1;
+              if t.failure = None then t.failure <- Some e;
+              progress (Job_failed (j.name, e));
+              List.iter (skip t progress) j.dependents);
+          Condition.broadcast t.cond;
+          loop ()
+  in
+  loop ()
+
+let run ?workers ?(progress = fun _ -> ()) t =
+  Mutex.lock t.lock;
+  if t.running then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Jobs.run: engine is already running"
+  end;
+  t.running <- true;
+  t.failure <- None;
+  Queue.clear t.ready;
+  let pending =
+    List.filter
+      (fun j -> match j.state with Ready | Waiting _ -> true | _ -> false)
+      (List.rev t.jobs)
+  in
+  List.iter
+    (fun j -> match j.state with Ready -> Queue.add j t.ready | _ -> ())
+    pending;
+  t.remaining <- List.length pending;
+  Mutex.unlock t.lock;
+  let workers =
+    let w =
+      match workers with
+      | Some w -> max 1 w
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min w (List.length pending))
+  in
+  let helpers =
+    List.init (workers - 1) (fun _ -> Domain.spawn (worker t progress))
+  in
+  worker t progress ();
+  List.iter Domain.join helpers;
+  Mutex.lock t.lock;
+  t.running <- false;
+  let failure = t.failure in
+  Mutex.unlock t.lock;
+  match failure with Some e -> raise e | None -> ()

@@ -1,0 +1,56 @@
+(** A small dependency-aware parallel job engine over OCaml 5 domains.
+
+    Jobs declare their inputs as dependencies on previously added jobs
+    (the graph is acyclic by construction — a job can only depend on jobs
+    that already exist). {!run} executes the graph on a fixed pool of
+    domains: every job whose dependencies have completed is {e ready};
+    workers repeatedly pull the oldest ready job, so independent chains —
+    distinct workloads simulating and analyzing, in the experiment
+    suite's case — proceed concurrently while each analysis still waits
+    for its trace.
+
+    Job bodies run on worker domains and must therefore synchronise any
+    shared mutable state themselves (the experiment runner guards its
+    caches with a mutex). Jobs that spread work over domains internally
+    should be given a bounded domain budget (see
+    {!Ddg_paragraph.Analyzer.analyze_many}'s [max_domains]) so the pools
+    compose without oversubscription.
+
+    Failure is contained: a job that raises marks itself failed, its
+    transitive dependents are skipped, every other job still runs, and
+    {!run} re-raises the first failure once the pool has drained. *)
+
+type t
+type job
+
+(** Progress events, delivered to {!run}'s [progress] callback. The
+    callback runs on worker domains while the engine's internal lock is
+    held: it must be quick and must not call back into the engine. *)
+type event =
+  | Job_started of string
+  | Job_done of string * float  (** name, wall-clock seconds *)
+  | Job_failed of string * exn
+  | Job_skipped of string       (** a transitive dependent of a failure *)
+
+val create : unit -> t
+
+val add : t -> ?deps:job list -> name:string -> (unit -> unit) -> job
+(** Add a job that may start once every job in [deps] has completed.
+    [deps] must belong to the same engine.
+    @raise Invalid_argument on a foreign dependency or while {!run} is
+    executing. *)
+
+val run : ?workers:int -> ?progress:(event -> unit) -> t -> unit
+(** Execute all pending jobs on a pool of [workers] domains (default
+    [Domain.recommended_domain_count ()]; the calling domain counts as
+    one worker, so [workers = 1] runs everything sequentially on the
+    caller, in submission order among ready jobs). Returns when every
+    job has completed, failed or been skipped; re-raises the first
+    failure, if any. May be called again after adding more jobs —
+    already-completed dependencies are seen as satisfied. *)
+
+val name : job -> string
+
+val wall : job -> float option
+(** Wall-clock seconds the job's body took; [None] unless the job
+    completed successfully. *)

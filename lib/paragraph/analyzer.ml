@@ -938,7 +938,12 @@ let fused_group configs trace =
    functional-unit limits) are grouped separately from the rest so their
    groups take {!fused_group}'s specialised value loop; results come back
    in the caller's order regardless. *)
-let analyze_many configs trace =
+let analyze_channel config ic =
+  let t = create config in
+  Ddg_sim.Trace_io.fold_channel ic ~init:() ~f:(fun () e -> feed t e);
+  finish t
+
+let analyze_many ?max_domains configs trace =
   match configs with
   | [] -> []
   | [ config ] -> [ analyze config trace ]
@@ -976,7 +981,12 @@ let analyze_many configs trace =
       in
       let results = Array.make ngroups [] in
       let workers =
-        min ngroups (max 1 (Domain.recommended_domain_count () - 1))
+        let cap =
+          match max_domains with
+          | Some m -> max 1 m
+          | None -> max 1 (Domain.recommended_domain_count () - 1)
+        in
+        min ngroups cap
       in
       if workers <= 1 then
         Array.iteri (fun g cfgs -> results.(g) <- run cfgs) groups

@@ -76,12 +76,30 @@ val analyze : Config.t -> Ddg_sim.Trace.t -> stats
     int rows directly (locations stay dense ids, operation classes stay
     tags) and allocates nothing per event. *)
 
-val analyze_many : Config.t list -> Ddg_sim.Trace.t -> stats list
+val analyze_channel : Config.t -> in_channel -> stats
+(** Stream a saved trace ({!Ddg_sim.Trace_io} format, header included)
+    straight through the analyzer via {!Ddg_sim.Trace_io.fold_channel},
+    without materialising the packed columns: memory stays bounded by the
+    live-value working set, so an on-disk trace far larger than RAM can
+    be analyzed in one pass. Agrees exactly with {!analyze} of the loaded
+    trace.
+    @raise Ddg_sim.Trace_io.Corrupt on malformed input. *)
+
+val analyze_many :
+  ?max_domains:int -> Config.t list -> Ddg_sim.Trace.t -> stats list
 (** Fused analysis: run one independent analyzer state per configuration
     down a {e single} pass of the trace, reading each packed row once and
     feeding it to every state. Returns the stats in the order of the
     configurations. Equivalent to [List.map (fun c -> analyze c trace)]
     but touches the trace columns once, so N configurations cost one
-    trace traversal plus N live-well updates per event. *)
+    trace traversal plus N live-well updates per event.
+
+    [max_domains] caps the number of domains used to spread the fused
+    config groups (default: [Domain.recommended_domain_count () - 1]).
+    Pass a small cap when calling from inside an outer domain pool — e.g.
+    the experiment job engine — so that nested parallelism composes
+    without oversubscribing the machine. The cap changes only the
+    execution schedule, never the grouping, so results are bit-identical
+    across caps. *)
 
 val pp_stats : Format.formatter -> stats -> unit

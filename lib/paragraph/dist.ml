@@ -48,6 +48,27 @@ let buckets t =
   done;
   !acc
 
+let of_raw ~count ~total ~min_value ~max_value pairs =
+  if count < 0 || total < 0 then invalid_arg "Dist.of_raw: negative moments";
+  let t = create () in
+  List.iter
+    (fun (v, c) ->
+      if v < 0 || c <= 0 then invalid_arg "Dist.of_raw: bad bucket";
+      let i = bucket_index v in
+      t.buckets.(i) <- t.buckets.(i) + c)
+    pairs;
+  if Array.fold_left ( + ) 0 t.buckets <> count then
+    invalid_arg "Dist.of_raw: bucket counts do not sum to count";
+  t.n <- count;
+  t.sum <- total;
+  if count > 0 then begin
+    if min_value < 0 || max_value < min_value then
+      invalid_arg "Dist.of_raw: bad min/max";
+    t.min_v <- min_value;
+    t.max_v <- max_value
+  end;
+  t
+
 let quantile t q =
   if t.n = 0 then invalid_arg "Dist.quantile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Dist.quantile: out of range";

@@ -28,6 +28,24 @@ val buckets : t -> (int * int * int) list
     [lo..hi] (inclusive); bucket 0 is [0..0], then [1..1], [2..3],
     [4..7], ... *)
 
+val of_raw :
+  count:int ->
+  total:int ->
+  min_value:int ->
+  max_value:int ->
+  (int * int) list ->
+  t
+(** Reconstruct a distribution from serialised data: a list of
+    [(representative sample, count)] pairs, one per non-empty bucket (each
+    count lands in the bucket containing its representative — pair
+    naturally with the [lo] values of {!buckets}). The moments are trusted
+    rather than recomputed, so a round trip through
+    [of_raw ~count ~total ~min_value ~max_value] preserves {!mean},
+    {!min_value} and {!max_value} exactly. For {!Stats_codec} and other
+    deserialisers.
+    @raise Invalid_argument when the bucket counts do not sum to [count]
+    or a field is out of range. *)
+
 val quantile : t -> float -> int
 (** [quantile t q] for [q] in [0..1]: an upper bound on the q-quantile
     (the high edge of the bucket containing it). @raise Invalid_argument

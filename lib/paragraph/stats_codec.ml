@@ -1,0 +1,157 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun msg -> raise (Corrupt msg)) fmt
+
+let magic = "DDGSTA01"
+let version = 1
+let terminator = 0xFE
+
+(* --- primitives (LEB128 varints, float bits big-endian) ------------------ *)
+
+let write_varint oc v =
+  if v < 0 then invalid_arg "Stats_codec: negative varint";
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      output_byte oc byte;
+      continue := false
+    end
+    else output_byte oc (byte lor 0x80)
+  done
+
+let read_varint ic =
+  let rec go shift acc =
+    if shift > 56 then corrupt "varint too long";
+    let byte =
+      try input_byte ic with End_of_file -> corrupt "truncated varint"
+    in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let write_float oc f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    output_byte oc (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+  done
+
+let read_float ic =
+  let bits = ref 0L in
+  (try
+     for _ = 0 to 7 do
+       bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (input_byte ic))
+     done
+   with End_of_file -> corrupt "truncated float");
+  Int64.float_of_bits !bits
+
+(* --- profiles and distributions ------------------------------------------ *)
+
+let write_profile oc p =
+  let width = Profile.bucket_width p in
+  let levels = Profile.levels p in
+  write_varint oc width;
+  write_varint oc levels;
+  write_varint oc (Profile.total_ops p);
+  let nbuckets = if levels = 0 then 0 else ((levels - 1) / width) + 1 in
+  write_varint oc nbuckets;
+  for i = 0 to nbuckets - 1 do
+    write_varint oc (Profile.ops_in_bucket p i)
+  done
+
+let read_profile ic =
+  let width = read_varint ic in
+  let levels = read_varint ic in
+  let total = read_varint ic in
+  let nbuckets = read_varint ic in
+  if nbuckets > 1 lsl 28 then corrupt "implausible profile bucket count";
+  let counts = Array.make (max 2 nbuckets) 0 in
+  for i = 0 to nbuckets - 1 do
+    counts.(i) <- read_varint ic
+  done;
+  try Profile.of_buckets ~width ~max_level:(levels - 1) ~total counts
+  with Invalid_argument msg -> corrupt "bad profile: %s" msg
+
+let write_dist oc d =
+  let n = Dist.count d in
+  write_varint oc n;
+  write_varint oc (Dist.total d);
+  if n > 0 then begin
+    write_varint oc (Dist.min_value d);
+    write_varint oc (Dist.max_value d)
+  end;
+  let buckets = Dist.buckets d in
+  write_varint oc (List.length buckets);
+  List.iter
+    (fun (lo, _, c) ->
+      write_varint oc lo;
+      write_varint oc c)
+    buckets
+
+let read_dist ic =
+  let count = read_varint ic in
+  let total = read_varint ic in
+  let min_value, max_value =
+    if count > 0 then
+      let mn = read_varint ic in
+      let mx = read_varint ic in
+      (mn, mx)
+    else (0, 0)
+  in
+  let nbuckets = read_varint ic in
+  if nbuckets > 64 then corrupt "implausible distribution bucket count";
+  let pairs =
+    List.init nbuckets (fun _ ->
+        let lo = read_varint ic in
+        let c = read_varint ic in
+        (lo, c))
+  in
+  try Dist.of_raw ~count ~total ~min_value ~max_value pairs
+  with Invalid_argument msg -> corrupt "bad distribution: %s" msg
+
+(* --- stats ----------------------------------------------------------------- *)
+
+let write oc (s : Analyzer.stats) =
+  output_string oc magic;
+  write_varint oc version;
+  write_varint oc s.events;
+  write_varint oc s.placed_ops;
+  write_varint oc s.syscalls;
+  write_varint oc s.critical_path;
+  write_varint oc s.live_locations;
+  write_varint oc s.mispredicts;
+  write_float oc s.available_parallelism;
+  write_profile oc s.profile;
+  write_profile oc s.storage_profile;
+  write_dist oc s.lifetimes;
+  write_dist oc s.sharing;
+  output_byte oc terminator
+
+let read ic : Analyzer.stats =
+  let buf = Bytes.create (String.length magic) in
+  (try really_input ic buf 0 (String.length magic)
+   with End_of_file -> corrupt "missing header");
+  if Bytes.to_string buf <> magic then corrupt "bad magic (not a stats blob)";
+  let v = read_varint ic in
+  if v <> version then corrupt "stats version %d (this build reads %d)" v version;
+  let events = read_varint ic in
+  let placed_ops = read_varint ic in
+  let syscalls = read_varint ic in
+  let critical_path = read_varint ic in
+  let live_locations = read_varint ic in
+  let mispredicts = read_varint ic in
+  let available_parallelism = read_float ic in
+  let profile = read_profile ic in
+  let storage_profile = read_profile ic in
+  let lifetimes = read_dist ic in
+  let sharing = read_dist ic in
+  let term =
+    try input_byte ic with End_of_file -> corrupt "missing terminator"
+  in
+  if term <> terminator then corrupt "bad terminator byte %d" term;
+  { Analyzer.events; placed_ops; syscalls; critical_path;
+    available_parallelism; profile; storage_profile; lifetimes; sharing;
+    live_locations; mispredicts }

@@ -1,6 +1,7 @@
 exception Corrupt of string
 
 let magic = "DDGTRC01"
+let format_version = magic
 let terminator = 0xFF
 
 let corrupt fmt = Format.kasprintf (fun msg -> raise (Corrupt msg)) fmt

@@ -23,6 +23,12 @@
 exception Corrupt of string
 (** Raised by the readers on malformed input. *)
 
+val format_version : string
+(** The magic string identifying the current trace encoding
+    (["DDGTRC01"]). Changes whenever the on-disk format changes; cache
+    layers include it in their keys so that traces written by an older
+    encoding are recomputed rather than misread. *)
+
 val write_channel : out_channel -> Trace.t -> unit
 val write_file : string -> Trace.t -> unit
 

@@ -1,0 +1,307 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun msg -> raise (Corrupt msg)) fmt
+
+let magic = "DDGART01"
+
+type t = {
+  root : string;
+  lock : Mutex.t;          (* serialises temp-name allocation + manifest *)
+  mutable counter : int;   (* uniquifies temp and quarantine names *)
+}
+
+(* --- payload primitives --------------------------------------------------- *)
+
+let write_varint oc v =
+  if v < 0 then invalid_arg "Store: negative varint";
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      output_byte oc byte;
+      continue := false
+    end
+    else output_byte oc (byte lor 0x80)
+  done
+
+let read_varint ic =
+  let rec go shift acc =
+    if shift > 56 then corrupt "varint too long";
+    let byte =
+      try input_byte ic with End_of_file -> corrupt "truncated varint"
+    in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let write_string oc s =
+  write_varint oc (String.length s);
+  output_string oc s
+
+let read_string ?(max = 1 lsl 30) ic =
+  let n = read_varint ic in
+  if n > max then corrupt "string too long (%d bytes)" n;
+  try really_input_string ic n
+  with End_of_file -> corrupt "truncated string"
+
+let write_float oc f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    output_byte oc (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+  done
+
+let read_float ic =
+  let bits = ref 0L in
+  (try
+     for _ = 0 to 7 do
+       bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (input_byte ic))
+     done
+   with End_of_file -> corrupt "truncated float");
+  Int64.float_of_bits !bits
+
+(* --- directories ----------------------------------------------------------- *)
+
+let default_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Filename.concat d "ddg"
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" ->
+          Filename.concat (Filename.concat h ".cache") "ddg"
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "ddg-cache")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+        raise
+          (Sys_error (Printf.sprintf "mkdir %s: %s" dir (Unix.error_message e)))
+  end
+
+let quarantine_dir t = Filename.concat t.root "quarantine"
+
+let open_ ?dir () =
+  let root = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p root;
+  mkdir_p (Filename.concat root "quarantine");
+  { root; lock = Mutex.create (); counter = 0 }
+
+let dir t = t.root
+
+let artifact_path t ~kind ~key =
+  Filename.concat t.root
+    (Printf.sprintf "%s-%s.art" kind
+       (Digest.to_hex (Digest.string (kind ^ "\x00" ^ key))))
+
+let next_id t =
+  Mutex.lock t.lock;
+  let c = t.counter in
+  t.counter <- c + 1;
+  Mutex.unlock t.lock;
+  c
+
+let temp_name t suffix =
+  Filename.concat t.root
+    (Printf.sprintf "tmp.%d.%d.%s" (Unix.getpid ()) (next_id t) suffix)
+
+(* --- artifact headers ------------------------------------------------------ *)
+
+type info = {
+  i_kind : string;
+  i_key : string;
+  i_created : float;
+  i_wall : float;
+  i_digest : string;  (* 16 raw MD5 bytes *)
+  i_length : int;     (* payload bytes *)
+}
+
+let write_header oc info =
+  output_string oc magic;
+  write_string oc info.i_kind;
+  write_string oc info.i_key;
+  write_float oc info.i_created;
+  write_float oc info.i_wall;
+  output_string oc info.i_digest;
+  write_varint oc info.i_length
+
+let read_header ic =
+  let buf = Bytes.create (String.length magic) in
+  (try really_input ic buf 0 (String.length magic)
+   with End_of_file -> corrupt "truncated header");
+  if Bytes.to_string buf <> magic then corrupt "bad artifact magic";
+  let i_kind = read_string ~max:256 ic in
+  let i_key = read_string ~max:65536 ic in
+  let i_created = read_float ic in
+  let i_wall = read_float ic in
+  let digest = Bytes.create 16 in
+  (try really_input ic digest 0 16
+   with End_of_file -> corrupt "truncated digest");
+  let i_length = read_varint ic in
+  { i_kind; i_key; i_created; i_wall; i_digest = Bytes.to_string digest;
+    i_length }
+
+(* --- manifest --------------------------------------------------------------- *)
+
+(* The manifest is rebuilt from the artifact headers on every mutation:
+   it can never drift from the store contents, and a manifest lost or
+   mangled by hand is simply regenerated on the next write. *)
+let write_manifest_locked t =
+  let entries =
+    Sys.readdir t.root |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun file ->
+           if not (Filename.check_suffix file ".art") then None
+           else
+             let path = Filename.concat t.root file in
+             match
+               let ic = open_in_bin path in
+               Fun.protect
+                 ~finally:(fun () -> close_in_noerr ic)
+                 (fun () -> (read_header ic, in_channel_length ic))
+             with
+             | info, bytes -> Some (file, info, bytes)
+             | exception _ -> None)
+  in
+  let json =
+    Ddg_report.Json.(
+      Obj
+        [ ("version", Int 1);
+          ( "artifacts",
+            List
+              (List.map
+                 (fun (file, i, bytes) ->
+                   Obj
+                     [ ("kind", String i.i_kind);
+                       ("key", String i.i_key);
+                       ("file", String file);
+                       ("bytes", Int bytes);
+                       ("created", Float i.i_created);
+                       ("wall_seconds", Float i.i_wall) ])
+                 entries) ) ])
+  in
+  let tmp =
+    Filename.concat t.root
+      (Printf.sprintf "manifest.json.tmp.%d" (Unix.getpid ()))
+  in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Ddg_report.Json.to_string json);
+      output_char oc '\n');
+  Sys.rename tmp (Filename.concat t.root "manifest.json")
+
+let refresh_manifest t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> try write_manifest_locked t with Sys_error _ -> ())
+
+(* --- put -------------------------------------------------------------------- *)
+
+let copy_channel ic oc =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    let n = input ic buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      output oc buf 0 n;
+      go ()
+    end
+  in
+  go ()
+
+let put t ~kind ~key ?(wall = 0.0) write_payload =
+  if kind = "" || String.contains kind '/' then
+    invalid_arg "Store.put: kind must be non-empty and contain no '/'";
+  let payload = temp_name t "payload" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove payload with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin payload in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          write_payload oc;
+          flush oc);
+      let i_digest = Digest.file payload in
+      let i_length =
+        let ic = open_in_bin payload in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> in_channel_length ic)
+      in
+      let tmp = temp_name t "art" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+        (fun () ->
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              write_header oc
+                { i_kind = kind; i_key = key;
+                  i_created = Unix.gettimeofday (); i_wall = wall; i_digest;
+                  i_length };
+              let ic = open_in_bin payload in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> copy_channel ic oc);
+              flush oc);
+          Sys.rename tmp (artifact_path t ~kind ~key)));
+  refresh_manifest t
+
+(* --- find / quarantine ------------------------------------------------------ *)
+
+let quarantine t path reason =
+  (try
+     let dest =
+       Filename.concat (quarantine_dir t)
+         (Printf.sprintf "%s.%d.%d" (Filename.basename path) (Unix.getpid ())
+            (next_id t))
+     in
+     Sys.rename path dest;
+     let oc = open_out (dest ^ ".reason") in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (reason ^ "\n"))
+   with Sys_error _ -> ());
+  refresh_manifest t
+
+let find t ~kind ~key read_payload =
+  let path = artifact_path t ~kind ~key in
+  if not (Sys.file_exists path) then None
+  else
+    let verdict =
+      match open_in_bin path with
+      | exception Sys_error msg -> Error msg
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match
+                let info = read_header ic in
+                if info.i_kind <> kind || info.i_key <> key then
+                  corrupt "key mismatch (hash collision or tampering)";
+                let start = pos_in ic in
+                if in_channel_length ic - start <> info.i_length then
+                  corrupt "payload length mismatch";
+                let actual = Digest.channel ic info.i_length in
+                if actual <> info.i_digest then corrupt "checksum mismatch";
+                seek_in ic start;
+                read_payload ic
+              with
+              | v -> Ok v
+              | exception Corrupt msg -> Error msg
+              | exception End_of_file -> Error "truncated artifact"
+              | exception e -> Error (Printexc.to_string e))
+    in
+    match verdict with
+    | Ok v -> Some v
+    | Error reason ->
+        quarantine t path reason;
+        None

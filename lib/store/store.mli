@@ -1,0 +1,89 @@
+(** A content-addressed on-disk artifact store.
+
+    The paper's methodology is "trace once, analyze many times": Pixie
+    wrote traces to disk and Paragraph re-read them for every switch
+    combination. This store is that idea as a library — any binary
+    artifact (a trace, a stats blob) is written once under a caller-chosen
+    [kind]/[key] pair and found again across processes, so the experiment
+    suite re-renders tables and figures without re-simulating or
+    re-analyzing anything.
+
+    Layout (all under one root directory, default [~/.cache/ddg]):
+    {v
+    <root>/<kind>-<md5(kind+key)>.art   one artifact per (kind, key)
+    <root>/manifest.json                human-readable inventory
+    <root>/quarantine/                  corrupt artifacts, moved aside
+    v}
+
+    Each [.art] file carries a checksummed header — magic, kind, key,
+    creation time, the wall-clock cost of the job that produced it, an
+    MD5 digest and the byte length of the payload — followed by the
+    payload itself. Writes are atomic (temp file + [rename]), so a
+    concurrent reader never sees a half-written artifact. Reads verify
+    the full header, the payload length and the digest {e before} the
+    payload is decoded; on any mismatch — truncation, bit rot, a stale
+    format, a hash collision — the artifact is moved to [quarantine/]
+    (with a [.reason] note) and the lookup reports a miss, so callers
+    transparently recompute. Corruption is never an exception the caller
+    sees.
+
+    [manifest.json] is a projection of the artifact headers, regenerated
+    after every write and quarantine; it records kind, key, file, size,
+    creation time and producing-job wall time for each artifact. It is
+    advisory (humans and dashboards read it; the store never does), so a
+    stale manifest can always be rebuilt from the artifacts alone. *)
+
+type t
+
+exception Corrupt of string
+(** Raised by the {!read_varint} family on malformed input. Payload
+    decoders may raise it (or any other exception): {!find} catches
+    everything raised by the decode callback and quarantines the
+    artifact. *)
+
+val default_dir : unit -> string
+(** [$XDG_CACHE_HOME/ddg], else [$HOME/.cache/ddg], else a directory
+    under the system temp dir. *)
+
+val open_ : ?dir:string -> unit -> t
+(** Open (creating directories as needed) the store at [dir] (default
+    {!default_dir}).
+    @raise Sys_error when the directory cannot be created. *)
+
+val dir : t -> string
+val quarantine_dir : t -> string
+
+val artifact_path : t -> kind:string -> key:string -> string
+(** Where the artifact for [(kind, key)] lives (whether or not it
+    exists). Exposed for tests and diagnostics. *)
+
+val put :
+  t -> kind:string -> key:string -> ?wall:float -> (out_channel -> unit) -> unit
+(** Write one artifact atomically: the callback streams the payload to a
+    temp file, the checksummed header is prepended, and the result is
+    renamed into place, replacing any previous artifact for the same
+    [(kind, key)]. [wall] (default 0) is the wall-clock seconds the
+    producing job took, recorded in the header and the manifest.
+    [kind] must be non-empty and contain no [/].
+    @raise Sys_error on I/O failure (callers typically degrade to
+    uncached operation). *)
+
+val find : t -> kind:string -> key:string -> (in_channel -> 'a) -> 'a option
+(** Look up an artifact and decode its payload: the callback receives a
+    channel positioned at the start of the already-verified payload.
+    Returns [None] when absent. When the artifact is corrupt, truncated,
+    version-mismatched or the callback itself raises, the artifact is
+    quarantined and the result is [None] — never an exception. *)
+
+(** {2 Payload primitives}
+
+    Shared helpers for writing payload codecs (the same LEB128 varints
+    as {!Ddg_sim.Trace_io}). The readers raise {!Corrupt} on malformed
+    input, which {!find} turns into quarantine-and-miss. *)
+
+val write_varint : out_channel -> int -> unit
+val read_varint : in_channel -> int
+val write_string : out_channel -> string -> unit
+val read_string : ?max:int -> in_channel -> string
+val write_float : out_channel -> float -> unit
+val read_float : in_channel -> float

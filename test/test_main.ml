@@ -10,4 +10,6 @@ let () =
       ("workloads", Test_workloads.tests);
       ("report", Test_report.tests);
       ("experiments", Test_experiments.tests);
+      ("store", Test_store.tests);
+      ("jobs", Test_jobs.tests);
       ("properties", Test_props.tests) ]

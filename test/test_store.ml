@@ -1,0 +1,339 @@
+(* Tests for the persistent artifact store and the cached experiment
+   runner built on it: put/find round trips, corruption (truncation and
+   bit flips) quarantined and transparently recomputed, the stats codec
+   round-tripping canonically, the streaming analyzer agreeing with the
+   in-memory one, warm runs hitting the store without tracing or
+   analyzing anything, and [workers > 1] producing bit-identical
+   results. *)
+
+open Ddg_experiments
+module Store = Ddg_store.Store
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- temp directories ------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let fresh_dir () =
+  (* a unique path that does not exist yet; [Store.open_] creates it *)
+  let path = Filename.temp_file "ddg_store_test" "" in
+  Sys.remove path;
+  path
+
+let with_store f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f (Store.open_ ~dir ()))
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* --- the store itself ------------------------------------------------------ *)
+
+let put_sample store ~key =
+  Store.put store ~kind:"sample" ~key ~wall:0.25 (fun oc ->
+      Store.write_varint oc 42;
+      Store.write_string oc "hello, artifact";
+      Store.write_float oc 3.5)
+
+let find_sample store ~key =
+  Store.find store ~kind:"sample" ~key (fun ic ->
+      let n = Store.read_varint ic in
+      let s = Store.read_string ic in
+      let f = Store.read_float ic in
+      (n, s, f))
+
+let test_roundtrip () =
+  with_store (fun store ->
+      put_sample store ~key:"k1";
+      (match find_sample store ~key:"k1" with
+      | Some v ->
+          Alcotest.(check (triple int string (float 0.0)))
+            "payload survives" (42, "hello, artifact", 3.5) v
+      | None -> Alcotest.fail "artifact not found");
+      Alcotest.(check bool) "absent key misses" true
+        (find_sample store ~key:"other" = None))
+
+let test_overwrite () =
+  with_store (fun store ->
+      Store.put store ~kind:"sample" ~key:"k" (fun oc ->
+          Store.write_varint oc 1);
+      Store.put store ~kind:"sample" ~key:"k" (fun oc ->
+          Store.write_varint oc 2);
+      let v =
+        Store.find store ~kind:"sample" ~key:"k" Store.read_varint
+      in
+      Alcotest.(check (option int)) "latest write wins" (Some 2) v)
+
+let quarantined_count store =
+  if Sys.file_exists (Store.quarantine_dir store) then
+    Array.length (Sys.readdir (Store.quarantine_dir store))
+  else 0
+
+let check_corruption_handled store ~label path =
+  (* a corrupt artifact is a miss, never an exception *)
+  Alcotest.(check bool) (label ^ " reads as a miss") true
+    (find_sample store ~key:"k" = None);
+  Alcotest.(check bool) (label ^ " removed from the store") false
+    (Sys.file_exists path);
+  Alcotest.(check bool) (label ^ " quarantined with a reason") true
+    (quarantined_count store >= 2);
+  (* recompute transparently: a fresh put makes the key live again *)
+  put_sample store ~key:"k";
+  Alcotest.(check bool) (label ^ " recomputed") true
+    (find_sample store ~key:"k" <> None)
+
+let test_truncation () =
+  with_store (fun store ->
+      put_sample store ~key:"k";
+      let path = Store.artifact_path store ~kind:"sample" ~key:"k" in
+      let bytes = read_bytes path in
+      write_bytes path (String.sub bytes 0 (String.length bytes - 5));
+      check_corruption_handled store ~label:"truncated artifact" path)
+
+let test_bit_flip () =
+  with_store (fun store ->
+      put_sample store ~key:"k";
+      let path = Store.artifact_path store ~kind:"sample" ~key:"k" in
+      let bytes = Bytes.of_string (read_bytes path) in
+      let i = Bytes.length bytes - 3 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x40));
+      write_bytes path (Bytes.to_string bytes);
+      check_corruption_handled store ~label:"bit-flipped artifact" path)
+
+let test_decoder_failure_quarantines () =
+  with_store (fun store ->
+      put_sample store ~key:"k";
+      let v =
+        Store.find store ~kind:"sample" ~key:"k" (fun _ ->
+            raise (Store.Corrupt "decoder rejects payload"))
+      in
+      Alcotest.(check bool) "decoder failure is a miss" true (v = None);
+      Alcotest.(check bool) "artifact quarantined" true
+        (quarantined_count store >= 2))
+
+let test_manifest () =
+  with_store (fun store ->
+      put_sample store ~key:"some/interesting key";
+      let manifest =
+        read_bytes (Filename.concat (Store.dir store) "manifest.json")
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            ("manifest mentions " ^ needle)
+            true (contains manifest needle))
+        [ "\"sample\""; "some/interesting key"; "\"bytes\"";
+          "\"wall_seconds\"" ])
+
+(* --- stats codec ------------------------------------------------------------ *)
+
+let encode_stats stats =
+  let path = Filename.temp_file "ddg_stats" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Ddg_paragraph.Stats_codec.write oc stats;
+      close_out oc;
+      read_bytes path)
+
+let decode_stats bytes =
+  let path = Filename.temp_file "ddg_stats" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_bytes path bytes;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Ddg_paragraph.Stats_codec.read ic))
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"stats codec round trip is canonical" ~count:150
+    Test_props.arb_trace_and_config (fun (events, config) ->
+      let stats =
+        Ddg_paragraph.Analyzer.analyze config (Ddg_sim.Trace.of_list events)
+      in
+      let bytes = encode_stats stats in
+      let back = decode_stats bytes in
+      (* canonical: re-encoding the decoded value yields the same bytes *)
+      encode_stats back = bytes
+      && back.Ddg_paragraph.Analyzer.critical_path = stats.critical_path
+      && back.placed_ops = stats.placed_ops
+      && back.events = stats.events
+      && back.available_parallelism = stats.available_parallelism
+      && Ddg_paragraph.Profile.series back.profile
+         = Ddg_paragraph.Profile.series stats.profile
+      && Ddg_paragraph.Dist.buckets back.lifetimes
+         = Ddg_paragraph.Dist.buckets stats.lifetimes)
+
+let prop_analyze_channel_agrees =
+  QCheck.Test.make ~name:"streaming analysis equals in-memory analysis"
+    ~count:100 Test_props.arb_trace_and_config (fun (events, config) ->
+      let trace = Ddg_sim.Trace.of_list events in
+      let path = Filename.temp_file "ddg_chan" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Ddg_sim.Trace_io.write_file path trace;
+          let ic = open_in_bin path in
+          let streamed =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> Ddg_paragraph.Analyzer.analyze_channel config ic)
+          in
+          let direct =
+            Ddg_paragraph.Analyzer.analyze config
+              (Ddg_sim.Trace_io.read_file path)
+          in
+          encode_stats streamed = encode_stats direct))
+
+(* --- runner + store integration -------------------------------------------- *)
+
+let tiny_jobs runner configs =
+  List.concat_map
+    (fun w -> List.map (fun c -> (w, c)) configs)
+    (Runner.workloads runner)
+
+let recording_progress () =
+  let lock = Mutex.create () and lines = ref [] in
+  let progress s =
+    Mutex.lock lock;
+    lines := s :: !lines;
+    Mutex.unlock lock
+  in
+  (progress, fun () -> List.rev !lines)
+
+let computed_anything lines =
+  List.exists
+    (fun l ->
+      String.starts_with ~prefix:"tracing " l
+      || String.starts_with ~prefix:"analyzing " l)
+    lines
+
+let test_warm_run_is_cache_hot () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let configs = Ddg_paragraph.Config.[ default; dataflow ] in
+      let cold_progress, cold_lines = recording_progress () in
+      let cold =
+        Runner.create ~size:Ddg_workloads.Workload.Tiny
+          ~progress:cold_progress
+          ~store:(Store.open_ ~dir ()) ()
+      in
+      Runner.prefetch cold (tiny_jobs cold configs);
+      Alcotest.(check bool) "cold run computes" true
+        (computed_anything (cold_lines ()));
+      (* a fresh runner against the same directory: no simulation, no
+         analysis, same stats *)
+      let warm_progress, warm_lines = recording_progress () in
+      let warm =
+        Runner.create ~size:Ddg_workloads.Workload.Tiny
+          ~progress:warm_progress
+          ~store:(Store.open_ ~dir ()) ()
+      in
+      Runner.prefetch warm (tiny_jobs warm configs);
+      Alcotest.(check bool) "warm run neither traces nor analyzes" false
+        (computed_anything (warm_lines ()));
+      List.iter
+        (fun (w, c) ->
+          Alcotest.(check string)
+            (w.Ddg_workloads.Workload.name ^ " stats identical")
+            (encode_stats (Runner.analyze cold w c))
+            (encode_stats (Runner.analyze warm w c)))
+        (tiny_jobs warm configs))
+
+let test_corrupt_store_recomputes () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let w = Option.get (Ddg_workloads.Registry.find "mtxx") in
+      let config = Ddg_paragraph.Config.default in
+      let cold =
+        Runner.create ~size:Ddg_workloads.Workload.Tiny
+          ~store:(Store.open_ ~dir ()) ()
+      in
+      let expected = encode_stats (Runner.analyze cold w config) in
+      (* truncate the stats artifact behind the runner's back *)
+      let store = Store.open_ ~dir () in
+      let path =
+        Store.artifact_path store ~kind:"stats"
+          ~key:(Runner.stats_key cold w config)
+      in
+      let bytes = read_bytes path in
+      write_bytes path (String.sub bytes 0 (String.length bytes / 2));
+      let progress, lines = recording_progress () in
+      let fresh =
+        Runner.create ~size:Ddg_workloads.Workload.Tiny ~progress
+          ~store:(Store.open_ ~dir ()) ()
+      in
+      Alcotest.(check string) "recomputed stats identical" expected
+        (encode_stats (Runner.analyze fresh w config));
+      Alcotest.(check bool) "recomputation actually analyzed" true
+        (List.exists (String.starts_with ~prefix:"analyzing ") (lines ()));
+      Alcotest.(check bool) "corrupt artifact quarantined" true
+        (quarantined_count store >= 1))
+
+let test_parallel_matches_sequential () =
+  let configs =
+    Ddg_paragraph.Config.(
+      [ default; dataflow ]
+      @ List.map
+          (fun r -> with_renaming r default)
+          [ rename_none; rename_registers_only; rename_registers_stack ])
+  in
+  let seq = Runner.create ~size:Ddg_workloads.Workload.Tiny () in
+  let par = Runner.create ~size:Ddg_workloads.Workload.Tiny ~workers:4 () in
+  Runner.prefetch seq (tiny_jobs seq configs);
+  Runner.prefetch par (tiny_jobs par configs);
+  List.iter
+    (fun (w, c) ->
+      Alcotest.(check string)
+        (w.Ddg_workloads.Workload.name ^ " under "
+        ^ Ddg_paragraph.Config.describe c)
+        (encode_stats (Runner.analyze seq w c))
+        (encode_stats (Runner.analyze par w c)))
+    (tiny_jobs seq configs);
+  (* the rendered tables are character-identical too *)
+  Alcotest.(check string) "table 3 identical" (Table3.render seq)
+    (Table3.render par);
+  Alcotest.(check string) "table 4 identical" (Table4.render seq)
+    (Table4.render par)
+
+let tests =
+  [ Alcotest.test_case "put/find round trip" `Quick test_roundtrip;
+    Alcotest.test_case "overwrite replaces" `Quick test_overwrite;
+    Alcotest.test_case "truncation quarantined" `Quick test_truncation;
+    Alcotest.test_case "bit flip quarantined" `Quick test_bit_flip;
+    Alcotest.test_case "decoder failure quarantined" `Quick
+      test_decoder_failure_quarantines;
+    Alcotest.test_case "manifest written" `Quick test_manifest;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_analyze_channel_agrees;
+    Alcotest.test_case "warm run is cache-hot" `Quick test_warm_run_is_cache_hot;
+    Alcotest.test_case "corrupt store artifact recomputed" `Quick
+      test_corrupt_store_recomputes;
+    Alcotest.test_case "workers=4 matches sequential" `Quick
+      test_parallel_matches_sequential ]
