@@ -17,7 +17,12 @@
    benchmarks the store + job engine themselves — cold prefetch at -j 1,
    cold at -j N, then a warm-store prefetch that must be fully cache-hot
    (zero simulations, zero analyses; the harness exits nonzero
-   otherwise) — and records all three wall times in BENCH.json. *)
+   otherwise) — and records all three wall times in BENCH.json.
+   --serve-bench spins up the paragraphd daemon on a temp socket and
+   measures cold-start analysis (fresh process state) against the
+   resident daemon's first and warm repeat requests; the warm repeats
+   must be answered with zero new simulations/analyses (checked over the
+   wire via the stats verb; nonzero exit otherwise). *)
 
 open Ddg_experiments
 
@@ -30,6 +35,7 @@ type opts = {
   cache_dir : string option;
   no_cache : bool;
   cache_bench : bool;
+  serve_bench : bool;
 }
 
 let parse_args () =
@@ -37,7 +43,7 @@ let parse_args () =
     ref
       { size = Ddg_workloads.Workload.Default; only = None; micro = true;
         json_path = "BENCH.json"; jobs = 1; cache_dir = None;
-        no_cache = false; cache_bench = false }
+        no_cache = false; cache_bench = false; serve_bench = false }
   in
   let rec go = function
     | [] -> ()
@@ -71,6 +77,9 @@ let parse_args () =
         go rest
     | "--cache-bench" :: rest ->
         o := { !o with cache_bench = true };
+        go rest
+    | "--serve-bench" :: rest ->
+        o := { !o with serve_bench = true };
         go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -311,9 +320,95 @@ let run_cache_bench ~size ~workers =
       { cb_workers = workers; cb_suite_jobs = njobs; cb_cold_j1 = cold_j1;
         cb_cold_jn = cold_jn; cb_warm = warm })
 
+(* --- daemon (serve) benchmark ---------------------------------------------- *)
+
+type serve_bench_result = {
+  sb_workload : string;
+  sb_cold : float;         (* fresh in-process runner: simulate + analyze *)
+  sb_daemon_first : float; (* daemon's first request (its cold path) *)
+  sb_warm_mean : float;    (* resident daemon, repeat request *)
+  sb_warm_min : float;
+  sb_warm_requests : int;
+}
+
+let run_serve_bench ~size ~workers =
+  let module Protocol = Ddg_protocol.Protocol in
+  let module Server = Ddg_server.Server in
+  let module Client = Ddg_server.Client in
+  let name = "mtxx" in
+  let w = Option.get (Ddg_workloads.Registry.find name) in
+  let config = Ddg_paragraph.Config.default in
+  (* cold start: what a one-shot CLI run pays every time *)
+  Printf.eprintf "serve-bench: cold in-process analyze (%s)\n%!" name;
+  let t0 = Unix.gettimeofday () in
+  let cold_stats =
+    Runner.analyze (Runner.create ~size ~workers:1 ()) w config
+  in
+  let cold = Unix.gettimeofday () -. t0 in
+  (* resident daemon on a temp socket, same process for a fair clock *)
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg-serve-bench-%d.sock" (Unix.getpid ()))
+  in
+  let runner = Runner.create ~size ~workers () in
+  let server = Server.create ~runner ~workers [ `Unix socket ] in
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join thread;
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      Client.with_connection ~retry_for_s:10.0 (`Unix socket) (fun client ->
+          let analyze () =
+            let t0 = Unix.gettimeofday () in
+            match
+              Client.request client (Protocol.Analyze { workload = name; config })
+            with
+            | Protocol.Analyzed stats -> (Unix.gettimeofday () -. t0, stats)
+            | _ -> failwith "serve-bench: unexpected response"
+          in
+          Printf.eprintf "serve-bench: daemon first request\n%!";
+          let daemon_first, first_stats = analyze () in
+          if Ddg_paragraph.Stats_codec.to_string first_stats
+             <> Ddg_paragraph.Stats_codec.to_string cold_stats
+          then begin
+            Printf.eprintf
+              "serve-bench: served result differs from in-process result\n%!";
+            exit 1
+          end;
+          let n = 25 in
+          Printf.eprintf "serve-bench: %d warm repeats\n%!" n;
+          let times = List.init n (fun _ -> fst (analyze ())) in
+          (match Client.request client Protocol.Server_stats with
+          | Protocol.Telemetry c ->
+              if c.Protocol.simulations > 1 || c.Protocol.analyses > 1
+              then begin
+                Printf.eprintf
+                  "serve-bench: warm repeats recomputed (%d simulations, %d \
+                   analyses) - the daemon is not serving from its caches\n%!"
+                  c.Protocol.simulations c.Protocol.analyses;
+                exit 1
+              end
+          | _ -> failwith "serve-bench: unexpected stats response");
+          let warm_mean = List.fold_left ( +. ) 0.0 times /. float_of_int n in
+          let warm_min = List.fold_left min (List.hd times) times in
+          Printf.printf
+            "serve bench (%s %s): cold %.3fs, daemon first %.3fs, warm mean \
+             %.2fms / min %.2fms over %d requests (%.0fx over cold; warm \
+             repeats did zero new work)\n"
+            name
+            (Ddg_workloads.Workload.size_to_string size)
+            cold daemon_first (1000.0 *. warm_mean) (1000.0 *. warm_min) n
+            (if warm_mean > 0.0 then cold /. warm_mean else 0.0);
+          { sb_workload = name; sb_cold = cold; sb_daemon_first = daemon_first;
+            sb_warm_mean = warm_mean; sb_warm_min = warm_min;
+            sb_warm_requests = n }))
+
 (* --- BENCH.json ---------------------------------------------------------- *)
 
-let write_bench_json path ~size ~sections ~micro ~cache =
+let write_bench_json path ~size ~sections ~micro ~cache ~serve =
   let open Ddg_report.Json in
   let micro_fields =
     match micro with
@@ -365,6 +460,23 @@ let write_bench_json path ~size ~sections ~micro ~cache =
                   else Null );
                 ("warm_run_cache_hot", Bool true) ] ) ]
   in
+  let serve_fields =
+    match serve with
+    | None -> []
+    | Some s ->
+        [ ( "serve",
+            Obj
+              [ ("workload", String s.sb_workload);
+                ("cold_seconds", Float s.sb_cold);
+                ("daemon_first_request_seconds", Float s.sb_daemon_first);
+                ("warm_mean_seconds", Float s.sb_warm_mean);
+                ("warm_min_seconds", Float s.sb_warm_min);
+                ("warm_requests", Int s.sb_warm_requests);
+                ( "warm_speedup_vs_cold",
+                  if s.sb_warm_mean > 0.0 then Float (s.sb_cold /. s.sb_warm_mean)
+                  else Null );
+                ("warm_zero_work", Bool true) ] ) ]
+  in
   let json =
     Obj
       ([ ("size", String (Ddg_workloads.Workload.size_to_string size));
@@ -378,7 +490,7 @@ let write_bench_json path ~size ~sections ~micro ~cache =
                     [ ("name", String name);
                       ("wall_seconds", Float seconds) ])
                 (List.rev sections)) ) ]
-      @ cache_fields @ micro_fields)
+      @ cache_fields @ serve_fields @ micro_fields)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -389,7 +501,7 @@ let write_bench_json path ~size ~sections ~micro ~cache =
 
 let () =
   let { size; only; micro; json_path; jobs = workers; cache_dir; no_cache;
-        cache_bench } =
+        cache_bench; serve_bench } =
     parse_args ()
   in
   let t0 = Unix.gettimeofday () in
@@ -455,8 +567,15 @@ let () =
     end
     else None
   in
+  let serve_results =
+    if serve_bench then begin
+      section_banner "daemon (serve) benchmark";
+      Some (timed "serve-bench" (fun () -> run_serve_bench ~size ~workers))
+    end
+    else None
+  in
   write_bench_json json_path ~size ~sections:!section_times
-    ~micro:micro_results ~cache:cache_results;
+    ~micro:micro_results ~cache:cache_results ~serve:serve_results;
   Printf.eprintf "[%7.1fs] done (%s written)\n%!"
     (Unix.gettimeofday () -. t0)
     json_path

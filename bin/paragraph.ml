@@ -7,7 +7,10 @@
    - ddg:       emit the explicit DDG of a small program as Graphviz DOT
    - run:       just execute a program on the simulator
    - workloads: list the SPEC'89-analog workloads
-   - table3 / table4 / fig7 / fig8: regenerate one paper result *)
+   - table3 / table4 / fig7 / fig8: regenerate one paper result
+   - serve:     run the resident analysis daemon (paragraphd)
+   - client:    talk to a running daemon (ping/analyze/simulate/table/
+                stats/shutdown) *)
 
 open Cmdliner
 open Ddg_paragraph
@@ -562,7 +565,7 @@ let no_cache_arg =
   let doc = "Disable the on-disk artifact store (memory cache only)." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
-let runner_of size verbose jobs cache_dir no_cache =
+let runner_of ?trace_budget size verbose jobs cache_dir no_cache =
   let progress =
     if verbose then fun msg -> Printf.eprintf "%s\n%!" msg else fun _ -> ()
   in
@@ -577,11 +580,13 @@ let runner_of size verbose jobs cache_dir no_cache =
             msg;
           None
   in
-  Ddg_experiments.Runner.create ~size ~progress ?store ~workers:jobs ()
+  Ddg_experiments.Runner.create ~size ~progress ?store ~workers:jobs
+    ?trace_budget ()
 
 let runner_term =
   Term.(
-    const runner_of $ size_arg $ verbose_arg $ jobs_arg $ cache_dir_arg
+    const (fun size -> runner_of size)
+    $ size_arg $ verbose_arg $ jobs_arg $ cache_dir_arg
     $ no_cache_arg)
 
 let paper_cmd name doc render =
@@ -607,12 +612,342 @@ let fig8_csv_cmd =
     (Cmd.info "fig8-csv" ~doc:"Figure 8 series for all workloads, as CSV.")
     Term.(const run $ runner_term)
 
+(* --- serve / client -------------------------------------------------------- *)
+
+module Server = Ddg_server.Server
+module Client = Ddg_server.Client
+module Protocol = Ddg_protocol.Protocol
+
+let default_socket =
+  lazy
+    (Filename.concat
+       (try Sys.getenv "XDG_RUNTIME_DIR"
+        with Not_found -> Filename.get_temp_dir_name ())
+       "paragraphd.sock")
+
+let tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let addr = String.sub s 0 i in
+        match int_of_string_opt
+                (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some port when port > 0 && port < 65536 -> Ok (addr, port)
+        | _ -> Error (`Msg "expected ADDR:PORT"))
+    | None -> Error (`Msg "expected ADDR:PORT")
+  in
+  Arg.conv (parse, fun ppf (a, p) -> Format.fprintf ppf "%s:%d" a p)
+
+let describe_endpoint = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (addr, port) -> Printf.sprintf "tcp:%s:%d" addr port
+
+let socket_doc = "Unix-domain socket path of the daemon."
+
+let serve_cmd =
+  let run size verbose jobs cache_dir no_cache trace_budget_mb socket tcp
+      max_inflight deadline =
+    let trace_budget =
+      Option.map (fun mb -> mb * 1024 * 1024) trace_budget_mb
+    in
+    let runner =
+      runner_of ?trace_budget size verbose jobs cache_dir no_cache
+    in
+    let endpoints =
+      `Unix socket :: (match tcp with Some (a, p) -> [ `Tcp (a, p) ] | None -> [])
+    in
+    let server =
+      Server.create ~runner ~workers:jobs ~max_inflight
+        ~default_deadline_s:deadline
+        ~log:(fun msg -> Printf.eprintf "paragraphd: %s\n%!" msg)
+        endpoints
+    in
+    Server.install_signal_handlers server;
+    Server.run server
+  in
+  let trace_budget_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-budget" ] ~docv:"MIB"
+          ~doc:
+            "Cap resident decoded traces at $(docv) MiB; least recently \
+             used traces are evicted past the budget.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string (Lazy.force default_socket)
+      & info [ "socket" ] ~docv:"PATH" ~doc:socket_doc)
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some tcp_conv) None
+      & info [ "tcp" ] ~docv:"ADDR:PORT"
+          ~doc:"Also listen on a TCP address, e.g. 127.0.0.1:7432.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Refuse new work with a Busy error once $(docv) requests are \
+             queued or running.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 600.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Default per-request deadline for clients that set none.")
+  in
+  let doc =
+    "Run the resident analysis daemon: serve analyze/simulate/table      requests over a Unix-domain socket (and optionally TCP), keeping      traces and results warm in memory and the artifact store. SIGINT or      SIGTERM drains gracefully."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ size_arg $ verbose_arg $ jobs_arg $ cache_dir_arg
+      $ no_cache_arg $ trace_budget_mb $ socket $ tcp $ max_inflight
+      $ deadline)
+
+let client_endpoint_term =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:socket_doc)
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some tcp_conv) None
+      & info [ "tcp" ] ~docv:"ADDR:PORT" ~doc:"TCP address of the daemon.")
+  in
+  let make socket tcp =
+    match (tcp, socket) with
+    | Some (a, p), _ -> `Tcp (a, p)
+    | None, Some path -> `Unix path
+    | None, None -> `Unix (Lazy.force default_socket)
+  in
+  Term.(const make $ socket $ tcp)
+
+let retry_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "retry" ] ~docv:"SECONDS"
+        ~doc:
+          "Keep retrying the connection for $(docv) seconds if the daemon \
+           is not (yet) listening.")
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline; past it the server answers \
+           deadline_exceeded. 0 uses the server default.")
+
+let client_request endpoint retry deadline_ms req handle =
+  try
+    Client.with_connection ~retry_for_s:retry endpoint (fun c ->
+        handle (Client.request ~deadline_ms c req))
+  with
+  | Client.Server_error { code; message } ->
+      prerr_endline
+        (Printf.sprintf "paragraph: server error (%s): %s"
+           (Protocol.error_code_name code) message);
+      exit 3
+  | Protocol.Error msg -> die "protocol error: %s" msg
+  | End_of_file -> die "server closed the connection"
+  | Unix.Unix_error (e, _, _) ->
+      die "cannot reach daemon at %s: %s" (describe_endpoint endpoint)
+        (Unix.error_message e)
+
+let unexpected_response () = die "unexpected response kind from server"
+
+let client_ping_cmd =
+  let run endpoint retry deadline_ms delay_ms =
+    let t0 = Unix.gettimeofday () in
+    client_request endpoint retry deadline_ms (Protocol.Ping { delay_ms })
+      (function
+      | Protocol.Pong ->
+          Format.printf "pong (%.1f ms)@."
+            (1000.0 *. (Unix.gettimeofday () -. t0))
+      | _ -> unexpected_response ())
+  in
+  let delay_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "delay-ms" ] ~docv:"MS"
+          ~doc:"Hold a server worker slot for $(docv) ms before answering.")
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Round-trip liveness probe.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
+      $ delay_ms)
+
+let client_analyze_cmd =
+  let run endpoint retry deadline_ms workload config json =
+    client_request endpoint retry deadline_ms
+      (Protocol.Analyze { workload; config })
+      (function
+      | Protocol.Analyzed stats ->
+          if json then
+            print_endline
+              (Ddg_report.Json.to_string (stats_to_json workload config stats))
+          else begin
+            Format.printf "workload: %s@." workload;
+            Format.printf "switches: %s@." (Config.describe config);
+            Format.printf "%a@." Analyzer.pp_stats stats
+          end
+      | _ -> unexpected_response ())
+  in
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze a workload on the daemon (served from its warm caches      when possible). Same switches and output as the local $(b,analyze).")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
+      $ workload $ config_term $ json)
+
+let client_simulate_cmd =
+  let run endpoint retry deadline_ms workload =
+    client_request endpoint retry deadline_ms (Protocol.Simulate { workload })
+      (function
+      | Protocol.Simulated s ->
+          Format.printf
+            "%s: %d instructions, %d syscalls, output %d bytes, %d words \
+             touched, %d trace events@."
+            workload s.Protocol.instructions s.syscalls s.output_bytes
+            s.memory_footprint s.trace_events
+      | _ -> unexpected_response ())
+  in
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Ensure a workload's trace is resident on the daemon.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
+      $ workload)
+
+let client_table_cmd =
+  let run endpoint retry deadline_ms name =
+    client_request endpoint retry deadline_ms (Protocol.Table { name })
+      (function
+      | Protocol.Rendered text -> print_string text
+      | _ -> unexpected_response ())
+  in
+  let name_arg =
+    let doc =
+      Printf.sprintf "One of: %s." (String.concat ", " Server.table_names)
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Render a paper table or figure on the daemon.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
+      $ name_arg)
+
+let client_stats_cmd =
+  let run endpoint retry json =
+    client_request endpoint retry 0 Protocol.Server_stats (function
+      | Protocol.Telemetry c ->
+          if json then
+            print_endline
+              (Ddg_report.Json.to_string
+                 (Ddg_report.Json.Obj
+                    [ ("uptime_s", Float c.Protocol.uptime_s);
+                      ("connections", Int c.connections);
+                      ("requests_total", Int c.requests_total);
+                      ("requests_ok", Int c.requests_ok);
+                      ("requests_error", Int c.requests_error);
+                      ("busy_rejections", Int c.busy_rejections);
+                      ("deadline_expirations", Int c.deadline_expirations);
+                      ("latency_total_s", Float c.latency_total_s);
+                      ("latency_max_s", Float c.latency_max_s);
+                      ( "by_verb",
+                        Obj
+                          (List.map
+                             (fun (verb, n) ->
+                               (verb, Ddg_report.Json.Int n))
+                             c.by_verb) );
+                      ("simulations", Int c.simulations);
+                      ("analyses", Int c.analyses);
+                      ("trace_store_hits", Int c.trace_store_hits);
+                      ("stats_store_hits", Int c.stats_store_hits);
+                      ("trace_mem_hits", Int c.trace_mem_hits);
+                      ("trace_evictions", Int c.trace_evictions);
+                      ("trace_resident_bytes", Int c.trace_resident_bytes) ]))
+          else begin
+            Format.printf "uptime: %.1fs, connections: %d@."
+              c.Protocol.uptime_s c.connections;
+            Format.printf
+              "requests: %d total, %d ok, %d error (%d busy, %d deadline)@."
+              c.requests_total c.requests_ok c.requests_error
+              c.busy_rejections c.deadline_expirations;
+            Format.printf "latency: %.1f ms mean, %.1f ms max@."
+              (if c.requests_total = 0 then 0.0
+               else 1000.0 *. c.latency_total_s /. float_of_int c.requests_total)
+              (1000.0 *. c.latency_max_s);
+            List.iter
+              (fun (verb, n) -> Format.printf "  %-10s %d@." verb n)
+              c.by_verb;
+            Format.printf
+              "work: %d simulations, %d analyses@." c.simulations c.analyses;
+            Format.printf
+              "caches: %d trace mem hits, %d trace store hits, %d stats \
+               store hits@."
+              c.trace_mem_hits c.trace_store_hits c.stats_store_hits;
+            Format.printf "traces resident: %d bytes, %d evictions@."
+              c.trace_resident_bytes c.trace_evictions
+          end
+      | _ -> unexpected_response ())
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the daemon's observability counters.")
+    Term.(const run $ client_endpoint_term $ retry_arg $ json)
+
+let client_shutdown_cmd =
+  let run endpoint retry =
+    client_request endpoint retry 0 Protocol.Shutdown (function
+      | Protocol.Shutting_down_ack -> print_endline "daemon shutting down"
+      | _ -> unexpected_response ())
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit.")
+    Term.(const run $ client_endpoint_term $ retry_arg)
+
+let client_cmd =
+  let doc = "Talk to a running $(b,paragraph serve) daemon." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [ client_ping_cmd;
+      client_analyze_cmd;
+      client_simulate_cmd;
+      client_table_cmd;
+      client_stats_cmd;
+      client_shutdown_cmd ]
+
 let main =
   let doc =
     "Dynamic dependency graph analysis of ordinary programs (Austin & \
      Sohi, ISCA 1992)"
   in
-  Cmd.group (Cmd.info "paragraph" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "paragraph" ~version:Ddg_version.Version.current ~doc)
     [ analyze_cmd;
       profile_cmd;
       ddg_cmd;
@@ -633,6 +968,8 @@ let main =
       paper_cmd "fig8" "Regenerate Figure 8 (window size vs parallelism)."
         Ddg_experiments.Fig8.render;
       fig7_csv_cmd;
-      fig8_csv_cmd ]
+      fig8_csv_cmd;
+      serve_cmd;
+      client_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -2,20 +2,50 @@ open Ddg_workloads
 module Store = Ddg_store.Store
 module Jobs = Ddg_jobs.Engine
 
+(* A resident decoded trace: the LRU entry of the byte-budgeted memory
+   cache. [last_use] is a logical clock tick, bumped on every hit. *)
+type trace_entry = {
+  value : Ddg_sim.Machine.result * Ddg_sim.Trace.t;
+  bytes : int;
+  mutable last_use : int;
+}
+
+type counters = {
+  simulations : int;
+  analyses : int;
+  trace_store_hits : int;
+  stats_store_hits : int;
+  trace_mem_hits : int;
+  trace_evictions : int;
+  trace_resident_bytes : int;
+}
+
 type t = {
   size : Workload.size;
   progress : string -> unit;
   store : Store.t option;
   workers : int;
-  lock : Mutex.t;  (* guards the two memory caches *)
-  traces : (string, Ddg_sim.Machine.result * Ddg_sim.Trace.t) Hashtbl.t;
+  trace_budget : int option;
+  lock : Mutex.t;  (* guards the two memory caches and the counters *)
+  traces : (string, trace_entry) Hashtbl.t;
   stats : (string * string, Ddg_paragraph.Analyzer.stats) Hashtbl.t;
+  mutable tick : int;
+  mutable resident_bytes : int;
+  mutable n_simulations : int;
+  mutable n_analyses : int;
+  mutable n_trace_store_hits : int;
+  mutable n_stats_store_hits : int;
+  mutable n_trace_mem_hits : int;
+  mutable n_trace_evictions : int;
 }
 
 let create ?(size = Workload.Default) ?(progress = fun _ -> ()) ?store
-    ?(workers = 1) () =
-  { size; progress; store; workers = max 1 workers; lock = Mutex.create ();
-    traces = Hashtbl.create 16; stats = Hashtbl.create 64 }
+    ?(workers = 1) ?trace_budget () =
+  { size; progress; store; workers = max 1 workers; trace_budget;
+    lock = Mutex.create (); traces = Hashtbl.create 16;
+    stats = Hashtbl.create 64; tick = 0; resident_bytes = 0;
+    n_simulations = 0; n_analyses = 0; n_trace_store_hits = 0;
+    n_stats_store_hits = 0; n_trace_mem_hits = 0; n_trace_evictions = 0 }
 
 let size t = t.size
 let workloads _ = Registry.all
@@ -24,12 +54,25 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let counters t =
+  locked t (fun () ->
+      { simulations = t.n_simulations;
+        analyses = t.n_analyses;
+        trace_store_hits = t.n_trace_store_hits;
+        stats_store_hits = t.n_stats_store_hits;
+        trace_mem_hits = t.n_trace_mem_hits;
+        trace_evictions = t.n_trace_evictions;
+        trace_resident_bytes = t.resident_bytes })
+
 (* --- store keys ------------------------------------------------------------ *)
 
+(* Keyed by the software version too, so artifacts written by one
+   release are never misattributed to another even when the payload
+   format versions happen to match. *)
 let trace_key t (w : Workload.t) =
-  Printf.sprintf "%s/%s/%s" w.name
+  Printf.sprintf "%s/%s/%s/v%s" w.name
     (Workload.size_to_string t.size)
-    Ddg_sim.Trace_io.format_version
+    Ddg_sim.Trace_io.format_version Ddg_version.Version.current
 
 let stats_key t (w : Workload.t) config =
   Printf.sprintf "%s/%s/analyzer-v%d" (trace_key t w)
@@ -74,8 +117,59 @@ let try_put t ~kind ~key ~wall write_payload =
       with Sys_error msg ->
         t.progress (Printf.sprintf "store write failed (%s): %s" kind msg))
 
+(* Insert a freshly decoded trace into the LRU and evict the
+   least-recently-used entries until the byte budget holds again. The
+   entry just inserted always survives (its tick is newest and at least
+   one trace must stay resident for the caller), so a single trace
+   larger than the budget degrades to exactly-one-resident, not
+   thrashing. Lock held. *)
+let lru_insert_locked t name value =
+  let bytes =
+    let result, tr = value in
+    Ddg_sim.Trace.memory_bytes tr
+    + String.length result.Ddg_sim.Machine.output
+  in
+  (match Hashtbl.find_opt t.traces name with
+  | Some old -> t.resident_bytes <- t.resident_bytes - old.bytes
+  | None -> ());
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.traces name { value; bytes; last_use = t.tick };
+  t.resident_bytes <- t.resident_bytes + bytes;
+  match t.trace_budget with
+  | None -> ()
+  | Some budget ->
+      while t.resident_bytes > budget && Hashtbl.length t.traces > 1 do
+        let victim =
+          Hashtbl.fold
+            (fun name entry acc ->
+              match acc with
+              | Some (_, best) when best.last_use <= entry.last_use -> acc
+              | _ -> Some (name, entry))
+            t.traces None
+        in
+        match victim with
+        | None -> ()
+        | Some (victim_name, entry) ->
+            Hashtbl.remove t.traces victim_name;
+            t.resident_bytes <- t.resident_bytes - entry.bytes;
+            t.n_trace_evictions <- t.n_trace_evictions + 1;
+            t.progress
+              (Printf.sprintf "evicting %s trace (%d bytes resident)"
+                 victim_name t.resident_bytes)
+      done
+
 let trace t (w : Workload.t) =
-  match locked t (fun () -> Hashtbl.find_opt t.traces w.name) with
+  let hit =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.traces w.name with
+        | Some entry ->
+            t.tick <- t.tick + 1;
+            entry.last_use <- t.tick;
+            t.n_trace_mem_hits <- t.n_trace_mem_hits + 1;
+            Some entry.value
+        | None -> None)
+  in
+  match hit with
   | Some cached -> cached
   | None ->
       let from_store =
@@ -91,6 +185,8 @@ let trace t (w : Workload.t) =
         match from_store with
         | Some v ->
             t.progress (Printf.sprintf "store hit: %s trace" w.name);
+            locked t (fun () ->
+                t.n_trace_store_hits <- t.n_trace_store_hits + 1);
             v
         | None ->
             t.progress
@@ -104,6 +200,7 @@ let trace t (w : Workload.t) =
                 failwith
                   (Format.asprintf "workload %s did not halt: %a" w.name
                      Ddg_sim.Machine.pp_stop_reason s));
+            locked t (fun () -> t.n_simulations <- t.n_simulations + 1);
             try_put t ~kind:"trace" ~key:(trace_key t w)
               ~wall:(Unix.gettimeofday () -. t0)
               (fun oc ->
@@ -111,7 +208,7 @@ let trace t (w : Workload.t) =
                 Ddg_sim.Trace_io.write_channel oc tr);
             (result, tr)
       in
-      locked t (fun () -> Hashtbl.replace t.traces w.name v);
+      locked t (fun () -> lru_insert_locked t w.name v);
       v
 
 (* --- analysis -------------------------------------------------------------- *)
@@ -119,9 +216,16 @@ let trace t (w : Workload.t) =
 let find_store_stats t w config =
   match t.store with
   | None -> None
-  | Some s ->
-      Store.find s ~kind:"stats" ~key:(stats_key t w config)
-        Ddg_paragraph.Stats_codec.read
+  | Some s -> (
+      match
+        Store.find s ~kind:"stats" ~key:(stats_key t w config)
+          Ddg_paragraph.Stats_codec.read
+      with
+      | Some _ as hit ->
+          locked t (fun () ->
+              t.n_stats_store_hits <- t.n_stats_store_hits + 1);
+          hit
+      | None -> None)
 
 let analyze t (w : Workload.t) config =
   let key = (w.Workload.name, Ddg_paragraph.Config.describe config) in
@@ -140,6 +244,7 @@ let analyze t (w : Workload.t) config =
               (Printf.sprintf "analyzing %s under %s" w.name (snd key));
             let t0 = Unix.gettimeofday () in
             let s = Ddg_paragraph.Analyzer.analyze config tr in
+            locked t (fun () -> t.n_analyses <- t.n_analyses + 1);
             try_put t ~kind:"stats" ~key:(stats_key t w config)
               ~wall:(Unix.gettimeofday () -. t0)
               (fun oc -> Ddg_paragraph.Stats_codec.write oc s);
@@ -220,6 +325,8 @@ let prefetch t jobs =
                let stats =
                  Ddg_paragraph.Analyzer.analyze_many ?max_domains configs tr
                in
+               locked t (fun () ->
+                   t.n_analyses <- t.n_analyses + List.length configs);
                let wall_each =
                  (Unix.gettimeofday () -. t0)
                  /. float_of_int (List.length configs)

@@ -9,11 +9,27 @@
 
 type t
 
+(** A snapshot of the runner's work and cache counters, for daemon
+    observability and cache-hot assertions: how many simulations and
+    per-configuration analyses actually ran, against how many memory and
+    store hits they were avoided, and the trace LRU's eviction count and
+    resident footprint. *)
+type counters = {
+  simulations : int;
+  analyses : int;
+  trace_store_hits : int;
+  stats_store_hits : int;
+  trace_mem_hits : int;
+  trace_evictions : int;
+  trace_resident_bytes : int;
+}
+
 val create :
   ?size:Ddg_workloads.Workload.size ->
   ?progress:(string -> unit) ->
   ?store:Ddg_store.Store.t ->
   ?workers:int ->
+  ?trace_budget:int ->
   unit ->
   t
 (** [size] defaults to [Default]; [progress] (default silent) receives
@@ -22,7 +38,13 @@ val create :
     cache only) persists traces and stats across runs. [workers] (default
     1: sequential, deterministic order) sizes the domain pool
     {!prefetch} executes its job graph on; results are bit-identical for
-    every worker count. *)
+    every worker count. [trace_budget] (default none: unbounded) caps
+    the bytes of decoded traces held resident: the memory trace cache
+    becomes an LRU that evicts least-recently-used traces past the
+    budget (the entry just loaded always stays, so an over-budget
+    single trace is held alone rather than thrashed). *)
+
+val counters : t -> counters
 
 val size : t -> Ddg_workloads.Workload.size
 
@@ -31,7 +53,8 @@ val workloads : t -> Ddg_workloads.Workload.t list
 
 val trace_key : t -> Ddg_workloads.Workload.t -> string
 (** The artifact-store key for a workload's trace at this runner's size:
-    workload name / size class / {!Ddg_sim.Trace_io.format_version}. *)
+    workload name / size class / {!Ddg_sim.Trace_io.format_version} /
+    software version ({!Ddg_version.Version.current}). *)
 
 val stats_key :
   t -> Ddg_workloads.Workload.t -> Ddg_paragraph.Config.t -> string

@@ -155,3 +155,185 @@ let run ?workers ?(progress = fun _ -> ()) t =
   let failure = t.failure in
   Mutex.unlock t.lock;
   match failure with Some e -> raise e | None -> ()
+
+(* --- persistent worker pool -------------------------------------------------
+
+   The one-shot graph engine above drains and returns; a daemon needs a
+   pool that outlives any single request. [Pool] keeps a fixed set of
+   domains blocked on a queue of submitted closures. Each submission
+   returns a ticket; completion is signalled through a pipe so a waiter
+   can block with a deadline via [Unix.select] (stdlib [Condition] has
+   no timed wait). The submit path is where backpressure lives: with
+   [max_inflight] set, a full pool refuses the closure outright instead
+   of queueing it behind an unbounded backlog. *)
+
+module Pool = struct
+  type task = { run : unit -> unit }
+
+  type t = {
+    plock : Mutex.t;
+    pcond : Condition.t;
+    pqueue : task Queue.t;
+    mutable inflight : int; (* queued + running *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+    pool_workers : int;
+  }
+
+  type 'a outcome = Pending | Completed of ('a, exn) result | Abandoned
+
+  type 'a ticket = {
+    tlock : Mutex.t;
+    mutable outcome : 'a outcome;
+    notify_r : Unix.file_descr;
+    notify_w : Unix.file_descr;
+  }
+
+  let pool_worker p () =
+    Mutex.lock p.plock;
+    let rec loop () =
+      match Queue.take_opt p.pqueue with
+      | Some task ->
+          Mutex.unlock p.plock;
+          task.run ();
+          Mutex.lock p.plock;
+          p.inflight <- p.inflight - 1;
+          loop ()
+      | None ->
+          if p.stop then Mutex.unlock p.plock
+          else begin
+            Condition.wait p.pcond p.plock;
+            loop ()
+          end
+    in
+    loop ()
+
+  let pool ?workers () =
+    let pool_workers =
+      max 1
+        (match workers with
+        | Some w -> w
+        | None -> Domain.recommended_domain_count ())
+    in
+    let p =
+      { plock = Mutex.create (); pcond = Condition.create ();
+        pqueue = Queue.create (); inflight = 0; stop = false; domains = [];
+        pool_workers }
+    in
+    p.domains <- List.init pool_workers (fun _ -> Domain.spawn (pool_worker p));
+    p
+
+  let pool_size p = p.pool_workers
+
+  let pool_inflight p =
+    Mutex.lock p.plock;
+    let n = p.inflight in
+    Mutex.unlock p.plock;
+    n
+
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let submit p ?max_inflight f =
+    Mutex.lock p.plock;
+    let refused =
+      p.stop
+      || match max_inflight with Some m -> p.inflight >= m | None -> false
+    in
+    if refused then begin
+      Mutex.unlock p.plock;
+      None
+    end
+    else begin
+      p.inflight <- p.inflight + 1;
+      let notify_r, notify_w = Unix.pipe ~cloexec:true () in
+      let ticket =
+        { tlock = Mutex.create (); outcome = Pending; notify_r; notify_w }
+      in
+      let run () =
+        let result = try Ok (f ()) with e -> Error e in
+        Mutex.lock ticket.tlock;
+        (match ticket.outcome with
+        | Abandoned ->
+            (* the waiter timed out and went away: nobody will read the
+               pipe or the result, so the worker owns the cleanup *)
+            close_quietly ticket.notify_w;
+            close_quietly ticket.notify_r
+        | Pending | Completed _ ->
+            ticket.outcome <- Completed result;
+            (try ignore (Unix.write ticket.notify_w (Bytes.make 1 '\000') 0 1)
+             with Unix.Unix_error _ -> ());
+            close_quietly ticket.notify_w);
+        Mutex.unlock ticket.tlock
+      in
+      Queue.add { run } p.pqueue;
+      Condition.signal p.pcond;
+      Mutex.unlock p.plock;
+      Some ticket
+    end
+
+  let rec select_read fd timeout =
+    match Unix.select [ fd ] [] [] timeout with
+    | readable, _, _ -> readable <> []
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_read fd timeout
+
+  let await ?timeout_s ticket =
+    let deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+    in
+    let rec wait () =
+      Mutex.lock ticket.tlock;
+      match ticket.outcome with
+      | Completed result ->
+          ticket.outcome <- Abandoned;
+          close_quietly ticket.notify_r;
+          Mutex.unlock ticket.tlock;
+          (match result with
+          | Ok v -> Ok v
+          | Error e -> Error (`Failed e))
+      | Abandoned ->
+          Mutex.unlock ticket.tlock;
+          invalid_arg "Pool.await: ticket already consumed"
+      | Pending ->
+          Mutex.unlock ticket.tlock;
+          let remaining =
+            match deadline with
+            | None -> -1.0 (* negative = wait forever *)
+            | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+          in
+          if select_read ticket.notify_r remaining then wait ()
+          else begin
+            (* timed out; recheck under the lock in case the worker won
+               the race, then abandon the ticket to the worker *)
+            Mutex.lock ticket.tlock;
+            match ticket.outcome with
+            | Completed result ->
+                ticket.outcome <- Abandoned;
+                close_quietly ticket.notify_r;
+                Mutex.unlock ticket.tlock;
+                (match result with
+                | Ok v -> Ok v
+                | Error e -> Error (`Failed e))
+            | Pending ->
+                ticket.outcome <- Abandoned;
+                close_quietly ticket.notify_r;
+                Mutex.unlock ticket.tlock;
+                Error `Timeout
+            | Abandoned ->
+                Mutex.unlock ticket.tlock;
+                invalid_arg "Pool.await: ticket already consumed"
+          end
+    in
+    wait ()
+
+  let shutdown p =
+    Mutex.lock p.plock;
+    if not p.stop then begin
+      p.stop <- true;
+      Condition.broadcast p.pcond;
+      let domains = p.domains in
+      p.domains <- [];
+      Mutex.unlock p.plock;
+      List.iter Domain.join domains
+    end
+    else Mutex.unlock p.plock
+end

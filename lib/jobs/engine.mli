@@ -54,3 +54,47 @@ val name : job -> string
 val wall : job -> float option
 (** Wall-clock seconds the job's body took; [None] unless the job
     completed successfully. *)
+
+(** A persistent domain worker pool for serving daemons.
+
+    Where the graph engine above executes one batch and drains, [Pool]
+    keeps its domains alive across submissions: the paragraphd daemon
+    dispatches every request body onto one pool for the life of the
+    process. Backpressure is explicit — {!Pool.submit} with
+    [max_inflight] refuses work when the pool is full (the daemon turns
+    that into a typed [Busy] error frame) — and waiting is
+    deadline-aware: completion is signalled over a pipe so
+    {!Pool.await} can block in [Unix.select] with a timeout. *)
+module Pool : sig
+  type t
+
+  type 'a ticket
+  (** A handle on one submitted closure. Await it exactly once. *)
+
+  val pool : ?workers:int -> unit -> t
+  (** Spawn a pool of [workers] domains (default
+      [Domain.recommended_domain_count ()], minimum 1). *)
+
+  val pool_size : t -> int
+
+  val pool_inflight : t -> int
+  (** Closures submitted but not yet finished (queued + running). *)
+
+  val submit : t -> ?max_inflight:int -> (unit -> 'a) -> 'a ticket option
+  (** Enqueue a closure. [None] when the pool is shutting down or
+      already has [max_inflight] closures in flight — the caller's
+      overload signal; nothing was queued. *)
+
+  val await :
+    ?timeout_s:float -> 'a ticket -> ('a, [ `Timeout | `Failed of exn ]) result
+  (** Block until the closure finishes (or [timeout_s] elapses; default
+      forever). On [`Timeout] the ticket is abandoned: the closure still
+      runs to completion on its worker (domains cannot be killed
+      safely), but its result is discarded and its resources are
+      reclaimed by the worker.
+      @raise Invalid_argument if the ticket was already awaited *)
+
+  val shutdown : t -> unit
+  (** Stop accepting submissions, run everything already queued, and
+      join the domains. Idempotent. *)
+end

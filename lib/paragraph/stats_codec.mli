@@ -25,3 +25,13 @@ val write : out_channel -> Analyzer.stats -> unit
 
 val read : in_channel -> Analyzer.stats
 (** @raise Corrupt *)
+
+val to_string : Analyzer.stats -> string
+(** The same canonical encoding as {!write}, in memory — the stats
+    payload of the daemon protocol's analyze response. *)
+
+val of_string : string -> Analyzer.stats
+(** Inverse of {!to_string}. Stricter than {!read}: the whole string
+    must be consumed (a channel may carry further payloads after the
+    stats blob; a protocol frame may not).
+    @raise Corrupt *)

@@ -1,0 +1,502 @@
+let version = 1
+let max_frame_bytes = 16 * 1024 * 1024
+let magic = "DDGP"
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+(* name lengths are protocol constants: both sides enforce them, so a
+   hostile peer cannot force a large allocation through a string field *)
+let max_name = 256
+let max_message = 4096
+let max_verbs = 64
+
+type error_code =
+  | Bad_frame
+  | Unsupported_version
+  | Unknown_workload
+  | Unknown_table
+  | Busy
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+type error = { code : error_code; message : string }
+
+type request =
+  | Ping of { delay_ms : int }
+  | Analyze of { workload : string; config : Ddg_paragraph.Config.t }
+  | Simulate of { workload : string }
+  | Table of { name : string }
+  | Server_stats
+  | Shutdown
+
+type sim_summary = {
+  instructions : int;
+  syscalls : int;
+  output_bytes : int;
+  memory_footprint : int;
+  trace_events : int;
+}
+
+type counters = {
+  uptime_s : float;
+  connections : int;
+  requests_total : int;
+  requests_ok : int;
+  requests_error : int;
+  busy_rejections : int;
+  deadline_expirations : int;
+  latency_total_s : float;
+  latency_max_s : float;
+  by_verb : (string * int) list;
+  simulations : int;
+  analyses : int;
+  trace_store_hits : int;
+  stats_store_hits : int;
+  trace_mem_hits : int;
+  trace_evictions : int;
+  trace_resident_bytes : int;
+}
+
+type response =
+  | Pong
+  | Analyzed of Ddg_paragraph.Analyzer.stats
+  | Simulated of sim_summary
+  | Rendered of string
+  | Telemetry of counters
+  | Shutting_down_ack
+
+type frame =
+  | Hello of { protocol : int; software : string }
+  | Request of { deadline_ms : int; request : request }
+  | Ok_response of response
+  | Error_response of error
+
+let verb_name = function
+  | Ping _ -> "ping"
+  | Analyze _ -> "analyze"
+  | Simulate _ -> "simulate"
+  | Table _ -> "table"
+  | Server_stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let error_code_name = function
+  | Bad_frame -> "bad-frame"
+  | Unsupported_version -> "unsupported-version"
+  | Unknown_workload -> "unknown-workload"
+  | Unknown_table -> "unknown-table"
+  | Busy -> "busy"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Shutting_down -> "shutting-down"
+  | Internal -> "internal"
+
+(* --- payload encoding (Buffer) --------------------------------------------- *)
+
+let e_byte b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let e_varint b v =
+  if v < 0 then fail "negative varint";
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      e_byte b byte;
+      continue := false
+    end
+    else e_byte b (byte lor 0x80)
+  done
+
+let e_bool b v = e_byte b (if v then 1 else 0)
+
+let e_string ~max b s =
+  if String.length s > max then fail "string field too long to encode";
+  e_varint b (String.length s);
+  Buffer.add_string b s
+
+let e_float b f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    e_byte b (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+  done
+
+let e_opt_varint b = function
+  | None -> e_bool b false
+  | Some v ->
+      e_bool b true;
+      e_varint b v
+
+(* --- payload decoding (bounded cursor over a string) ------------------------ *)
+
+type cur = { data : string; mutable pos : int }
+
+let c_byte c =
+  if c.pos >= String.length c.data then fail "truncated frame payload"
+  else begin
+    let v = Char.code c.data.[c.pos] in
+    c.pos <- c.pos + 1;
+    v
+  end
+
+let c_varint c =
+  let rec go shift acc =
+    if shift > 56 then fail "varint too long";
+    let byte = c_byte c in
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let c_bool c =
+  match c_byte c with
+  | 0 -> false
+  | 1 -> true
+  | b -> fail "bad boolean byte %d" b
+
+(* the [remaining] check precedes [String.sub], so allocation is bounded
+   by the bytes actually on hand, never by the untrusted length *)
+let c_string ~max c =
+  let n = c_varint c in
+  if n > max then fail "string field of %d bytes exceeds limit %d" n max;
+  if c.pos + n > String.length c.data then fail "truncated string field";
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let c_float c =
+  let bits = ref 0L in
+  for _ = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (c_byte c))
+  done;
+  Int64.float_of_bits !bits
+
+let c_opt_varint c = if c_bool c then Some (c_varint c) else None
+
+(* --- analysis configurations ------------------------------------------------ *)
+
+let e_config b (cfg : Ddg_paragraph.Config.t) =
+  e_bool b cfg.syscall_stall;
+  e_bool b cfg.renaming.registers;
+  e_bool b cfg.renaming.stack;
+  e_bool b cfg.renaming.data;
+  e_opt_varint b cfg.window;
+  e_opt_varint b cfg.fu.total;
+  e_opt_varint b cfg.fu.int_units;
+  e_opt_varint b cfg.fu.fp_units;
+  e_opt_varint b cfg.fu.mem_units;
+  (match cfg.branch with
+  | Ddg_paragraph.Config.Perfect -> e_varint b 0
+  | Ddg_paragraph.Config.Predict_taken -> e_varint b 1
+  | Ddg_paragraph.Config.Predict_not_taken -> e_varint b 2
+  | Ddg_paragraph.Config.Two_bit n ->
+      e_varint b 3;
+      e_varint b n);
+  (* the latency function travels tabulated by class tag, so a served
+     analysis uses exactly the caller's operation times *)
+  let table = Ddg_paragraph.Config.latency_table cfg in
+  e_varint b (Array.length table);
+  Array.iter (e_varint b) table
+
+let c_config c : Ddg_paragraph.Config.t =
+  let syscall_stall = c_bool c in
+  let registers = c_bool c in
+  let stack = c_bool c in
+  let data = c_bool c in
+  let window = c_opt_varint c in
+  let total = c_opt_varint c in
+  let int_units = c_opt_varint c in
+  let fp_units = c_opt_varint c in
+  let mem_units = c_opt_varint c in
+  let branch =
+    match c_varint c with
+    | 0 -> Ddg_paragraph.Config.Perfect
+    | 1 -> Ddg_paragraph.Config.Predict_taken
+    | 2 -> Ddg_paragraph.Config.Predict_not_taken
+    | 3 -> Ddg_paragraph.Config.Two_bit (c_varint c)
+    | t -> fail "bad branch policy tag %d" t
+  in
+  let n = c_varint c in
+  if n <> Ddg_isa.Opclass.count then
+    fail "latency table has %d entries (this build has %d classes)" n
+      Ddg_isa.Opclass.count;
+  let table = Array.init n (fun _ -> c_varint c) in
+  {
+    Ddg_paragraph.Config.syscall_stall;
+    renaming = { Ddg_paragraph.Config.registers; stack; data };
+    window;
+    latency = (fun cls -> table.(Ddg_isa.Opclass.to_tag cls));
+    fu = { Ddg_paragraph.Config.total; int_units; fp_units; mem_units };
+    branch;
+  }
+
+(* --- requests, responses, errors -------------------------------------------- *)
+
+let e_request b = function
+  | Ping { delay_ms } ->
+      e_varint b 0;
+      e_varint b delay_ms
+  | Analyze { workload; config } ->
+      e_varint b 1;
+      e_string ~max:max_name b workload;
+      e_config b config
+  | Simulate { workload } ->
+      e_varint b 2;
+      e_string ~max:max_name b workload
+  | Table { name } ->
+      e_varint b 3;
+      e_string ~max:max_name b name
+  | Server_stats -> e_varint b 4
+  | Shutdown -> e_varint b 5
+
+let c_request c =
+  match c_varint c with
+  | 0 -> Ping { delay_ms = c_varint c }
+  | 1 ->
+      let workload = c_string ~max:max_name c in
+      let config = c_config c in
+      Analyze { workload; config }
+  | 2 -> Simulate { workload = c_string ~max:max_name c }
+  | 3 -> Table { name = c_string ~max:max_name c }
+  | 4 -> Server_stats
+  | 5 -> Shutdown
+  | t -> fail "bad request verb tag %d" t
+
+let e_counters b k =
+  e_float b k.uptime_s;
+  e_varint b k.connections;
+  e_varint b k.requests_total;
+  e_varint b k.requests_ok;
+  e_varint b k.requests_error;
+  e_varint b k.busy_rejections;
+  e_varint b k.deadline_expirations;
+  e_float b k.latency_total_s;
+  e_float b k.latency_max_s;
+  if List.length k.by_verb > max_verbs then fail "too many verb counters";
+  e_varint b (List.length k.by_verb);
+  List.iter
+    (fun (name, count) ->
+      e_string ~max:max_name b name;
+      e_varint b count)
+    k.by_verb;
+  e_varint b k.simulations;
+  e_varint b k.analyses;
+  e_varint b k.trace_store_hits;
+  e_varint b k.stats_store_hits;
+  e_varint b k.trace_mem_hits;
+  e_varint b k.trace_evictions;
+  e_varint b k.trace_resident_bytes
+
+let c_counters c =
+  let uptime_s = c_float c in
+  let connections = c_varint c in
+  let requests_total = c_varint c in
+  let requests_ok = c_varint c in
+  let requests_error = c_varint c in
+  let busy_rejections = c_varint c in
+  let deadline_expirations = c_varint c in
+  let latency_total_s = c_float c in
+  let latency_max_s = c_float c in
+  let nverbs = c_varint c in
+  if nverbs > max_verbs then fail "too many verb counters (%d)" nverbs;
+  let by_verb =
+    List.init nverbs (fun _ ->
+        let name = c_string ~max:max_name c in
+        let count = c_varint c in
+        (name, count))
+  in
+  let simulations = c_varint c in
+  let analyses = c_varint c in
+  let trace_store_hits = c_varint c in
+  let stats_store_hits = c_varint c in
+  let trace_mem_hits = c_varint c in
+  let trace_evictions = c_varint c in
+  let trace_resident_bytes = c_varint c in
+  { uptime_s; connections; requests_total; requests_ok; requests_error;
+    busy_rejections; deadline_expirations; latency_total_s; latency_max_s;
+    by_verb; simulations; analyses; trace_store_hits; stats_store_hits;
+    trace_mem_hits; trace_evictions; trace_resident_bytes }
+
+let e_response b = function
+  | Pong -> e_varint b 0
+  | Analyzed stats ->
+      e_varint b 1;
+      let payload = Ddg_paragraph.Stats_codec.to_string stats in
+      e_varint b (String.length payload);
+      Buffer.add_string b payload
+  | Simulated s ->
+      e_varint b 2;
+      e_varint b s.instructions;
+      e_varint b s.syscalls;
+      e_varint b s.output_bytes;
+      e_varint b s.memory_footprint;
+      e_varint b s.trace_events
+  | Rendered text ->
+      e_varint b 3;
+      e_string ~max:max_frame_bytes b text
+  | Telemetry k ->
+      e_varint b 4;
+      e_counters b k
+  | Shutting_down_ack -> e_varint b 5
+
+let c_response c =
+  match c_varint c with
+  | 0 -> Pong
+  | 1 ->
+      let blob = c_string ~max:max_frame_bytes c in
+      let stats =
+        try Ddg_paragraph.Stats_codec.of_string blob
+        with Ddg_paragraph.Stats_codec.Corrupt msg ->
+          fail "bad stats payload: %s" msg
+      in
+      Analyzed stats
+  | 2 ->
+      let instructions = c_varint c in
+      let syscalls = c_varint c in
+      let output_bytes = c_varint c in
+      let memory_footprint = c_varint c in
+      let trace_events = c_varint c in
+      Simulated
+        { instructions; syscalls; output_bytes; memory_footprint;
+          trace_events }
+  | 3 -> Rendered (c_string ~max:max_frame_bytes c)
+  | 4 -> Telemetry (c_counters c)
+  | 5 -> Shutting_down_ack
+  | t -> fail "bad response tag %d" t
+
+let error_code_tag = function
+  | Bad_frame -> 0
+  | Unsupported_version -> 1
+  | Unknown_workload -> 2
+  | Unknown_table -> 3
+  | Busy -> 4
+  | Deadline_exceeded -> 5
+  | Shutting_down -> 6
+  | Internal -> 7
+
+let error_code_of_tag = function
+  | 0 -> Bad_frame
+  | 1 -> Unsupported_version
+  | 2 -> Unknown_workload
+  | 3 -> Unknown_table
+  | 4 -> Busy
+  | 5 -> Deadline_exceeded
+  | 6 -> Shutting_down
+  | 7 -> Internal
+  | t -> fail "bad error code tag %d" t
+
+let truncate_message m =
+  if String.length m <= max_message then m else String.sub m 0 max_message
+
+(* --- frames ------------------------------------------------------------------ *)
+
+let frame_kind = function
+  | Hello _ -> 1
+  | Request _ -> 2
+  | Ok_response _ -> 3
+  | Error_response _ -> 4
+
+let encode_payload b = function
+  | Hello { protocol; software } ->
+      e_varint b protocol;
+      e_string ~max:max_name b software
+  | Request { deadline_ms; request } ->
+      e_varint b deadline_ms;
+      e_request b request
+  | Ok_response r -> e_response b r
+  | Error_response { code; message } ->
+      e_varint b (error_code_tag code);
+      e_string ~max:max_message b (truncate_message message)
+
+let decode_payload kind payload =
+  let c = { data = payload; pos = 0 } in
+  let frame =
+    match kind with
+    | 1 ->
+        let protocol = c_varint c in
+        let software = c_string ~max:max_name c in
+        Hello { protocol; software }
+    | 2 ->
+        let deadline_ms = c_varint c in
+        let request = c_request c in
+        Request { deadline_ms; request }
+    | 3 -> Ok_response (c_response c)
+    | 4 ->
+        let code = error_code_of_tag (c_varint c) in
+        let message = c_string ~max:max_message c in
+        Error_response { code; message }
+    | k -> fail "bad frame kind %d" k
+  in
+  if c.pos <> String.length payload then
+    fail "%d trailing bytes after frame payload" (String.length payload - c.pos);
+  frame
+
+let frame_to_string frame =
+  let payload = Buffer.create 64 in
+  encode_payload payload frame;
+  let n = Buffer.length payload in
+  if n > max_frame_bytes then fail "frame payload of %d bytes too large" n;
+  let b = Buffer.create (n + 9) in
+  Buffer.add_string b magic;
+  e_byte b (frame_kind frame);
+  e_byte b ((n lsr 24) land 0xFF);
+  e_byte b ((n lsr 16) land 0xFF);
+  e_byte b ((n lsr 8) land 0xFF);
+  e_byte b (n land 0xFF);
+  Buffer.add_buffer b payload;
+  Buffer.contents b
+
+let decode_header ~magic_bytes ~kind ~len =
+  if magic_bytes <> magic then fail "bad frame magic";
+  if len > max_frame_bytes then
+    fail "declared frame payload of %d bytes exceeds limit %d" len
+      max_frame_bytes;
+  ignore kind
+
+let frame_of_string s =
+  if String.length s < 9 then fail "truncated frame header";
+  let magic_bytes = String.sub s 0 4 in
+  let kind = Char.code s.[4] in
+  let len =
+    (Char.code s.[5] lsl 24)
+    lor (Char.code s.[6] lsl 16)
+    lor (Char.code s.[7] lsl 8)
+    lor Char.code s.[8]
+  in
+  decode_header ~magic_bytes ~kind ~len;
+  if String.length s - 9 < len then fail "truncated frame payload";
+  if String.length s - 9 > len then fail "trailing bytes after frame";
+  decode_payload kind (String.sub s 9 len)
+
+let write_frame oc frame =
+  output_string oc (frame_to_string frame);
+  flush oc
+
+let read_frame ic =
+  (* a clean close before any header byte surfaces as End_of_file from
+     this first read; anything partial after it is End_of_file too (the
+     peer vanished mid-frame) and the caller treats both as disconnect *)
+  let magic_bytes = really_input_string ic 4 in
+  let kind = input_byte ic in
+  let len =
+    let b0 = input_byte ic in
+    let b1 = input_byte ic in
+    let b2 = input_byte ic in
+    let b3 = input_byte ic in
+    (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+  in
+  decode_header ~magic_bytes ~kind ~len;
+  (* chunked payload read: allocation per step is bounded by the chunk
+     size, never by the untrusted declared length *)
+  let buf = Buffer.create (min len 65536) in
+  let chunk = Bytes.create (min (max len 1) 65536) in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let n = min !remaining (Bytes.length chunk) in
+    really_input ic chunk 0 n;
+    Buffer.add_subbytes buf chunk 0 n;
+    remaining := !remaining - n
+  done;
+  decode_payload kind (Buffer.contents buf)

@@ -1,0 +1,139 @@
+(** The paragraphd wire protocol: a versioned, length-prefixed binary
+    request/response codec.
+
+    Every message on the wire is one {e frame}:
+    {v
+    "DDGP"  4-byte magic
+    kind    1 byte: 1 hello, 2 request, 3 ok-response, 4 error
+    length  4-byte big-endian payload byte count
+    payload [length] bytes, kind-specific
+    v}
+
+    A connection opens with a [Hello] exchange (client then server), each
+    side carrying its protocol number and software version string; the
+    server refuses a protocol mismatch with an [Unsupported_version]
+    error frame, so old clients fail fast with a readable message
+    instead of a decode error. Requests and responses then alternate,
+    one in flight per connection. Every failure the server can express
+    is a typed {!error} frame — overload is [Busy], an expired deadline
+    is [Deadline_exceeded], a malformed frame is [Bad_frame] — never a
+    silent close or a hang.
+
+    The decoder is hardened against untrusted input: the payload length
+    is bounded by {!max_frame_bytes} {e before} any allocation, payloads
+    are read in small chunks (no [Bytes.create] sized by a wire value),
+    every embedded string length is checked against the bytes actually
+    present, and trailing garbage inside a frame is rejected. All
+    malformed input raises {!Error} — callers never see a partial
+    decode.
+
+    Analysis configurations travel as their full switch settings plus
+    the tabulated latency function
+    ({!Ddg_paragraph.Config.latency_table}), so a served analysis is
+    bit-identical to an in-process one. Stats payloads reuse the
+    canonical {!Ddg_paragraph.Stats_codec} encoding unchanged. *)
+
+val version : int
+(** Protocol revision; bumped on any frame-format change. Exchanged in
+    the [Hello] handshake together with {!Ddg_version.Version.current}. *)
+
+val max_frame_bytes : int
+(** Upper bound on a frame payload (16 MiB). Larger declared lengths are
+    rejected before any allocation. *)
+
+exception Error of string
+(** Malformed frame: bad magic, unknown kind or tag, truncated or
+    oversized payload, non-boolean flag byte, trailing garbage. *)
+
+(** Typed failure codes carried by error frames. *)
+type error_code =
+  | Bad_frame  (** the request could not be decoded *)
+  | Unsupported_version  (** protocol number mismatch in the handshake *)
+  | Unknown_workload
+  | Unknown_table
+  | Busy  (** max-inflight backpressure: retry later *)
+  | Deadline_exceeded
+  | Shutting_down  (** the daemon is draining and accepts no new work *)
+  | Internal  (** the request itself raised; message has the details *)
+
+type error = { code : error_code; message : string }
+
+type request =
+  | Ping of { delay_ms : int }
+      (** liveness probe; [delay_ms > 0] holds a worker slot that long —
+          a diagnostic lever for exercising backpressure and deadlines *)
+  | Analyze of { workload : string; config : Ddg_paragraph.Config.t }
+  | Simulate of { workload : string }
+  | Table of { name : string }
+      (** one of table1..table4, fig7, fig8 — a rendered paper result *)
+  | Server_stats  (** the daemon's own counters; never queued or rejected *)
+  | Shutdown  (** ask the daemon to drain and exit *)
+
+type sim_summary = {
+  instructions : int;
+  syscalls : int;
+  output_bytes : int;
+  memory_footprint : int;
+  trace_events : int;
+}
+
+(** The daemon's observability counters, as returned by {!Server_stats}:
+    request outcomes and latency, plus the resident caches' hit/miss and
+    eviction counts. *)
+type counters = {
+  uptime_s : float;
+  connections : int;
+  requests_total : int;
+  requests_ok : int;
+  requests_error : int;
+  busy_rejections : int;
+  deadline_expirations : int;
+  latency_total_s : float;
+  latency_max_s : float;
+  by_verb : (string * int) list;  (** request count per verb name *)
+  simulations : int;  (** workload simulations actually run *)
+  analyses : int;  (** analyzer passes actually run (per configuration) *)
+  trace_store_hits : int;
+  stats_store_hits : int;
+  trace_mem_hits : int;
+  trace_evictions : int;
+  trace_resident_bytes : int;
+}
+
+type response =
+  | Pong
+  | Analyzed of Ddg_paragraph.Analyzer.stats
+  | Simulated of sim_summary
+  | Rendered of string
+  | Telemetry of counters
+  | Shutting_down_ack
+
+type frame =
+  | Hello of { protocol : int; software : string }
+  | Request of { deadline_ms : int; request : request }
+      (** [deadline_ms = 0] means "use the server's default deadline" *)
+  | Ok_response of response
+  | Error_response of error
+
+val verb_name : request -> string
+(** Stable short name of a request's verb ("ping", "analyze", ...), the
+    key space of {!counters.by_verb}. *)
+
+val error_code_name : error_code -> string
+
+val write_frame : out_channel -> frame -> unit
+(** Encode and write one frame, then flush. *)
+
+val read_frame : in_channel -> frame
+(** Read and decode one frame.
+    @raise Error on malformed input
+    @raise End_of_file when the peer closed before or inside a frame *)
+
+val frame_to_string : frame -> string
+(** The exact bytes {!write_frame} would emit. The encoding is
+    canonical: [frame_to_string (frame_of_string s) = s] for any [s]
+    this module produced. *)
+
+val frame_of_string : string -> frame
+(** Decode one frame from a string, rejecting trailing bytes.
+    @raise Error *)

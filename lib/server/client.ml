@@ -1,0 +1,70 @@
+module Protocol = Ddg_protocol.Protocol
+
+exception Server_error of Protocol.error
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  software : string;
+  mutable closed : bool;
+}
+
+let sockaddr_of_endpoint : Server.endpoint -> Unix.sockaddr = function
+  | `Unix path -> ADDR_UNIX path
+  | `Tcp (addr, port) -> ADDR_INET (Unix.inet_addr_of_string addr, port)
+
+let domain_of_endpoint : Server.endpoint -> Unix.socket_domain = function
+  | `Unix _ -> PF_UNIX
+  | `Tcp _ -> PF_INET
+
+let rec connect_fd endpoint ~deadline =
+  let fd = Unix.socket ~cloexec:true (domain_of_endpoint endpoint) SOCK_STREAM 0 in
+  match Unix.connect fd (sockaddr_of_endpoint endpoint) with
+  | () -> fd
+  | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+    when Unix.gettimeofday () < deadline ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.02;
+      connect_fd endpoint ~deadline
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let connect ?(retry_for_s = 0.0) endpoint =
+  let fd = connect_fd endpoint ~deadline:(Unix.gettimeofday () +. retry_for_s) in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Protocol.write_frame oc
+    (Hello { protocol = Protocol.version; software = Ddg_version.Version.current });
+  match Protocol.read_frame ic with
+  | Hello { protocol = _; software } -> { fd; ic; oc; software; closed = false }
+  | Error_response err ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Server_error err)
+  | _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Protocol.Error "handshake: expected a hello frame")
+
+let server_software t = t.software
+
+let request ?(deadline_ms = 0) t req =
+  if t.closed then invalid_arg "Client.request: connection is closed";
+  Protocol.write_frame t.oc (Request { deadline_ms; request = req });
+  match Protocol.read_frame t.ic with
+  | Ok_response response -> response
+  | Error_response err -> raise (Server_error err)
+  | Hello _ | Request _ ->
+      raise (Protocol.Error "expected a response frame")
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with _ -> ());
+    (* [ic] and [oc] share [fd]; close it exactly once. *)
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection ?retry_for_s endpoint f =
+  let t = connect ?retry_for_s endpoint in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

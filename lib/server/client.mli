@@ -1,0 +1,37 @@
+(** Blocking client for the {!Server} daemon: connect, handshake, then
+    one {!request} per round trip over the framed binary protocol. Not
+    thread-safe; use one client per thread. *)
+
+type t
+
+exception Server_error of Ddg_protocol.Protocol.error
+(** The server answered with a typed error frame ([Busy],
+    [Deadline_exceeded], [Unknown_workload], ...). *)
+
+val connect : ?retry_for_s:float -> Server.endpoint -> t
+(** Connect and exchange Hello frames. [retry_for_s] (default 0: fail
+    immediately) keeps retrying a refused/missing endpoint for that many
+    seconds — for racing a daemon that is still starting up. Raises
+    {!Server_error} if the server refuses the protocol version, and
+    [Unix.Unix_error] if no daemon answers. *)
+
+val server_software : t -> string
+(** The software version string from the server's Hello. *)
+
+val request :
+  ?deadline_ms:int ->
+  t ->
+  Ddg_protocol.Protocol.request ->
+  Ddg_protocol.Protocol.response
+(** One round trip. [deadline_ms] (default 0: use the server's default)
+    bounds how long the server may spend before answering
+    [Deadline_exceeded]. Raises {!Server_error} on error frames,
+    [Ddg_protocol.Protocol.Error] on malformed server bytes, and
+    [End_of_file] if the server hangs up. *)
+
+val close : t -> unit
+(** Close the connection. Idempotent. *)
+
+val with_connection :
+  ?retry_for_s:float -> Server.endpoint -> (t -> 'a) -> 'a
+(** [connect], apply, then [close] (also on exceptions). *)

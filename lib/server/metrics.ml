@@ -1,0 +1,73 @@
+(* Request observability for the daemon: outcome and latency counters,
+   folded together with the resident runner's cache counters into the
+   wire-format [Protocol.counters] snapshot that the [stats] verb
+   returns. All mutation is under one mutex; the record hooks run once
+   per request, so contention is negligible next to the work served. *)
+
+type outcome = [ `Ok | `Error | `Busy | `Deadline ]
+
+type t = {
+  lock : Mutex.t;
+  started : float;
+  mutable connections : int;
+  mutable requests_total : int;
+  mutable requests_ok : int;
+  mutable requests_error : int;
+  mutable busy_rejections : int;
+  mutable deadline_expirations : int;
+  mutable latency_total_s : float;
+  mutable latency_max_s : float;
+  by_verb : (string, int) Hashtbl.t;
+}
+
+let create () =
+  { lock = Mutex.create (); started = Unix.gettimeofday (); connections = 0;
+    requests_total = 0; requests_ok = 0; requests_error = 0;
+    busy_rejections = 0; deadline_expirations = 0; latency_total_s = 0.0;
+    latency_max_s = 0.0; by_verb = Hashtbl.create 8 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let connection t = locked t (fun () -> t.connections <- t.connections + 1)
+
+let record t ~verb ~(outcome : outcome) ~latency =
+  locked t (fun () ->
+      t.requests_total <- t.requests_total + 1;
+      Hashtbl.replace t.by_verb verb
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_verb verb));
+      (match outcome with
+      | `Ok -> t.requests_ok <- t.requests_ok + 1
+      | `Error -> t.requests_error <- t.requests_error + 1
+      | `Busy ->
+          t.requests_error <- t.requests_error + 1;
+          t.busy_rejections <- t.busy_rejections + 1
+      | `Deadline ->
+          t.requests_error <- t.requests_error + 1;
+          t.deadline_expirations <- t.deadline_expirations + 1);
+      t.latency_total_s <- t.latency_total_s +. latency;
+      if latency > t.latency_max_s then t.latency_max_s <- latency)
+
+let snapshot t ~(runner : Ddg_experiments.Runner.counters) :
+    Ddg_protocol.Protocol.counters =
+  locked t (fun () ->
+      { Ddg_protocol.Protocol.uptime_s = Unix.gettimeofday () -. t.started;
+        connections = t.connections;
+        requests_total = t.requests_total;
+        requests_ok = t.requests_ok;
+        requests_error = t.requests_error;
+        busy_rejections = t.busy_rejections;
+        deadline_expirations = t.deadline_expirations;
+        latency_total_s = t.latency_total_s;
+        latency_max_s = t.latency_max_s;
+        by_verb =
+          List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_verb []);
+        simulations = runner.Ddg_experiments.Runner.simulations;
+        analyses = runner.analyses;
+        trace_store_hits = runner.trace_store_hits;
+        stats_store_hits = runner.stats_store_hits;
+        trace_mem_hits = runner.trace_mem_hits;
+        trace_evictions = runner.trace_evictions;
+        trace_resident_bytes = runner.trace_resident_bytes })

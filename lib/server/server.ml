@@ -1,0 +1,275 @@
+module Protocol = Ddg_protocol.Protocol
+module Runner = Ddg_experiments.Runner
+module Pool = Ddg_jobs.Engine.Pool
+
+(* Typed request failure raised inside pool workers; anything else that
+   escapes a worker is reported as [Internal]. *)
+exception Reject of Protocol.error_code * string
+
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+
+type t = {
+  runner : Runner.t;
+  pool : Pool.t;
+  max_inflight : int;
+  default_deadline_s : float;
+  metrics : Metrics.t;
+  log : string -> unit;
+  endpoints : endpoint list;
+  lock : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable active : int;
+  mutable stopping : bool;
+  (* Self-pipe: [stop] only writes here, so it is safe in signal
+     handlers; the accept loop selects on the read end. *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+}
+
+let create ~runner ?workers ?(max_inflight = 64) ?(default_deadline_s = 600.)
+    ?(log = ignore) endpoints =
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  { runner; pool = Pool.pool ?workers (); max_inflight; default_deadline_s;
+    metrics = Metrics.create (); log; endpoints; lock = Mutex.create ();
+    conns = []; active = 0; stopping = false; stop_r; stop_w }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let stop t = try ignore (Unix.write t.stop_w (Bytes.make 1 '\xff') 0 1) with _ -> ()
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+let stats t = Metrics.snapshot t.metrics ~runner:(Runner.counters t.runner)
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on the domain pool)                         *)
+(* ------------------------------------------------------------------ *)
+
+let tables : (string * (Runner.t -> string)) list =
+  [ ("table1", fun _ -> Ddg_experiments.Table1.render ());
+    ("table2", Ddg_experiments.Table2.render);
+    ("table3", Ddg_experiments.Table3.render);
+    ("table4", Ddg_experiments.Table4.render);
+    ("fig7", Ddg_experiments.Fig7.render);
+    ("fig8", Ddg_experiments.Fig8.render);
+    ("compiler", Ddg_experiments.Compiler_fx.render);
+    ("resources", Ddg_experiments.Ablation.render_resources);
+    ("branches", Ddg_experiments.Ablation.render_branches);
+    ("extras", Ddg_experiments.Extras.render) ]
+
+let table_names = List.map fst tables
+
+let find_workload name =
+  match Ddg_workloads.Registry.find name with
+  | Some w -> w
+  | None ->
+      raise
+        (Reject
+           ( Protocol.Unknown_workload,
+             Printf.sprintf "unknown workload %S (known: %s)" name
+               (String.concat ", " Ddg_workloads.Registry.names) ))
+
+let compute t (req : Protocol.request) () : Protocol.response =
+  match req with
+  | Ping { delay_ms } ->
+      if delay_ms > 0 then Unix.sleepf (float_of_int delay_ms /. 1000.);
+      Pong
+  | Analyze { workload; config } ->
+      Analyzed (Runner.analyze t.runner (find_workload workload) config)
+  | Simulate { workload } ->
+      let result, trace = Runner.trace t.runner (find_workload workload) in
+      Simulated
+        { instructions = result.Ddg_sim.Machine.instructions;
+          syscalls = result.syscalls;
+          output_bytes = String.length result.output;
+          memory_footprint = result.memory_footprint;
+          trace_events = Ddg_sim.Trace.length trace }
+  | Table { name } -> (
+      match List.assoc_opt name tables with
+      | Some render -> Rendered (render t.runner)
+      | None ->
+          raise
+            (Reject
+               ( Protocol.Unknown_table,
+                 Printf.sprintf "unknown table %S (known: %s)" name
+                   (String.concat ", " table_names) )))
+  | Server_stats | Shutdown ->
+      (* Handled inline by the connection handler; never queued. *)
+      assert false
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection protocol handler (runs on a systhread)               *)
+(* ------------------------------------------------------------------ *)
+
+let error_frame code message =
+  Protocol.Error_response { code; message }
+
+let serve_request t oc ~deadline_ms (req : Protocol.request) =
+  let verb = Protocol.verb_name req in
+  let t0 = Unix.gettimeofday () in
+  let finish (outcome : Metrics.outcome) frame =
+    Metrics.record t.metrics ~verb ~outcome
+      ~latency:(Unix.gettimeofday () -. t0);
+    Protocol.write_frame oc frame
+  in
+  match req with
+  | Server_stats -> finish `Ok (Ok_response (Telemetry (stats t)))
+  | Shutdown ->
+      finish `Ok (Ok_response Shutting_down_ack);
+      t.log "shutdown requested over the wire";
+      stop t
+  | _ when locked t (fun () -> t.stopping) ->
+      finish `Error (error_frame Shutting_down "server is draining")
+  | _ -> (
+      match Pool.submit t.pool ~max_inflight:t.max_inflight (compute t req) with
+      | None ->
+          finish `Busy
+            (error_frame Busy
+               (Printf.sprintf "%d requests already in flight" t.max_inflight))
+      | Some ticket -> (
+          let timeout_s =
+            if deadline_ms > 0 then float_of_int deadline_ms /. 1000.
+            else t.default_deadline_s
+          in
+          match Pool.await ~timeout_s ticket with
+          | Ok response -> finish `Ok (Ok_response response)
+          | Error `Timeout ->
+              finish `Deadline
+                (error_frame Deadline_exceeded
+                   (Printf.sprintf "no result within %.3fs" timeout_s))
+          | Error (`Failed (Reject (code, message))) ->
+              finish `Error (error_frame code message)
+          | Error (`Failed exn) ->
+              finish `Error (error_frame Internal (Printexc.to_string exn))))
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let safe_write frame = try Protocol.write_frame oc frame with _ -> () in
+  (try
+     match Protocol.read_frame ic with
+     | Hello { protocol; software = _ } when protocol = Protocol.version ->
+         Protocol.write_frame oc
+           (Hello
+              { protocol = Protocol.version;
+                software = Ddg_version.Version.current });
+         let rec loop () =
+           match Protocol.read_frame ic with
+           | Request { deadline_ms; request } ->
+               serve_request t oc ~deadline_ms request;
+               (* A served Shutdown closes this connection too. *)
+               if request <> Protocol.Shutdown then loop ()
+           | Hello _ | Ok_response _ | Error_response _ ->
+               safe_write
+                 (error_frame Bad_frame "expected a request frame")
+         in
+         loop ()
+     | Hello { protocol; software = _ } ->
+         safe_write
+           (error_frame Unsupported_version
+              (Printf.sprintf "server speaks protocol %d, client sent %d"
+                 Protocol.version protocol))
+     | _ -> safe_write (error_frame Bad_frame "expected a hello frame")
+   with
+  | End_of_file -> () (* client closed, possibly mid-frame: fine *)
+  | Protocol.Error message ->
+      (* Malformed frame: report it; the framing is now unsynchronised,
+         so drop the connection rather than guess at a resync. *)
+      safe_write (error_frame Bad_frame message)
+  | Sys_error _ | Unix.Unix_error _ -> () (* broken pipe etc. *));
+  (try flush oc with _ -> ());
+  (* [ic] and [oc] share [fd]; close it exactly once. *)
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and graceful drain                                      *)
+(* ------------------------------------------------------------------ *)
+
+let listen_endpoint (ep : endpoint) =
+  match ep with
+  | `Unix path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | `Tcp (addr, port) ->
+      let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+      Unix.setsockopt fd SO_REUSEADDR true;
+      Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string addr, port));
+      Unix.listen fd 64;
+      fd
+
+let describe_endpoint = function
+  | `Unix path -> Printf.sprintf "unix:%s" path
+  | `Tcp (addr, port) -> Printf.sprintf "tcp:%s:%d" addr port
+
+let spawn_handler t fd =
+  Metrics.connection t.metrics;
+  locked t (fun () ->
+      t.conns <- fd :: t.conns;
+      t.active <- t.active + 1);
+  ignore
+    (Thread.create
+       (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             locked t (fun () ->
+                 t.conns <- List.filter (fun c -> c != fd) t.conns;
+                 t.active <- t.active - 1))
+           (fun () -> handle_connection t fd))
+       ())
+
+let run t =
+  (* Writes to sockets whose peer vanished must surface as EPIPE, not
+     kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listeners = List.map listen_endpoint t.endpoints in
+  List.iter
+    (fun ep -> t.log (Printf.sprintf "listening on %s" (describe_endpoint ep)))
+    t.endpoints;
+  let rec accept_loop () =
+    match Unix.select (t.stop_r :: listeners) [] [] (-1.0) with
+    | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+    | readable, _, _ ->
+        if List.memq t.stop_r readable then ()
+        else begin
+          List.iter
+            (fun lfd ->
+              if List.memq lfd readable then
+                match Unix.accept ~cloexec:true lfd with
+                | fd, _ -> spawn_handler t fd
+                | exception Unix.Unix_error _ -> ())
+            listeners;
+          accept_loop ()
+        end
+  in
+  accept_loop ();
+  t.log "draining";
+  locked t (fun () -> t.stopping <- true);
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  List.iter
+    (function
+      | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | `Tcp _ -> ())
+    t.endpoints;
+  (* Unblock handlers parked in [read_frame] waiting for a next request
+     so they observe EOF and finish. *)
+  locked t (fun () ->
+      List.iter
+        (fun fd ->
+          try Unix.shutdown fd SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+        t.conns);
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while locked t (fun () -> t.active > 0) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Pool.shutdown t.pool;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  t.log "stopped"

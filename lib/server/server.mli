@@ -1,0 +1,59 @@
+(** [paragraphd]: the resident analysis daemon.
+
+    A server owns one {!Ddg_experiments.Runner.t} (the warm cache: trace
+    LRU + stats memory cache + optional persistent store) and a
+    {!Ddg_jobs.Engine.Pool} of domain workers, and serves the
+    {!Ddg_protocol.Protocol} verbs over any number of Unix-domain or TCP
+    endpoints. Each accepted connection gets a lightweight handler
+    thread that parses frames and blocks on socket I/O; the actual
+    simulation/analysis work runs on the domain pool, so concurrent
+    requests genuinely compute in parallel while repeated requests are
+    answered from the runner's caches without recomputation.
+
+    Overload and failure are typed, never hangs: when [max_inflight]
+    requests are already queued or running, new work is refused with a
+    [Busy] error frame; a request that exceeds its deadline gets
+    [Deadline_exceeded] (the worker's result is discarded); a malformed
+    frame gets [Bad_frame] and the connection stays usable; a client
+    disconnecting mid-request only ends its own handler. *)
+
+type t
+
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+(** [`Unix path] listens on a Unix-domain socket at [path] (an existing
+    socket file is replaced). [`Tcp (addr, port)] listens on a numeric
+    address, e.g. ["127.0.0.1"]. *)
+
+val create :
+  runner:Ddg_experiments.Runner.t ->
+  ?workers:int ->
+  ?max_inflight:int ->
+  ?default_deadline_s:float ->
+  ?log:(string -> unit) ->
+  endpoint list ->
+  t
+(** [workers] (default: domain count - 1, min 1) sizes the compute
+    pool. [max_inflight] (default 64) bounds queued-plus-running
+    requests before [Busy] refusals. [default_deadline_s] (default
+    600.) applies to requests that carry no deadline of their own.
+    [log] (default silent) receives one-line lifecycle messages. *)
+
+val run : t -> unit
+(** Bind the endpoints and serve until {!stop} is called (or a Shutdown
+    verb arrives), then drain: stop accepting, nudge idle connections,
+    wait for in-flight handlers, and shut the pool down. Returns after
+    the drain completes. *)
+
+val stop : t -> unit
+(** Request shutdown. Async-signal-safe (only writes to a pipe), so it
+    can be called from a signal handler, another thread, or a request
+    handler. Idempotent. *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGINT and SIGTERM to {!stop} for graceful drain. *)
+
+val stats : t -> Ddg_protocol.Protocol.counters
+(** Current observability snapshot (same data the [stats] verb serves). *)
+
+val table_names : string list
+(** Names accepted by the [Table] verb, e.g. ["table3"], ["fig7"]. *)

@@ -267,3 +267,16 @@ let count p t =
   let n = ref 0 in
   iter (fun e -> if p e then incr n) t;
   !n
+
+(* Resident-size estimate: the column capacities (not just [len] — the
+   arrays are what the GC holds), the interner tables, and roughly three
+   words per hashtable binding. Used by byte-budgeted trace caches; an
+   estimate is all eviction needs. *)
+let memory_bytes (t : t) =
+  let word = 8 in
+  let cap = Array.length t.pcs in
+  let extra =
+    Hashtbl.fold (fun _ a acc -> acc + 3 + Array.length a) t.extra 0
+  in
+  Bytes.length t.flags + Bytes.length t.classes
+  + (5 * cap + Array.length t.locs + extra + 3 * Hashtbl.length t.ids) * word

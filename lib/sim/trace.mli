@@ -126,3 +126,9 @@ val row_set_dest : t -> Ddg_isa.Loc.t -> unit
 
 val row_add_src : t -> Ddg_isa.Loc.t -> unit
 (** Append a source operand to the last started row. *)
+
+val memory_bytes : t -> int
+(** Approximate resident heap size of the packed trace in bytes (column
+    capacities, interner tables and overflow rows). Intended for
+    byte-budgeted caches; the estimate errs low by small per-block GC
+    overheads only. *)

@@ -12,4 +12,6 @@ let () =
       ("experiments", Test_experiments.tests);
       ("store", Test_store.tests);
       ("jobs", Test_jobs.tests);
+      ("protocol", Test_protocol.tests);
+      ("server", Test_server.tests);
       ("properties", Test_props.tests) ]

@@ -1,0 +1,258 @@
+(* The paragraphd wire codec: canonical round trips for every frame
+   kind, and rejection (a typed [Protocol.Error], never a crash or an
+   allocation guided by attacker bytes) of truncated, oversized and
+   bit-flipped frames — the same corruption discipline test_store
+   applies to the artifact store. *)
+
+open Ddg_protocol
+open Ddg_paragraph
+
+(* The encoding is canonical, so byte equality after one decode/encode
+   round trip is the strongest equality we can ask for — and the only
+   one available, since Config.t carries a function. *)
+let check_canonical name frame =
+  let bytes = Protocol.frame_to_string frame in
+  let reread = Protocol.frame_of_string bytes in
+  Alcotest.(check string) name bytes (Protocol.frame_to_string reread)
+
+let sample_stats =
+  (* a real analysis result, so the embedded Stats_codec payload is
+     exercised with genuine distributions and profiles *)
+  let events =
+    [ { Ddg_sim.Trace.pc = 0; op_class = Ddg_isa.Opclass.Int_alu;
+        dest = Some (Ddg_isa.Loc.Reg 1); srcs = []; branch = None };
+      { Ddg_sim.Trace.pc = 1; op_class = Ddg_isa.Opclass.Int_multiply;
+        dest = Some (Ddg_isa.Loc.Reg 2); srcs = [ Ddg_isa.Loc.Reg 1 ];
+        branch = None };
+      { Ddg_sim.Trace.pc = 2; op_class = Ddg_isa.Opclass.Load_store;
+        dest = Some (Ddg_isa.Loc.Reg 3);
+        srcs = [ Ddg_isa.Loc.Reg 2; Ddg_isa.Loc.Mem 4096 ]; branch = None } ]
+  in
+  Analyzer.analyze Config.default (Ddg_sim.Trace.of_list events)
+
+let sample_counters =
+  { Protocol.uptime_s = 12.5; connections = 3; requests_total = 10;
+    requests_ok = 8; requests_error = 2; busy_rejections = 1;
+    deadline_expirations = 1; latency_total_s = 0.75; latency_max_s = 0.25;
+    by_verb = [ ("analyze", 4); ("ping", 6) ]; simulations = 2; analyses = 4;
+    trace_store_hits = 1; stats_store_hits = 2; trace_mem_hits = 3;
+    trace_evictions = 1; trace_resident_bytes = 123_456 }
+
+let sample_frames =
+  [ Protocol.Hello { protocol = Protocol.version; software = "1.1.0" };
+    Request { deadline_ms = 0; request = Ping { delay_ms = 0 } };
+    Request { deadline_ms = 2500; request = Ping { delay_ms = 100 } };
+    Request
+      { deadline_ms = 0;
+        request = Analyze { workload = "mtxx"; config = Config.default } };
+    Request
+      { deadline_ms = 60_000;
+        request =
+          Analyze
+            { workload = "cc1x";
+              config =
+                { Config.default with
+                  syscall_stall = false;
+                  renaming = { Config.registers = true; stack = true; data = false };
+                  window = Some 64;
+                  fu = { Config.unlimited_fu with total = Some 4 };
+                  branch = Config.Two_bit 12 } } };
+    Request { deadline_ms = 0; request = Simulate { workload = "doducx" } };
+    Request { deadline_ms = 0; request = Table { name = "table3" } };
+    Request { deadline_ms = 0; request = Server_stats };
+    Request { deadline_ms = 0; request = Shutdown };
+    Ok_response Pong;
+    Ok_response (Analyzed sample_stats);
+    Ok_response
+      (Simulated
+         { instructions = 1_000_000; syscalls = 42; output_bytes = 17;
+           memory_footprint = 9000; trace_events = 1_000_123 });
+    Ok_response (Rendered "Table 3\n\xc3\xa9\x00 binary-safe\n");
+    Ok_response (Telemetry sample_counters);
+    Ok_response Shutting_down_ack;
+    Error_response { code = Busy; message = "10 requests already in flight" } ]
+
+let test_roundtrips () =
+  List.iteri
+    (fun i frame -> check_canonical (Printf.sprintf "frame %d" i) frame)
+    sample_frames
+
+let test_all_error_codes () =
+  List.iter
+    (fun code ->
+      let frame =
+        Protocol.Error_response
+          { code; message = Protocol.error_code_name code }
+      in
+      check_canonical (Protocol.error_code_name code) frame)
+    [ Protocol.Bad_frame; Unsupported_version; Unknown_workload;
+      Unknown_table; Busy; Deadline_exceeded; Shutting_down; Internal ]
+
+let test_analyzed_stats_survive () =
+  match
+    Protocol.frame_of_string
+      (Protocol.frame_to_string (Ok_response (Analyzed sample_stats)))
+  with
+  | Ok_response (Analyzed stats) ->
+      Alcotest.(check string)
+        "stats payload identical"
+        (Stats_codec.to_string sample_stats)
+        (Stats_codec.to_string stats)
+  | _ -> Alcotest.fail "decoded to a different frame kind"
+
+let expect_rejected name thunk =
+  match thunk () with
+  | (_ : Protocol.frame) ->
+      Alcotest.failf "%s: decoded instead of being rejected" name
+  | exception Protocol.Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: unexpected exception %s" name (Printexc.to_string e)
+
+let test_truncation_rejected () =
+  let bytes =
+    Protocol.frame_to_string
+      (Request
+         { deadline_ms = 125;
+           request = Analyze { workload = "mtxx"; config = Config.default } })
+  in
+  for n = 0 to String.length bytes - 1 do
+    expect_rejected
+      (Printf.sprintf "prefix of %d bytes" n)
+      (fun () -> Protocol.frame_of_string (String.sub bytes 0 n))
+  done
+
+let test_garbage_rejected () =
+  expect_rejected "empty" (fun () -> Protocol.frame_of_string "");
+  expect_rejected "bad magic" (fun () ->
+      Protocol.frame_of_string "XXXX\x01\x00\x00\x00\x00");
+  expect_rejected "unknown kind" (fun () ->
+      Protocol.frame_of_string "DDGP\x09\x00\x00\x00\x00");
+  expect_rejected "trailing garbage" (fun () ->
+      Protocol.frame_of_string
+        (Protocol.frame_to_string (Ok_response Pong) ^ "\x00"))
+
+let test_oversized_rejected () =
+  (* a declared length past the cap must be refused before any payload
+     is read or allocated, so short bytes after the header are fine *)
+  let huge = "DDGP\x02\xff\xff\xff\xff" in
+  expect_rejected "4 GiB declared" (fun () -> Protocol.frame_of_string huge);
+  let over = Protocol.max_frame_bytes + 1 in
+  let header = Bytes.of_string "DDGP\x02\x00\x00\x00\x00" in
+  Bytes.set header 5 (Char.chr ((over lsr 24) land 0xff));
+  Bytes.set header 6 (Char.chr ((over lsr 16) land 0xff));
+  Bytes.set header 7 (Char.chr ((over lsr 8) land 0xff));
+  Bytes.set header 8 (Char.chr (over land 0xff));
+  expect_rejected "cap + 1 declared" (fun () ->
+      Protocol.frame_of_string (Bytes.to_string header))
+
+let test_channel_truncated_payload () =
+  (* chunked channel reads of a frame whose declared (in-cap) length
+     exceeds the bytes present must end in End_of_file, not a hang or a
+     giant allocation *)
+  let path = Filename.temp_file "ddg_proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "DDGP\x02\x00\x10\x00\x00";
+      (* 1 MiB declared *)
+      output_string oc "only a few payload bytes";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Protocol.read_frame ic with
+          | (_ : Protocol.frame) -> Alcotest.fail "decoded truncated frame"
+          | exception End_of_file -> ()
+          | exception Protocol.Error _ -> ()))
+
+(* --- qcheck properties --------------------------------------------------- *)
+
+let gen_request =
+  let open QCheck.Gen in
+  let* config = Test_props.gen_config in
+  let* name = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
+  oneofl
+    [ Protocol.Ping { delay_ms = 0 };
+      Analyze { workload = name; config };
+      Simulate { workload = name };
+      Table { name };
+      Server_stats;
+      Shutdown ]
+
+let gen_frame =
+  let open QCheck.Gen in
+  let* request = gen_request in
+  let* deadline_ms = int_range 0 100_000 in
+  let* message = string_size ~gen:printable (int_range 0 60) in
+  oneofl
+    [ Protocol.Hello { protocol = 1; software = message };
+      Request { deadline_ms; request };
+      Ok_response Pong;
+      Ok_response (Rendered message);
+      Error_response { code = Protocol.Internal; message } ]
+
+let arb_frame =
+  QCheck.make gen_frame ~print:(fun f ->
+      String.escaped (Protocol.frame_to_string f))
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame encode/decode is canonical" ~count:500
+    arb_frame
+    (fun frame ->
+      let bytes = Protocol.frame_to_string frame in
+      Protocol.frame_to_string (Protocol.frame_of_string bytes) = bytes)
+
+let prop_config_roundtrip =
+  QCheck.Test.make ~name:"config survives the wire" ~count:300
+    Test_props.arb_config
+    (fun config ->
+      let frame =
+        Protocol.Request
+          { deadline_ms = 0; request = Analyze { workload = "w"; config } }
+      in
+      match Protocol.frame_of_string (Protocol.frame_to_string frame) with
+      | Request { request = Analyze { config = c; _ }; _ } ->
+          (* describe covers the switches; the latency function must
+             also be tabulated identically *)
+          Config.describe c = Config.describe config
+          && Config.latency_table c = Config.latency_table config
+      | _ -> false)
+
+let prop_mutation_never_crashes =
+  (* flipping any one bit either yields a typed rejection or decodes to
+     some frame that itself re-encodes canonically *)
+  QCheck.Test.make ~name:"bit flips are rejected or decode canonically"
+    ~count:500
+    (QCheck.pair arb_frame (QCheck.pair QCheck.small_nat (QCheck.int_bound 7)))
+    (fun (frame, (pos, bit)) ->
+      let bytes = Bytes.of_string (Protocol.frame_to_string frame) in
+      let pos = pos mod Bytes.length bytes in
+      Bytes.set bytes pos
+        (Char.chr (Char.code (Bytes.get bytes pos) lxor (1 lsl bit)));
+      let mutated = Bytes.to_string bytes in
+      match Protocol.frame_of_string mutated with
+      | decoded ->
+          Protocol.frame_to_string (Protocol.frame_of_string
+                                      (Protocol.frame_to_string decoded))
+          = Protocol.frame_to_string decoded
+      | exception Protocol.Error _ -> true)
+
+let tests =
+  [ Alcotest.test_case "sample frames round trip" `Quick test_roundtrips;
+    Alcotest.test_case "all error codes round trip" `Quick
+      test_all_error_codes;
+    Alcotest.test_case "analyzed stats survive the wire" `Quick
+      test_analyzed_stats_survive;
+    Alcotest.test_case "every truncation is rejected" `Quick
+      test_truncation_rejected;
+    Alcotest.test_case "garbage frames are rejected" `Quick
+      test_garbage_rejected;
+    Alcotest.test_case "oversized frames rejected before allocation" `Quick
+      test_oversized_rejected;
+    Alcotest.test_case "truncated channel payload is safe" `Quick
+      test_channel_truncated_payload ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_frame_roundtrip; prop_config_roundtrip;
+        prop_mutation_never_crashes ]
