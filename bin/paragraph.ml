@@ -647,7 +647,7 @@ let socket_doc = "Unix-domain socket path of the daemon."
 
 let serve_cmd =
   let run size verbose jobs cache_dir no_cache trace_budget_mb socket tcp
-      max_inflight deadline =
+      max_inflight max_connections deadline =
     let trace_budget =
       Option.map (fun mb -> mb * 1024 * 1024) trace_budget_mb
     in
@@ -658,7 +658,7 @@ let serve_cmd =
       `Unix socket :: (match tcp with Some (a, p) -> [ `Tcp (a, p) ] | None -> [])
     in
     let server =
-      Server.create ~runner ~workers:jobs ~max_inflight
+      Server.create ~runner ~workers:jobs ~max_inflight ~max_connections
         ~default_deadline_s:deadline
         ~log:(fun msg -> Printf.eprintf "paragraphd: %s\n%!" msg)
         endpoints
@@ -696,6 +696,14 @@ let serve_cmd =
             "Refuse new work with a Busy error once $(docv) requests are \
              queued or running.")
   in
+  let max_connections =
+    Arg.(
+      value & opt int 256
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Close new connections at accept once $(docv) handlers are \
+             already active.")
+  in
   let deadline =
     Arg.(
       value & opt float 600.0
@@ -710,7 +718,7 @@ let serve_cmd =
     Term.(
       const run $ size_arg $ verbose_arg $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ trace_budget_mb $ socket $ tcp $ max_inflight
-      $ deadline)
+      $ max_connections $ deadline)
 
 let client_endpoint_term =
   let socket =

@@ -182,11 +182,17 @@ module Pool = struct
 
   type 'a outcome = Pending | Completed of ('a, exn) result | Abandoned
 
+  (* Each pipe end has exactly one owner: the worker closes [notify_w]
+     (always, whether it completed or found the ticket abandoned) and
+     the awaiter closes [notify_r] on every exit path of [await]. No fd
+     is ever closed by both sides, so a number reused by the kernel in
+     between can never be closed out from under another connection. *)
   type 'a ticket = {
     tlock : Mutex.t;
     mutable outcome : 'a outcome;
     notify_r : Unix.file_descr;
     notify_w : Unix.file_descr;
+    cancelled : bool Atomic.t;
   }
 
   let pool_worker p () =
@@ -247,17 +253,19 @@ module Pool = struct
       p.inflight <- p.inflight + 1;
       let notify_r, notify_w = Unix.pipe ~cloexec:true () in
       let ticket =
-        { tlock = Mutex.create (); outcome = Pending; notify_r; notify_w }
+        { tlock = Mutex.create (); outcome = Pending; notify_r; notify_w;
+          cancelled = Atomic.make false }
       in
       let run () =
-        let result = try Ok (f ()) with e -> Error e in
+        let poll () = Atomic.get ticket.cancelled in
+        let result = try Ok (f poll) with e -> Error e in
         Mutex.lock ticket.tlock;
         (match ticket.outcome with
         | Abandoned ->
-            (* the waiter timed out and went away: nobody will read the
-               pipe or the result, so the worker owns the cleanup *)
-            close_quietly ticket.notify_w;
-            close_quietly ticket.notify_r
+            (* the waiter timed out, closed [notify_r], and went away:
+               nobody will read the result; the worker still owns only
+               the write end *)
+            close_quietly ticket.notify_w
         | Pending | Completed _ ->
             ticket.outcome <- Completed result;
             (try ignore (Unix.write ticket.notify_w (Bytes.make 1 '\000') 0 1)
@@ -315,6 +323,7 @@ module Pool = struct
                 | Error e -> Error (`Failed e))
             | Pending ->
                 ticket.outcome <- Abandoned;
+                Atomic.set ticket.cancelled true;
                 close_quietly ticket.notify_r;
                 Mutex.unlock ticket.tlock;
                 Error `Timeout

@@ -80,18 +80,24 @@ module Pool : sig
   val pool_inflight : t -> int
   (** Closures submitted but not yet finished (queued + running). *)
 
-  val submit : t -> ?max_inflight:int -> (unit -> 'a) -> 'a ticket option
+  val submit :
+    t -> ?max_inflight:int -> ((unit -> bool) -> 'a) -> 'a ticket option
   (** Enqueue a closure. [None] when the pool is shutting down or
       already has [max_inflight] closures in flight — the caller's
-      overload signal; nothing was queued. *)
+      overload signal; nothing was queued. The closure receives a cheap
+      cancellation poll that turns [true] once the awaiter abandons the
+      ticket (see {!await}): long bodies may check it and return early,
+      since nobody will read their result. *)
 
   val await :
     ?timeout_s:float -> 'a ticket -> ('a, [ `Timeout | `Failed of exn ]) result
   (** Block until the closure finishes (or [timeout_s] elapses; default
-      forever). On [`Timeout] the ticket is abandoned: the closure still
-      runs to completion on its worker (domains cannot be killed
-      safely), but its result is discarded and its resources are
-      reclaimed by the worker.
+      forever). On [`Timeout] the ticket is abandoned and its
+      cancellation poll flips to [true]: a closure that never polls
+      still runs to completion on its worker (domains cannot be killed
+      safely) and keeps holding its inflight slot until then — that is
+      the intended backpressure — but its result is discarded either
+      way.
       @raise Invalid_argument if the ticket was already awaited *)
 
   val shutdown : t -> unit

@@ -145,6 +145,10 @@ let c_varint c =
   let rec go shift acc =
     if shift > 56 then fail "varint too long";
     let byte = c_byte c in
+    (* at shift 56 only 6 payload bits fit under OCaml's 63-bit sign
+       bit; a wider final byte would decode negative and sail past
+       every downstream length guard *)
+    if shift = 56 && byte land 0x7F > 0x3F then fail "varint overflows";
     let acc = acc lor ((byte land 0x7F) lsl shift) in
     if byte land 0x80 = 0 then acc else go (shift + 7) acc
   in

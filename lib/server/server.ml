@@ -12,6 +12,7 @@ type t = {
   runner : Runner.t;
   pool : Pool.t;
   max_inflight : int;
+  max_connections : int;
   default_deadline_s : float;
   metrics : Metrics.t;
   log : string -> unit;
@@ -26,10 +27,11 @@ type t = {
   stop_w : Unix.file_descr;
 }
 
-let create ~runner ?workers ?(max_inflight = 64) ?(default_deadline_s = 600.)
-    ?(log = ignore) endpoints =
+let create ~runner ?workers ?(max_inflight = 64) ?(max_connections = 256)
+    ?(default_deadline_s = 600.) ?(log = ignore) endpoints =
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
-  { runner; pool = Pool.pool ?workers (); max_inflight; default_deadline_s;
+  { runner; pool = Pool.pool ?workers (); max_inflight; max_connections;
+    default_deadline_s;
     metrics = Metrics.create (); log; endpoints; lock = Mutex.create ();
     conns = []; active = 0; stopping = false; stop_r; stop_w }
 
@@ -74,10 +76,27 @@ let find_workload name =
              Printf.sprintf "unknown workload %S (known: %s)" name
                (String.concat ", " Ddg_workloads.Registry.names) ))
 
-let compute t (req : Protocol.request) () : Protocol.response =
+(* [cancelled] is the pool ticket's abandonment poll: once the awaiting
+   handler times out, nobody will read this result, so a job still
+   sitting in the queue gives its slot back immediately instead of
+   computing into the void. Heavy verbs only check on entry — a
+   mid-analysis bail-out would need plumbing through the analyzer — so
+   an already-running job holds its slot to completion (the documented
+   backpressure). *)
+let compute t (req : Protocol.request) cancelled : Protocol.response =
+  if cancelled () then
+    raise (Reject (Protocol.Deadline_exceeded, "abandoned before execution"));
   match req with
   | Ping { delay_ms } ->
-      if delay_ms > 0 then Unix.sleepf (float_of_int delay_ms /. 1000.);
+      let until = Unix.gettimeofday () +. (float_of_int delay_ms /. 1000.) in
+      let rec nap () =
+        let left = until -. Unix.gettimeofday () in
+        if left > 0. && not (cancelled ()) then begin
+          Unix.sleepf (Float.min left 0.05);
+          nap ()
+        end
+      in
+      if delay_ms > 0 then nap ();
       Pong
   | Analyze { workload; config } ->
       Analyzed (Runner.analyze t.runner (find_workload workload) config)
@@ -151,40 +170,46 @@ let handle_connection t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let safe_write frame = try Protocol.write_frame oc frame with _ -> () in
-  (try
-     match Protocol.read_frame ic with
-     | Hello { protocol; software = _ } when protocol = Protocol.version ->
-         Protocol.write_frame oc
-           (Hello
-              { protocol = Protocol.version;
-                software = Ddg_version.Version.current });
-         let rec loop () =
-           match Protocol.read_frame ic with
-           | Request { deadline_ms; request } ->
-               serve_request t oc ~deadline_ms request;
-               (* A served Shutdown closes this connection too. *)
-               if request <> Protocol.Shutdown then loop ()
-           | Hello _ | Ok_response _ | Error_response _ ->
-               safe_write
-                 (error_frame Bad_frame "expected a request frame")
-         in
-         loop ()
-     | Hello { protocol; software = _ } ->
-         safe_write
-           (error_frame Unsupported_version
-              (Printf.sprintf "server speaks protocol %d, client sent %d"
-                 Protocol.version protocol))
-     | _ -> safe_write (error_frame Bad_frame "expected a hello frame")
-   with
+  Fun.protect
+    ~finally:(fun () ->
+      (try flush oc with _ -> ());
+      (* [ic] and [oc] share [fd]; close it exactly once. *)
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  try
+    match Protocol.read_frame ic with
+    | Hello { protocol; software = _ } when protocol = Protocol.version ->
+        Protocol.write_frame oc
+          (Hello
+             { protocol = Protocol.version;
+               software = Ddg_version.Version.current });
+        let rec loop () =
+          match Protocol.read_frame ic with
+          | Request { deadline_ms; request } ->
+              serve_request t oc ~deadline_ms request;
+              (* A served Shutdown closes this connection too. *)
+              if request <> Protocol.Shutdown then loop ()
+          | Hello _ | Ok_response _ | Error_response _ ->
+              safe_write (error_frame Bad_frame "expected a request frame")
+        in
+        loop ()
+    | Hello { protocol; software = _ } ->
+        safe_write
+          (error_frame Unsupported_version
+             (Printf.sprintf "server speaks protocol %d, client sent %d"
+                Protocol.version protocol))
+    | _ -> safe_write (error_frame Bad_frame "expected a hello frame")
+  with
   | End_of_file -> () (* client closed, possibly mid-frame: fine *)
   | Protocol.Error message ->
       (* Malformed frame: report it; the framing is now unsynchronised,
          so drop the connection rather than guess at a resync. *)
       safe_write (error_frame Bad_frame message)
-  | Sys_error _ | Unix.Unix_error _ -> () (* broken pipe etc. *));
-  (try flush oc with _ -> ());
-  (* [ic] and [oc] share [fd]; close it exactly once. *)
-  (try Unix.close fd with Unix.Unix_error _ -> ())
+  | Sys_error _ | Unix.Unix_error _ -> () (* broken pipe etc. *)
+  | e ->
+      t.log
+        (Printf.sprintf "connection handler error: %s" (Printexc.to_string e));
+      safe_write (error_frame Internal "internal error")
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and graceful drain                                      *)
@@ -236,6 +261,14 @@ let run t =
   let rec accept_loop () =
     match Unix.select (t.stop_r :: listeners) [] [] (-1.0) with
     | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error (err, _, _) ->
+        (* Unexpected (EBADF, EINVAL, ...): log, back off briefly, and
+           keep serving rather than tear the daemon down. *)
+        t.log
+          (Printf.sprintf "accept select failed: %s; retrying"
+             (Unix.error_message err));
+        Thread.delay 0.05;
+        accept_loop ()
     | readable, _, _ ->
         if List.memq t.stop_r readable then ()
         else begin
@@ -243,7 +276,17 @@ let run t =
             (fun lfd ->
               if List.memq lfd readable then
                 match Unix.accept ~cloexec:true lfd with
-                | fd, _ -> spawn_handler t fd
+                | fd, _ ->
+                    (* The connection bound keeps handler threads — and
+                       with them every fd [select] might watch — well
+                       under FD_SETSIZE; past it, shed load at accept
+                       instead of risking EINVAL for everyone. *)
+                    if locked t (fun () -> t.active) >= t.max_connections
+                    then begin
+                      t.log "connection refused: max-connections reached";
+                      try Unix.close fd with Unix.Unix_error _ -> ()
+                    end
+                    else spawn_handler t fd
                 | exception Unix.Unix_error _ -> ())
             listeners;
           accept_loop ()

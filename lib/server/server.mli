@@ -28,15 +28,19 @@ val create :
   runner:Ddg_experiments.Runner.t ->
   ?workers:int ->
   ?max_inflight:int ->
+  ?max_connections:int ->
   ?default_deadline_s:float ->
   ?log:(string -> unit) ->
   endpoint list ->
   t
 (** [workers] (default: domain count - 1, min 1) sizes the compute
     pool. [max_inflight] (default 64) bounds queued-plus-running
-    requests before [Busy] refusals. [default_deadline_s] (default
-    600.) applies to requests that carry no deadline of their own.
-    [log] (default silent) receives one-line lifecycle messages. *)
+    requests before [Busy] refusals. [max_connections] (default 256)
+    bounds concurrent connection handlers — excess connections are
+    closed at accept, which also keeps every fd the daemon [select]s on
+    safely below [FD_SETSIZE]. [default_deadline_s] (default 600.)
+    applies to requests that carry no deadline of their own. [log]
+    (default silent) receives one-line lifecycle messages. *)
 
 val run : t -> unit
 (** Bind the endpoints and serve until {!stop} is called (or a Shutdown

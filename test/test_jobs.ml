@@ -156,6 +156,49 @@ let test_parallel_stress () =
     done
   done
 
+let test_pool_timeout_cancels () =
+  let module Pool = Engine.Pool in
+  let p = Pool.pool ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let saw_cancel = Atomic.make false in
+      let ticket =
+        match
+          Pool.submit p (fun cancelled ->
+              (* hold the worker until the awaiter's timeout flips the
+                 cancellation poll *)
+              let give_up = Unix.gettimeofday () +. 5.0 in
+              while (not (cancelled ())) && Unix.gettimeofday () < give_up do
+                Thread.delay 0.002
+              done;
+              Atomic.set saw_cancel (cancelled ()))
+        with
+        | Some t -> t
+        | None -> Alcotest.fail "submit refused"
+      in
+      (match Pool.await ~timeout_s:0.05 ticket with
+      | Error `Timeout -> ()
+      | Ok () -> Alcotest.fail "expected a timeout"
+      | Error (`Failed e) -> raise e);
+      (* the abandoned worker observes cancellation and frees its slot *)
+      let give_up = Unix.gettimeofday () +. 5.0 in
+      while Pool.pool_inflight p > 0 && Unix.gettimeofday () < give_up do
+        Thread.delay 0.002
+      done;
+      Alcotest.(check int) "slot released" 0 (Pool.pool_inflight p);
+      Alcotest.(check bool) "cancellation observed" true
+        (Atomic.get saw_cancel);
+      (* the pool still serves fresh work after an abandoned ticket,
+         and its pipe fds are intact *)
+      match Pool.submit p (fun _ -> 42) with
+      | None -> Alcotest.fail "submit refused after abandonment"
+      | Some t -> (
+          match Pool.await ~timeout_s:5.0 t with
+          | Ok v -> Alcotest.(check int) "post-abandon result" 42 v
+          | Error `Timeout -> Alcotest.fail "post-abandon timeout"
+          | Error (`Failed e) -> raise e))
+
 let tests =
   [ Alcotest.test_case "submission order (sequential)" `Quick
       test_submission_order;
@@ -166,4 +209,6 @@ let tests =
     Alcotest.test_case "incremental re-run" `Quick test_run_again;
     Alcotest.test_case "foreign dependency rejected" `Quick
       test_foreign_dep_rejected;
-    Alcotest.test_case "parallel stress" `Quick test_parallel_stress ]
+    Alcotest.test_case "parallel stress" `Quick test_parallel_stress;
+    Alcotest.test_case "pool timeout abandons and cancels" `Quick
+      test_pool_timeout_cancels ]

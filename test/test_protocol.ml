@@ -145,6 +145,22 @@ let test_oversized_rejected () =
   expect_rejected "cap + 1 declared" (fun () ->
       Protocol.frame_of_string (Bytes.to_string header))
 
+let test_varint_overflow_rejected () =
+  (* a 9-byte varint whose final byte reaches OCaml's 63-bit sign bit
+     decodes negative, and a negative string length would sail past
+     every bounds guard into [String.sub]: it must be a typed
+     rejection, not an [Invalid_argument] crash *)
+  let payload = "\x00" ^ "\xff\xff\xff\xff\xff\xff\xff\xff\x7f" in
+  let n = String.length payload in
+  let b = Buffer.create (n + 9) in
+  Buffer.add_string b "DDGP\x04";
+  List.iter
+    (fun s -> Buffer.add_char b (Char.chr ((n lsr s) land 0xff)))
+    [ 24; 16; 8; 0 ];
+  Buffer.add_string b payload;
+  expect_rejected "negative message length" (fun () ->
+      Protocol.frame_of_string (Buffer.contents b))
+
 let test_channel_truncated_payload () =
   (* chunked channel reads of a frame whose declared (in-cap) length
      exceeds the bytes present must end in End_of_file, not a hang or a
@@ -251,6 +267,8 @@ let tests =
       test_garbage_rejected;
     Alcotest.test_case "oversized frames rejected before allocation" `Quick
       test_oversized_rejected;
+    Alcotest.test_case "sign-bit varint overflow rejected" `Quick
+      test_varint_overflow_rejected;
     Alcotest.test_case "truncated channel payload is safe" `Quick
       test_channel_truncated_payload ]
   @ List.map QCheck_alcotest.to_alcotest
