@@ -8,8 +8,9 @@
 
    Usage: main.exe [--size tiny|default|large] [--only SECTION]
    [--no-micro] [--json PATH] [-j N] [--cache-dir DIR] [--no-cache]
-   [--cache-bench] where SECTION is one of table1 table2 table3 table4
-   fig7 fig8 extras resources branches compiler.
+   [--cache-bench] [--serve-bench] [--fault-bench] where SECTION is one
+   of table1 table2 table3 table4 fig7 fig8 extras resources branches
+   compiler.
 
    The harness runs uncached unless --cache-dir is given (committed
    BENCH.json numbers must measure compute, not cache hits); -j sizes
@@ -22,7 +23,12 @@
    measures cold-start analysis (fresh process state) against the
    resident daemon's first and warm repeat requests; the warm repeats
    must be answered with zero new simulations/analyses (checked over the
-   wire via the stats verb; nonzero exit otherwise). *)
+   wire via the stats verb; nonzero exit otherwise). --fault-bench
+   measures the fault-injection layer itself: the per-probe cost of
+   Fault.fire with the injector disabled and with every site armed at
+   probability 0, plus a store put+find roundtrip (the hottest
+   probe-bearing path) under both, recording the overhead ratio in
+   BENCH.json — the disabled injector must cost nothing. *)
 
 open Ddg_experiments
 
@@ -36,6 +42,7 @@ type opts = {
   no_cache : bool;
   cache_bench : bool;
   serve_bench : bool;
+  fault_bench : bool;
 }
 
 let parse_args () =
@@ -43,7 +50,8 @@ let parse_args () =
     ref
       { size = Ddg_workloads.Workload.Default; only = None; micro = true;
         json_path = "BENCH.json"; jobs = 1; cache_dir = None;
-        no_cache = false; cache_bench = false; serve_bench = false }
+        no_cache = false; cache_bench = false; serve_bench = false;
+        fault_bench = false }
   in
   let rec go = function
     | [] -> ()
@@ -80,6 +88,9 @@ let parse_args () =
         go rest
     | "--serve-bench" :: rest ->
         o := { !o with serve_bench = true };
+        go rest
+    | "--fault-bench" :: rest ->
+        o := { !o with fault_bench = true };
         go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -406,9 +417,100 @@ let run_serve_bench ~size ~workers =
             sb_warm_mean = warm_mean; sb_warm_min = warm_min;
             sb_warm_requests = n }))
 
+(* --- fault-injector overhead benchmark ------------------------------------- *)
+
+type fault_bench_result = {
+  fb_fire_disabled_ns : float; (* one Fault.fire probe, injector disabled *)
+  fb_fire_armed_ns : float;    (* one probe on a site armed at p=0 *)
+  fb_store_off_ns : float;     (* store put+find roundtrip, injector off *)
+  fb_store_armed_ns : float;   (* same roundtrip, every site armed at p=0 *)
+}
+
+(* Every production site plus the synthetic probe used below, armed at
+   probability 0: the injector takes its slow path (hash, draw) on every
+   probe but never fires, which upper-bounds the cost an armed run adds
+   to fault-free code. *)
+let all_sites_at_zero =
+  List.map
+    (fun name -> (name, { Ddg_fault.Fault.probability = 0.0; budget = None }))
+    [ "bench.probe"; "store.put.enospc"; "store.put.torn";
+      "store.find.bitflip"; "proto.read.eintr"; "proto.write.eintr";
+      "proto.read.short"; "proto.write.short"; "proto.conn.drop";
+      "jobs.worker.crash"; "server.accept.fail" ]
+
+let run_fault_bench () =
+  let module Fault = Ddg_fault.Fault in
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~compaction:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let measure name thunk =
+    match estimate_ns cfg instances ols (Test.make ~name (Staged.stage thunk))
+    with
+    | Some est -> est
+    | None -> failwith ("fault-bench: no estimate for " ^ name)
+  in
+  (* the probe itself, amortized over a batch per run *)
+  let calls = 1000 in
+  let fire_batch () =
+    for _ = 1 to calls do
+      if Fault.fire "bench.probe" then failwith "fault-bench: p=0 site fired"
+    done
+  in
+  Fault.disable ();
+  Printf.eprintf "fault-bench: probe cost, injector disabled\n%!";
+  let fire_disabled = measure "fire disabled" fire_batch /. float_of_int calls in
+  Fault.enable ~seed:0 ~sites:all_sites_at_zero;
+  Printf.eprintf "fault-bench: probe cost, armed at p=0\n%!";
+  let fire_armed = measure "fire armed p=0" fire_batch /. float_of_int calls in
+  Fault.disable ();
+  (* the hottest probe-bearing production path: a store put+find
+     roundtrip (enospc, torn and bitflip probes plus two fsyncs) *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg-fault-bench-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store = Ddg_store.Store.open_ ~dir () in
+      let payload = String.make 4096 'x' in
+      let roundtrip () =
+        Ddg_store.Store.put store ~kind:"bench" ~key:"probe" (fun oc ->
+            output_string oc payload);
+        match
+          Ddg_store.Store.find store ~kind:"bench" ~key:"probe" (fun ic ->
+              really_input_string ic (String.length payload))
+        with
+        | Some s when String.length s = String.length payload -> ()
+        | Some _ | None -> failwith "fault-bench: store roundtrip failed"
+      in
+      Printf.eprintf "fault-bench: store roundtrip, injector disabled\n%!";
+      let store_off = measure "store roundtrip disabled" roundtrip in
+      Fault.enable ~seed:0 ~sites:all_sites_at_zero;
+      Printf.eprintf "fault-bench: store roundtrip, armed at p=0\n%!";
+      let store_armed =
+        Fun.protect ~finally:Fault.disable (fun () ->
+            measure "store roundtrip armed p=0" roundtrip)
+      in
+      Printf.printf
+        "fault bench: fire %.1f ns disabled / %.1f ns armed(p=0); store \
+         roundtrip %.0f ns off / %.0f ns armed (%.3fx overhead when armed)\n"
+        fire_disabled fire_armed store_off store_armed
+        (if store_off > 0.0 then store_armed /. store_off else 0.0);
+      { fb_fire_disabled_ns = fire_disabled; fb_fire_armed_ns = fire_armed;
+        fb_store_off_ns = store_off; fb_store_armed_ns = store_armed })
+
 (* --- BENCH.json ---------------------------------------------------------- *)
 
-let write_bench_json path ~size ~sections ~micro ~cache ~serve =
+let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault =
   let open Ddg_report.Json in
   let micro_fields =
     match micro with
@@ -477,6 +579,21 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve =
                   else Null );
                 ("warm_zero_work", Bool true) ] ) ]
   in
+  let fault_fields =
+    match fault with
+    | None -> []
+    | Some f ->
+        [ ( "fault",
+            Obj
+              [ ("fire_disabled_ns", Float f.fb_fire_disabled_ns);
+                ("fire_armed_p0_ns", Float f.fb_fire_armed_ns);
+                ("store_roundtrip_injector_off_ns", Float f.fb_store_off_ns);
+                ("store_roundtrip_armed_p0_ns", Float f.fb_store_armed_ns);
+                ( "armed_overhead_ratio",
+                  if f.fb_store_off_ns > 0.0 then
+                    Float (f.fb_store_armed_ns /. f.fb_store_off_ns)
+                  else Null ) ] ) ]
+  in
   let json =
     Obj
       ([ ("size", String (Ddg_workloads.Workload.size_to_string size));
@@ -490,7 +607,7 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve =
                     [ ("name", String name);
                       ("wall_seconds", Float seconds) ])
                 (List.rev sections)) ) ]
-      @ cache_fields @ serve_fields @ micro_fields)
+      @ cache_fields @ serve_fields @ fault_fields @ micro_fields)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -501,7 +618,7 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve =
 
 let () =
   let { size; only; micro; json_path; jobs = workers; cache_dir; no_cache;
-        cache_bench; serve_bench } =
+        cache_bench; serve_bench; fault_bench } =
     parse_args ()
   in
   let t0 = Unix.gettimeofday () in
@@ -574,8 +691,16 @@ let () =
     end
     else None
   in
+  let fault_results =
+    if fault_bench then begin
+      section_banner "fault-injector overhead benchmark";
+      Some (timed "fault-bench" (fun () -> run_fault_bench ()))
+    end
+    else None
+  in
   write_bench_json json_path ~size ~sections:!section_times
-    ~micro:micro_results ~cache:cache_results ~serve:serve_results;
+    ~micro:micro_results ~cache:cache_results ~serve:serve_results
+    ~fault:fault_results;
   Printf.eprintf "[%7.1fs] done (%s written)\n%!"
     (Unix.gettimeofday () -. t0)
     json_path

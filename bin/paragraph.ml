@@ -612,6 +612,43 @@ let fig8_csv_cmd =
     (Cmd.info "fig8-csv" ~doc:"Figure 8 series for all workloads, as CSV.")
     Term.(const run $ runner_term)
 
+(* --- fsck ------------------------------------------------------------------------ *)
+
+let fsck_cmd =
+  let run cache_dir json =
+    let store =
+      try Ddg_store.Store.open_ ?dir:cache_dir ()
+      with Sys_error msg -> die "cannot open artifact store: %s" msg
+    in
+    let r = Ddg_store.Store.fsck store in
+    if json then
+      print_endline
+        (Ddg_report.Json.to_string
+           (Ddg_report.Json.Obj
+              [ ("scanned", Int r.Ddg_store.Store.scanned);
+                ("valid", Int r.valid);
+                ("quarantined", Int r.quarantined);
+                ("missing", Int r.missing);
+                ("swept_temps", Int r.swept_temps) ]))
+    else begin
+      Format.printf "scanned:     %d artifacts@." r.Ddg_store.Store.scanned;
+      Format.printf "valid:       %d@." r.valid;
+      Format.printf "quarantined: %d (moved aside with a .reason file)@."
+        r.quarantined;
+      Format.printf "missing:     %d manifest entries without a file@."
+        r.missing;
+      Format.printf "swept:       %d stale temp files@." r.swept_temps
+    end;
+    if r.quarantined > 0 || r.missing > 0 then exit 1
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let doc =
+    "Verify the on-disk artifact store: check every artifact's header,      length and digest against the manifest, quarantine anything      corrupt or misplaced, sweep temp files left by dead writers, and      rebuild the manifest atomically. Exits 1 if anything was      quarantined or missing."
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ cache_dir_arg $ json)
+
 (* --- serve / client -------------------------------------------------------- *)
 
 module Server = Ddg_server.Server
@@ -648,6 +685,13 @@ let socket_doc = "Unix-domain socket path of the daemon."
 let serve_cmd =
   let run size verbose jobs cache_dir no_cache trace_budget_mb socket tcp
       max_inflight max_connections deadline =
+    (match Ddg_fault.Fault.configure_from_env () with
+    | Ok false -> ()
+    | Ok true ->
+        Printf.eprintf
+          "paragraphd: fault injection ARMED from DDG_FAULTS=%s\n%!"
+          (try Sys.getenv "DDG_FAULTS" with Not_found -> "")
+    | Error msg -> die "DDG_FAULTS: %s" msg);
     let trace_budget =
       Option.map (fun mb -> mb * 1024 * 1024) trace_budget_mb
     in
@@ -757,10 +801,39 @@ let deadline_ms_arg =
           "Per-request deadline; past it the server answers \
            deadline_exceeded. 0 uses the server default.")
 
-let client_request endpoint retry deadline_ms req handle =
+let retry_attempts_arg =
+  Arg.(
+    value
+    & opt int Client.default_retry.Client.attempts
+    & info [ "retry-attempts" ] ~docv:"N"
+        ~doc:
+          "Total attempts per request, including the first. Idempotent \
+           verbs are replayed with backoff after a Busy refusal, a worker \
+           crash or a lost connection; 1 disables replay.")
+
+let retry_base_ms_arg =
+  Arg.(
+    value
+    & opt float (1000.0 *. Client.default_retry.Client.base_delay_s)
+    & info [ "retry-base-ms" ] ~docv:"MS"
+        ~doc:
+          "First backoff sleep before a replay; later sleeps use \
+           decorrelated jitter up to a fixed ceiling.")
+
+let retry_policy_term =
+  let make attempts base_ms =
+    if attempts < 1 then die "--retry-attempts must be at least 1";
+    if base_ms < 0.0 then die "--retry-base-ms must be non-negative";
+    { Client.default_retry with
+      Client.attempts;
+      base_delay_s = base_ms /. 1000.0 }
+  in
+  Term.(const make $ retry_attempts_arg $ retry_base_ms_arg)
+
+let client_request endpoint retry policy deadline_ms req handle =
   try
-    Client.with_connection ~retry_for_s:retry endpoint (fun c ->
-        handle (Client.request ~deadline_ms c req))
+    Client.with_session ~retry:policy ~retry_for_s:retry endpoint (fun s ->
+        handle (Client.call ~deadline_ms s req))
   with
   | Client.Server_error { code; message } ->
       prerr_endline
@@ -776,9 +849,10 @@ let client_request endpoint retry deadline_ms req handle =
 let unexpected_response () = die "unexpected response kind from server"
 
 let client_ping_cmd =
-  let run endpoint retry deadline_ms delay_ms =
+  let run endpoint retry policy deadline_ms delay_ms =
     let t0 = Unix.gettimeofday () in
-    client_request endpoint retry deadline_ms (Protocol.Ping { delay_ms })
+    client_request endpoint retry policy deadline_ms
+      (Protocol.Ping { delay_ms })
       (function
       | Protocol.Pong ->
           Format.printf "pong (%.1f ms)@."
@@ -794,12 +868,12 @@ let client_ping_cmd =
   Cmd.v
     (Cmd.info "ping" ~doc:"Round-trip liveness probe.")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
-      $ delay_ms)
+      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
+      $ deadline_ms_arg $ delay_ms)
 
 let client_analyze_cmd =
-  let run endpoint retry deadline_ms workload config json =
-    client_request endpoint retry deadline_ms
+  let run endpoint retry policy deadline_ms workload config json =
+    client_request endpoint retry policy deadline_ms
       (Protocol.Analyze { workload; config })
       (function
       | Protocol.Analyzed stats ->
@@ -824,12 +898,13 @@ let client_analyze_cmd =
        ~doc:
          "Analyze a workload on the daemon (served from its warm caches      when possible). Same switches and output as the local $(b,analyze).")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
-      $ workload $ config_term $ json)
+      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
+      $ deadline_ms_arg $ workload $ config_term $ json)
 
 let client_simulate_cmd =
-  let run endpoint retry deadline_ms workload =
-    client_request endpoint retry deadline_ms (Protocol.Simulate { workload })
+  let run endpoint retry policy deadline_ms workload =
+    client_request endpoint retry policy deadline_ms
+      (Protocol.Simulate { workload })
       (function
       | Protocol.Simulated s ->
           Format.printf
@@ -846,12 +921,13 @@ let client_simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Ensure a workload's trace is resident on the daemon.")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
-      $ workload)
+      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
+      $ deadline_ms_arg $ workload)
 
 let client_table_cmd =
-  let run endpoint retry deadline_ms name =
-    client_request endpoint retry deadline_ms (Protocol.Table { name })
+  let run endpoint retry policy deadline_ms name =
+    client_request endpoint retry policy deadline_ms
+      (Protocol.Table { name })
       (function
       | Protocol.Rendered text -> print_string text
       | _ -> unexpected_response ())
@@ -865,12 +941,12 @@ let client_table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Render a paper table or figure on the daemon.")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ deadline_ms_arg
-      $ name_arg)
+      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
+      $ deadline_ms_arg $ name_arg)
 
 let client_stats_cmd =
-  let run endpoint retry json =
-    client_request endpoint retry 0 Protocol.Server_stats (function
+  let run endpoint retry policy json =
+    client_request endpoint retry policy 0 Protocol.Server_stats (function
       | Protocol.Telemetry c ->
           if json then
             print_endline
@@ -897,7 +973,11 @@ let client_stats_cmd =
                       ("stats_store_hits", Int c.stats_store_hits);
                       ("trace_mem_hits", Int c.trace_mem_hits);
                       ("trace_evictions", Int c.trace_evictions);
-                      ("trace_resident_bytes", Int c.trace_resident_bytes) ]))
+                      ("trace_resident_bytes", Int c.trace_resident_bytes);
+                      ("retries_served", Int c.retries_served);
+                      ("worker_respawns", Int c.worker_respawns);
+                      ("artifact_quarantines", Int c.artifact_quarantines);
+                      ("injected_faults", Int c.injected_faults) ]))
           else begin
             Format.printf "uptime: %.1fs, connections: %d@."
               c.Protocol.uptime_s c.connections;
@@ -919,7 +999,12 @@ let client_stats_cmd =
                store hits@."
               c.trace_mem_hits c.trace_store_hits c.stats_store_hits;
             Format.printf "traces resident: %d bytes, %d evictions@."
-              c.trace_resident_bytes c.trace_evictions
+              c.trace_resident_bytes c.trace_evictions;
+            Format.printf
+              "resilience: %d retries served, %d worker respawns, %d \
+               artifacts quarantined, %d faults injected@."
+              c.retries_served c.worker_respawns c.artifact_quarantines
+              c.injected_faults
           end
       | _ -> unexpected_response ())
   in
@@ -928,13 +1013,47 @@ let client_stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print the daemon's observability counters.")
-    Term.(const run $ client_endpoint_term $ retry_arg $ json)
+    Term.(const run $ client_endpoint_term $ retry_arg $ retry_policy_term
+      $ json)
+
+let client_fsck_cmd =
+  let run endpoint retry policy deadline_ms =
+    client_request endpoint retry policy deadline_ms Protocol.Fsck (function
+      | Protocol.Fsck_report r ->
+          Format.printf
+            "scanned %d artifacts: %d valid, %d quarantined, %d missing, \
+             %d temps swept@."
+            r.Protocol.scanned r.valid r.quarantined r.missing r.swept_temps;
+          if r.quarantined > 0 || r.missing > 0 then exit 1
+      | _ -> unexpected_response ())
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Run an artifact-store integrity check on the daemon (same scan      as the local $(b,paragraph fsck)). Exits 1 if anything was      quarantined or missing.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
+      $ deadline_ms_arg)
 
 let client_shutdown_cmd =
   let run endpoint retry =
-    client_request endpoint retry 0 Protocol.Shutdown (function
-      | Protocol.Shutting_down_ack -> print_endline "daemon shutting down"
-      | _ -> unexpected_response ())
+    (* shutdown is the one non-idempotent verb: no replay layer *)
+    try
+      Client.with_connection ~retry_for_s:retry endpoint (fun c ->
+          match Client.request c Protocol.Shutdown with
+          | Protocol.Shutting_down_ack -> print_endline "daemon shutting down"
+          | _ -> unexpected_response ())
+    with
+    | Client.Server_error { code; message } ->
+        prerr_endline
+          (Printf.sprintf "paragraph: server error (%s): %s"
+             (Protocol.error_code_name code) message);
+        exit 3
+    | Protocol.Error msg -> die "protocol error: %s" msg
+    | End_of_file -> die "server closed the connection"
+    | Unix.Unix_error (e, _, _) ->
+        die "cannot reach daemon at %s: %s" (describe_endpoint endpoint)
+          (Unix.error_message e)
   in
   Cmd.v
     (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit.")
@@ -948,6 +1067,7 @@ let client_cmd =
       client_simulate_cmd;
       client_table_cmd;
       client_stats_cmd;
+      client_fsck_cmd;
       client_shutdown_cmd ]
 
 let main =
@@ -977,6 +1097,7 @@ let main =
         Ddg_experiments.Fig8.render;
       fig7_csv_cmd;
       fig8_csv_cmd;
+      fsck_cmd;
       serve_cmd;
       client_cmd ]
 

@@ -18,6 +18,7 @@ type counters = {
   trace_mem_hits : int;
   trace_evictions : int;
   trace_resident_bytes : int;
+  artifact_quarantines : int;
 }
 
 type t = {
@@ -55,6 +56,11 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let counters t =
+  (* the quarantine count lives in the store handle; read it outside
+     the runner lock to keep the lock order store-free *)
+  let artifact_quarantines =
+    match t.store with None -> 0 | Some s -> Store.quarantine_count s
+  in
   locked t (fun () ->
       { simulations = t.n_simulations;
         analyses = t.n_analyses;
@@ -62,7 +68,10 @@ let counters t =
         stats_store_hits = t.n_stats_store_hits;
         trace_mem_hits = t.n_trace_mem_hits;
         trace_evictions = t.n_trace_evictions;
-        trace_resident_bytes = t.resident_bytes })
+        trace_resident_bytes = t.resident_bytes;
+        artifact_quarantines })
+
+let store t = t.store
 
 (* --- store keys ------------------------------------------------------------ *)
 

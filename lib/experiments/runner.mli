@@ -22,6 +22,8 @@ type counters = {
   trace_mem_hits : int;
   trace_evictions : int;
   trace_resident_bytes : int;
+  artifact_quarantines : int;
+      (** corrupt artifacts the store moved aside (0 without a store) *)
 }
 
 val create :
@@ -45,6 +47,10 @@ val create :
     single trace is held alone rather than thrashed). *)
 
 val counters : t -> counters
+
+val store : t -> Ddg_store.Store.t option
+(** The artifact store this runner persists to, if any — the daemon's
+    [fsck] verb runs against it. *)
 
 val size : t -> Ddg_workloads.Workload.size
 

@@ -1,0 +1,188 @@
+exception Injected of string
+
+type site = { probability : float; budget : int option }
+
+(* Armed state behind the fast-path flag: the site table with one
+   independent splitmix64 stream per site, so the decision sequence at
+   a site depends only on (seed, site name, ordinal) — never on what
+   other sites are doing. *)
+type armed_site = {
+  spec : site;
+  mutable prng : int64;   (* splitmix64 state *)
+  mutable fired : int;
+}
+
+type state = { table : (string, armed_site) Hashtbl.t }
+
+let on = Atomic.make false
+let lock = Mutex.create ()
+let state : state option ref = ref None
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* splitmix64 (Steele et al.): tiny, seedable, good enough to draw
+   independent uniform deviates per site. *)
+let sm64_next st =
+  let z = Int64.add !st 0x9E3779B97F4A7C15L in
+  st := z;
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let uniform st =
+  (* top 53 bits -> [0,1) *)
+  let bits = Int64.to_int (Int64.shift_right_logical (sm64_next st) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+(* FNV-1a over the site name, folded into the seed so each site gets
+   its own stream. *)
+let site_hash name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    name;
+  !h
+
+let arm_site seed (name, spec) =
+  let prng = Int64.logxor (Int64.of_int seed) (site_hash name) in
+  (name, { spec; prng; fired = 0 })
+
+let enable ~seed ~sites =
+  locked (fun () ->
+      let table = Hashtbl.create (List.length sites) in
+      List.iter
+        (fun entry ->
+          let name, armed = arm_site seed entry in
+          Hashtbl.replace table name armed)
+        sites;
+      state := Some { table };
+      Atomic.set on true)
+
+let disable () =
+  locked (fun () -> Atomic.set on false)
+
+let enabled () = Atomic.get on
+
+let slow_fire name =
+  locked (fun () ->
+      if not (Atomic.get on) then false
+      else
+        match !state with
+        | None -> false
+        | Some { table } -> (
+            match Hashtbl.find_opt table name with
+            | None -> false
+            | Some armed ->
+                let exhausted =
+                  match armed.spec.budget with
+                  | Some b -> armed.fired >= b
+                  | None -> false
+                in
+                if exhausted then false
+                else
+                  let st = ref armed.prng in
+                  let draw = uniform st in
+                  armed.prng <- !st;
+                  if draw < armed.spec.probability then begin
+                    armed.fired <- armed.fired + 1;
+                    true
+                  end
+                  else false))
+
+let fire name = if not (Atomic.get on) then false else slow_fire name
+
+let inject name = if fire name then raise (Injected name)
+
+let injected () =
+  locked (fun () ->
+      match !state with
+      | None -> 0
+      | Some { table } ->
+          Hashtbl.fold (fun _ armed acc -> acc + armed.fired) table 0)
+
+let injected_at name =
+  locked (fun () ->
+      match !state with
+      | None -> 0
+      | Some { table } -> (
+          match Hashtbl.find_opt table name with
+          | None -> 0
+          | Some armed -> armed.fired))
+
+let sites () =
+  locked (fun () ->
+      if not (Atomic.get on) then []
+      else
+        match !state with
+        | None -> []
+        | Some { table } ->
+            Hashtbl.fold (fun name _ acc -> name :: acc) table []
+            |> List.sort compare)
+
+let of_string spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse_entry (seed, sites) entry =
+    match String.index_opt entry '=' with
+    | None -> Error (Printf.sprintf "missing '=' in %S" entry)
+    | Some i -> (
+        let key = String.sub entry 0 i in
+        let value = String.sub entry (i + 1) (String.length entry - i - 1) in
+        if key = "seed" then
+          match int_of_string_opt value with
+          | Some s -> Ok (s, sites)
+          | None -> Error (Printf.sprintf "bad seed %S" value)
+        else
+          let prob, budget =
+            match String.index_opt value ':' with
+            | None -> (value, None)
+            | Some j ->
+                ( String.sub value 0 j,
+                  Some (String.sub value (j + 1) (String.length value - j - 1))
+                )
+          in
+          match float_of_string_opt prob with
+          | None -> Error (Printf.sprintf "bad probability %S for %s" prob key)
+          | Some p when not (p >= 0.0 && p <= 1.0) ->
+              Error
+                (Printf.sprintf "probability %g for %s outside [0,1]" p key)
+          | Some p -> (
+              match budget with
+              | None ->
+                  Ok (seed, (key, { probability = p; budget = None }) :: sites)
+              | Some b -> (
+                  match int_of_string_opt b with
+                  | Some n when n >= 0 ->
+                      Ok
+                        ( seed,
+                          (key, { probability = p; budget = Some n }) :: sites
+                        )
+                  | _ -> Error (Printf.sprintf "bad budget %S for %s" b key))))
+  in
+  let rec go acc = function
+    | [] ->
+        let seed, sites = acc in
+        Ok (seed, List.rev sites)
+    | e :: rest -> (
+        match parse_entry acc e with
+        | Ok acc -> go acc rest
+        | Error _ as err -> err)
+  in
+  go (0, []) entries
+
+let configure_from_env () =
+  match Sys.getenv_opt "DDG_FAULTS" with
+  | None | Some "" -> Ok false
+  | Some spec -> (
+      match of_string spec with
+      | Ok (seed, sites) ->
+          enable ~seed ~sites;
+          Ok true
+      | Error msg -> Error (Printf.sprintf "DDG_FAULTS: %s" msg))

@@ -1,0 +1,63 @@
+(** Deterministic, seed-driven fault injection.
+
+    A single global injector holds a table of named sites. Code under
+    test asks [fire "store.put.torn"] at each injection point; the
+    answer is drawn from a per-site deterministic PRNG stream derived
+    from the global seed and the site name, so a given seed replays the
+    exact same fault schedule regardless of how many unrelated sites
+    fire in between.
+
+    The injector is off by default and the disabled path is a single
+    relaxed [Atomic.get] — no lock, no allocation — so production code
+    can leave the probes in place at zero cost. *)
+
+(** Raised by {!inject} at sites whose natural failure is an exception
+    with no better type (e.g. a simulated worker-domain crash). Sites
+    that model a system failure raise the real thing ([Unix.Unix_error],
+    [Sys_error]) at the call site instead. *)
+exception Injected of string
+
+type site = {
+  probability : float;  (** chance in \[0,1\] that the site fires *)
+  budget : int option;  (** max number of firings, [None] = unlimited *)
+}
+
+(** [enable ~seed ~sites] arms the injector with the given site table,
+    replacing any previous configuration and zeroing all counters.
+    Unlisted sites never fire. *)
+val enable : seed:int -> sites:(string * site) list -> unit
+
+(** Disarm the injector and drop its site table. Counters from the last
+    armed run remain readable until the next {!enable}. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** [fire name] decides whether the fault at site [name] triggers now.
+    Always [false] when disabled or when [name] is not in the armed
+    table. Deterministic per (seed, site name, call ordinal). *)
+val fire : string -> bool
+
+(** [inject name] raises [Injected name] when [fire name] is true,
+    otherwise returns unit. *)
+val inject : string -> unit
+
+(** Total faults injected since the last {!enable}. *)
+val injected : unit -> int
+
+(** Faults injected at one site since the last {!enable}. *)
+val injected_at : string -> int
+
+(** Names of the currently armed sites (empty when disabled). *)
+val sites : unit -> string list
+
+(** Parse a spec like ["seed=42,store.put.torn=0.1:2,proto.read.eintr=0.05"]
+    — a [seed=N] entry plus [site=probability] or
+    [site=probability:budget] entries, comma separated. Returns the
+    seed (default 0 if absent) and the site table, or [Error msg]. *)
+val of_string : string -> (int * (string * site) list, string) result
+
+(** Arm the injector from the [DDG_FAULTS] environment variable if it
+    is set and non-empty. Returns [Ok true] if armed, [Ok false] if the
+    variable was absent/empty, [Error msg] on a malformed spec. *)
+val configure_from_env : unit -> (bool, string) result

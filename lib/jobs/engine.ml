@@ -168,7 +168,12 @@ let run ?workers ?(progress = fun _ -> ()) t =
    of queueing it behind an unbounded backlog. *)
 
 module Pool = struct
-  type task = { run : unit -> unit }
+  exception Worker_crashed of string
+
+  (* [run] executes the closure and completes the ticket; [abort] fails
+     the ticket without running it — the supervisor's lever when the
+     worker domain dies between dequeuing a task and finishing it. *)
+  type task = { run : unit -> unit; abort : exn -> unit }
 
   type t = {
     plock : Mutex.t;
@@ -177,6 +182,7 @@ module Pool = struct
     mutable inflight : int; (* queued + running *)
     mutable stop : bool;
     mutable domains : unit Domain.t list;
+    mutable respawns : int; (* workers replaced after a crash *)
     pool_workers : int;
   }
 
@@ -195,13 +201,27 @@ module Pool = struct
     cancelled : bool Atomic.t;
   }
 
-  let pool_worker p () =
+  let worker_loop p =
     Mutex.lock p.plock;
     let rec loop () =
       match Queue.take_opt p.pqueue with
       | Some task ->
           Mutex.unlock p.plock;
-          task.run ();
+          (* the supervised region: an exception escaping here — the
+             injected crash, or in real life an asynchronous exception
+             like Out_of_memory landing outside [task.run]'s own
+             handler — kills this domain. Fail the one ticket the crash
+             took with it, free its slot, and unwind to the supervisor;
+             every other queued task is untouched. *)
+          (try
+             Ddg_fault.Fault.inject "jobs.worker.crash";
+             task.run ()
+           with e ->
+             task.abort (Worker_crashed (Printexc.to_string e));
+             Mutex.lock p.plock;
+             p.inflight <- p.inflight - 1;
+             Mutex.unlock p.plock;
+             raise e);
           Mutex.lock p.plock;
           p.inflight <- p.inflight - 1;
           loop ()
@@ -214,6 +234,19 @@ module Pool = struct
     in
     loop ()
 
+  (* Supervisor: each pool domain runs the loop under a catch-all; on a
+     crash it spawns its own replacement (unless the pool is shutting
+     down) and exits cleanly so [Domain.join] never re-raises. The pool
+     therefore never shrinks: [pool_size] domains are live whenever any
+     submission can still be queued. *)
+  let rec pool_worker p () =
+    try worker_loop p
+    with _ ->
+      Mutex.lock p.plock;
+      p.respawns <- p.respawns + 1;
+      if not p.stop then p.domains <- Domain.spawn (pool_worker p) :: p.domains;
+      Mutex.unlock p.plock
+
   let pool ?workers () =
     let pool_workers =
       max 1
@@ -224,12 +257,18 @@ module Pool = struct
     let p =
       { plock = Mutex.create (); pcond = Condition.create ();
         pqueue = Queue.create (); inflight = 0; stop = false; domains = [];
-        pool_workers }
+        respawns = 0; pool_workers }
     in
     p.domains <- List.init pool_workers (fun _ -> Domain.spawn (pool_worker p));
     p
 
   let pool_size p = p.pool_workers
+
+  let pool_respawns p =
+    Mutex.lock p.plock;
+    let n = p.respawns in
+    Mutex.unlock p.plock;
+    n
 
   let pool_inflight p =
     Mutex.lock p.plock;
@@ -256,9 +295,7 @@ module Pool = struct
         { tlock = Mutex.create (); outcome = Pending; notify_r; notify_w;
           cancelled = Atomic.make false }
       in
-      let run () =
-        let poll () = Atomic.get ticket.cancelled in
-        let result = try Ok (f poll) with e -> Error e in
+      let complete result =
         Mutex.lock ticket.tlock;
         (match ticket.outcome with
         | Abandoned ->
@@ -266,14 +303,22 @@ module Pool = struct
                nobody will read the result; the worker still owns only
                the write end *)
             close_quietly ticket.notify_w
-        | Pending | Completed _ ->
+        | Pending ->
             ticket.outcome <- Completed result;
             (try ignore (Unix.write ticket.notify_w (Bytes.make 1 '\000') 0 1)
              with Unix.Unix_error _ -> ());
-            close_quietly ticket.notify_w);
+            close_quietly ticket.notify_w
+        | Completed _ ->
+            (* already completed: the write end is closed; nothing to do *)
+            ());
         Mutex.unlock ticket.tlock
       in
-      Queue.add { run } p.pqueue;
+      let run () =
+        let poll () = Atomic.get ticket.cancelled in
+        complete (try Ok (f poll) with e -> Error e)
+      in
+      let abort e = complete (Error e) in
+      Queue.add { run; abort } p.pqueue;
       Condition.signal p.pcond;
       Mutex.unlock p.plock;
       Some ticket

@@ -68,17 +68,31 @@ val wall : job -> float option
 module Pool : sig
   type t
 
+  exception Worker_crashed of string
+  (** The typed failure a ticket resolves to when the worker domain
+      executing it died (see {!await}'s [`Failed]): only that ticket
+      fails, the supervisor replaces the worker, and the pool keeps its
+      full size. The string is the original exception. *)
+
   type 'a ticket
   (** A handle on one submitted closure. Await it exactly once. *)
 
   val pool : ?workers:int -> unit -> t
   (** Spawn a pool of [workers] domains (default
-      [Domain.recommended_domain_count ()], minimum 1). *)
+      [Domain.recommended_domain_count ()], minimum 1). Each domain runs
+      under a supervisor: an exception that escapes a task body —
+      normally impossible, but asynchronous exceptions and injected
+      crashes can — fails only the task that was running (its awaiter
+      sees [`Failed (Worker_crashed _)]), and the dead domain is
+      replaced immediately, so the pool never shrinks. *)
 
   val pool_size : t -> int
 
   val pool_inflight : t -> int
   (** Closures submitted but not yet finished (queued + running). *)
+
+  val pool_respawns : t -> int
+  (** Worker domains replaced after a crash since the pool started. *)
 
   val submit :
     t -> ?max_inflight:int -> ((unit -> bool) -> 'a) -> 'a ticket option

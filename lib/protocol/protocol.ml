@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 let max_frame_bytes = 16 * 1024 * 1024
 let magic = "DDGP"
 
@@ -21,6 +21,7 @@ type error_code =
   | Deadline_exceeded
   | Shutting_down
   | Internal
+  | Worker_crashed
 
 type error = { code : error_code; message : string }
 
@@ -31,6 +32,7 @@ type request =
   | Table of { name : string }
   | Server_stats
   | Shutdown
+  | Fsck
 
 type sim_summary = {
   instructions : int;
@@ -38,6 +40,14 @@ type sim_summary = {
   output_bytes : int;
   memory_footprint : int;
   trace_events : int;
+}
+
+type fsck_summary = {
+  scanned : int;
+  valid : int;
+  quarantined : int;
+  missing : int;
+  swept_temps : int;
 }
 
 type counters = {
@@ -58,6 +68,10 @@ type counters = {
   trace_mem_hits : int;
   trace_evictions : int;
   trace_resident_bytes : int;
+  retries_served : int;
+  worker_respawns : int;
+  artifact_quarantines : int;
+  injected_faults : int;
 }
 
 type response =
@@ -67,10 +81,11 @@ type response =
   | Rendered of string
   | Telemetry of counters
   | Shutting_down_ack
+  | Fsck_report of fsck_summary
 
 type frame =
   | Hello of { protocol : int; software : string }
-  | Request of { deadline_ms : int; request : request }
+  | Request of { deadline_ms : int; attempt : int; request : request }
   | Ok_response of response
   | Error_response of error
 
@@ -81,6 +96,15 @@ let verb_name = function
   | Table _ -> "table"
   | Server_stats -> "stats"
   | Shutdown -> "shutdown"
+  | Fsck -> "fsck"
+
+(* a verb is idempotent when replaying it after an ambiguous failure
+   (connection dropped mid-request) cannot change server state beyond
+   what one execution would: everything but [Shutdown], whose replay
+   could kill a daemon restarted in between *)
+let idempotent = function
+  | Ping _ | Analyze _ | Simulate _ | Table _ | Server_stats | Fsck -> true
+  | Shutdown -> false
 
 let error_code_name = function
   | Bad_frame -> "bad-frame"
@@ -91,6 +115,7 @@ let error_code_name = function
   | Deadline_exceeded -> "deadline-exceeded"
   | Shutting_down -> "shutting-down"
   | Internal -> "internal"
+  | Worker_crashed -> "worker-crashed"
 
 (* --- payload encoding (Buffer) --------------------------------------------- *)
 
@@ -254,6 +279,7 @@ let e_request b = function
       e_string ~max:max_name b name
   | Server_stats -> e_varint b 4
   | Shutdown -> e_varint b 5
+  | Fsck -> e_varint b 6
 
 let c_request c =
   match c_varint c with
@@ -266,6 +292,7 @@ let c_request c =
   | 3 -> Table { name = c_string ~max:max_name c }
   | 4 -> Server_stats
   | 5 -> Shutdown
+  | 6 -> Fsck
   | t -> fail "bad request verb tag %d" t
 
 let e_counters b k =
@@ -291,7 +318,11 @@ let e_counters b k =
   e_varint b k.stats_store_hits;
   e_varint b k.trace_mem_hits;
   e_varint b k.trace_evictions;
-  e_varint b k.trace_resident_bytes
+  e_varint b k.trace_resident_bytes;
+  e_varint b k.retries_served;
+  e_varint b k.worker_respawns;
+  e_varint b k.artifact_quarantines;
+  e_varint b k.injected_faults
 
 let c_counters c =
   let uptime_s = c_float c in
@@ -318,10 +349,15 @@ let c_counters c =
   let trace_mem_hits = c_varint c in
   let trace_evictions = c_varint c in
   let trace_resident_bytes = c_varint c in
+  let retries_served = c_varint c in
+  let worker_respawns = c_varint c in
+  let artifact_quarantines = c_varint c in
+  let injected_faults = c_varint c in
   { uptime_s; connections; requests_total; requests_ok; requests_error;
     busy_rejections; deadline_expirations; latency_total_s; latency_max_s;
     by_verb; simulations; analyses; trace_store_hits; stats_store_hits;
-    trace_mem_hits; trace_evictions; trace_resident_bytes }
+    trace_mem_hits; trace_evictions; trace_resident_bytes; retries_served;
+    worker_respawns; artifact_quarantines; injected_faults }
 
 let e_response b = function
   | Pong -> e_varint b 0
@@ -344,6 +380,13 @@ let e_response b = function
       e_varint b 4;
       e_counters b k
   | Shutting_down_ack -> e_varint b 5
+  | Fsck_report r ->
+      e_varint b 6;
+      e_varint b r.scanned;
+      e_varint b r.valid;
+      e_varint b r.quarantined;
+      e_varint b r.missing;
+      e_varint b r.swept_temps
 
 let c_response c =
   match c_varint c with
@@ -368,6 +411,13 @@ let c_response c =
   | 3 -> Rendered (c_string ~max:max_frame_bytes c)
   | 4 -> Telemetry (c_counters c)
   | 5 -> Shutting_down_ack
+  | 6 ->
+      let scanned = c_varint c in
+      let valid = c_varint c in
+      let quarantined = c_varint c in
+      let missing = c_varint c in
+      let swept_temps = c_varint c in
+      Fsck_report { scanned; valid; quarantined; missing; swept_temps }
   | t -> fail "bad response tag %d" t
 
 let error_code_tag = function
@@ -379,6 +429,7 @@ let error_code_tag = function
   | Deadline_exceeded -> 5
   | Shutting_down -> 6
   | Internal -> 7
+  | Worker_crashed -> 8
 
 let error_code_of_tag = function
   | 0 -> Bad_frame
@@ -389,6 +440,7 @@ let error_code_of_tag = function
   | 5 -> Deadline_exceeded
   | 6 -> Shutting_down
   | 7 -> Internal
+  | 8 -> Worker_crashed
   | t -> fail "bad error code tag %d" t
 
 let truncate_message m =
@@ -406,8 +458,9 @@ let encode_payload b = function
   | Hello { protocol; software } ->
       e_varint b protocol;
       e_string ~max:max_name b software
-  | Request { deadline_ms; request } ->
+  | Request { deadline_ms; attempt; request } ->
       e_varint b deadline_ms;
+      e_varint b attempt;
       e_request b request
   | Ok_response r -> e_response b r
   | Error_response { code; message } ->
@@ -424,8 +477,9 @@ let decode_payload kind payload =
         Hello { protocol; software }
     | 2 ->
         let deadline_ms = c_varint c in
+        let attempt = c_varint c in
         let request = c_request c in
-        Request { deadline_ms; request }
+        Request { deadline_ms; attempt; request }
     | 3 -> Ok_response (c_response c)
     | 4 ->
         let code = error_code_of_tag (c_varint c) in
@@ -500,6 +554,86 @@ let read_frame ic =
   while !remaining > 0 do
     let n = min !remaining (Bytes.length chunk) in
     really_input ic chunk 0 n;
+    Buffer.add_subbytes buf chunk 0 n;
+    remaining := !remaining - n
+  done;
+  decode_payload kind (Buffer.contents buf)
+
+(* --- raw file-descriptor frame I/O ------------------------------------------ *)
+
+(* The daemon and client speak frames directly over [Unix.file_descr]:
+   every transfer goes through one syscall wrapper that restarts on
+   EINTR (a signal arriving mid-read must never surface as
+   [Unix_error]) and tolerates short transfers by looping. The fault
+   sites model exactly the conditions the wrapper must absorb —
+   [proto.read.eintr]/[proto.write.eintr] raise EINTR before the
+   syscall, [proto.read.short]/[proto.write.short] cap the transfer at
+   one byte — plus one it cannot: [proto.conn.drop] raises
+   ECONNRESET/EPIPE, which propagates to the caller as a genuine peer
+   loss. *)
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let read_fd fd buf pos len =
+  if Ddg_fault.Fault.fire "proto.conn.drop" then
+    raise (Unix.Unix_error (Unix.ECONNRESET, "read", "fault-injected"));
+  let len = if Ddg_fault.Fault.fire "proto.read.short" then min len 1 else len in
+  restart_on_eintr (fun () ->
+      if Ddg_fault.Fault.fire "proto.read.eintr" then
+        raise (Unix.Unix_error (Unix.EINTR, "read", "fault-injected"));
+      Unix.read fd buf pos len)
+
+let write_fd fd buf pos len =
+  if Ddg_fault.Fault.fire "proto.conn.drop" then
+    raise (Unix.Unix_error (Unix.EPIPE, "write", "fault-injected"));
+  let len = if Ddg_fault.Fault.fire "proto.write.short" then min len 1 else len in
+  restart_on_eintr (fun () ->
+      if Ddg_fault.Fault.fire "proto.write.eintr" then
+        raise (Unix.Unix_error (Unix.EINTR, "write", "fault-injected"));
+      Unix.write fd buf pos len)
+
+let really_read_fd fd buf pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n = read_fd fd buf pos len in
+      if n = 0 then raise End_of_file;
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let really_write_fd fd buf pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let n = write_fd fd buf pos len in
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+let write_frame_fd fd frame =
+  let bytes = Bytes.unsafe_of_string (frame_to_string frame) in
+  really_write_fd fd bytes 0 (Bytes.length bytes)
+
+let read_frame_fd fd =
+  let header = Bytes.create 9 in
+  really_read_fd fd header 0 9;
+  let magic_bytes = Bytes.sub_string header 0 4 in
+  let kind = Char.code (Bytes.get header 4) in
+  let len =
+    (Char.code (Bytes.get header 5) lsl 24)
+    lor (Char.code (Bytes.get header 6) lsl 16)
+    lor (Char.code (Bytes.get header 7) lsl 8)
+    lor Char.code (Bytes.get header 8)
+  in
+  decode_header ~magic_bytes ~kind ~len;
+  let buf = Buffer.create (min len 65536) in
+  let chunk = Bytes.create (min (max len 1) 65536) in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let n = min !remaining (Bytes.length chunk) in
+    really_read_fd fd chunk 0 n;
     Buffer.add_subbytes buf chunk 0 n;
     remaining := !remaining - n
   done;

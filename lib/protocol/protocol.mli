@@ -55,6 +55,10 @@ type error_code =
   | Deadline_exceeded
   | Shutting_down  (** the daemon is draining and accepts no new work *)
   | Internal  (** the request itself raised; message has the details *)
+  | Worker_crashed
+      (** the worker domain executing this request died; only this
+          request failed, the pool respawned the worker — retry is safe
+          for idempotent verbs *)
 
 type error = { code : error_code; message : string }
 
@@ -68,6 +72,9 @@ type request =
       (** one of table1..table4, fig7, fig8 — a rendered paper result *)
   | Server_stats  (** the daemon's own counters; never queued or rejected *)
   | Shutdown  (** ask the daemon to drain and exit *)
+  | Fsck
+      (** verify the daemon's artifact store: scan every artifact,
+          quarantine corruption, rebuild the manifest *)
 
 type sim_summary = {
   instructions : int;
@@ -75,6 +82,15 @@ type sim_summary = {
   output_bytes : int;
   memory_footprint : int;
   trace_events : int;
+}
+
+(** Result of a store verification pass ({!Fsck}). *)
+type fsck_summary = {
+  scanned : int;  (** artifacts examined *)
+  valid : int;  (** artifacts that verified clean *)
+  quarantined : int;  (** corrupt artifacts moved aside *)
+  missing : int;  (** manifest entries with no backing file *)
+  swept_temps : int;  (** orphaned temp files removed *)
 }
 
 (** The daemon's observability counters, as returned by {!Server_stats}:
@@ -98,6 +114,13 @@ type counters = {
   trace_mem_hits : int;
   trace_evictions : int;
   trace_resident_bytes : int;
+  retries_served : int;
+      (** requests served whose wire [attempt] was > 0, i.e. client
+          replays after a connection loss or Busy *)
+  worker_respawns : int;  (** pool workers replaced after a crash *)
+  artifact_quarantines : int;  (** corrupt artifacts moved aside *)
+  injected_faults : int;  (** faults fired by {!Ddg_fault.Fault}, 0 in
+                              production *)
 }
 
 type response =
@@ -107,17 +130,24 @@ type response =
   | Rendered of string
   | Telemetry of counters
   | Shutting_down_ack
+  | Fsck_report of fsck_summary
 
 type frame =
   | Hello of { protocol : int; software : string }
-  | Request of { deadline_ms : int; request : request }
-      (** [deadline_ms = 0] means "use the server's default deadline" *)
+  | Request of { deadline_ms : int; attempt : int; request : request }
+      (** [deadline_ms = 0] means "use the server's default deadline";
+          [attempt] is 0 for a first send and counts client replays,
+          feeding {!counters.retries_served} *)
   | Ok_response of response
   | Error_response of error
 
 val verb_name : request -> string
 (** Stable short name of a request's verb ("ping", "analyze", ...), the
     key space of {!counters.by_verb}. *)
+
+val idempotent : request -> bool
+(** Whether replaying the request after an ambiguous failure is safe.
+    True for every verb except [Shutdown]. *)
 
 val error_code_name : error_code -> string
 
@@ -137,3 +167,30 @@ val frame_to_string : frame -> string
 val frame_of_string : string -> frame
 (** Decode one frame from a string, rejecting trailing bytes.
     @raise Error *)
+
+(** {2 Raw file-descriptor frame I/O}
+
+    The daemon and client exchange frames directly over
+    [Unix.file_descr] through one syscall wrapper that restarts on
+    [EINTR] and loops over short reads/writes, so a signal arriving
+    mid-frame can never surface as [Unix_error (EINTR, _, _)]. Genuine
+    peer loss ([ECONNRESET], [EPIPE], a 0-byte read) still propagates:
+    [End_of_file] or [Unix_error] mean the connection is gone. *)
+
+val write_frame_fd : Unix.file_descr -> frame -> unit
+(** Encode and write one frame, restarting on [EINTR] and continuing
+    over short writes until every byte is out. *)
+
+val read_frame_fd : Unix.file_descr -> frame
+(** Read and decode one frame, restarting on [EINTR] and looping over
+    short reads.
+    @raise Error on malformed input
+    @raise End_of_file when the peer closed before or inside a frame *)
+
+val really_read_fd : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** [really_read_fd fd buf pos len] fills [buf.[pos..pos+len)] from
+    [fd], restarting on [EINTR].
+    @raise End_of_file on a 0-byte read *)
+
+val really_write_fd : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** Write all [len] bytes, restarting on [EINTR]. *)

@@ -4,8 +4,6 @@ exception Server_error of Protocol.error
 
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
   software : string;
   mutable closed : bool;
 }
@@ -22,6 +20,11 @@ let rec connect_fd endpoint ~deadline =
   let fd = Unix.socket ~cloexec:true (domain_of_endpoint endpoint) SOCK_STREAM 0 in
   match Unix.connect fd (sockaddr_of_endpoint endpoint) with
   | () -> fd
+  | exception Unix.Unix_error (EINTR, _, _) ->
+      (* interrupted before the connection was established: the attempt
+         never happened; restart it on a fresh socket *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      connect_fd endpoint ~deadline
   | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
     when Unix.gettimeofday () < deadline ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -33,12 +36,10 @@ let rec connect_fd endpoint ~deadline =
 
 let connect ?(retry_for_s = 0.0) endpoint =
   let fd = connect_fd endpoint ~deadline:(Unix.gettimeofday () +. retry_for_s) in
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  Protocol.write_frame oc
+  Protocol.write_frame_fd fd
     (Hello { protocol = Protocol.version; software = Ddg_version.Version.current });
-  match Protocol.read_frame ic with
-  | Hello { protocol = _; software } -> { fd; ic; oc; software; closed = false }
+  match Protocol.read_frame_fd fd with
+  | Hello { protocol = _; software } -> { fd; software; closed = false }
   | Error_response err ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise (Server_error err)
@@ -48,23 +49,139 @@ let connect ?(retry_for_s = 0.0) endpoint =
 
 let server_software t = t.software
 
-let request ?(deadline_ms = 0) t req =
+let request_attempt ~deadline_ms ~attempt t req =
   if t.closed then invalid_arg "Client.request: connection is closed";
-  Protocol.write_frame t.oc (Request { deadline_ms; request = req });
-  match Protocol.read_frame t.ic with
+  Protocol.write_frame_fd t.fd (Request { deadline_ms; attempt; request = req });
+  match Protocol.read_frame_fd t.fd with
   | Ok_response response -> response
   | Error_response err -> raise (Server_error err)
   | Hello _ | Request _ ->
       raise (Protocol.Error "expected a response frame")
 
+let request ?(deadline_ms = 0) t req =
+  request_attempt ~deadline_ms ~attempt:0 t req
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (try flush t.oc with _ -> ());
-    (* [ic] and [oc] share [fd]; close it exactly once. *)
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
 let with_connection ?retry_for_s endpoint f =
   let t = connect ?retry_for_s endpoint in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* --- retrying sessions ------------------------------------------------------ *)
+
+type retry = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  seed : int;
+}
+
+let default_retry =
+  { attempts = 5; base_delay_s = 0.01; max_delay_s = 0.5; seed = 0 }
+
+type session = {
+  endpoint : Server.endpoint;
+  retry : retry;
+  retry_for_s : float;
+  mutable conn : t option;
+  mutable prev_delay : float;
+  mutable prng : int64;
+  mutable retries : int;
+}
+
+let session ?(retry = default_retry) ?(retry_for_s = 0.0) endpoint =
+  if retry.attempts < 1 then invalid_arg "Client.session: attempts < 1";
+  { endpoint; retry; retry_for_s; conn = None;
+    prev_delay = retry.base_delay_s;
+    prng = Int64.of_int (retry.seed lxor 0x6a09e667); retries = 0 }
+
+let session_retries s = s.retries
+
+let close_session s =
+  match s.conn with
+  | Some c ->
+      s.conn <- None;
+      close c
+  | None -> ()
+
+let drop_connection s =
+  match s.conn with
+  | Some c ->
+      s.conn <- None;
+      close c
+  | None -> ()
+
+(* splitmix64, same generator the fault injector uses, seeded
+   independently: the retry schedule is deterministic per session seed *)
+let next_uniform s =
+  let z = Int64.add s.prng 0x9E3779B97F4A7C15L in
+  s.prng <- z;
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  float_of_int (Int64.to_int (Int64.shift_right_logical z 11))
+  /. 9007199254740992.0
+
+(* decorrelated jitter (the AWS architecture-blog variant): each sleep
+   is uniform in [base, prev * 3], clamped to [max_delay_s] — spreads
+   concurrent retriers apart instead of re-synchronising them the way
+   plain doubling does *)
+let backoff s =
+  let { base_delay_s = base; max_delay_s = max_d; _ } = s.retry in
+  let span = Float.max 0.0 ((s.prev_delay *. 3.0) -. base) in
+  let delay = Float.min max_d (base +. (next_uniform s *. span)) in
+  s.prev_delay <- delay;
+  if delay > 0.0 then Unix.sleepf delay
+
+let call ?(deadline_ms = 0) s req =
+  let retryable_frame (err : Protocol.error) =
+    (* Busy: the server refused before doing any work. Worker_crashed:
+       the server says the pool lost this one request and recovered.
+       Both are safe to replay for idempotent verbs. *)
+    match err.code with
+    | Protocol.Busy | Protocol.Worker_crashed -> true
+    | _ -> false
+  in
+  let may_retry attempt =
+    Protocol.idempotent req && attempt + 1 < s.retry.attempts
+  in
+  let rec go attempt =
+    match
+      let conn =
+        match s.conn with
+        | Some c when not c.closed -> c
+        | _ ->
+            let c = connect ~retry_for_s:s.retry_for_s s.endpoint in
+            s.conn <- Some c;
+            c
+      in
+      request_attempt ~deadline_ms ~attempt conn req
+    with
+    | response ->
+        s.prev_delay <- s.retry.base_delay_s;
+        response
+    | exception Server_error err when retryable_frame err && may_retry attempt
+      ->
+        (* the connection itself is healthy: back off and replay on it *)
+        s.retries <- s.retries + 1;
+        backoff s;
+        go (attempt + 1)
+    | exception (End_of_file | Unix.Unix_error _ | Sys_error _
+                | Protocol.Error _)
+      when may_retry attempt ->
+        (* the connection is gone or unsynchronised: drop it, back off,
+           reconnect and replay *)
+        drop_connection s;
+        s.retries <- s.retries + 1;
+        backoff s;
+        go (attempt + 1)
+  in
+  go 0
+
+let with_session ?retry ?retry_for_s endpoint f =
+  let s = session ?retry ?retry_for_s endpoint in
+  Fun.protect ~finally:(fun () -> close_session s) (fun () -> f s)

@@ -1,6 +1,12 @@
 (** Blocking client for the {!Server} daemon: connect, handshake, then
     one {!request} per round trip over the framed binary protocol. Not
-    thread-safe; use one client per thread. *)
+    thread-safe; use one client per thread.
+
+    Two layers. {!connect}/{!request} is one connection, one attempt:
+    every failure surfaces to the caller. {!session}/{!call} adds
+    resilience on top — exponential backoff with decorrelated jitter and
+    automatic replay of idempotent verbs across [Busy] refusals, worker
+    crashes and connection loss. *)
 
 type t
 
@@ -11,9 +17,10 @@ exception Server_error of Ddg_protocol.Protocol.error
 val connect : ?retry_for_s:float -> Server.endpoint -> t
 (** Connect and exchange Hello frames. [retry_for_s] (default 0: fail
     immediately) keeps retrying a refused/missing endpoint for that many
-    seconds — for racing a daemon that is still starting up. Raises
-    {!Server_error} if the server refuses the protocol version, and
-    [Unix.Unix_error] if no daemon answers. *)
+    seconds — for racing a daemon that is still starting up.
+    (Interrupted connects restart unconditionally; EINTR is never
+    surfaced.) Raises {!Server_error} if the server refuses the protocol
+    version, and [Unix.Unix_error] if no daemon answers. *)
 
 val server_software : t -> string
 (** The software version string from the server's Hello. *)
@@ -23,10 +30,10 @@ val request :
   t ->
   Ddg_protocol.Protocol.request ->
   Ddg_protocol.Protocol.response
-(** One round trip. [deadline_ms] (default 0: use the server's default)
-    bounds how long the server may spend before answering
-    [Deadline_exceeded]. Raises {!Server_error} on error frames,
-    [Ddg_protocol.Protocol.Error] on malformed server bytes, and
+(** One round trip, one attempt. [deadline_ms] (default 0: use the
+    server's default) bounds how long the server may spend before
+    answering [Deadline_exceeded]. Raises {!Server_error} on error
+    frames, [Ddg_protocol.Protocol.Error] on malformed server bytes, and
     [End_of_file] if the server hangs up. *)
 
 val close : t -> unit
@@ -35,3 +42,57 @@ val close : t -> unit
 val with_connection :
   ?retry_for_s:float -> Server.endpoint -> (t -> 'a) -> 'a
 (** [connect], apply, then [close] (also on exceptions). *)
+
+(** {2 Retrying sessions} *)
+
+type retry = {
+  attempts : int;  (** total attempts per {!call}, including the first *)
+  base_delay_s : float;  (** first backoff sleep *)
+  max_delay_s : float;  (** backoff ceiling *)
+  seed : int;  (** jitter PRNG seed: the schedule is deterministic *)
+}
+
+val default_retry : retry
+(** 5 attempts, 10 ms base, 500 ms ceiling, seed 0. *)
+
+type session
+(** A lazily (re)connecting handle. The underlying connection is opened
+    on first {!call} and replaced transparently after a loss. Not
+    thread-safe; use one session per thread. *)
+
+val session : ?retry:retry -> ?retry_for_s:float -> Server.endpoint -> session
+(** [retry_for_s] is passed to every internal {!connect} (helpful when
+    the daemon may still be starting, or restarting mid-session).
+    @raise Invalid_argument if [retry.attempts < 1] *)
+
+val call :
+  ?deadline_ms:int ->
+  session ->
+  Ddg_protocol.Protocol.request ->
+  Ddg_protocol.Protocol.response
+(** Like {!request}, but resilient: on a [Busy] or [Worker_crashed]
+    error frame, or on connection loss ([End_of_file], [Unix_error],
+    decode failure — the connection is dropped and reopened), an
+    {e idempotent} verb (everything but [Shutdown], see
+    {!Ddg_protocol.Protocol.idempotent}) is replayed after an
+    exponential backoff with decorrelated jitter, up to
+    [retry.attempts] total attempts. Replays carry an incremented wire
+    [attempt] so the server can count retries served. Non-idempotent
+    verbs and non-retryable errors surface immediately, as do failures
+    that outlive the attempt budget. *)
+
+val session_retries : session -> int
+(** Replays this session has performed (0 when every call succeeded
+    first try). *)
+
+val close_session : session -> unit
+(** Close the current connection, if any. The session remains usable: a
+    later {!call} reconnects. Idempotent. *)
+
+val with_session :
+  ?retry:retry ->
+  ?retry_for_s:float ->
+  Server.endpoint ->
+  (session -> 'a) ->
+  'a
+(** [session], apply, then [close_session] (also on exceptions). *)

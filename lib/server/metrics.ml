@@ -17,6 +17,7 @@ type t = {
   mutable deadline_expirations : int;
   mutable latency_total_s : float;
   mutable latency_max_s : float;
+  mutable retries_served : int;
   by_verb : (string, int) Hashtbl.t;
 }
 
@@ -24,7 +25,7 @@ let create () =
   { lock = Mutex.create (); started = Unix.gettimeofday (); connections = 0;
     requests_total = 0; requests_ok = 0; requests_error = 0;
     busy_rejections = 0; deadline_expirations = 0; latency_total_s = 0.0;
-    latency_max_s = 0.0; by_verb = Hashtbl.create 8 }
+    latency_max_s = 0.0; retries_served = 0; by_verb = Hashtbl.create 8 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -32,9 +33,10 @@ let locked t f =
 
 let connection t = locked t (fun () -> t.connections <- t.connections + 1)
 
-let record t ~verb ~(outcome : outcome) ~latency =
+let record t ?(attempt = 0) ~verb ~(outcome : outcome) ~latency () =
   locked t (fun () ->
       t.requests_total <- t.requests_total + 1;
+      if attempt > 0 then t.retries_served <- t.retries_served + 1;
       Hashtbl.replace t.by_verb verb
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_verb verb));
       (match outcome with
@@ -49,7 +51,7 @@ let record t ~verb ~(outcome : outcome) ~latency =
       t.latency_total_s <- t.latency_total_s +. latency;
       if latency > t.latency_max_s then t.latency_max_s <- latency)
 
-let snapshot t ~(runner : Ddg_experiments.Runner.counters) :
+let snapshot t ~(runner : Ddg_experiments.Runner.counters) ~worker_respawns :
     Ddg_protocol.Protocol.counters =
   locked t (fun () ->
       { Ddg_protocol.Protocol.uptime_s = Unix.gettimeofday () -. t.started;
@@ -70,4 +72,8 @@ let snapshot t ~(runner : Ddg_experiments.Runner.counters) :
         stats_store_hits = runner.stats_store_hits;
         trace_mem_hits = runner.trace_mem_hits;
         trace_evictions = runner.trace_evictions;
-        trace_resident_bytes = runner.trace_resident_bytes })
+        trace_resident_bytes = runner.trace_resident_bytes;
+        retries_served = t.retries_served;
+        worker_respawns;
+        artifact_quarantines = runner.artifact_quarantines;
+        injected_faults = Ddg_fault.Fault.injected () })

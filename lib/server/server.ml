@@ -46,7 +46,10 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigint handle;
   Sys.set_signal Sys.sigterm handle
 
-let stats t = Metrics.snapshot t.metrics ~runner:(Runner.counters t.runner)
+let stats t =
+  Metrics.snapshot t.metrics
+    ~runner:(Runner.counters t.runner)
+    ~worker_respawns:(Pool.pool_respawns t.pool)
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (runs on the domain pool)                         *)
@@ -117,6 +120,22 @@ let compute t (req : Protocol.request) cancelled : Protocol.response =
                ( Protocol.Unknown_table,
                  Printf.sprintf "unknown table %S (known: %s)" name
                    (String.concat ", " table_names) )))
+  | Fsck -> (
+      match Runner.store t.runner with
+      | None ->
+          raise
+            (Reject
+               ( Protocol.Internal,
+                 "no artifact store configured (daemon started with --no-cache)"
+               ))
+      | Some store ->
+          let r = Ddg_store.Store.fsck store in
+          Fsck_report
+            { scanned = r.Ddg_store.Store.scanned;
+              valid = r.valid;
+              quarantined = r.quarantined;
+              missing = r.missing;
+              swept_temps = r.swept_temps })
   | Server_stats | Shutdown ->
       (* Handled inline by the connection handler; never queued. *)
       assert false
@@ -128,13 +147,13 @@ let compute t (req : Protocol.request) cancelled : Protocol.response =
 let error_frame code message =
   Protocol.Error_response { code; message }
 
-let serve_request t oc ~deadline_ms (req : Protocol.request) =
+let serve_request t fd ~deadline_ms ~attempt (req : Protocol.request) =
   let verb = Protocol.verb_name req in
   let t0 = Unix.gettimeofday () in
   let finish (outcome : Metrics.outcome) frame =
-    Metrics.record t.metrics ~verb ~outcome
-      ~latency:(Unix.gettimeofday () -. t0);
-    Protocol.write_frame oc frame
+    Metrics.record t.metrics ~attempt ~verb ~outcome
+      ~latency:(Unix.gettimeofday () -. t0) ();
+    Protocol.write_frame_fd fd frame
   in
   match req with
   | Server_stats -> finish `Ok (Ok_response (Telemetry (stats t)))
@@ -163,30 +182,38 @@ let serve_request t oc ~deadline_ms (req : Protocol.request) =
                    (Printf.sprintf "no result within %.3fs" timeout_s))
           | Error (`Failed (Reject (code, message))) ->
               finish `Error (error_frame code message)
+          | Error (`Failed (Pool.Worker_crashed message)) ->
+              (* the domain died with this one request; the pool already
+                 replaced it — tell the client its retry is safe *)
+              finish `Error
+                (error_frame Worker_crashed
+                   (Printf.sprintf
+                      "worker domain died executing this request (%s); \
+                       the pool has respawned it"
+                      message))
           | Error (`Failed exn) ->
               finish `Error (error_frame Internal (Printexc.to_string exn))))
 
+(* Frames travel over the raw fd (EINTR-restarting, short-transfer
+   tolerant — see [Protocol.read_frame_fd]); no channel buffers sit
+   between the protocol and the socket, so there is exactly one owner
+   to close and nothing to flush on the error paths. *)
 let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let safe_write frame = try Protocol.write_frame oc frame with _ -> () in
+  let safe_write frame = try Protocol.write_frame_fd fd frame with _ -> () in
   Fun.protect
-    ~finally:(fun () ->
-      (try flush oc with _ -> ());
-      (* [ic] and [oc] share [fd]; close it exactly once. *)
-      try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
   try
-    match Protocol.read_frame ic with
+    match Protocol.read_frame_fd fd with
     | Hello { protocol; software = _ } when protocol = Protocol.version ->
-        Protocol.write_frame oc
+        Protocol.write_frame_fd fd
           (Hello
              { protocol = Protocol.version;
                software = Ddg_version.Version.current });
         let rec loop () =
-          match Protocol.read_frame ic with
-          | Request { deadline_ms; request } ->
-              serve_request t oc ~deadline_ms request;
+          match Protocol.read_frame_fd fd with
+          | Request { deadline_ms; attempt; request } ->
+              serve_request t fd ~deadline_ms ~attempt request;
               (* A served Shutdown closes this connection too. *)
               if request <> Protocol.Shutdown then loop ()
           | Hello _ | Ok_response _ | Error_response _ ->
@@ -275,7 +302,16 @@ let run t =
           List.iter
             (fun lfd ->
               if List.memq lfd readable then
-                match Unix.accept ~cloexec:true lfd with
+                match
+                  (* transient fd pressure (EMFILE under load): the
+                     connection stays pending in the backlog and the
+                     next select round retries it *)
+                  if Ddg_fault.Fault.fire "server.accept.fail" then
+                    raise
+                      (Unix.Unix_error (Unix.EMFILE, "accept",
+                         "fault-injected"));
+                  Unix.accept ~cloexec:true lfd
+                with
                 | fd, _ ->
                     (* The connection bound keeps handler threads — and
                        with them every fd [select] might watch — well

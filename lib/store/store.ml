@@ -8,6 +8,7 @@ type t = {
   root : string;
   lock : Mutex.t;          (* serialises temp-name allocation + manifest *)
   mutable counter : int;   (* uniquifies temp and quarantine names *)
+  mutable quarantines : int;  (* artifacts moved aside since open_ *)
 }
 
 (* --- payload primitives --------------------------------------------------- *)
@@ -90,21 +91,49 @@ let open_ ?dir () =
   let root = match dir with Some d -> d | None -> default_dir () in
   mkdir_p root;
   mkdir_p (Filename.concat root "quarantine");
-  { root; lock = Mutex.create (); counter = 0 }
+  { root; lock = Mutex.create (); counter = 0; quarantines = 0 }
 
 let dir t = t.root
+
+let quarantine_count t =
+  Mutex.lock t.lock;
+  let n = t.quarantines in
+  Mutex.unlock t.lock;
+  n
 
 let artifact_path t ~kind ~key =
   Filename.concat t.root
     (Printf.sprintf "%s-%s.art" kind
        (Digest.to_hex (Digest.string (kind ^ "\x00" ^ key))))
 
-let next_id t =
-  Mutex.lock t.lock;
+let next_id_locked t =
   let c = t.counter in
   t.counter <- c + 1;
+  c
+
+let next_id t =
+  Mutex.lock t.lock;
+  let c = next_id_locked t in
   Mutex.unlock t.lock;
   c
+
+(* Flushing an out_channel hands the bytes to the kernel, not the disk:
+   without an fsync a crash after the rename can leave a manifest entry
+   pointing at a hole. Directory fsync makes the rename itself durable.
+   Both are best-effort — a filesystem that refuses (EINVAL on some
+   virtual mounts) degrades to the old behaviour rather than failing
+   the write. *)
+let fsync_channel oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 let temp_name t suffix =
   Filename.concat t.root
@@ -193,8 +222,11 @@ let write_manifest_locked t =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc (Ddg_report.Json.to_string json);
-      output_char oc '\n');
-  Sys.rename tmp (Filename.concat t.root "manifest.json")
+      output_char oc '\n';
+      flush oc;
+      fsync_channel oc);
+  Sys.rename tmp (Filename.concat t.root "manifest.json");
+  fsync_dir t.root
 
 let refresh_manifest t =
   Mutex.lock t.lock;
@@ -215,9 +247,21 @@ let copy_channel ic oc =
   in
   go ()
 
+let truncate_file path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      Unix.ftruncate fd (size / 2))
+
 let put t ~kind ~key ?(wall = 0.0) write_payload =
   if kind = "" || String.contains kind '/' then
     invalid_arg "Store.put: kind must be non-empty and contain no '/'";
+  if Ddg_fault.Fault.fire "store.put.enospc" then
+    raise
+      (Sys_error
+         (Printf.sprintf "%s: No space left on device (fault-injected)" t.root));
   let payload = temp_name t "payload" in
   Fun.protect
     ~finally:(fun () -> try Sys.remove payload with Sys_error _ -> ())
@@ -251,31 +295,74 @@ let put t ~kind ~key ?(wall = 0.0) write_payload =
               Fun.protect
                 ~finally:(fun () -> close_in_noerr ic)
                 (fun () -> copy_channel ic oc);
-              flush oc);
-          Sys.rename tmp (artifact_path t ~kind ~key)));
+              flush oc;
+              (* the artifact must be on disk before the rename makes it
+                 visible: rename-then-crash must never yield a manifest
+                 entry over a hole *)
+              fsync_channel oc);
+          (* a torn write: the file loses its tail between the writer's
+             last byte and the rename — exactly what the checksummed
+             header exists to catch on the next [find] *)
+          if Ddg_fault.Fault.fire "store.put.torn" then truncate_file tmp;
+          Sys.rename tmp (artifact_path t ~kind ~key);
+          fsync_dir t.root));
   refresh_manifest t
 
 (* --- find / quarantine ------------------------------------------------------ *)
 
+(* Move one artifact aside, under the store lock. Quarantine races are
+   benign: two readers both failing verification on the same artifact
+   both try the rename, the loser's [Sys.rename] raises (the source is
+   gone) and is swallowed — exactly one quarantined copy results. *)
+let quarantine_move_locked t path reason =
+  try
+    let dest =
+      Filename.concat (quarantine_dir t)
+        (Printf.sprintf "%s.%d.%d" (Filename.basename path) (Unix.getpid ())
+           (next_id_locked t))
+    in
+    Sys.rename path dest;
+    t.quarantines <- t.quarantines + 1;
+    let oc = open_out (dest ^ ".reason") in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (reason ^ "\n"))
+  with Sys_error _ -> ()
+
 let quarantine t path reason =
-  (try
-     let dest =
-       Filename.concat (quarantine_dir t)
-         (Printf.sprintf "%s.%d.%d" (Filename.basename path) (Unix.getpid ())
-            (next_id t))
-     in
-     Sys.rename path dest;
-     let oc = open_out (dest ^ ".reason") in
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () -> output_string oc (reason ^ "\n"))
-   with Sys_error _ -> ());
-  refresh_manifest t
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      quarantine_move_locked t path reason;
+      try write_manifest_locked t with Sys_error _ -> ())
+
+(* flip one bit of the payload's first byte in place: models silent
+   media corruption between write and read *)
+let bitflip_file path =
+  try
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size > 0 then begin
+          let off = size - 1 in
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          if Unix.read fd b 0 1 = 1 then begin
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1)
+          end
+        end)
+  with Unix.Unix_error _ | Sys_error _ -> ()
 
 let find t ~kind ~key read_payload =
   let path = artifact_path t ~kind ~key in
   if not (Sys.file_exists path) then None
-  else
+  else begin
+    if Ddg_fault.Fault.fire "store.find.bitflip" then bitflip_file path;
     let verdict =
       match open_in_bin path with
       | exception Sys_error msg -> Error msg
@@ -305,3 +392,157 @@ let find t ~kind ~key read_payload =
     | Error reason ->
         quarantine t path reason;
         None
+  end
+
+(* --- fsck ------------------------------------------------------------------- *)
+
+type fsck_report = {
+  scanned : int;
+  valid : int;
+  quarantined : int;
+  missing : int;
+  swept_temps : int;
+}
+
+(* the manifest is our own non-minified Json output and artifact file
+   names never need escaping, so the entries can be recovered with a
+   plain text scan — there is deliberately no JSON parser in this
+   codebase *)
+let manifest_files t =
+  let path = Filename.concat t.root "manifest.json" in
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let text =
+            really_input_string ic (in_channel_length ic)
+          in
+          let needle = "\"file\": \"" in
+          let rec scan acc from =
+            match
+              if from > String.length text - String.length needle then None
+              else
+                let rec find i =
+                  if i > String.length text - String.length needle then None
+                  else if String.sub text i (String.length needle) = needle
+                  then Some i
+                  else find (i + 1)
+                in
+                find from
+            with
+            | None -> List.rev acc
+            | Some i -> (
+                let start = i + String.length needle in
+                match String.index_from_opt text start '"' with
+                | None -> List.rev acc
+                | Some stop ->
+                    scan (String.sub text start (stop - start) :: acc) stop)
+          in
+          try scan [] 0 with _ -> [])
+
+(* is the process that owns a temp file still alive? *)
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true (* EPERM: alive, not ours *)
+
+let temp_owner_pid file =
+  let parts = String.split_on_char '.' file in
+  match parts with
+  | "tmp" :: pid :: _ -> int_of_string_opt pid
+  | [ "manifest"; "json"; "tmp"; pid ] -> int_of_string_opt pid
+  | _ -> None
+
+let verify_artifact path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match
+        let info = read_header ic in
+        let start = pos_in ic in
+        if in_channel_length ic - start <> info.i_length then
+          corrupt "payload length mismatch";
+        let actual = Digest.channel ic info.i_length in
+        if actual <> info.i_digest then corrupt "checksum mismatch";
+        info
+      with
+      | info ->
+          (* the filename must match the content address in the header,
+             or a lookup for that (kind, key) will never see this file *)
+          Ok info
+      | exception Corrupt msg -> Error msg
+      | exception End_of_file -> Error "truncated artifact"
+      | exception e -> Error (Printexc.to_string e))
+
+let fsck t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let files = Sys.readdir t.root |> Array.to_list |> List.sort compare in
+      (* temp files also end in .art (tmp.<pid>.<n>.art): they are
+         writers' scratch, not artifacts — never scan them, only sweep
+         the dead ones below *)
+      let present =
+        List.filter
+          (fun f ->
+            Filename.check_suffix f ".art" && temp_owner_pid f = None)
+          files
+      in
+      let present_set = Hashtbl.create 64 in
+      List.iter (fun f -> Hashtbl.replace present_set f ()) present;
+      (* manifest entries with no backing artifact: counted against the
+         manifest as it stood before this pass rewrites it *)
+      let missing =
+        List.length
+          (List.filter
+             (fun f -> not (Hashtbl.mem present_set f))
+             (manifest_files t))
+      in
+      let scanned = ref 0 and valid = ref 0 and quarantined = ref 0 in
+      List.iter
+        (fun file ->
+          let path = Filename.concat t.root file in
+          incr scanned;
+          match verify_artifact path with
+          | Ok info ->
+              (* a valid header at the wrong address is as unreachable
+                 as a corrupt one: quarantine it too *)
+              let expected =
+                Filename.basename
+                  (artifact_path t ~kind:info.i_kind ~key:info.i_key)
+              in
+              if expected = file then incr valid
+              else begin
+                quarantine_move_locked t path
+                  (Printf.sprintf "misplaced artifact: content says %s"
+                     expected);
+                incr quarantined
+              end
+          | Error reason ->
+              quarantine_move_locked t path reason;
+              incr quarantined
+          | exception Sys_error _ ->
+              (* vanished between readdir and open: treat as swept *)
+              ())
+        present;
+      (* orphaned temp files from dead writers: an interrupted [put]
+         leaves tmp.<pid>.<n>.* behind; live pids are skipped because
+         their write may still be in flight *)
+      let swept = ref 0 in
+      List.iter
+        (fun file ->
+          match temp_owner_pid file with
+          | Some pid when not (pid_alive pid) -> (
+              match Sys.remove (Filename.concat t.root file) with
+              | () -> incr swept
+              | exception Sys_error _ -> ())
+          | _ -> ())
+        files;
+      (try write_manifest_locked t with Sys_error _ -> ());
+      { scanned = !scanned; valid = !valid; quarantined = !quarantined;
+        missing; swept_temps = !swept })

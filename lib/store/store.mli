@@ -75,6 +75,35 @@ val find : t -> kind:string -> key:string -> (in_channel -> 'a) -> 'a option
     version-mismatched or the callback itself raises, the artifact is
     quarantined and the result is [None] — never an exception. *)
 
+val quarantine_count : t -> int
+(** Artifacts this handle has moved to [quarantine/] since {!open_}
+    (from failed {!find} verification or {!fsck}). *)
+
+(** {2 Verification}
+
+    A full offline pass over the store, for recovery after crashes or
+    suspected corruption. Unlike {!find}'s lazy per-lookup checks, fsck
+    visits {e every} artifact. *)
+
+type fsck_report = {
+  scanned : int;  (** artifacts examined *)
+  valid : int;  (** artifacts whose header, length, digest and content
+                    address all verified *)
+  quarantined : int;  (** artifacts moved to [quarantine/]: corrupt,
+                          truncated, or filed under the wrong name *)
+  missing : int;  (** manifest entries whose artifact file is gone *)
+  swept_temps : int;  (** temp files of dead writer processes removed *)
+}
+
+val fsck : t -> fsck_report
+(** Verify every artifact (header, payload length, digest, and that the
+    file name matches the content address), quarantine failures, count
+    manifest entries with no backing file, sweep temp files left by
+    dead writer processes (live writers are never touched), and rebuild
+    the manifest atomically. Holds the store lock for the duration;
+    concurrent [find]s in other processes see each artifact either in
+    place or quarantined, never half-moved. *)
+
 (** {2 Payload primitives}
 
     Shared helpers for writing payload codecs (the same LEB128 varints

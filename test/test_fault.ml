@@ -1,0 +1,175 @@
+(* The fault injector itself: determinism (a seed replays the same
+   schedule), per-site stream independence, budgets, the disabled fast
+   path, and the DDG_FAULTS spec parser. Every test disables the global
+   injector on the way out so suites that run after us see it off. *)
+
+module Fault = Ddg_fault.Fault
+
+let with_injector f = Fun.protect ~finally:Fault.disable f
+
+let site p budget = { Fault.probability = p; budget }
+
+let schedule name n =
+  List.init n (fun _ -> Fault.fire name)
+
+let test_disabled_never_fires () =
+  Fault.disable ();
+  Alcotest.(check bool) "disabled" false (Fault.enabled ());
+  Alcotest.(check bool) "fire is false" false (Fault.fire "store.put.torn");
+  (* inject must be a no-op, not an exception *)
+  Fault.inject "store.put.torn";
+  Alcotest.(check (list string)) "no sites" [] (Fault.sites ())
+
+let test_unarmed_site_never_fires () =
+  with_injector (fun () ->
+      Fault.enable ~seed:1 ~sites:[ ("a", site 1.0 None) ];
+      Alcotest.(check bool) "unlisted site" false (Fault.fire "b");
+      Alcotest.(check bool) "listed site" true (Fault.fire "a"))
+
+let test_same_seed_same_schedule () =
+  with_injector (fun () ->
+      Fault.enable ~seed:42 ~sites:[ ("a", site 0.5 None) ];
+      let first = schedule "a" 200 in
+      Fault.enable ~seed:42 ~sites:[ ("a", site 0.5 None) ];
+      let second = schedule "a" 200 in
+      Alcotest.(check (list bool)) "replayed schedule" first second;
+      Alcotest.(check bool) "some fired" true (List.mem true first);
+      Alcotest.(check bool) "some did not" true (List.mem false first))
+
+let test_different_seed_different_schedule () =
+  with_injector (fun () ->
+      Fault.enable ~seed:1 ~sites:[ ("a", site 0.5 None) ];
+      let one = schedule "a" 200 in
+      Fault.enable ~seed:2 ~sites:[ ("a", site 0.5 None) ];
+      let two = schedule "a" 200 in
+      Alcotest.(check bool) "schedules differ" true (one <> two))
+
+let test_sites_are_independent_streams () =
+  (* interleaving draws at an unrelated site must not perturb a site's
+     own schedule: that is the property that makes a chaos seed replay
+     the same faults no matter how the code path ordering shifts *)
+  with_injector (fun () ->
+      Fault.enable ~seed:7 ~sites:[ ("a", site 0.5 None) ];
+      let alone = schedule "a" 100 in
+      Fault.enable ~seed:7
+        ~sites:[ ("a", site 0.5 None); ("b", site 0.5 None) ];
+      let interleaved =
+        List.init 100 (fun _ ->
+            ignore (Fault.fire "b");
+            let r = Fault.fire "a" in
+            ignore (Fault.fire "b");
+            r)
+      in
+      Alcotest.(check (list bool)) "a's stream unperturbed" alone interleaved)
+
+let test_budget_caps_firings () =
+  with_injector (fun () ->
+      Fault.enable ~seed:3 ~sites:[ ("a", site 1.0 (Some 3)) ];
+      let fired =
+        List.length (List.filter Fun.id (schedule "a" 50))
+      in
+      Alcotest.(check int) "exactly budget firings" 3 fired;
+      Alcotest.(check int) "injected_at" 3 (Fault.injected_at "a");
+      Alcotest.(check int) "injected total" 3 (Fault.injected ()))
+
+let test_probability_extremes () =
+  with_injector (fun () ->
+      Fault.enable ~seed:5
+        ~sites:[ ("never", site 0.0 None); ("always", site 1.0 None) ];
+      Alcotest.(check bool) "p=0 never" false
+        (List.mem true (schedule "never" 100));
+      Alcotest.(check bool) "p=1 always" false
+        (List.mem false (schedule "always" 100)))
+
+let test_inject_raises () =
+  with_injector (fun () ->
+      Fault.enable ~seed:0 ~sites:[ ("boom", site 1.0 None) ];
+      match Fault.inject "boom" with
+      | () -> Alcotest.fail "expected Injected"
+      | exception Fault.Injected name ->
+          Alcotest.(check string) "site name" "boom" name)
+
+let test_counters_reset_on_enable () =
+  with_injector (fun () ->
+      Fault.enable ~seed:0 ~sites:[ ("a", site 1.0 None) ];
+      ignore (schedule "a" 5);
+      Alcotest.(check int) "five" 5 (Fault.injected ());
+      Fault.enable ~seed:0 ~sites:[ ("a", site 1.0 None) ];
+      Alcotest.(check int) "reset" 0 (Fault.injected ()))
+
+let test_spec_parses () =
+  match Fault.of_string "seed=42, store.put.torn=0.1:2 ,proto.read.eintr=0.05" with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok (seed, sites) ->
+      Alcotest.(check int) "seed" 42 seed;
+      Alcotest.(check int) "two sites" 2 (List.length sites);
+      let torn = List.assoc "store.put.torn" sites in
+      Alcotest.(check (float 1e-9)) "probability" 0.1 torn.Fault.probability;
+      Alcotest.(check (option int)) "budget" (Some 2) torn.Fault.budget;
+      let eintr = List.assoc "proto.read.eintr" sites in
+      Alcotest.(check (option int)) "no budget" None eintr.Fault.budget
+
+let test_spec_defaults_and_errors () =
+  (match Fault.of_string "a=1.0" with
+  | Ok (0, [ _ ]) -> ()
+  | Ok _ -> Alcotest.fail "expected seed 0 with one site"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  (match Fault.of_string "" with
+  | Ok (0, []) -> ()
+  | _ -> Alcotest.fail "empty spec is an empty table");
+  let expect_error spec =
+    match Fault.of_string spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %S" spec
+  in
+  expect_error "a=1.5";
+  expect_error "a=-0.1";
+  expect_error "a=nope";
+  expect_error "a=0.5:-1";
+  expect_error "a=0.5:x";
+  expect_error "seed=abc,a=0.5";
+  expect_error "justaname"
+
+let test_configure_from_env () =
+  with_injector (fun () ->
+      Unix.putenv "DDG_FAULTS" "seed=9,x=1.0";
+      (match Fault.configure_from_env () with
+      | Ok true -> ()
+      | Ok false -> Alcotest.fail "expected armed"
+      | Error msg -> Alcotest.failf "unexpected: %s" msg);
+      Alcotest.(check bool) "enabled" true (Fault.enabled ());
+      Alcotest.(check (list string)) "sites" [ "x" ] (Fault.sites ());
+      Fault.disable ();
+      Unix.putenv "DDG_FAULTS" "";
+      (match Fault.configure_from_env () with
+      | Ok false -> ()
+      | _ -> Alcotest.fail "empty var must not arm");
+      Unix.putenv "DDG_FAULTS" "broken spec";
+      match Fault.configure_from_env () with
+      | Error _ -> Unix.putenv "DDG_FAULTS" ""
+      | Ok _ ->
+          Unix.putenv "DDG_FAULTS" "";
+          Alcotest.fail "malformed spec must error")
+
+let tests =
+  [ Alcotest.test_case "disabled injector never fires" `Quick
+      test_disabled_never_fires;
+    Alcotest.test_case "unarmed site never fires" `Quick
+      test_unarmed_site_never_fires;
+    Alcotest.test_case "same seed replays the same schedule" `Quick
+      test_same_seed_same_schedule;
+    Alcotest.test_case "different seeds differ" `Quick
+      test_different_seed_different_schedule;
+    Alcotest.test_case "per-site streams are independent" `Quick
+      test_sites_are_independent_streams;
+    Alcotest.test_case "budget caps firings" `Quick test_budget_caps_firings;
+    Alcotest.test_case "probability 0 and 1" `Quick test_probability_extremes;
+    Alcotest.test_case "inject raises Injected" `Quick test_inject_raises;
+    Alcotest.test_case "enable resets counters" `Quick
+      test_counters_reset_on_enable;
+    Alcotest.test_case "spec parser accepts the documented form" `Quick
+      test_spec_parses;
+    Alcotest.test_case "spec parser defaults and rejects" `Quick
+      test_spec_defaults_and_errors;
+    Alcotest.test_case "DDG_FAULTS arms the injector" `Quick
+      test_configure_from_env ]

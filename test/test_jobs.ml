@@ -199,6 +199,56 @@ let test_pool_timeout_cancels () =
           | Error `Timeout -> Alcotest.fail "post-abandon timeout"
           | Error (`Failed e) -> raise e))
 
+let test_pool_supervisor_respawns () =
+  let module Pool = Engine.Pool in
+  let module Fault = Ddg_fault.Fault in
+  let p = Pool.pool ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Pool.shutdown p)
+    (fun () ->
+      (* first pickup crashes the worker domain itself (budget 1), every
+         later pickup is clean *)
+      Fault.enable ~seed:0
+        ~sites:
+          [ ( "jobs.worker.crash",
+              { Fault.probability = 1.0; budget = Some 1 } ) ];
+      let ticket =
+        match Pool.submit p (fun _ -> 1) with
+        | Some t -> t
+        | None -> Alcotest.fail "submit refused"
+      in
+      (match Pool.await ~timeout_s:5.0 ticket with
+      | Error (`Failed (Pool.Worker_crashed _)) -> ()
+      | Error (`Failed e) ->
+          Alcotest.failf "expected Worker_crashed, got %s"
+            (Printexc.to_string e)
+      | Error `Timeout -> Alcotest.fail "crashed ticket never resolved"
+      | Ok _ -> Alcotest.fail "crashed task reported success");
+      (* the dead domain is replaced: the pool regains full strength *)
+      let give_up = Unix.gettimeofday () +. 5.0 in
+      while Pool.pool_respawns p < 1 && Unix.gettimeofday () < give_up do
+        Thread.delay 0.002
+      done;
+      Alcotest.(check int) "one respawn" 1 (Pool.pool_respawns p);
+      Alcotest.(check int) "pool never shrinks" 2 (Pool.pool_size p);
+      Alcotest.(check int) "no stuck inflight slot" 0 (Pool.pool_inflight p);
+      (* both workers still serve: saturate the pool with fresh work *)
+      let tickets =
+        List.init 4 (fun i ->
+            match Pool.submit p (fun _ -> 10 + i) with
+            | Some t -> t
+            | None -> Alcotest.fail "submit refused after respawn")
+      in
+      List.iteri
+        (fun i t ->
+          match Pool.await ~timeout_s:5.0 t with
+          | Ok v -> Alcotest.(check int) "post-respawn result" (10 + i) v
+          | Error `Timeout -> Alcotest.fail "post-respawn timeout"
+          | Error (`Failed e) -> raise e)
+        tickets)
+
 let tests =
   [ Alcotest.test_case "submission order (sequential)" `Quick
       test_submission_order;
@@ -211,4 +261,6 @@ let tests =
       test_foreign_dep_rejected;
     Alcotest.test_case "parallel stress" `Quick test_parallel_stress;
     Alcotest.test_case "pool timeout abandons and cancels" `Quick
-      test_pool_timeout_cancels ]
+      test_pool_timeout_cancels;
+    Alcotest.test_case "pool supervisor respawns crashed workers" `Quick
+      test_pool_supervisor_respawns ]

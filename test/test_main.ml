@@ -12,6 +12,8 @@ let () =
       ("experiments", Test_experiments.tests);
       ("store", Test_store.tests);
       ("jobs", Test_jobs.tests);
+      ("fault", Test_fault.tests);
       ("protocol", Test_protocol.tests);
       ("server", Test_server.tests);
+      ("chaos", Test_chaos.tests);
       ("properties", Test_props.tests) ]

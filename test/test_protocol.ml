@@ -36,17 +36,19 @@ let sample_counters =
     deadline_expirations = 1; latency_total_s = 0.75; latency_max_s = 0.25;
     by_verb = [ ("analyze", 4); ("ping", 6) ]; simulations = 2; analyses = 4;
     trace_store_hits = 1; stats_store_hits = 2; trace_mem_hits = 3;
-    trace_evictions = 1; trace_resident_bytes = 123_456 }
+    trace_evictions = 1; trace_resident_bytes = 123_456; retries_served = 2;
+    worker_respawns = 1; artifact_quarantines = 3; injected_faults = 7 }
 
 let sample_frames =
   [ Protocol.Hello { protocol = Protocol.version; software = "1.1.0" };
-    Request { deadline_ms = 0; request = Ping { delay_ms = 0 } };
-    Request { deadline_ms = 2500; request = Ping { delay_ms = 100 } };
+    Request { deadline_ms = 0; attempt = 0; request = Ping { delay_ms = 0 } };
     Request
-      { deadline_ms = 0;
+      { deadline_ms = 2500; attempt = 3; request = Ping { delay_ms = 100 } };
+    Request
+      { deadline_ms = 0; attempt = 0;
         request = Analyze { workload = "mtxx"; config = Config.default } };
     Request
-      { deadline_ms = 60_000;
+      { deadline_ms = 60_000; attempt = 1;
         request =
           Analyze
             { workload = "cc1x";
@@ -57,10 +59,14 @@ let sample_frames =
                   window = Some 64;
                   fu = { Config.unlimited_fu with total = Some 4 };
                   branch = Config.Two_bit 12 } } };
-    Request { deadline_ms = 0; request = Simulate { workload = "doducx" } };
-    Request { deadline_ms = 0; request = Table { name = "table3" } };
-    Request { deadline_ms = 0; request = Server_stats };
-    Request { deadline_ms = 0; request = Shutdown };
+    Request
+      { deadline_ms = 0; attempt = 0;
+        request = Simulate { workload = "doducx" } };
+    Request
+      { deadline_ms = 0; attempt = 0; request = Table { name = "table3" } };
+    Request { deadline_ms = 0; attempt = 0; request = Server_stats };
+    Request { deadline_ms = 0; attempt = 0; request = Shutdown };
+    Request { deadline_ms = 0; attempt = 2; request = Fsck };
     Ok_response Pong;
     Ok_response (Analyzed sample_stats);
     Ok_response
@@ -70,6 +76,10 @@ let sample_frames =
     Ok_response (Rendered "Table 3\n\xc3\xa9\x00 binary-safe\n");
     Ok_response (Telemetry sample_counters);
     Ok_response Shutting_down_ack;
+    Ok_response
+      (Fsck_report
+         { scanned = 12; valid = 9; quarantined = 2; missing = 1;
+           swept_temps = 3 });
     Error_response { code = Busy; message = "10 requests already in flight" } ]
 
 let test_roundtrips () =
@@ -86,7 +96,8 @@ let test_all_error_codes () =
       in
       check_canonical (Protocol.error_code_name code) frame)
     [ Protocol.Bad_frame; Unsupported_version; Unknown_workload;
-      Unknown_table; Busy; Deadline_exceeded; Shutting_down; Internal ]
+      Unknown_table; Busy; Deadline_exceeded; Shutting_down; Internal;
+      Worker_crashed ]
 
 let test_analyzed_stats_survive () =
   match
@@ -112,7 +123,7 @@ let test_truncation_rejected () =
   let bytes =
     Protocol.frame_to_string
       (Request
-         { deadline_ms = 125;
+         { deadline_ms = 125; attempt = 1;
            request = Analyze { workload = "mtxx"; config = Config.default } })
   in
   for n = 0 to String.length bytes - 1 do
@@ -183,6 +194,78 @@ let test_channel_truncated_payload () =
           | exception End_of_file -> ()
           | exception Protocol.Error _ -> ()))
 
+(* --- fd-based frame I/O ---------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+let pump_frames a b =
+  (* writer on its own thread so large frames cannot deadlock against a
+     full socket buffer *)
+  let writer =
+    Thread.create
+      (fun () ->
+        List.iter (Protocol.write_frame_fd a) sample_frames;
+        Unix.shutdown a SHUTDOWN_SEND)
+      ()
+  in
+  let got =
+    List.map
+      (fun _ -> Protocol.frame_to_string (Protocol.read_frame_fd b))
+      sample_frames
+  in
+  Thread.join writer;
+  Alcotest.(check (list string))
+    "frames survive the fd path"
+    (List.map Protocol.frame_to_string sample_frames)
+    got;
+  (* clean hangup after the last frame reads as End_of_file *)
+  match Protocol.read_frame_fd b with
+  | (_ : Protocol.frame) -> Alcotest.fail "read past hangup"
+  | exception End_of_file -> ()
+
+let test_fd_roundtrip () = with_socketpair pump_frames
+
+let test_fd_roundtrip_under_eintr_and_short_io () =
+  (* injected EINTR and 1-byte transfers on both directions: the
+     restart and short-transfer loops must still deliver identical
+     bytes *)
+  let module Fault = Ddg_fault.Fault in
+  Fun.protect ~finally:Fault.disable (fun () ->
+      let site p = { Fault.probability = p; budget = None } in
+      Fault.enable ~seed:11
+        ~sites:
+          [ ("proto.read.eintr", site 0.2); ("proto.write.eintr", site 0.2);
+            ("proto.read.short", site 0.7); ("proto.write.short", site 0.7) ];
+      with_socketpair pump_frames;
+      Alcotest.(check bool) "faults actually fired" true
+        (Fault.injected () > 0))
+
+let test_fd_connection_drop_surfaces () =
+  let module Fault = Ddg_fault.Fault in
+  Fun.protect ~finally:Fault.disable (fun () ->
+      Fault.enable ~seed:0
+        ~sites:
+          [ ( "proto.conn.drop",
+              { Fault.probability = 1.0; budget = Some 1 } ) ];
+      with_socketpair (fun a b ->
+          let writer =
+            Thread.create
+              (fun () -> Protocol.write_frame_fd a (Ok_response Pong))
+              ()
+          in
+          (match Protocol.read_frame_fd b with
+          | (_ : Protocol.frame) -> Alcotest.fail "expected a dropped read"
+          | exception Unix.Unix_error (ECONNRESET, _, _) -> ()
+          | exception End_of_file -> ());
+          Thread.join writer))
+
 (* --- qcheck properties --------------------------------------------------- *)
 
 let gen_request =
@@ -195,16 +278,18 @@ let gen_request =
       Simulate { workload = name };
       Table { name };
       Server_stats;
-      Shutdown ]
+      Shutdown;
+      Fsck ]
 
 let gen_frame =
   let open QCheck.Gen in
   let* request = gen_request in
   let* deadline_ms = int_range 0 100_000 in
+  let* attempt = int_range 0 8 in
   let* message = string_size ~gen:printable (int_range 0 60) in
   oneofl
     [ Protocol.Hello { protocol = 1; software = message };
-      Request { deadline_ms; request };
+      Request { deadline_ms; attempt; request };
       Ok_response Pong;
       Ok_response (Rendered message);
       Error_response { code = Protocol.Internal; message } ]
@@ -226,7 +311,8 @@ let prop_config_roundtrip =
     (fun config ->
       let frame =
         Protocol.Request
-          { deadline_ms = 0; request = Analyze { workload = "w"; config } }
+          { deadline_ms = 0; attempt = 0;
+            request = Analyze { workload = "w"; config } }
       in
       match Protocol.frame_of_string (Protocol.frame_to_string frame) with
       | Request { request = Analyze { config = c; _ }; _ } ->
@@ -270,7 +356,12 @@ let tests =
     Alcotest.test_case "sign-bit varint overflow rejected" `Quick
       test_varint_overflow_rejected;
     Alcotest.test_case "truncated channel payload is safe" `Quick
-      test_channel_truncated_payload ]
+      test_channel_truncated_payload;
+    Alcotest.test_case "fd frame I/O round trips" `Quick test_fd_roundtrip;
+    Alcotest.test_case "fd frame I/O survives EINTR and short transfers"
+      `Quick test_fd_roundtrip_under_eintr_and_short_io;
+    Alcotest.test_case "injected connection drop surfaces as an error"
+      `Quick test_fd_connection_drop_surfaces ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_frame_roundtrip; prop_config_roundtrip;
         prop_mutation_never_crashes ]

@@ -163,6 +163,53 @@ let test_busy_backpressure () =
           Alcotest.(check bool) "a request was refused with Busy" true
             !saw_busy))
 
+let test_session_retries_through_busy () =
+  (* one worker, one slot: a long ping occupies the daemon, so a bare
+     request sees Busy — but a retrying session backs off and replays
+     until the slot frees, then succeeds *)
+  with_server ~workers:1 ~max_inflight:1 (fun endpoint _server ->
+      let blocker =
+        Thread.create
+          (fun () ->
+            Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
+                ignore
+                  (Client.request client (Protocol.Ping { delay_ms = 2000 }))))
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Thread.join blocker)
+        (fun () ->
+          (* wait for the blocker's request to occupy the slot: a bare
+             one-attempt client keeps probing until it is refused *)
+          let saw_busy = ref false in
+          Client.with_connection ~retry_for_s:5.0 endpoint (fun probe ->
+              let give_up = Unix.gettimeofday () +. 5.0 in
+              while (not !saw_busy) && Unix.gettimeofday () < give_up do
+                match Client.request probe (Protocol.Ping { delay_ms = 0 }) with
+                | (_ : Protocol.response) -> Thread.delay 0.002
+                | exception Client.Server_error { code = Protocol.Busy; _ }
+                  ->
+                    saw_busy := true
+              done);
+          Alcotest.(check bool) "daemon saturated" true !saw_busy;
+          let retry =
+            { Client.default_retry with
+              Client.attempts = 50;
+              base_delay_s = 0.025;
+              max_delay_s = 0.1 }
+          in
+          Client.with_session ~retry ~retry_for_s:5.0 endpoint (fun s ->
+              (match Client.call s (Protocol.Ping { delay_ms = 0 }) with
+              | Protocol.Pong -> ()
+              | _ -> Alcotest.fail "expected Pong");
+              Alcotest.(check bool) "session replayed at least once" true
+                (Client.session_retries s > 0));
+          (* the served retries show up in the daemon's counters *)
+          Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
+              let c = counters client in
+              Alcotest.(check bool) "retries_served counted" true
+                (c.Protocol.retries_served > 0))))
+
 let test_deadline_exceeded () =
   with_server (fun endpoint _server ->
       Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
@@ -223,7 +270,7 @@ let test_survives_disconnect_mid_request () =
             (Hello { protocol = Protocol.version; software = "t" });
           Protocol.write_frame oc
             (Request
-               { deadline_ms = 0; request = Ping { delay_ms = 300 } })
+               { deadline_ms = 0; attempt = 0; request = Ping { delay_ms = 300 } })
           (* hang up without reading the response *));
       Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
           match Client.request client (Protocol.Ping { delay_ms = 0 }) with
@@ -273,6 +320,8 @@ let tests =
     Alcotest.test_case "warm repeat does zero work" `Quick
       test_warm_repeat_does_no_work;
     Alcotest.test_case "busy backpressure" `Quick test_busy_backpressure;
+    Alcotest.test_case "session retries through busy" `Quick
+      test_session_retries_through_busy;
     Alcotest.test_case "deadline exceeded" `Quick test_deadline_exceeded;
     Alcotest.test_case "garbage frame gets typed error" `Quick
       test_garbage_gets_bad_frame;

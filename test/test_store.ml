@@ -296,6 +296,167 @@ let test_corrupt_store_recomputes () =
       Alcotest.(check bool) "corrupt artifact quarantined" true
         (quarantined_count store >= 1))
 
+(* --- fsck ------------------------------------------------------------------- *)
+
+let fsck_check label (expected : Store.fsck_report) (got : Store.fsck_report) =
+  Alcotest.(check (list int))
+    label
+    [ expected.scanned; expected.valid; expected.quarantined;
+      expected.missing; expected.swept_temps ]
+    [ got.scanned; got.valid; got.quarantined; got.missing; got.swept_temps ]
+
+let test_fsck_clean_store () =
+  with_store (fun store ->
+      put_sample store ~key:"k1";
+      put_sample store ~key:"k2";
+      put_sample store ~key:"k3";
+      fsck_check "clean store"
+        { scanned = 3; valid = 3; quarantined = 0; missing = 0;
+          swept_temps = 0 }
+        (Store.fsck store);
+      Alcotest.(check bool) "artifacts still served" true
+        (find_sample store ~key:"k2" <> None))
+
+let test_fsck_quarantines_corruption () =
+  with_store (fun store ->
+      put_sample store ~key:"good";
+      put_sample store ~key:"bad";
+      let path = Store.artifact_path store ~kind:"sample" ~key:"bad" in
+      let bytes = Bytes.of_string (read_bytes path) in
+      let i = Bytes.length bytes - 3 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x40));
+      write_bytes path (Bytes.to_string bytes);
+      fsck_check "one corrupt of two"
+        { scanned = 2; valid = 1; quarantined = 1; missing = 0;
+          swept_temps = 0 }
+        (Store.fsck store);
+      Alcotest.(check bool) "corrupt file moved aside" false
+        (Sys.file_exists path);
+      Alcotest.(check bool) "quarantine holds artifact + reason" true
+        (quarantined_count store >= 2);
+      Alcotest.(check int) "handle counted it" 1
+        (Store.quarantine_count store);
+      Alcotest.(check bool) "good artifact survives" true
+        (find_sample store ~key:"good" <> None);
+      (* the rebuilt manifest no longer lists the quarantined file, so a
+         second pass is clean *)
+      fsck_check "second pass clean"
+        { scanned = 1; valid = 1; quarantined = 0; missing = 0;
+          swept_temps = 0 }
+        (Store.fsck store))
+
+let test_fsck_quarantines_misplaced () =
+  with_store (fun store ->
+      put_sample store ~key:"k";
+      let path = Store.artifact_path store ~kind:"sample" ~key:"k" in
+      (* a bit-perfect copy under the wrong content address: unreachable
+         by any lookup, so fsck must move it aside *)
+      let rogue = Filename.concat (Store.dir store) "sample-0000.art" in
+      write_bytes rogue (read_bytes path);
+      fsck_check "misplaced copy quarantined"
+        { scanned = 2; valid = 1; quarantined = 1; missing = 0;
+          swept_temps = 0 }
+        (Store.fsck store);
+      Alcotest.(check bool) "rogue file gone" false (Sys.file_exists rogue);
+      Alcotest.(check bool) "original still served" true
+        (find_sample store ~key:"k" <> None))
+
+let test_fsck_counts_missing () =
+  with_store (fun store ->
+      put_sample store ~key:"k1";
+      put_sample store ~key:"k2";
+      Sys.remove (Store.artifact_path store ~kind:"sample" ~key:"k2");
+      fsck_check "missing counted"
+        { scanned = 1; valid = 1; quarantined = 0; missing = 1;
+          swept_temps = 0 }
+        (Store.fsck store);
+      (* the rebuild dropped the dangling entry *)
+      fsck_check "second pass clean"
+        { scanned = 1; valid = 1; quarantined = 0; missing = 0;
+          swept_temps = 0 }
+        (Store.fsck store))
+
+let dead_pid () =
+  (* spawn a real process and wait for it: its pid is guaranteed dead
+     and recently allocated, so the liveness probe must say "gone" *)
+  let pid =
+    Unix.create_process "true" [| "true" |] Unix.stdin Unix.stdout Unix.stderr
+  in
+  ignore (Unix.waitpid [] pid);
+  pid
+
+let test_fsck_sweeps_dead_temps () =
+  with_store (fun store ->
+      put_sample store ~key:"k";
+      let dead =
+        Filename.concat (Store.dir store)
+          (Printf.sprintf "tmp.%d.0.art" (dead_pid ()))
+      in
+      let live =
+        Filename.concat (Store.dir store)
+          (Printf.sprintf "tmp.%d.999.art" (Unix.getpid ()))
+      in
+      write_bytes dead "half-written";
+      write_bytes live "still in flight";
+      fsck_check "dead writer's temp swept"
+        { scanned = 1; valid = 1; quarantined = 0; missing = 0;
+          swept_temps = 1 }
+        (Store.fsck store);
+      Alcotest.(check bool) "dead temp removed" false (Sys.file_exists dead);
+      Alcotest.(check bool) "live writer's temp untouched" true
+        (Sys.file_exists live))
+
+let test_racing_recovery_converges () =
+  (* two runners, two store handles, one corrupted artifact: both must
+     detect the corruption, recover independently (one wins the
+     quarantine rename, the loser's is a benign no-op) and converge on
+     a single valid artifact with the correct bytes *)
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let w = Option.get (Ddg_workloads.Registry.find "mtxx") in
+      let config = Ddg_paragraph.Config.default in
+      let cold =
+        Runner.create ~size:Ddg_workloads.Workload.Tiny
+          ~store:(Store.open_ ~dir ()) ()
+      in
+      let expected = encode_stats (Runner.analyze cold w config) in
+      let path =
+        Store.artifact_path (Store.open_ ~dir ()) ~kind:"stats"
+          ~key:(Runner.stats_key cold w config)
+      in
+      let bytes = read_bytes path in
+      write_bytes path (String.sub bytes 0 (String.length bytes / 2));
+      let results = Array.make 2 "" in
+      let barrier = Atomic.make 0 in
+      let racer i =
+        Thread.create
+          (fun () ->
+            let runner =
+              Runner.create ~size:Ddg_workloads.Workload.Tiny
+                ~store:(Store.open_ ~dir ()) ()
+            in
+            Atomic.incr barrier;
+            while Atomic.get barrier < 2 do Thread.yield () done;
+            results.(i) <- encode_stats (Runner.analyze runner w config))
+          ()
+      in
+      let threads = [ racer 0; racer 1 ] in
+      List.iter Thread.join threads;
+      Alcotest.(check string) "racer 0 recovered" expected results.(0);
+      Alcotest.(check string) "racer 1 recovered" expected results.(1);
+      (* exactly one valid artifact on disk, re-served without compute *)
+      let store = Store.open_ ~dir () in
+      Alcotest.(check bool) "store converged to a valid artifact" true
+        (Store.find store ~kind:"stats"
+           ~key:(Runner.stats_key cold w config)
+           (fun ic -> Ddg_paragraph.Stats_codec.read ic)
+        <> None);
+      let report = Store.fsck store in
+      Alcotest.(check int) "no corrupt artifacts remain" 0
+        report.Store.quarantined)
+
 let test_parallel_matches_sequential () =
   let configs =
     Ddg_paragraph.Config.(
@@ -335,5 +496,16 @@ let tests =
     Alcotest.test_case "warm run is cache-hot" `Quick test_warm_run_is_cache_hot;
     Alcotest.test_case "corrupt store artifact recomputed" `Quick
       test_corrupt_store_recomputes;
+    Alcotest.test_case "fsck: clean store" `Quick test_fsck_clean_store;
+    Alcotest.test_case "fsck: corruption quarantined" `Quick
+      test_fsck_quarantines_corruption;
+    Alcotest.test_case "fsck: misplaced artifact quarantined" `Quick
+      test_fsck_quarantines_misplaced;
+    Alcotest.test_case "fsck: dangling manifest entries counted" `Quick
+      test_fsck_counts_missing;
+    Alcotest.test_case "fsck: dead writers' temps swept" `Quick
+      test_fsck_sweeps_dead_temps;
+    Alcotest.test_case "racing recovery converges" `Quick
+      test_racing_recovery_converges;
     Alcotest.test_case "workers=4 matches sequential" `Quick
       test_parallel_matches_sequential ]
