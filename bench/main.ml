@@ -43,6 +43,7 @@ type opts = {
   cache_bench : bool;
   serve_bench : bool;
   fault_bench : bool;
+  obs_bench : bool;
 }
 
 let parse_args () =
@@ -51,7 +52,7 @@ let parse_args () =
       { size = Ddg_workloads.Workload.Default; only = None; micro = true;
         json_path = "BENCH.json"; jobs = 1; cache_dir = None;
         no_cache = false; cache_bench = false; serve_bench = false;
-        fault_bench = false }
+        fault_bench = false; obs_bench = false }
   in
   let rec go = function
     | [] -> ()
@@ -91,6 +92,9 @@ let parse_args () =
         go rest
     | "--fault-bench" :: rest ->
         o := { !o with fault_bench = true };
+        go rest
+    | "--obs-bench" :: rest ->
+        o := { !o with obs_bench = true };
         go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -508,9 +512,100 @@ let run_fault_bench () =
       { fb_fire_disabled_ns = fire_disabled; fb_fire_armed_ns = fire_armed;
         fb_store_off_ns = store_off; fb_store_armed_ns = store_armed })
 
+(* --- observability overhead benchmark --------------------------------------- *)
+
+type obs_bench_result = {
+  ob_counter_disabled_ns : float; (* one Obs.incr, gate closed *)
+  ob_counter_enabled_ns : float;  (* one Obs.incr, recording *)
+  ob_span_disabled_ns : float;    (* one Obs.time around (fun () -> ()) *)
+  ob_span_enabled_ns : float;     (* same, with two clock reads + observe *)
+  ob_analyze_off_ns : float;      (* instrumented analyze, gate closed *)
+  ob_analyze_on_ns : float;       (* instrumented analyze, recording *)
+}
+
+(* The disabled path is the product constraint: every instrumented site
+   in the analyzer, store, pool and server pays one [Obs.incr]/[Obs.time]
+   per hit whether or not anyone is observing, so a closed gate must
+   cost a single atomic load (same discipline as the fault injector's
+   [fire]). Probes are amortized over a 1000-call batch, like the fault
+   bench, so the per-call figure is below Bechamel's per-run noise. *)
+let run_obs_bench () =
+  let module Obs = Ddg_obs.Obs in
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~compaction:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let measure name thunk =
+    match estimate_ns cfg instances ols (Test.make ~name (Staged.stage thunk))
+    with
+    | Some est -> est
+    | None -> failwith ("obs-bench: no estimate for " ^ name)
+  in
+  let calls = 1000 in
+  let counter = Obs.counter "ddg_bench_probe_total" in
+  let span = Obs.span_site "ddg_bench_probe_ns" in
+  let counter_batch () =
+    for _ = 1 to calls do
+      Obs.incr counter
+    done
+  in
+  let span_batch () =
+    for _ = 1 to calls do
+      Obs.time span (fun () -> ())
+    done
+  in
+  Obs.disable ();
+  Printf.eprintf "obs-bench: probe costs, gate closed\n%!";
+  let counter_disabled =
+    measure "counter disabled" counter_batch /. float_of_int calls
+  in
+  let span_disabled = measure "span disabled" span_batch /. float_of_int calls in
+  Obs.enable ();
+  Printf.eprintf "obs-bench: probe costs, recording\n%!";
+  let counter_enabled =
+    measure "counter enabled" counter_batch /. float_of_int calls
+  in
+  let span_enabled = measure "span enabled" span_batch /. float_of_int calls in
+  Obs.disable ();
+  (* the instrumented hot path end to end: one analyzer pass over a
+     fixed tiny trace, with the gate closed and open *)
+  let w = Option.get (Ddg_workloads.Registry.find "eqnx") in
+  let _, trace = Ddg_workloads.Workload.trace w Ddg_workloads.Workload.Tiny in
+  let config = Ddg_paragraph.Config.default in
+  let analyze () =
+    ignore (Sys.opaque_identity (Ddg_paragraph.Analyzer.analyze config trace))
+  in
+  Printf.eprintf "obs-bench: instrumented analyze, gate closed\n%!";
+  let analyze_off = measure "analyze obs off" analyze in
+  Obs.enable ();
+  Printf.eprintf "obs-bench: instrumented analyze, recording\n%!";
+  let analyze_on =
+    Fun.protect ~finally:Obs.disable (fun () -> measure "analyze obs on" analyze)
+  in
+  Obs.reset ();
+  Printf.printf
+    "obs bench: counter %.2f ns disabled / %.1f ns enabled; span %.2f ns \
+     disabled / %.1f ns enabled; analyze %.0f ns off / %.0f ns on (%.4fx \
+     overhead when recording)\n"
+    counter_disabled counter_enabled span_disabled span_enabled analyze_off
+    analyze_on
+    (if analyze_off > 0.0 then analyze_on /. analyze_off else 0.0);
+  { ob_counter_disabled_ns = counter_disabled;
+    ob_counter_enabled_ns = counter_enabled;
+    ob_span_disabled_ns = span_disabled;
+    ob_span_enabled_ns = span_enabled;
+    ob_analyze_off_ns = analyze_off;
+    ob_analyze_on_ns = analyze_on }
+
 (* --- BENCH.json ---------------------------------------------------------- *)
 
-let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault =
+let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs =
   let open Ddg_report.Json in
   let micro_fields =
     match micro with
@@ -594,6 +689,23 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault =
                     Float (f.fb_store_armed_ns /. f.fb_store_off_ns)
                   else Null ) ] ) ]
   in
+  let obs_fields =
+    match obs with
+    | None -> []
+    | Some o ->
+        [ ( "obs",
+            Obj
+              [ ("counter_disabled_ns", Float o.ob_counter_disabled_ns);
+                ("counter_enabled_ns", Float o.ob_counter_enabled_ns);
+                ("span_disabled_ns", Float o.ob_span_disabled_ns);
+                ("span_enabled_ns", Float o.ob_span_enabled_ns);
+                ("analyze_obs_off_ns", Float o.ob_analyze_off_ns);
+                ("analyze_obs_on_ns", Float o.ob_analyze_on_ns);
+                ( "analyze_overhead_ratio",
+                  if o.ob_analyze_off_ns > 0.0 then
+                    Float (o.ob_analyze_on_ns /. o.ob_analyze_off_ns)
+                  else Null ) ] ) ]
+  in
   let json =
     Obj
       ([ ("size", String (Ddg_workloads.Workload.size_to_string size));
@@ -607,7 +719,7 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault =
                     [ ("name", String name);
                       ("wall_seconds", Float seconds) ])
                 (List.rev sections)) ) ]
-      @ cache_fields @ serve_fields @ fault_fields @ micro_fields)
+      @ cache_fields @ serve_fields @ fault_fields @ obs_fields @ micro_fields)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -618,7 +730,7 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault =
 
 let () =
   let { size; only; micro; json_path; jobs = workers; cache_dir; no_cache;
-        cache_bench; serve_bench; fault_bench } =
+        cache_bench; serve_bench; fault_bench; obs_bench } =
     parse_args ()
   in
   let t0 = Unix.gettimeofday () in
@@ -698,9 +810,16 @@ let () =
     end
     else None
   in
+  let obs_results =
+    if obs_bench then begin
+      section_banner "observability overhead benchmark";
+      Some (timed "obs-bench" (fun () -> run_obs_bench ()))
+    end
+    else None
+  in
   write_bench_json json_path ~size ~sections:!section_times
     ~micro:micro_results ~cache:cache_results ~serve:serve_results
-    ~fault:fault_results;
+    ~fault:fault_results ~obs:obs_results;
   Printf.eprintf "[%7.1fs] done (%s written)\n%!"
     (Unix.gettimeofday () -. t0)
     json_path

@@ -14,6 +14,11 @@
 
 open Cmdliner
 open Ddg_paragraph
+module Obs = Ddg_obs.Obs
+
+(* Wall time of the CLI-side simulation, so a [--profile] run breaks
+   down into simulate + the analyzer's own phase spans. *)
+let span_cli_simulate = Obs.span_site "ddg_cli_simulate_ns"
 
 (* --- program / trace loading ------------------------------------------- *)
 
@@ -74,7 +79,8 @@ let trace_and_program_of_input input ~max_instructions =
   else begin
     let program = load_program (classify_input input) in
     let result, trace =
-      Ddg_sim.Machine.run_to_trace ~max_instructions program
+      Obs.time span_cli_simulate (fun () ->
+          Ddg_sim.Machine.run_to_trace ~max_instructions program)
     in
     (match result.stop with
     | Ddg_sim.Machine.Halted | Ddg_sim.Machine.Instruction_limit -> ()
@@ -85,6 +91,75 @@ let trace_and_program_of_input input ~max_instructions =
 let trace_of_input input ~max_instructions =
   let result, _, trace = trace_and_program_of_input input ~max_instructions in
   (result, trace)
+
+(* --- per-phase profiling (--profile) ------------------------------------- *)
+
+let obs_site_name name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) ls))
+
+let render_obs_profile (s : Obs.snapshot) =
+  let module T = Ddg_report.Table in
+  let us ns = T.float_cell ~decimals:1 (float_of_int ns /. 1e3) in
+  let rows =
+    List.filter_map
+      (fun (h : Obs.hist_snapshot) ->
+        if h.hs_count = 0 then None
+        else
+          Some
+            [ obs_site_name h.hs_name h.hs_labels;
+              T.int_cell h.hs_count;
+              T.float_cell ~decimals:2 (float_of_int h.hs_sum /. 1e6);
+              T.float_cell ~decimals:1 (Obs.hist_mean h /. 1e3);
+              us (Obs.quantile h 0.5);
+              us (Obs.quantile h 0.99);
+              us h.hs_max ])
+      s.histograms
+  in
+  let counters =
+    List.filter (fun (c : Obs.counter_snapshot) -> c.cs_value > 0) s.counters
+  in
+  String.concat ""
+    [ T.render ~title:"phase profile"
+        ~headers:
+          [ ("Site", T.Left); ("Count", T.Right); ("Total ms", T.Right);
+            ("Mean us", T.Right); ("p50 us", T.Right); ("p99 us", T.Right);
+            ("Max us", T.Right) ]
+        rows;
+      (if counters = [] then ""
+       else
+         "\ncounters:\n"
+         ^ String.concat ""
+             (List.map
+                (fun (c : Obs.counter_snapshot) ->
+                  Printf.sprintf "  %-40s %d\n"
+                    (obs_site_name c.cs_name c.cs_labels)
+                    c.cs_value)
+                counters)) ]
+
+let profile_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record per-phase timing spans while running and print the \
+           breakdown (counts, total/mean/quantile latencies) to stderr.")
+
+(* The profile goes to stderr so [--json]/piped stdout stays clean. *)
+let with_profile profile f =
+  if not profile then f ()
+  else begin
+    Obs.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        prerr_string (render_obs_profile (Obs.snapshot ()));
+        flush stderr)
+      f
+  end
 
 (* --- common options ------------------------------------------------------ *)
 
@@ -187,7 +262,8 @@ let stats_to_json input config (stats : Analyzer.stats) =
               Float (Profile.max_ops_per_level stats.storage_profile) ) ] ) ]
 
 let analyze_cmd =
-  let run input max_instructions config json =
+  let run input max_instructions config json profile =
+    with_profile profile @@ fun () ->
     let result, trace = trace_of_input input ~max_instructions in
     let stats = Analyzer.analyze config trace in
     if json then
@@ -214,7 +290,9 @@ let analyze_cmd =
   let doc = "Run the Paragraph DDG analysis on a program or workload." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ input_arg $ max_instructions_arg $ config_term $ json)
+    Term.(
+      const run $ input_arg $ max_instructions_arg $ config_term $ json
+      $ profile_flag_arg)
 
 (* --- profile -------------------------------------------------------------- *)
 
@@ -483,7 +561,8 @@ let disasm_cmd =
 (* --- run --------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run input max_instructions =
+  let run input max_instructions profile =
+    with_profile profile @@ fun () ->
     match trace_of_input input ~max_instructions with
     | Some result, trace ->
         print_string result.output;
@@ -495,7 +574,7 @@ let run_cmd =
   let doc = "Execute a program on the simulator and print its output." in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ input_arg $ max_instructions_arg)
+    Term.(const run $ input_arg $ max_instructions_arg $ profile_flag_arg)
 
 (* --- trace ----------------------------------------------------------------------- *)
 
@@ -1016,6 +1095,67 @@ let client_stats_cmd =
     Term.(const run $ client_endpoint_term $ retry_arg $ retry_policy_term
       $ json)
 
+let client_metrics_cmd =
+  let snapshot_to_json (s : Obs.snapshot) =
+    let open Ddg_report.Json in
+    let labels ls = Obj (List.map (fun (k, v) -> (k, String v)) ls) in
+    Obj
+      [ ( "counters",
+          List
+            (List.map
+               (fun (c : Obs.counter_snapshot) ->
+                 Obj
+                   [ ("name", String c.cs_name);
+                     ("labels", labels c.cs_labels);
+                     ("value", Int c.cs_value) ])
+               s.counters) );
+        ( "histograms",
+          List
+            (List.map
+               (fun (h : Obs.hist_snapshot) ->
+                 Obj
+                   [ ("name", String h.hs_name);
+                     ("labels", labels h.hs_labels);
+                     ("count", Int h.hs_count);
+                     ("sum", Int h.hs_sum);
+                     ("min", Int h.hs_min);
+                     ("max", Int h.hs_max);
+                     ("mean", Float (Obs.hist_mean h));
+                     ("p50", Int (Obs.quantile h 0.5));
+                     ("p99", Int (Obs.quantile h 0.99)) ])
+               s.histograms) ) ]
+  in
+  let run endpoint retry policy prom =
+    client_request endpoint retry policy 0 Protocol.Metrics (function
+      | Protocol.Metrics_snapshot s ->
+          if prom then begin
+            let text = Obs.prometheus_of_snapshot s in
+            (* self-check: never emit exposition text a scraper's parser
+               would choke on *)
+            (match Obs.validate_exposition text with
+            | Ok () -> ()
+            | Error msg -> die "invalid Prometheus exposition: %s" msg);
+            print_string text
+          end
+          else print_endline (Ddg_report.Json.to_string (snapshot_to_json s))
+      | _ -> unexpected_response ())
+  in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Emit Prometheus text exposition format (version 0.0.4) instead \
+             of JSON.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump the daemon's full metric registry (every counter and latency \
+          histogram) as JSON, or as Prometheus text with $(b,--prom).")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ retry_policy_term $ prom)
+
 let client_fsck_cmd =
   let run endpoint retry policy deadline_ms =
     client_request endpoint retry policy deadline_ms Protocol.Fsck (function
@@ -1067,6 +1207,7 @@ let client_cmd =
       client_simulate_cmd;
       client_table_cmd;
       client_stats_cmd;
+      client_metrics_cmd;
       client_fsck_cmd;
       client_shutdown_cmd ]
 

@@ -1,6 +1,28 @@
 open Ddg_workloads
 module Store = Ddg_store.Store
 module Jobs = Ddg_jobs.Engine
+module Obs = Ddg_obs.Obs
+
+(* Observability sites: wall time of the two expensive operations, and
+   one hit counter per cache layer (memory / disk store, trace / stats). *)
+let span_simulate = Obs.span_site "ddg_runner_simulate_ns"
+let span_analyze = Obs.span_site "ddg_runner_analyze_ns"
+
+let hit_trace_mem =
+  Obs.counter ~labels:[ ("cache", "trace_mem") ] "ddg_runner_cache_hits_total"
+
+let hit_trace_store =
+  Obs.counter ~labels:[ ("cache", "trace_store") ] "ddg_runner_cache_hits_total"
+
+let hit_stats_mem =
+  Obs.counter ~labels:[ ("cache", "stats_mem") ] "ddg_runner_cache_hits_total"
+
+let hit_stats_store =
+  Obs.counter
+    ~labels:[ ("cache", "stats_store") ]
+    "ddg_runner_cache_hits_total"
+
+let evictions_total = Obs.counter "ddg_runner_trace_evictions_total"
 
 (* A resident decoded trace: the LRU entry of the byte-budgeted memory
    cache. [last_use] is a logical clock tick, bumped on every hit. *)
@@ -162,6 +184,7 @@ let lru_insert_locked t name value =
             Hashtbl.remove t.traces victim_name;
             t.resident_bytes <- t.resident_bytes - entry.bytes;
             t.n_trace_evictions <- t.n_trace_evictions + 1;
+            Obs.incr evictions_total;
             t.progress
               (Printf.sprintf "evicting %s trace (%d bytes resident)"
                  victim_name t.resident_bytes)
@@ -175,6 +198,7 @@ let trace t (w : Workload.t) =
             t.tick <- t.tick + 1;
             entry.last_use <- t.tick;
             t.n_trace_mem_hits <- t.n_trace_mem_hits + 1;
+            Obs.incr hit_trace_mem;
             Some entry.value
         | None -> None)
   in
@@ -196,13 +220,16 @@ let trace t (w : Workload.t) =
             t.progress (Printf.sprintf "store hit: %s trace" w.name);
             locked t (fun () ->
                 t.n_trace_store_hits <- t.n_trace_store_hits + 1);
+            Obs.incr hit_trace_store;
             v
         | None ->
             t.progress
               (Printf.sprintf "tracing %s (%s)" w.name
                  (Workload.size_to_string t.size));
             let t0 = Unix.gettimeofday () in
-            let result, tr = Workload.trace w t.size in
+            let result, tr =
+              Obs.time span_simulate (fun () -> Workload.trace w t.size)
+            in
             (match result.stop with
             | Ddg_sim.Machine.Halted -> ()
             | s ->
@@ -233,13 +260,16 @@ let find_store_stats t w config =
       | Some _ as hit ->
           locked t (fun () ->
               t.n_stats_store_hits <- t.n_stats_store_hits + 1);
+          Obs.incr hit_stats_store;
           hit
       | None -> None)
 
 let analyze t (w : Workload.t) config =
   let key = (w.Workload.name, Ddg_paragraph.Config.describe config) in
   match locked t (fun () -> Hashtbl.find_opt t.stats key) with
-  | Some cached -> cached
+  | Some cached ->
+      Obs.incr hit_stats_mem;
+      cached
   | None ->
       let stats =
         match find_store_stats t w config with
@@ -252,7 +282,10 @@ let analyze t (w : Workload.t) config =
             t.progress
               (Printf.sprintf "analyzing %s under %s" w.name (snd key));
             let t0 = Unix.gettimeofday () in
-            let s = Ddg_paragraph.Analyzer.analyze config tr in
+            let s =
+              Obs.time span_analyze (fun () ->
+                  Ddg_paragraph.Analyzer.analyze config tr)
+            in
             locked t (fun () -> t.n_analyses <- t.n_analyses + 1);
             try_put t ~kind:"stats" ~key:(stats_key t w config)
               ~wall:(Unix.gettimeofday () -. t0)
@@ -332,7 +365,9 @@ let prefetch t jobs =
                     (List.length configs));
                let t0 = Unix.gettimeofday () in
                let stats =
-                 Ddg_paragraph.Analyzer.analyze_many ?max_domains configs tr
+                 Obs.time span_analyze (fun () ->
+                     Ddg_paragraph.Analyzer.analyze_many ?max_domains configs
+                       tr)
                in
                locked t (fun () ->
                    t.n_analyses <- t.n_analyses + List.length configs);

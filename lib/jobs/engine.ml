@@ -170,6 +170,13 @@ let run ?workers ?(progress = fun _ -> ()) t =
 module Pool = struct
   exception Worker_crashed of string
 
+  module Obs = Ddg_obs.Obs
+
+  (* Observability sites: how long a submission sat in the queue before
+     a worker picked it up, and how long the closure itself ran. *)
+  let span_queue_wait = Obs.span_site "ddg_pool_queue_wait_ns"
+  let span_run = Obs.span_site "ddg_pool_run_ns"
+
   (* [run] executes the closure and completes the ticket; [abort] fails
      the ticket without running it — the supervisor's lever when the
      worker domain dies between dequeuing a task and finishing it. *)
@@ -313,9 +320,18 @@ module Pool = struct
             ());
         Mutex.unlock ticket.tlock
       in
+      (* [t_submit = 0] means observability was off at submit time: the
+         pickup then skips the queue-wait sample rather than recording a
+         wait measured from the epoch *)
+      let t_submit = if Obs.enabled () then Obs.Clock.now_ns () else 0 in
       let run () =
+        if t_submit > 0 then
+          Obs.observe span_queue_wait (Obs.Clock.now_ns () - t_submit);
         let poll () = Atomic.get ticket.cancelled in
-        complete (try Ok (f poll) with e -> Error e)
+        (* close the span before signalling completion, so the span's
+           final clock read happens-before the waiter resumes — under a
+           deterministic clock the read order is then reproducible *)
+        complete (Obs.time span_run (fun () -> try Ok (f poll) with e -> Error e))
       in
       let abort e = complete (Error e) in
       Queue.add { run; abort } p.pqueue;

@@ -1,0 +1,20 @@
+/* Monotonic clock read for the observability layer.
+ *
+ * Returns nanoseconds since an arbitrary epoch as an OCaml immediate
+ * int (63 bits holds ~146 years of nanoseconds), so the read neither
+ * allocates nor takes the GC lock: safe to call from any domain or
+ * systhread on the hot path.
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+#ifndef CLOCK_MONOTONIC
+#define CLOCK_MONOTONIC CLOCK_REALTIME
+#endif
+
+CAMLprim value ddg_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

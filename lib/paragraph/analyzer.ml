@@ -1,4 +1,19 @@
 open Ddg_isa
+module Obs = Ddg_obs.Obs
+
+(* Observability sites, one per analyzer phase (Obs sites are static:
+   registered once at module initialisation, nearly free while the obs
+   layer is disabled). The feed loop is spanned as a whole — live-well
+   phase for plain dataflow configurations, window phase when discrete
+   placement constraints are in play — never per event: the hot loop
+   stays allocation- and probe-free. *)
+let span_decode = Obs.span_site ~labels:[ ("phase", "decode") ] "ddg_analyze_phase_ns"
+let span_well = Obs.span_site ~labels:[ ("phase", "live_well") ] "ddg_analyze_phase_ns"
+let span_window = Obs.span_site ~labels:[ ("phase", "window") ] "ddg_analyze_phase_ns"
+let span_stats = Obs.span_site ~labels:[ ("phase", "stats") ] "ddg_analyze_phase_ns"
+let span_fused = Obs.span_site "ddg_analyze_fused_ns"
+let analyze_runs = Obs.counter "ddg_analyze_runs_total"
+let analyze_events = Obs.counter "ddg_analyze_events_total"
 
 type stats = {
   events : int;
@@ -412,10 +427,20 @@ let feed_trace t trace =
       ~extra
   done
 
+let feed_span (config : Config.t) =
+  (* a window (or functional-unit limit) turns the feed loop into the
+     placement phase; otherwise it is pure live-well dataflow *)
+  match (config.window, config.fu = Config.unlimited_fu) with
+  | None, true -> span_well
+  | _ -> span_window
+
 let analyze config trace =
   let t = sized_for trace config in
-  feed_trace t trace;
-  finish t
+  Obs.time (feed_span config) (fun () -> feed_trace t trace);
+  let stats = Obs.time span_stats (fun () -> finish t) in
+  Obs.incr analyze_runs;
+  Obs.add analyze_events stats.events;
+  stats
 
 (* --- fused multi-config analysis --------------------------------------------
 
@@ -940,8 +965,12 @@ let fused_group configs trace =
    in the caller's order regardless. *)
 let analyze_channel config ic =
   let t = create config in
-  Ddg_sim.Trace_io.fold_channel ic ~init:() ~f:(fun () e -> feed t e);
-  finish t
+  Obs.time span_decode (fun () ->
+      Ddg_sim.Trace_io.fold_channel ic ~init:() ~f:(fun () e -> feed t e));
+  let stats = Obs.time span_stats (fun () -> finish t) in
+  Obs.incr analyze_runs;
+  Obs.add analyze_events stats.events;
+  stats
 
 let analyze_many ?max_domains configs trace =
   match configs with
@@ -988,24 +1017,27 @@ let analyze_many ?max_domains configs trace =
         in
         min ngroups cap
       in
-      if workers <= 1 then
-        Array.iteri (fun g cfgs -> results.(g) <- run cfgs) groups
-      else begin
-        let next = Atomic.make 0 in
-        let worker () =
-          let rec loop () =
-            let g = Atomic.fetch_and_add next 1 in
-            if g < ngroups then begin
-              results.(g) <- run groups.(g);
+      Obs.time span_fused (fun () ->
+          if workers <= 1 then
+            Array.iteri (fun g cfgs -> results.(g) <- run cfgs) groups
+          else begin
+            let next = Atomic.make 0 in
+            let worker () =
+              let rec loop () =
+                let g = Atomic.fetch_and_add next 1 in
+                if g < ngroups then begin
+                  results.(g) <- run groups.(g);
+                  loop ()
+                end
+              in
               loop ()
-            end
-          in
-          loop ()
-        in
-        let doms = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        List.iter Domain.join doms
-      end;
+            in
+            let doms =
+              List.init (workers - 1) (fun _ -> Domain.spawn worker)
+            in
+            worker ();
+            List.iter Domain.join doms
+          end);
       let out = Array.make total None in
       Array.iter
         (List.iter (fun (i, s) -> out.(i) <- Some s))

@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 let max_frame_bytes = 16 * 1024 * 1024
 let magic = "DDGP"
 
@@ -11,6 +11,8 @@ let fail fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
 let max_name = 256
 let max_message = 4096
 let max_verbs = 64
+let max_metrics = 4096
+let max_labels = 16
 
 type error_code =
   | Bad_frame
@@ -33,6 +35,7 @@ type request =
   | Server_stats
   | Shutdown
   | Fsck
+  | Metrics
 
 type sim_summary = {
   instructions : int;
@@ -82,6 +85,7 @@ type response =
   | Telemetry of counters
   | Shutting_down_ack
   | Fsck_report of fsck_summary
+  | Metrics_snapshot of Ddg_obs.Obs.snapshot
 
 type frame =
   | Hello of { protocol : int; software : string }
@@ -97,13 +101,16 @@ let verb_name = function
   | Server_stats -> "stats"
   | Shutdown -> "shutdown"
   | Fsck -> "fsck"
+  | Metrics -> "metrics"
 
 (* a verb is idempotent when replaying it after an ambiguous failure
    (connection dropped mid-request) cannot change server state beyond
    what one execution would: everything but [Shutdown], whose replay
    could kill a daemon restarted in between *)
 let idempotent = function
-  | Ping _ | Analyze _ | Simulate _ | Table _ | Server_stats | Fsck -> true
+  | Ping _ | Analyze _ | Simulate _ | Table _ | Server_stats | Fsck | Metrics
+    ->
+      true
   | Shutdown -> false
 
 let error_code_name = function
@@ -280,6 +287,7 @@ let e_request b = function
   | Server_stats -> e_varint b 4
   | Shutdown -> e_varint b 5
   | Fsck -> e_varint b 6
+  | Metrics -> e_varint b 7
 
 let c_request c =
   match c_varint c with
@@ -293,6 +301,7 @@ let c_request c =
   | 4 -> Server_stats
   | 5 -> Shutdown
   | 6 -> Fsck
+  | 7 -> Metrics
   | t -> fail "bad request verb tag %d" t
 
 let e_counters b k =
@@ -359,6 +368,99 @@ let c_counters c =
     trace_mem_hits; trace_evictions; trace_resident_bytes; retries_served;
     worker_respawns; artifact_quarantines; injected_faults }
 
+(* --- observability snapshots -------------------------------------------------
+
+   Histogram buckets travel sparse — (index, count) pairs in strictly
+   increasing index order — because a 63-bucket array is almost empty
+   for real latency data. Every list is length-bounded before any
+   allocation, as elsewhere in the decoder. *)
+
+let e_labels b labels =
+  if List.length labels > max_labels then fail "too many labels to encode";
+  e_varint b (List.length labels);
+  List.iter
+    (fun (k, v) ->
+      e_string ~max:max_name b k;
+      e_string ~max:max_name b v)
+    labels
+
+let c_labels c =
+  let n = c_varint c in
+  if n > max_labels then fail "too many labels (%d)" n;
+  List.init n (fun _ ->
+      let k = c_string ~max:max_name c in
+      let v = c_string ~max:max_name c in
+      (k, v))
+
+let e_obs_snapshot b (s : Ddg_obs.Obs.snapshot) =
+  if List.length s.counters > max_metrics then fail "too many counters";
+  e_varint b (List.length s.counters);
+  List.iter
+    (fun (cs : Ddg_obs.Obs.counter_snapshot) ->
+      e_string ~max:max_name b cs.cs_name;
+      e_labels b cs.cs_labels;
+      e_varint b cs.cs_value)
+    s.counters;
+  if List.length s.histograms > max_metrics then fail "too many histograms";
+  e_varint b (List.length s.histograms);
+  List.iter
+    (fun (h : Ddg_obs.Obs.hist_snapshot) ->
+      e_string ~max:max_name b h.hs_name;
+      e_labels b h.hs_labels;
+      e_varint b h.hs_count;
+      e_varint b h.hs_sum;
+      e_varint b h.hs_min;
+      e_varint b h.hs_max;
+      let occupied =
+        Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 h.hs_buckets
+      in
+      e_varint b occupied;
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            e_varint b i;
+            e_varint b c
+          end)
+        h.hs_buckets)
+    s.histograms
+
+let c_obs_snapshot c : Ddg_obs.Obs.snapshot =
+  let nc = c_varint c in
+  if nc > max_metrics then fail "too many counters (%d)" nc;
+  let counters =
+    List.init nc (fun _ ->
+        let cs_name = c_string ~max:max_name c in
+        let cs_labels = c_labels c in
+        let cs_value = c_varint c in
+        { Ddg_obs.Obs.cs_name; cs_labels; cs_value })
+  in
+  let nh = c_varint c in
+  if nh > max_metrics then fail "too many histograms (%d)" nh;
+  let histograms =
+    List.init nh (fun _ ->
+        let hs_name = c_string ~max:max_name c in
+        let hs_labels = c_labels c in
+        let hs_count = c_varint c in
+        let hs_sum = c_varint c in
+        let hs_min = c_varint c in
+        let hs_max = c_varint c in
+        let hs_buckets = Array.make Ddg_obs.Obs.buckets 0 in
+        let npairs = c_varint c in
+        if npairs > Ddg_obs.Obs.buckets then
+          fail "too many bucket entries (%d)" npairs;
+        let last = ref (-1) in
+        for _ = 1 to npairs do
+          let i = c_varint c in
+          if i <= !last || i >= Ddg_obs.Obs.buckets then
+            fail "bad bucket index %d" i;
+          last := i;
+          hs_buckets.(i) <- c_varint c
+        done;
+        { Ddg_obs.Obs.hs_name; hs_labels; hs_count; hs_sum; hs_min; hs_max;
+          hs_buckets })
+  in
+  { Ddg_obs.Obs.counters; histograms }
+
 let e_response b = function
   | Pong -> e_varint b 0
   | Analyzed stats ->
@@ -387,6 +489,9 @@ let e_response b = function
       e_varint b r.quarantined;
       e_varint b r.missing;
       e_varint b r.swept_temps
+  | Metrics_snapshot s ->
+      e_varint b 7;
+      e_obs_snapshot b s
 
 let c_response c =
   match c_varint c with
@@ -418,6 +523,7 @@ let c_response c =
       let missing = c_varint c in
       let swept_temps = c_varint c in
       Fsck_report { scanned; valid; quarantined; missing; swept_temps }
+  | 7 -> Metrics_snapshot (c_obs_snapshot c)
   | t -> fail "bad response tag %d" t
 
 let error_code_tag = function

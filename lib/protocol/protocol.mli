@@ -75,6 +75,10 @@ type request =
   | Fsck
       (** verify the daemon's artifact store: scan every artifact,
           quarantine corruption, rebuild the manifest *)
+  | Metrics
+      (** the full {!Ddg_obs.Obs} registry snapshot — every counter and
+          latency histogram the daemon has registered; never queued or
+          rejected, like {!Server_stats} *)
 
 type sim_summary = {
   instructions : int;
@@ -131,6 +135,10 @@ type response =
   | Telemetry of counters
   | Shutting_down_ack
   | Fsck_report of fsck_summary
+  | Metrics_snapshot of Ddg_obs.Obs.snapshot
+      (** reply to {!Metrics}; histogram buckets travel sparse
+          ((index, count) pairs in increasing index order), all lists
+          are length-bounded before allocation *)
 
 type frame =
   | Hello of { protocol : int; software : string }

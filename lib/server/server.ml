@@ -1,6 +1,11 @@
 module Protocol = Ddg_protocol.Protocol
 module Runner = Ddg_experiments.Runner
 module Pool = Ddg_jobs.Engine.Pool
+module Obs = Ddg_obs.Obs
+
+(* Frame codec wall time, either direction, as seen by the handler. *)
+let span_decode = Obs.span_site "ddg_server_decode_ns"
+let span_encode = Obs.span_site "ddg_server_encode_ns"
 
 (* Typed request failure raised inside pool workers; anything else that
    escapes a worker is reported as [Internal]. *)
@@ -136,7 +141,7 @@ let compute t (req : Protocol.request) cancelled : Protocol.response =
               quarantined = r.quarantined;
               missing = r.missing;
               swept_temps = r.swept_temps })
-  | Server_stats | Shutdown ->
+  | Server_stats | Shutdown | Metrics ->
       (* Handled inline by the connection handler; never queued. *)
       assert false
 
@@ -149,14 +154,15 @@ let error_frame code message =
 
 let serve_request t fd ~deadline_ms ~attempt (req : Protocol.request) =
   let verb = Protocol.verb_name req in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let finish (outcome : Metrics.outcome) frame =
     Metrics.record t.metrics ~attempt ~verb ~outcome
-      ~latency:(Unix.gettimeofday () -. t0) ();
-    Protocol.write_frame_fd fd frame
+      ~latency_ns:(Obs.Clock.now_ns () - t0) ();
+    Obs.time span_encode (fun () -> Protocol.write_frame_fd fd frame)
   in
   match req with
   | Server_stats -> finish `Ok (Ok_response (Telemetry (stats t)))
+  | Metrics -> finish `Ok (Ok_response (Metrics_snapshot (Obs.snapshot ())))
   | Shutdown ->
       finish `Ok (Ok_response Shutting_down_ack);
       t.log "shutdown requested over the wire";
@@ -211,7 +217,7 @@ let handle_connection t fd =
              { protocol = Protocol.version;
                software = Ddg_version.Version.current });
         let rec loop () =
-          match Protocol.read_frame_fd fd with
+          match Obs.time span_decode (fun () -> Protocol.read_frame_fd fd) with
           | Request { deadline_ms; attempt; request } ->
               serve_request t fd ~deadline_ms ~attempt request;
               (* A served Shutdown closes this connection too. *)

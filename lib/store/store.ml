@@ -4,6 +4,21 @@ let corrupt fmt = Format.kasprintf (fun msg -> raise (Corrupt msg)) fmt
 
 let magic = "DDGART01"
 
+module Obs = Ddg_obs.Obs
+
+(* Observability sites: I/O wall time for the three entry points, and
+   hit/miss counts for lookups. *)
+let span_put = Obs.span_site "ddg_store_put_ns"
+let span_find = Obs.span_site "ddg_store_find_ns"
+let span_fsck = Obs.span_site "ddg_store_fsck_ns"
+let puts_total = Obs.counter "ddg_store_puts_total"
+
+let find_hits =
+  Obs.counter ~labels:[ ("result", "hit") ] "ddg_store_finds_total"
+
+let find_misses =
+  Obs.counter ~labels:[ ("result", "miss") ] "ddg_store_finds_total"
+
 type t = {
   root : string;
   lock : Mutex.t;          (* serialises temp-name allocation + manifest *)
@@ -256,6 +271,8 @@ let truncate_file path =
       Unix.ftruncate fd (size / 2))
 
 let put t ~kind ~key ?(wall = 0.0) write_payload =
+  Obs.time span_put @@ fun () ->
+  Obs.incr puts_total;
   if kind = "" || String.contains kind '/' then
     invalid_arg "Store.put: kind must be non-empty and contain no '/'";
   if Ddg_fault.Fault.fire "store.put.enospc" then
@@ -359,8 +376,12 @@ let bitflip_file path =
   with Unix.Unix_error _ | Sys_error _ -> ()
 
 let find t ~kind ~key read_payload =
+  Obs.time span_find @@ fun () ->
   let path = artifact_path t ~kind ~key in
-  if not (Sys.file_exists path) then None
+  if not (Sys.file_exists path) then begin
+    Obs.incr find_misses;
+    None
+  end
   else begin
     if Ddg_fault.Fault.fire "store.find.bitflip" then bitflip_file path;
     let verdict =
@@ -388,9 +409,12 @@ let find t ~kind ~key read_payload =
               | exception e -> Error (Printexc.to_string e))
     in
     match verdict with
-    | Ok v -> Some v
+    | Ok v ->
+        Obs.incr find_hits;
+        Some v
     | Error reason ->
         quarantine t path reason;
+        Obs.incr find_misses;
         None
   end
 
@@ -479,6 +503,7 @@ let verify_artifact path =
       | exception e -> Error (Printexc.to_string e))
 
 let fsck t =
+  Obs.time span_fsck @@ fun () ->
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)

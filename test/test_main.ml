@@ -16,4 +16,5 @@ let () =
       ("protocol", Test_protocol.tests);
       ("server", Test_server.tests);
       ("chaos", Test_chaos.tests);
-      ("properties", Test_props.tests) ]
+      ("properties", Test_props.tests);
+      ("obs", Test_obs.tests) ]

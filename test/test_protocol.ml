@@ -39,6 +39,21 @@ let sample_counters =
     trace_evictions = 1; trace_resident_bytes = 123_456; retries_served = 2;
     worker_respawns = 1; artifact_quarantines = 3; injected_faults = 7 }
 
+let sample_obs_snapshot =
+  (* labelled counters, a sparse multi-bucket histogram and a registered
+     but empty one, so the v3 metrics codec's sparse (index, count)
+     encoding is exercised end to end *)
+  { Ddg_obs.Obs.counters =
+      [ { Ddg_obs.Obs.cs_name = "ddg_server_requests_total"; cs_labels = [];
+          cs_value = 42 };
+        { Ddg_obs.Obs.cs_name = "ddg_server_requests_verb_total";
+          cs_labels = [ ("verb", "ping") ]; cs_value = 17 } ];
+    histograms =
+      [ Ddg_obs.Obs.hist_of_samples ~name:"ddg_server_request_ns"
+          ~labels:[ ("verb", "analyze") ]
+          [ 0; 1; 5; 5; 1_000_000; 123_456_789 ];
+        Ddg_obs.Obs.hist_of_samples ~name:"ddg_pool_run_ns" [] ] }
+
 let sample_frames =
   [ Protocol.Hello { protocol = Protocol.version; software = "1.1.0" };
     Request { deadline_ms = 0; attempt = 0; request = Ping { delay_ms = 0 } };
@@ -67,6 +82,7 @@ let sample_frames =
     Request { deadline_ms = 0; attempt = 0; request = Server_stats };
     Request { deadline_ms = 0; attempt = 0; request = Shutdown };
     Request { deadline_ms = 0; attempt = 2; request = Fsck };
+    Request { deadline_ms = 0; attempt = 0; request = Metrics };
     Ok_response Pong;
     Ok_response (Analyzed sample_stats);
     Ok_response
@@ -80,6 +96,7 @@ let sample_frames =
       (Fsck_report
          { scanned = 12; valid = 9; quarantined = 2; missing = 1;
            swept_temps = 3 });
+    Ok_response (Metrics_snapshot sample_obs_snapshot);
     Error_response { code = Busy; message = "10 requests already in flight" } ]
 
 let test_roundtrips () =
@@ -129,6 +146,18 @@ let test_truncation_rejected () =
   for n = 0 to String.length bytes - 1 do
     expect_rejected
       (Printf.sprintf "prefix of %d bytes" n)
+      (fun () -> Protocol.frame_of_string (String.sub bytes 0 n))
+  done
+
+let test_metrics_truncation_rejected () =
+  (* the v3 metrics codec has its own bounds (metric counts, label
+     counts, sparse bucket indices): every prefix must die typed *)
+  let bytes =
+    Protocol.frame_to_string (Ok_response (Metrics_snapshot sample_obs_snapshot))
+  in
+  for n = 0 to String.length bytes - 1 do
+    expect_rejected
+      (Printf.sprintf "metrics prefix of %d bytes" n)
       (fun () -> Protocol.frame_of_string (String.sub bytes 0 n))
   done
 
@@ -279,7 +308,8 @@ let gen_request =
       Table { name };
       Server_stats;
       Shutdown;
-      Fsck ]
+      Fsck;
+      Metrics ]
 
 let gen_frame =
   let open QCheck.Gen in
@@ -349,6 +379,8 @@ let tests =
       test_analyzed_stats_survive;
     Alcotest.test_case "every truncation is rejected" `Quick
       test_truncation_rejected;
+    Alcotest.test_case "metrics snapshot truncations are rejected" `Quick
+      test_metrics_truncation_rejected;
     Alcotest.test_case "garbage frames are rejected" `Quick
       test_garbage_rejected;
     Alcotest.test_case "oversized frames rejected before allocation" `Quick

@@ -294,6 +294,77 @@ let test_shutdown_verb_drains () =
   Thread.join thread;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
 
+let test_outcome_counters_partition_requests () =
+  (* regression: Busy and Deadline_exceeded used to be double-counted
+     into requests_error, breaking the partition. Provoke all four
+     outcomes, quiesce, and check the identity — the counters are
+     process-global (the obs registry outlives each server), so the
+     invariant must hold over the accumulated totals too. *)
+  with_server ~workers:1 ~max_inflight:1 (fun endpoint _server ->
+      let client = connect endpoint in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          (* ok *)
+          (match Client.request client (Protocol.Ping { delay_ms = 0 }) with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong");
+          (* error: unknown workload *)
+          (match
+             Client.request client
+               (Protocol.Analyze
+                  { workload = "no_such_workload";
+                    config = Ddg_paragraph.Config.default })
+           with
+          | (_ : Protocol.response) ->
+              Alcotest.fail "unknown workload was served"
+          | exception Client.Server_error _ -> ());
+          (* deadline *)
+          (match
+             Client.request ~deadline_ms:50 client
+               (Protocol.Ping { delay_ms = 500 })
+           with
+          | (_ : Protocol.response) ->
+              Alcotest.fail "slow ping beat a 50ms deadline"
+          | exception
+              Client.Server_error { code = Protocol.Deadline_exceeded; _ } ->
+              ()));
+      (* the expired ping's worker still occupies the single slot for up
+         to 500ms; let it drain so the blocker below is what saturates *)
+      Thread.delay 0.6;
+      (* busy: saturate the single slot from a second connection *)
+      let blocker =
+        Thread.create
+          (fun () ->
+            Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
+                ignore
+                  (Client.request client (Protocol.Ping { delay_ms = 500 }))))
+          ()
+      in
+      let saw_busy = ref false in
+      Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
+          let attempts = ref 0 in
+          while (not !saw_busy) && !attempts < 200 do
+            incr attempts;
+            match Client.request client (Protocol.Ping { delay_ms = 0 }) with
+            | (_ : Protocol.response) -> Thread.delay 0.005
+            | exception Client.Server_error { code = Protocol.Busy; _ } ->
+                saw_busy := true
+          done);
+      Thread.join blocker;
+      Alcotest.(check bool) "saw Busy" true !saw_busy;
+      Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
+          let c = counters client in
+          Alcotest.(check bool) "every outcome provoked" true
+            (c.Protocol.requests_ok > 0
+            && c.Protocol.requests_error > 0
+            && c.Protocol.busy_rejections > 0
+            && c.Protocol.deadline_expirations > 0);
+          Alcotest.(check int) "total = ok + error + busy + deadline"
+            c.Protocol.requests_total
+            (c.Protocol.requests_ok + c.Protocol.requests_error
+            + c.Protocol.busy_rejections + c.Protocol.deadline_expirations)))
+
 let test_trace_lru_evicts () =
   (* daemon-facing runner knob: a 1-byte budget forces every workload's
      trace past the budget, so loading a second evicts the first while
@@ -331,5 +402,7 @@ let tests =
       test_survives_disconnect_mid_request;
     Alcotest.test_case "shutdown verb drains cleanly" `Quick
       test_shutdown_verb_drains;
+    Alcotest.test_case "outcome counters partition requests" `Quick
+      test_outcome_counters_partition_requests;
     Alcotest.test_case "trace LRU evicts past budget" `Quick
       test_trace_lru_evicts ]
