@@ -8,9 +8,9 @@
 
    Usage: main.exe [--size tiny|default|large] [--only SECTION]
    [--no-micro] [--json PATH] [-j N] [--cache-dir DIR] [--no-cache]
-   [--cache-bench] [--serve-bench] [--fault-bench] where SECTION is one
-   of table1 table2 table3 table4 fig7 fig8 extras resources branches
-   compiler.
+   [--cache-bench] [--serve-bench] [--fault-bench] [--segment-bench]
+   where SECTION is one of table1 table2 table3 table4 fig7 fig8 extras
+   resources branches compiler.
 
    The harness runs uncached unless --cache-dir is given (committed
    BENCH.json numbers must measure compute, not cache hits); -j sizes
@@ -28,7 +28,11 @@
    Fault.fire with the injector disabled and with every site armed at
    probability 0, plus a store put+find roundtrip (the hottest
    probe-bearing path) under both, recording the overhead ratio in
-   BENCH.json — the disabled injector must cost nothing. *)
+   BENCH.json — the disabled injector must cost nothing. --segment-bench
+   measures intra-trace scaling: the segmented single-trace engine
+   (Segmented on a Pool) at -j 1/2/4/8 against the sequential analyzer,
+   byte-checking the stats before trusting any timing, and records the
+   events/s trajectory in BENCH.json. *)
 
 open Ddg_experiments
 
@@ -44,6 +48,7 @@ type opts = {
   serve_bench : bool;
   fault_bench : bool;
   obs_bench : bool;
+  segment_bench : bool;
 }
 
 let parse_args () =
@@ -52,7 +57,7 @@ let parse_args () =
       { size = Ddg_workloads.Workload.Default; only = None; micro = true;
         json_path = "BENCH.json"; jobs = 1; cache_dir = None;
         no_cache = false; cache_bench = false; serve_bench = false;
-        fault_bench = false; obs_bench = false }
+        fault_bench = false; obs_bench = false; segment_bench = false }
   in
   let rec go = function
     | [] -> ()
@@ -95,6 +100,9 @@ let parse_args () =
         go rest
     | "--obs-bench" :: rest ->
         o := { !o with obs_bench = true };
+        go rest
+    | "--segment-bench" :: rest ->
+        o := { !o with segment_bench = true };
         go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -603,9 +611,87 @@ let run_obs_bench () =
     ob_analyze_off_ns = analyze_off;
     ob_analyze_on_ns = analyze_on }
 
+(* --- segmented single-trace analysis benchmark ------------------------------ *)
+
+type segment_bench_result = {
+  gb_workload : string;
+  gb_events : int;
+  gb_sequential : float; (* events/s, Analyzer.analyze *)
+  gb_jobs : (int * float) list; (* (-j N, events/s) via Segmented on a pool *)
+}
+
+(* Intra-trace scaling: the segmented engine against the sequential
+   analyzer on one trace, at -j 1/2/4/8. -j 1 is the sequential fallback
+   (Segmented declines to split for one worker), so the -j column reads
+   as end-to-end speedup including the skeleton and stitch overhead. The
+   segmented results are byte-checked against the sequential stats before
+   any timing is believed. *)
+let run_segment_bench ~size =
+  let module Pool = Ddg_jobs.Engine.Pool in
+  let name = "eqnx" in
+  let w = Option.get (Ddg_workloads.Registry.find name) in
+  Printf.eprintf "segment-bench: tracing %s (%s)\n%!" name
+    (Ddg_workloads.Workload.size_to_string size);
+  let _, trace = Ddg_workloads.Workload.trace w size in
+  let events = Ddg_sim.Trace.length trace in
+  let config = Ddg_paragraph.Config.default in
+  let best_of_3 f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  Printf.eprintf "segment-bench: sequential baseline\n%!";
+  let seq_stats = Ddg_paragraph.Analyzer.analyze config trace in
+  let seq_blob = Ddg_paragraph.Stats_codec.to_string seq_stats in
+  let seq_wall =
+    best_of_3 (fun () -> Ddg_paragraph.Analyzer.analyze config trace)
+  in
+  let measured =
+    List.map
+      (fun j ->
+        Printf.eprintf "segment-bench: segmented -j %d\n%!" j;
+        let pool = Pool.pool ~workers:j () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            let run () =
+              Ddg_paragraph.Segmented.analyze ~exec:(Pool.run_all pool)
+                ~segments:j config trace
+            in
+            if Ddg_paragraph.Stats_codec.to_string (run ()) <> seq_blob
+            then begin
+              Printf.eprintf
+                "segment-bench: -j %d stats differ from sequential\n%!" j;
+              exit 1
+            end;
+            (j, best_of_3 run)))
+      [ 1; 2; 4; 8 ]
+  in
+  let rate wall = if wall > 0.0 then float_of_int events /. wall else 0.0 in
+  Printf.printf
+    "segment bench (%s %s, %d events, byte-identical stats):\n"
+    name (Ddg_workloads.Workload.size_to_string size) events;
+  Printf.printf "  %-18s %10.0f events/s\n" "sequential" (rate seq_wall);
+  List.iter
+    (fun (j, wall) ->
+      Printf.printf "  %-18s %10.0f events/s  (%.2fx over -j 1)\n"
+        (Printf.sprintf "segmented -j %d" j)
+        (rate wall)
+        (let _, w1 = List.hd measured in
+         if wall > 0.0 then w1 /. wall else 0.0))
+    measured;
+  { gb_workload = name; gb_events = events; gb_sequential = rate seq_wall;
+    gb_jobs = List.map (fun (j, wall) -> (j, rate wall)) measured }
+
 (* --- BENCH.json ---------------------------------------------------------- *)
 
-let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs =
+let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs
+    ~segment =
   let open Ddg_report.Json in
   let micro_fields =
     match micro with
@@ -706,6 +792,30 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs =
                     Float (o.ob_analyze_on_ns /. o.ob_analyze_off_ns)
                   else Null ) ] ) ]
   in
+  let segment_fields =
+    match segment with
+    | None -> []
+    | Some g ->
+        let rate_of j = List.assoc_opt j g.gb_jobs in
+        [ ( "segmented",
+            Obj
+              [ ("workload", String g.gb_workload);
+                ("trace_events", Int g.gb_events);
+                ("sequential_events_per_s", Float g.gb_sequential);
+                ( "jobs",
+                  List
+                    (List.map
+                       (fun (j, r) ->
+                         Obj
+                           [ ("jobs", Int j);
+                             ("events_per_s", Float r) ])
+                       g.gb_jobs) );
+                ( "speedup_j8_vs_j1",
+                  match (rate_of 1, rate_of 8) with
+                  | Some r1, Some r8 when r1 > 0.0 -> Float (r8 /. r1)
+                  | _ -> Null );
+                ("stats_byte_identical", Bool true) ] ) ]
+  in
   let json =
     Obj
       ([ ("size", String (Ddg_workloads.Workload.size_to_string size));
@@ -719,7 +829,8 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs =
                     [ ("name", String name);
                       ("wall_seconds", Float seconds) ])
                 (List.rev sections)) ) ]
-      @ cache_fields @ serve_fields @ fault_fields @ obs_fields @ micro_fields)
+      @ cache_fields @ serve_fields @ fault_fields @ obs_fields
+      @ segment_fields @ micro_fields)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -730,7 +841,7 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs =
 
 let () =
   let { size; only; micro; json_path; jobs = workers; cache_dir; no_cache;
-        cache_bench; serve_bench; fault_bench; obs_bench } =
+        cache_bench; serve_bench; fault_bench; obs_bench; segment_bench } =
     parse_args ()
   in
   let t0 = Unix.gettimeofday () in
@@ -817,9 +928,16 @@ let () =
     end
     else None
   in
+  let segment_results =
+    if segment_bench then begin
+      section_banner "segmented single-trace analysis benchmark";
+      Some (timed "segment-bench" (fun () -> run_segment_bench ~size))
+    end
+    else None
+  in
   write_bench_json json_path ~size ~sections:!section_times
     ~micro:micro_results ~cache:cache_results ~serve:serve_results
-    ~fault:fault_results ~obs:obs_results;
+    ~fault:fault_results ~obs:obs_results ~segment:segment_results;
   Printf.eprintf "[%7.1fs] done (%s written)\n%!"
     (Unix.gettimeofday () -. t0)
     json_path

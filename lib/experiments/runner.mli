@@ -48,6 +48,15 @@ val create :
 
 val counters : t -> counters
 
+val set_pool : t -> Ddg_jobs.Engine.Pool.t -> unit
+(** Wire in a persistent worker pool ({!Ddg_jobs.Engine.Pool}): from
+    then on, {!analyze} runs supported single-trace analyses segmented
+    ({!Ddg_paragraph.Segmented}) across the pool's idle workers when the
+    runner was created with [workers > 1]. Safe to call even when
+    {!analyze} is itself invoked from one of that pool's workers (the
+    daemon's layout) — the fan-out never deadlocks and results remain
+    bit-identical to the sequential engine. *)
+
 val store : t -> Ddg_store.Store.t option
 (** The artifact store this runner persists to, if any — the daemon's
     [fsck] verb runs against it. *)

@@ -26,6 +26,11 @@ let add t ~lo ~hi =
 
 let count t = t.n
 
+let merge_into ~into src =
+  for i = 0 to src.n - 1 do
+    add into ~lo:src.lo.(i) ~hi:src.hi.(i)
+  done
+
 let to_profile ?(slots = 65536) t =
   if slots < 2 then invalid_arg "Intervals.to_profile: slots < 2";
   let width = ref 1 in

@@ -1,0 +1,50 @@
+(** Segmented parallel analysis: one trace, many cores.
+
+    Splits a packed trace into K contiguous segments and analyzes them
+    concurrently, producing {e exactly} the sequential {!Analyzer.analyze}
+    result — byte-identical stats, not an approximation. The scheme is a
+    three-phase pipeline:
+
+    + a sequential {e skeleton} prepass that tracks only value create
+      levels and the firewall scalars, snapshotting a seed at each
+      segment boundary (the state a segment needs to place its own
+      operations exactly where the sequential run would);
+    + K seeded {e repair} passes, one per segment, each a full
+      direct-indexed analysis of its row range — these are independent
+      and run wherever the caller's [exec] puts them;
+    + a sequential {e stitch} that resolves values crossing segment
+      boundaries (each segment reports how it used and whether it
+      overwrote the values it inherited) and merges the per-segment
+      histograms and distributions.
+
+    Only configurations whose cross-segment state is the live well plus
+    the two firewall scalars are supported (see {!supported}); anything
+    else falls back to the sequential engine automatically. *)
+
+val supported : Config.t -> bool
+(** True when [config] can be analyzed segmented: no instruction window,
+    unlimited functional units, full renaming and perfect branch
+    prediction. Both system-call policies qualify. *)
+
+type exec = (unit -> unit) array -> unit
+(** A fan-out executor: run every thunk to completion, in any order, on
+    any domains, and return once all have finished. The default runs
+    them sequentially on the caller;
+    {!Ddg_jobs.Engine.Pool.run_all} is the parallel one. *)
+
+val analyze_ext :
+  ?exec:exec ->
+  ?segments:int ->
+  Config.t ->
+  Ddg_sim.Trace.t ->
+  Analyzer.stats * int
+(** [analyze_ext ?exec ?segments config trace] analyzes [trace] split
+    into at most [segments] pieces (default 1) and also returns the
+    segment count actually used: 1 means the sequential engine ran
+    (unsupported config, [segments <= 1], or a trace shorter than the
+    requested split). The stats are identical to
+    [Analyzer.analyze config trace] in every field. *)
+
+val analyze :
+  ?exec:exec -> ?segments:int -> Config.t -> Ddg_sim.Trace.t -> Analyzer.stats
+(** [analyze_ext] without the segment count. *)

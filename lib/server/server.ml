@@ -35,7 +35,12 @@ type t = {
 let create ~runner ?workers ?(max_inflight = 64) ?(max_connections = 256)
     ?(default_deadline_s = 600.) ?(log = ignore) endpoints =
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
-  { runner; pool = Pool.pool ?workers (); max_inflight; max_connections;
+  let pool = Pool.pool ?workers () in
+  (* analyze requests segment single traces across this same pool's idle
+     workers (Pool.run_all is claim-based, so a request body running on
+     one worker can fan out without deadlocking the pool) *)
+  Runner.set_pool runner pool;
+  { runner; pool; max_inflight; max_connections;
     default_deadline_s;
     metrics = Metrics.create (); log; endpoints; lock = Mutex.create ();
     conns = []; active = 0; stopping = false; stop_r; stop_w }
