@@ -46,6 +46,7 @@ type opts = {
   no_cache : bool;
   cache_bench : bool;
   serve_bench : bool;
+  cluster_bench : bool;
   fault_bench : bool;
   obs_bench : bool;
   segment_bench : bool;
@@ -57,7 +58,8 @@ let parse_args () =
       { size = Ddg_workloads.Workload.Default; only = None; micro = true;
         json_path = "BENCH.json"; jobs = 1; cache_dir = None;
         no_cache = false; cache_bench = false; serve_bench = false;
-        fault_bench = false; obs_bench = false; segment_bench = false }
+        cluster_bench = false; fault_bench = false; obs_bench = false;
+        segment_bench = false }
   in
   let rec go = function
     | [] -> ()
@@ -94,6 +96,9 @@ let parse_args () =
         go rest
     | "--serve-bench" :: rest ->
         o := { !o with serve_bench = true };
+        go rest
+    | "--cluster-bench" :: rest ->
+        o := { !o with cluster_bench = true };
         go rest
     | "--fault-bench" :: rest ->
         o := { !o with fault_bench = true };
@@ -429,6 +434,122 @@ let run_serve_bench ~size ~workers =
             sb_warm_mean = warm_mean; sb_warm_min = warm_min;
             sb_warm_requests = n }))
 
+(* --- cluster (router + sharded fleet) benchmark ----------------------------- *)
+
+type cluster_bench_result = {
+  klb_workloads : string list;
+  klb_warm_requests : int;         (* per node count *)
+  klb_nodes : (int * float) list;  (* node count -> warm requests/s via router *)
+}
+
+(* An in-process fleet per node count: N backend servers on threads, a
+   router thread in front, all sharing this process's clock (and obs
+   registry — federation exactness is a unit-test concern, not a bench
+   one). Every routed response is byte-compared against a direct
+   in-process analysis before the throughput phase, so the numbers are
+   for verified-correct serving. *)
+let run_cluster_bench ~size =
+  let module Protocol = Ddg_protocol.Protocol in
+  let module Server = Ddg_server.Server in
+  let module Client = Ddg_server.Client in
+  let module Router = Ddg_cluster.Router in
+  let module Fleet = Ddg_cluster.Fleet in
+  let workloads = [ "mtxx"; "eqnx"; "espx"; "fpx" ] in
+  let config = Ddg_paragraph.Config.default in
+  Printf.eprintf "cluster-bench: direct in-process reference analyses\n%!";
+  let direct =
+    let runner = Runner.create ~size ~workers:1 () in
+    List.map
+      (fun name ->
+        let w = Option.get (Ddg_workloads.Registry.find name) in
+        (name, Ddg_paragraph.Stats_codec.to_string (Runner.analyze runner w config)))
+      workloads
+  in
+  let warm_requests = 40 in
+  let bench_nodes nodes =
+    let base =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ddg-cluster-bench-%d-n%d" (Unix.getpid ()) nodes)
+    in
+    rm_rf base;
+    Unix.mkdir base 0o755;
+    let members =
+      Fleet.members ~nodes
+        ~base_socket:(Filename.concat base "backend.sock")
+        ~base_store:(Filename.concat base "stores")
+    in
+    let router_socket = Filename.concat base "router.sock" in
+    let backends =
+      List.map (fun self -> Fleet.backend ~size ~members ~self ()) members
+    in
+    let backend_threads =
+      List.map
+        (fun (b : Fleet.backend) -> Thread.create Server.run b.server)
+        backends
+    in
+    let router =
+      Router.create ~size
+        ~backends:
+          (List.map
+             (fun (m : Fleet.member) -> (m.Fleet.node, m.Fleet.endpoint))
+             members)
+        [ `Unix router_socket ]
+    in
+    let router_thread = Thread.create Router.run router in
+    Fun.protect
+      ~finally:(fun () ->
+        Router.stop router;
+        Thread.join router_thread;
+        List.iter (fun (b : Fleet.backend) -> Server.stop b.server) backends;
+        List.iter Thread.join backend_threads;
+        rm_rf base)
+      (fun () ->
+        Client.with_session ~retry_for_s:10.0 (`Unix router_socket)
+          (fun session ->
+            let analyze name =
+              match
+                Client.call session (Protocol.Analyze { workload = name; config })
+              with
+              | Protocol.Analyzed stats ->
+                  Ddg_paragraph.Stats_codec.to_string stats
+              | _ -> failwith "cluster-bench: unexpected response"
+            in
+            (* warm every shard owner and byte-check routed == direct *)
+            List.iter
+              (fun (name, reference) ->
+                if analyze name <> reference then begin
+                  Printf.eprintf
+                    "cluster-bench: routed %s result differs from direct \
+                     in-process result at %d nodes\n%!"
+                    name nodes;
+                  exit 1
+                end)
+              direct;
+            Printf.eprintf
+              "cluster-bench: %d warm requests through the router, %d \
+               node(s)\n%!"
+              warm_requests nodes;
+            let t0 = Unix.gettimeofday () in
+            for i = 0 to warm_requests - 1 do
+              ignore (analyze (List.nth workloads (i mod List.length workloads)))
+            done;
+            let wall = Unix.gettimeofday () -. t0 in
+            if wall > 0.0 then float_of_int warm_requests /. wall else 0.0))
+  in
+  let rates =
+    List.map
+      (fun nodes ->
+        let rps = bench_nodes nodes in
+        Printf.printf
+          "cluster bench: %d node(s), %.0f warm requests/s via router\n%!"
+          nodes rps;
+        (nodes, rps))
+      [ 1; 2; 4 ]
+  in
+  { klb_workloads = workloads; klb_warm_requests = warm_requests;
+    klb_nodes = rates }
+
 (* --- fault-injector overhead benchmark ------------------------------------- *)
 
 type fault_bench_result = {
@@ -690,9 +811,17 @@ let run_segment_bench ~size =
 
 (* --- BENCH.json ---------------------------------------------------------- *)
 
-let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs
-    ~segment =
+let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
+    ~fault ~obs ~segment =
   let open Ddg_report.Json in
+  let meta_fields =
+    (* where these numbers came from: parallel and cluster scaling claims
+       are meaningless without the core count next to them *)
+    [ ( "meta",
+        Obj
+          [ ("cores", Int (Domain.recommended_domain_count ()));
+            ("hostname", String (Unix.gethostname ())) ] ) ]
+  in
   let micro_fields =
     match micro with
     | None -> []
@@ -759,6 +888,25 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs
                   if s.sb_warm_mean > 0.0 then Float (s.sb_cold /. s.sb_warm_mean)
                   else Null );
                 ("warm_zero_work", Bool true) ] ) ]
+  in
+  let cluster_fields =
+    match cluster with
+    | None -> []
+    | Some k ->
+        [ ( "cluster",
+            Obj
+              [ ( "workloads",
+                  List (List.map (fun w -> String w) k.klb_workloads) );
+                ("warm_requests", Int k.klb_warm_requests);
+                ( "nodes",
+                  List
+                    (List.map
+                       (fun (n, rps) ->
+                         Obj
+                           [ ("nodes", Int n);
+                             ("warm_requests_per_s", Float rps) ])
+                       k.klb_nodes) );
+                ("routed_byte_identical_vs_direct", Bool true) ] ) ]
   in
   let fault_fields =
     match fault with
@@ -829,8 +977,8 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs
                     [ ("name", String name);
                       ("wall_seconds", Float seconds) ])
                 (List.rev sections)) ) ]
-      @ cache_fields @ serve_fields @ fault_fields @ obs_fields
-      @ segment_fields @ micro_fields)
+      @ meta_fields @ cache_fields @ serve_fields @ cluster_fields
+      @ fault_fields @ obs_fields @ segment_fields @ micro_fields)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -841,9 +989,16 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~fault ~obs
 
 let () =
   let { size; only; micro; json_path; jobs = workers; cache_dir; no_cache;
-        cache_bench; serve_bench; fault_bench; obs_bench; segment_bench } =
+        cache_bench; serve_bench; cluster_bench; fault_bench; obs_bench;
+        segment_bench } =
     parse_args ()
   in
+  (if Domain.recommended_domain_count () = 1
+      && (workers > 1 || cache_bench || segment_bench || cluster_bench)
+   then
+     Printf.eprintf
+       "bench: warning: only 1 core available; parallel and cluster \
+        numbers will not show scaling\n%!");
   let t0 = Unix.gettimeofday () in
   let progress msg =
     Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
@@ -914,6 +1069,13 @@ let () =
     end
     else None
   in
+  let cluster_results =
+    if cluster_bench then begin
+      section_banner "cluster (router + sharded fleet) benchmark";
+      Some (timed "cluster-bench" (fun () -> run_cluster_bench ~size))
+    end
+    else None
+  in
   let fault_results =
     if fault_bench then begin
       section_banner "fault-injector overhead benchmark";
@@ -937,7 +1099,8 @@ let () =
   in
   write_bench_json json_path ~size ~sections:!section_times
     ~micro:micro_results ~cache:cache_results ~serve:serve_results
-    ~fault:fault_results ~obs:obs_results ~segment:segment_results;
+    ~cluster:cluster_results ~fault:fault_results ~obs:obs_results
+    ~segment:segment_results;
   Printf.eprintf "[%7.1fs] done (%s written)\n%!"
     (Unix.gettimeofday () -. t0)
     json_path

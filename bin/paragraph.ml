@@ -762,13 +762,21 @@ let fsck_cmd =
 module Server = Ddg_server.Server
 module Client = Ddg_server.Client
 module Protocol = Ddg_protocol.Protocol
+module Router = Ddg_cluster.Router
+module Fleet = Ddg_cluster.Fleet
+
+let runtime_dir =
+  lazy
+    (try Sys.getenv "XDG_RUNTIME_DIR"
+     with Not_found -> Filename.get_temp_dir_name ())
 
 let default_socket =
-  lazy
-    (Filename.concat
-       (try Sys.getenv "XDG_RUNTIME_DIR"
-        with Not_found -> Filename.get_temp_dir_name ())
-       "paragraphd.sock")
+  lazy (Filename.concat (Lazy.force runtime_dir) "paragraphd.sock")
+
+(* the cluster front door: `paragraph cluster` binds its router here by
+   default, and `client --via-router` aims here by default *)
+let default_cluster_socket =
+  lazy (Filename.concat (Lazy.force runtime_dir) "paragraphd-cluster.sock")
 
 let tcp_conv =
   let parse s =
@@ -789,6 +797,15 @@ let describe_endpoint = function
   | `Tcp (addr, port) -> Printf.sprintf "tcp:%s:%d" addr port
 
 let socket_doc = "Unix-domain socket path of the daemon."
+
+let trace_budget_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-budget" ] ~docv:"MIB"
+        ~doc:
+          "Cap resident decoded traces at $(docv) MiB; least recently \
+           used traces are evicted past the budget.")
 
 let serve_cmd =
   let run size verbose jobs cache_dir no_cache trace_budget_mb socket tcp
@@ -818,15 +835,7 @@ let serve_cmd =
     Server.install_signal_handlers server;
     Server.run server
   in
-  let trace_budget_mb =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "trace-budget" ] ~docv:"MIB"
-          ~doc:
-            "Cap resident decoded traces at $(docv) MiB; least recently \
-             used traces are evicted past the budget.")
-  in
+  let trace_budget_mb = trace_budget_mb_arg in
   let socket =
     Arg.(
       value
@@ -872,6 +881,141 @@ let serve_cmd =
       $ no_cache_arg $ trace_budget_mb $ socket $ tcp $ max_inflight
       $ max_connections $ deadline)
 
+let cluster_cmd =
+  let run size verbose jobs cache_dir trace_budget_mb socket nodes vnodes
+      max_inflight max_connections deadline connect_timeout_ms =
+    (match Ddg_fault.Fault.configure_from_env () with
+    | Ok false -> ()
+    | Ok true ->
+        (* children fork after this, so every backend inherits the armed
+           plan — one DDG_FAULTS drives the whole fleet *)
+        Printf.eprintf
+          "paragraph-cluster: fault injection ARMED from DDG_FAULTS=%s\n%!"
+          (try Sys.getenv "DDG_FAULTS" with Not_found -> "")
+    | Error msg -> die "DDG_FAULTS: %s" msg);
+    if nodes < 1 then die "--nodes must be at least 1";
+    if vnodes < 1 then die "--vnodes must be at least 1";
+    if connect_timeout_ms <= 0.0 then die "--connect-timeout-ms must be > 0";
+    let trace_budget =
+      Option.map (fun mb -> mb * 1024 * 1024) trace_budget_mb
+    in
+    let base_store =
+      match cache_dir with
+      | Some dir -> dir
+      | None -> Ddg_store.Store.default_dir ()
+    in
+    let members =
+      Fleet.members ~nodes ~base_socket:socket ~base_store
+    in
+    let log prefix msg = Printf.eprintf "%s: %s\n%!" prefix msg in
+    (* fork the backends before any domains or threads exist in this
+       process, so each child starts from a single-threaded image *)
+    let pids =
+      List.map
+        (fun (self : Fleet.member) ->
+          let pid =
+            Fleet.fork_backend ~vnodes ~workers:jobs ?trace_budget
+              ~max_inflight ~default_deadline_s:deadline
+              ~log:(if verbose then log ("paragraphd-" ^ self.node) else ignore)
+              ~size ~members ~self ()
+          in
+          Printf.eprintf "paragraph-cluster: node %s pid %d socket %s\n%!"
+            self.Fleet.node pid
+            (describe_endpoint self.Fleet.endpoint);
+          (self, pid))
+        members
+    in
+    let router =
+      Router.create ~vnodes ~size
+        ~connect_timeout_s:(connect_timeout_ms /. 1000.0)
+        ~max_connections
+        ~backends:
+          (List.map
+             (fun (m : Fleet.member) -> (m.Fleet.node, m.Fleet.endpoint))
+             members)
+        ~log:(log "paragraph-cluster")
+        [ `Unix socket ]
+    in
+    Router.install_signal_handlers router;
+    Router.run router;
+    (* the router is down; stop and reap every backend (a shutdown verb
+       already asked them to exit — the signal is then a no-op) *)
+    List.iter
+      (fun ((_ : Fleet.member), pid) ->
+        try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      pids;
+    List.iter
+      (fun ((m : Fleet.member), pid) ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _, status ->
+            let what =
+              match status with
+              | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+              | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+              | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+            in
+            Printf.eprintf "paragraph-cluster: node %s: %s\n%!" m.Fleet.node
+              what
+        | exception Unix.Unix_error _ -> ())
+      pids
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string (Lazy.force default_cluster_socket)
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Router socket path; backend $(i,i) listens on \
+             $(i,PATH).node$(i,i).")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 3
+      & info [ "nodes" ] ~docv:"N" ~doc:"Number of backend daemons to fork.")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Virtual nodes per backend on the consistent-hash ring.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Per-backend in-flight request cap (as $(b,serve)).")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 256
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Router connection cap.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 600.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Default per-request deadline (as $(b,serve)).")
+  in
+  let connect_timeout_ms =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "connect-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Router-to-backend connect timeout: health probes and relays \
+             give up on an unresponsive backend after $(docv) ms.")
+  in
+  let doc =
+    "Run a sharded fleet: fork $(b,--nodes) backend daemons, each with a      private artifact store, and route requests to them over a      consistent-hash ring from a router on the main socket. A backend      serving a key it does not own pulls the owner's artifact into its      own store (fetch-through) instead of recomputing. The router      health-checks backends, circuit-breaks dead ones and re-routes to      ring successors; $(b,client stats) aggregates and $(b,client      metrics) federates the whole fleet."
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc)
+    Term.(
+      const run $ size_arg $ verbose_arg $ jobs_arg $ cache_dir_arg
+      $ trace_budget_mb_arg $ socket $ nodes $ vnodes $ max_inflight
+      $ max_connections $ deadline $ connect_timeout_ms)
+
 let client_endpoint_term =
   let socket =
     Arg.(
@@ -885,13 +1029,25 @@ let client_endpoint_term =
       & opt (some tcp_conv) None
       & info [ "tcp" ] ~docv:"ADDR:PORT" ~doc:"TCP address of the daemon.")
   in
-  let make socket tcp =
+  let via_router =
+    Arg.(
+      value & flag
+      & info [ "via-router" ]
+          ~doc:
+            "Talk to the cluster router's default socket (as bound by \
+             $(b,paragraph cluster)) instead of the standalone daemon's. \
+             An explicit $(b,--socket) or $(b,--tcp) wins.")
+  in
+  let make socket tcp via_router =
     match (tcp, socket) with
     | Some (a, p), _ -> `Tcp (a, p)
     | None, Some path -> `Unix path
-    | None, None -> `Unix (Lazy.force default_socket)
+    | None, None ->
+        `Unix
+          (Lazy.force
+             (if via_router then default_cluster_socket else default_socket))
   in
-  Term.(const make $ socket $ tcp)
+  Term.(const make $ socket $ tcp $ via_router)
 
 let retry_arg =
   Arg.(
@@ -900,6 +1056,16 @@ let retry_arg =
         ~doc:
           "Keep retrying the connection for $(docv) seconds if the daemon \
            is not (yet) listening.")
+
+let connect_timeout_ms_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "connect-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Bound each connection attempt to $(docv) ms; a routable but \
+           unresponsive endpoint fails with ETIMEDOUT instead of hanging \
+           for the OS default (which can be minutes). 0 keeps the OS \
+           default.")
 
 let deadline_ms_arg =
   Arg.(
@@ -938,9 +1104,12 @@ let retry_policy_term =
   in
   Term.(const make $ retry_attempts_arg $ retry_base_ms_arg)
 
-let client_request endpoint retry policy deadline_ms req handle =
+let client_request endpoint retry connect_timeout_ms policy deadline_ms req
+    handle =
+  if connect_timeout_ms < 0.0 then die "--connect-timeout-ms must be >= 0";
   try
-    Client.with_session ~retry:policy ~retry_for_s:retry endpoint (fun s ->
+    Client.with_session ~retry:policy ~retry_for_s:retry
+      ~connect_timeout_s:(connect_timeout_ms /. 1000.0) endpoint (fun s ->
         handle (Client.call ~deadline_ms s req))
   with
   | Client.Server_error { code; message } ->
@@ -957,9 +1126,9 @@ let client_request endpoint retry policy deadline_ms req handle =
 let unexpected_response () = die "unexpected response kind from server"
 
 let client_ping_cmd =
-  let run endpoint retry policy deadline_ms delay_ms =
+  let run endpoint retry connect_timeout policy deadline_ms delay_ms =
     let t0 = Unix.gettimeofday () in
-    client_request endpoint retry policy deadline_ms
+    client_request endpoint retry connect_timeout policy deadline_ms
       (Protocol.Ping { delay_ms })
       (function
       | Protocol.Pong ->
@@ -976,12 +1145,13 @@ let client_ping_cmd =
   Cmd.v
     (Cmd.info "ping" ~doc:"Round-trip liveness probe.")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
-      $ deadline_ms_arg $ delay_ms)
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ delay_ms)
 
 let client_analyze_cmd =
-  let run endpoint retry policy deadline_ms workload config json =
-    client_request endpoint retry policy deadline_ms
+  let run endpoint retry connect_timeout policy deadline_ms workload config
+      json =
+    client_request endpoint retry connect_timeout policy deadline_ms
       (Protocol.Analyze { workload; config })
       (function
       | Protocol.Analyzed stats ->
@@ -1006,12 +1176,12 @@ let client_analyze_cmd =
        ~doc:
          "Analyze a workload on the daemon (served from its warm caches      when possible). Same switches and output as the local $(b,analyze).")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
-      $ deadline_ms_arg $ workload $ config_term $ json)
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ workload $ config_term $ json)
 
 let client_simulate_cmd =
-  let run endpoint retry policy deadline_ms workload =
-    client_request endpoint retry policy deadline_ms
+  let run endpoint retry connect_timeout policy deadline_ms workload =
+    client_request endpoint retry connect_timeout policy deadline_ms
       (Protocol.Simulate { workload })
       (function
       | Protocol.Simulated s ->
@@ -1029,12 +1199,12 @@ let client_simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Ensure a workload's trace is resident on the daemon.")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
-      $ deadline_ms_arg $ workload)
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ workload)
 
 let client_table_cmd =
-  let run endpoint retry policy deadline_ms name =
-    client_request endpoint retry policy deadline_ms
+  let run endpoint retry connect_timeout policy deadline_ms name =
+    client_request endpoint retry connect_timeout policy deadline_ms
       (Protocol.Table { name })
       (function
       | Protocol.Rendered text -> print_string text
@@ -1049,12 +1219,13 @@ let client_table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Render a paper table or figure on the daemon.")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
-      $ deadline_ms_arg $ name_arg)
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ name_arg)
 
 let client_stats_cmd =
-  let run endpoint retry policy json =
-    client_request endpoint retry policy 0 Protocol.Server_stats (function
+  let run endpoint retry connect_timeout policy json =
+    client_request endpoint retry connect_timeout policy 0
+      Protocol.Server_stats (function
       | Protocol.Telemetry c ->
           if json then
             print_endline
@@ -1085,7 +1256,8 @@ let client_stats_cmd =
                       ("retries_served", Int c.retries_served);
                       ("worker_respawns", Int c.worker_respawns);
                       ("artifact_quarantines", Int c.artifact_quarantines);
-                      ("injected_faults", Int c.injected_faults) ]))
+                      ("injected_faults", Int c.injected_faults);
+                      ("remote_fetches", Int c.remote_fetches) ]))
           else begin
             Format.printf "uptime: %.1fs, connections: %d@."
               c.Protocol.uptime_s c.connections;
@@ -1112,7 +1284,10 @@ let client_stats_cmd =
               "resilience: %d retries served, %d worker respawns, %d \
                artifacts quarantined, %d faults injected@."
               c.retries_served c.worker_respawns c.artifact_quarantines
-              c.injected_faults
+              c.injected_faults;
+            if c.remote_fetches > 0 then
+              Format.printf "cluster: %d artifacts fetched from peers@."
+                c.remote_fetches
           end
       | _ -> unexpected_response ())
   in
@@ -1121,8 +1296,9 @@ let client_stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print the daemon's observability counters.")
-    Term.(const run $ client_endpoint_term $ retry_arg $ retry_policy_term
-      $ json)
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ json)
 
 let client_metrics_cmd =
   let snapshot_to_json (s : Obs.snapshot) =
@@ -1154,8 +1330,9 @@ let client_metrics_cmd =
                      ("p99", Int (Obs.quantile h 0.99)) ])
                s.histograms) ) ]
   in
-  let run endpoint retry policy prom =
-    client_request endpoint retry policy 0 Protocol.Metrics (function
+  let run endpoint retry connect_timeout policy prom =
+    client_request endpoint retry connect_timeout policy 0 Protocol.Metrics
+      (function
       | Protocol.Metrics_snapshot s ->
           if prom then begin
             let text = Obs.prometheus_of_snapshot s in
@@ -1183,11 +1360,13 @@ let client_metrics_cmd =
          "Dump the daemon's full metric registry (every counter and latency \
           histogram) as JSON, or as Prometheus text with $(b,--prom).")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ retry_policy_term $ prom)
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ prom)
 
 let client_fsck_cmd =
-  let run endpoint retry policy deadline_ms =
-    client_request endpoint retry policy deadline_ms Protocol.Fsck (function
+  let run endpoint retry connect_timeout policy deadline_ms =
+    client_request endpoint retry connect_timeout policy deadline_ms
+      Protocol.Fsck (function
       | Protocol.Fsck_report r ->
           Format.printf
             "scanned %d artifacts: %d valid, %d quarantined, %d missing, \
@@ -1201,14 +1380,41 @@ let client_fsck_cmd =
        ~doc:
          "Run an artifact-store integrity check on the daemon (same scan      as the local $(b,paragraph fsck)). Exits 1 if anything was      quarantined or missing.")
     Term.(
-      const run $ client_endpoint_term $ retry_arg $ retry_policy_term
-      $ deadline_ms_arg)
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg)
+
+let client_locate_cmd =
+  let run endpoint retry connect_timeout policy deadline_ms key =
+    client_request endpoint retry connect_timeout policy deadline_ms
+      (Protocol.Locate { key })
+      (function
+      | Protocol.Located { node } -> print_endline node
+      | _ -> unexpected_response ())
+  in
+  let key =
+    let doc =
+      "A routing key ($(i,workload/size), e.g. mtxx/default) or a full \
+       artifact-store key; only its first two components route."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "locate"
+       ~doc:
+         "Print which cluster node owns a key on the consistent-hash ring. \
+          Works against the router or any cluster member; a standalone \
+          daemon answers with an error.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ key)
 
 let client_shutdown_cmd =
-  let run endpoint retry =
+  let run endpoint retry connect_timeout =
+    if connect_timeout < 0.0 then die "--connect-timeout-ms must be >= 0";
     (* shutdown is the one non-idempotent verb: no replay layer *)
     try
-      Client.with_connection ~retry_for_s:retry endpoint (fun c ->
+      Client.with_connection ~retry_for_s:retry
+        ~connect_timeout_s:(connect_timeout /. 1000.0) endpoint (fun c ->
           match Client.request c Protocol.Shutdown with
           | Protocol.Shutting_down_ack -> print_endline "daemon shutting down"
           | _ -> unexpected_response ())
@@ -1226,7 +1432,7 @@ let client_shutdown_cmd =
   in
   Cmd.v
     (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit.")
-    Term.(const run $ client_endpoint_term $ retry_arg)
+    Term.(const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg)
 
 let client_cmd =
   let doc = "Talk to a running $(b,paragraph serve) daemon." in
@@ -1238,6 +1444,7 @@ let client_cmd =
       client_stats_cmd;
       client_metrics_cmd;
       client_fsck_cmd;
+      client_locate_cmd;
       client_shutdown_cmd ]
 
 let main =
@@ -1269,6 +1476,7 @@ let main =
       fig8_csv_cmd;
       fsck_cmd;
       serve_cmd;
+      cluster_cmd;
       client_cmd ]
 
 let () = exit (Cmd.eval main)

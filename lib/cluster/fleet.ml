@@ -1,0 +1,124 @@
+module Protocol = Ddg_protocol.Protocol
+module Obs = Ddg_obs.Obs
+module Fault = Ddg_fault.Fault
+module Server = Ddg_server.Server
+module Client = Ddg_server.Client
+module Runner = Ddg_experiments.Runner
+module Store = Ddg_store.Store
+
+let fetches_total = Obs.counter "ddg_cluster_fetch_attempts_total"
+let fetch_hits_total = Obs.counter "ddg_cluster_fetch_hits_total"
+
+type member = {
+  node : string;
+  endpoint : Server.endpoint;
+  store_dir : string;
+}
+
+let members ~nodes ~base_socket ~base_store =
+  if nodes < 1 then invalid_arg "Fleet.members: nodes < 1";
+  List.init nodes (fun i ->
+      let node = Printf.sprintf "node%d" i in
+      { node;
+        endpoint = `Unix (Printf.sprintf "%s.%s" base_socket node);
+        store_dir = Filename.concat base_store node })
+
+(* flip one payload bit so the importer's digest check must fire; the
+   last byte is always content, never the artifact magic *)
+let corrupt bytes =
+  if String.length bytes = 0 then bytes
+  else begin
+    let b = Bytes.of_string bytes in
+    let last = Bytes.length b - 1 in
+    Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 1));
+    Bytes.to_string b
+  end
+
+let fetch_hook ~ring ~self ~peers ~connect_timeout_s ?(log = ignore) store
+    ~kind ~key =
+  let owner = Ring.owner ring (Route.of_store_key key) in
+  if owner = self then false
+  else
+    match List.assoc_opt owner peers with
+    | None -> false
+    | Some endpoint -> (
+        Obs.incr fetches_total;
+        if Fault.fire "cluster.forward.fail" then false
+        else
+          match
+            Client.with_connection ~connect_timeout_s endpoint (fun c ->
+                Client.request c (Protocol.Forward { kind; key }))
+          with
+          | Fetched { data = Some bytes } -> (
+              let bytes =
+                if Fault.fire "cluster.fetch.corrupt" then corrupt bytes
+                else bytes
+              in
+              match Store.import store bytes with
+              | Some (k, k') when k = kind && k' = key ->
+                  Obs.incr fetch_hits_total;
+                  log
+                    (Printf.sprintf "fetched %s %s from %s (%d bytes)" kind
+                       key owner (String.length bytes));
+                  true
+              | Some _ | None ->
+                  log
+                    (Printf.sprintf
+                       "fetch of %s %s from %s rejected on import; \
+                        recomputing"
+                       kind key owner);
+                  false)
+          | Fetched { data = None } -> false
+          | _ -> false
+          | exception _ ->
+              log
+                (Printf.sprintf "fetch of %s %s from %s failed; recomputing"
+                   kind key owner);
+              false)
+
+type backend = { server : Server.t; runner : Runner.t; store : Store.t }
+
+let backend ?vnodes ?workers ?trace_budget ?max_inflight ?default_deadline_s
+    ?(connect_timeout_s = 1.0) ?(log = ignore) ~size ~members:all ~self () =
+  let ring = Ring.create ?vnodes (List.map (fun m -> m.node) all) in
+  let store = Store.open_ ~dir:self.store_dir () in
+  let runner = Runner.create ~size ~store ?workers ?trace_budget () in
+  let peers =
+    List.filter_map
+      (fun m -> if m.node = self.node then None else Some (m.node, m.endpoint))
+      all
+  in
+  Runner.set_fetch runner
+    (fetch_hook ~ring ~self:self.node ~peers ~connect_timeout_s ~log store);
+  let server =
+    Server.create ~runner
+      ~cluster:
+        { Server.node_id = self.node;
+          locate = (fun key -> Ring.owner ring (Route.of_store_key key)) }
+      ?workers ?max_inflight ?default_deadline_s ~log [ self.endpoint ]
+  in
+  { server; runner; store }
+
+let fork_backend ?vnodes ?workers ?trace_budget ?max_inflight
+    ?default_deadline_s ?connect_timeout_s ?log ~size ~members ~self () =
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          let b =
+            backend ?vnodes ?workers ?trace_budget ?max_inflight
+              ?default_deadline_s ?connect_timeout_s ?log ~size ~members
+              ~self ()
+          in
+          Server.install_signal_handlers b.server;
+          Server.run b.server;
+          0
+        with e ->
+          prerr_endline
+            (Printf.sprintf "backend %s died: %s" self.node
+               (Printexc.to_string e));
+          1
+      in
+      (* bypass at_exit: the child must not run the parent's exit hooks *)
+      Unix._exit code
+  | pid -> pid

@@ -1,0 +1,90 @@
+(** Assembling a sharded fleet: per-node backend daemons (in-process or
+    forked) wired for fetch-through replication.
+
+    Each backend owns a private artifact store and announces its ring
+    identity in the protocol handshake. A runner store miss first asks
+    the ring: if another node owns the key's routing key, the backend
+    pulls the verified artifact over the wire ([forward] verb) and
+    {!Ddg_store.Store.import}s it — checksummed end to end, so a
+    corrupted transfer quarantines nothing and simply falls back to
+    recomputing locally. Misses on keys the backend itself owns (or
+    any fetch failure) recompute as before; replication is an
+    optimisation, never a correctness dependency. *)
+
+type member = {
+  node : string;  (** ring node id, e.g. ["node0"] *)
+  endpoint : Ddg_server.Server.endpoint;
+  store_dir : string;  (** this node's private artifact store *)
+}
+
+val members :
+  nodes:int -> base_socket:string -> base_store:string -> member list
+(** The canonical fleet layout: node ids [node0..nodeN-1], Unix socket
+    [<base_socket>.<id>], store [<base_store>/<id>].
+    @raise Invalid_argument when [nodes < 1]. *)
+
+val fetch_hook :
+  ring:Ring.t ->
+  self:string ->
+  peers:(string * Ddg_server.Server.endpoint) list ->
+  connect_timeout_s:float ->
+  ?log:(string -> unit) ->
+  Ddg_store.Store.t ->
+  kind:string ->
+  key:string ->
+  bool
+(** The {!Ddg_experiments.Runner.set_fetch} hook for one backend:
+    derive the routing key ({!Route.of_store_key}), look up the ring
+    owner, and when it is a peer, pull the artifact with one [forward]
+    round trip and import it into [store]. Returns [true] only when
+    the import landed the exact kind and key that was asked for.
+    Fault sites: [cluster.forward.fail] skips the fetch (as if the
+    owner were unreachable), [cluster.fetch.corrupt] flips a byte of
+    the transferred artifact before import — the store's digest check
+    must reject it. *)
+
+type backend = {
+  server : Ddg_server.Server.t;
+  runner : Ddg_experiments.Runner.t;
+  store : Ddg_store.Store.t;
+}
+
+val backend :
+  ?vnodes:int ->
+  ?workers:int ->
+  ?trace_budget:int ->
+  ?max_inflight:int ->
+  ?default_deadline_s:float ->
+  ?connect_timeout_s:float ->
+  ?log:(string -> unit) ->
+  size:Ddg_workloads.Workload.size ->
+  members:member list ->
+  self:member ->
+  unit ->
+  backend
+(** Build one member's daemon: store at [self.store_dir], runner with
+    the fetch hook installed, server listening on [self.endpoint] and
+    announcing [self.node] with the fleet ring's [locate]. Run it with
+    {!Ddg_server.Server.run} (usually on its own thread or in a forked
+    child). *)
+
+val fork_backend :
+  ?vnodes:int ->
+  ?workers:int ->
+  ?trace_budget:int ->
+  ?max_inflight:int ->
+  ?default_deadline_s:float ->
+  ?connect_timeout_s:float ->
+  ?log:(string -> unit) ->
+  size:Ddg_workloads.Workload.size ->
+  members:member list ->
+  self:member ->
+  unit ->
+  int
+(** Fork a child process that builds the backend, installs SIGINT/
+    SIGTERM handlers, serves until stopped, and exits. Returns the
+    child pid (to signal and reap). Fork before creating any domains
+    or threads in the parent: the child inherits only the calling
+    thread. In child processes the metric registry, fault counters and
+    store are genuinely per-process, so federation aggregates distinct
+    registries — the production cluster shape. *)

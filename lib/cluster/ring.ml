@@ -1,0 +1,100 @@
+(* FNV-1a folds a string to 64 bits, one splitmix64 step whitens the
+   result: FNV alone is too linear for ring placement (adjacent vnode
+   ordinals would land adjacent), while the splitmix64 finalizer
+   scatters them uniformly. Same primitives as the fault injector's
+   per-site streams, so placement is reproducible everywhere. *)
+
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let sm64 z =
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let hash_key key = sm64 (fnv1a key)
+
+(* point positions are unsigned; OCaml's Int64.compare is signed *)
+let ucompare a b = Int64.unsigned_compare a b
+
+type t = {
+  vnodes : int;
+  members : string list; (* sorted, distinct *)
+  points : (int64 * string) array; (* sorted by unsigned position *)
+}
+
+let point_position node i = hash_key (Printf.sprintf "%s#%d" node i)
+
+let build ~vnodes members =
+  let points =
+    List.concat_map
+      (fun node -> List.init vnodes (fun i -> (point_position node i, node)))
+      members
+    |> Array.of_list
+  in
+  (* ties (astronomically unlikely 64-bit collisions) break by node id,
+     keeping the ring deterministic regardless of member order *)
+  Array.sort
+    (fun (h1, n1) (h2, n2) ->
+      match ucompare h1 h2 with 0 -> compare n1 n2 | c -> c)
+    points;
+  { vnodes; members; points }
+
+let create ?(vnodes = 64) ids =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  if ids = [] then invalid_arg "Ring.create: no nodes";
+  List.iter
+    (fun id -> if id = "" then invalid_arg "Ring.create: empty node id")
+    ids;
+  let members = List.sort_uniq compare ids in
+  build ~vnodes members
+
+let nodes t = t.members
+let vnodes t = t.vnodes
+
+(* index of the first point at or after [h], wrapping to 0 past the end *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ucompare (fst t.points.(mid)) h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owner t key = snd t.points.(successor_index t (hash_key key))
+
+let successors t key =
+  let n = Array.length t.points in
+  let start = successor_index t (hash_key key) in
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n && Hashtbl.length seen < List.length t.members do
+    let node = snd t.points.((start + !i) mod n) in
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      out := node :: !out
+    end;
+    incr i
+  done;
+  List.rev !out
+
+let add t id =
+  if id = "" then invalid_arg "Ring.add: empty node id";
+  if List.mem id t.members then t
+  else build ~vnodes:t.vnodes (List.sort compare (id :: t.members))
+
+let remove t id =
+  if not (List.mem id t.members) then t
+  else
+    match List.filter (fun n -> n <> id) t.members with
+    | [] -> invalid_arg "Ring.remove: cannot remove the last node"
+    | members -> build ~vnodes:t.vnodes members

@@ -1,0 +1,70 @@
+(** The cluster coordinator: one daemon-shaped process that owns no
+    runner, speaks the same framed protocol as {!Ddg_server.Server},
+    and relays every request to the backend the consistent-hash ring
+    assigns it.
+
+    Requests with a routing key ({!Route.of_request}) go to the key's
+    ring owner; if the owner's circuit is open or the relay fails at
+    the transport level, the router retries the next distinct ring
+    successor within the same request, so one dead backend degrades a
+    key's locality (a successor recomputes or fetch-throughs) without
+    failing the call. Typed error frames from a backend relay to the
+    client unchanged — a refusal is an answer, not a failure.
+
+    Keyless verbs the router answers itself: [ping] locally (router
+    liveness), [locate] from the ring, [stats] and [fsck] by fanning
+    out to every backend and aggregating, [metrics] by federating every
+    node's snapshot plus its own through {!Federate.merge_snapshots},
+    and [shutdown] by acking, broadcasting shutdown to the backends,
+    and draining.
+
+    A health thread pings each backend every [health_interval_s] with a
+    bounded connect timeout. [failure_threshold] consecutive failures
+    (probe or relay) open that backend's circuit for [cooldown_s]:
+    while open, the backend is skipped in routing order (tried only
+    when no alternative remains) and excluded from fan-outs. The first
+    success after cooldown closes the circuit. *)
+
+type t
+
+val create :
+  ?vnodes:int ->
+  ?node_id:string ->
+  ?retry:Ddg_server.Client.retry ->
+  ?retry_for_s:float ->
+  ?connect_timeout_s:float ->
+  ?health_interval_s:float ->
+  ?failure_threshold:int ->
+  ?cooldown_s:float ->
+  ?max_connections:int ->
+  ?log:(string -> unit) ->
+  size:Ddg_workloads.Workload.size ->
+  backends:(string * Ddg_server.Server.endpoint) list ->
+  Ddg_server.Server.endpoint list ->
+  t
+(** A router over the given [(node id, endpoint)] backends, listening
+    on the given endpoints. The ring is built from the backend ids with
+    [vnodes] virtual nodes each (default 64, as {!Ring.create}).
+    [node_id] (default ["router"]) is announced in the Hello handshake.
+    [retry]/[retry_for_s] (default 5 s)/[connect_timeout_s] (default
+    1 s) shape the relay sessions — the generous [retry_for_s] rides
+    out backends that are still binding their sockets at fleet start.
+    Health checks run every [health_interval_s] (default 0.5 s);
+    [failure_threshold] (default 3) consecutive failures open a
+    circuit for [cooldown_s] (default 2 s).
+    @raise Invalid_argument on an empty backend list or duplicate ids
+    (via {!Ring.create}). *)
+
+val ring : t -> Ring.t
+(** The routing ring (for tests and the [locate] CLI). *)
+
+val run : t -> unit
+(** Bind, serve until {!stop}, then drain: close listeners, shut down
+    open connections' read sides, wait for handlers, stop the health
+    thread. Runs the accept loop on the calling thread. *)
+
+val stop : t -> unit
+(** Signal-safe graceful stop (self-pipe write). *)
+
+val install_signal_handlers : t -> unit
+(** SIGINT/SIGTERM call {!stop}. *)

@@ -23,6 +23,7 @@ let hit_stats_store =
     "ddg_runner_cache_hits_total"
 
 let evictions_total = Obs.counter "ddg_runner_trace_evictions_total"
+let remote_fetches_total = Obs.counter "ddg_runner_remote_fetches_total"
 
 (* A resident decoded trace: the LRU entry of the byte-budgeted memory
    cache. [last_use] is a logical clock tick, bumped on every hit. *)
@@ -41,6 +42,7 @@ type counters = {
   trace_evictions : int;
   trace_resident_bytes : int;
   artifact_quarantines : int;
+  remote_fetches : int;
 }
 
 type t = {
@@ -53,6 +55,10 @@ type t = {
          analyses of supported configs fan segments out over its idle
          workers; [None] keeps analysis sequential *)
   trace_budget : int option;
+  mutable fetch : (kind:string -> key:string -> bool) option;
+      (* cluster fetch-through: called on a store miss with the missing
+         artifact's address; [true] means the artifact was imported
+         into the local store and the lookup should be retried *)
   lock : Mutex.t;  (* guards the two memory caches and the counters *)
   traces : (string, trace_entry) Hashtbl.t;
   stats : (string * string, Ddg_paragraph.Analyzer.stats) Hashtbl.t;
@@ -64,19 +70,22 @@ type t = {
   mutable n_stats_store_hits : int;
   mutable n_trace_mem_hits : int;
   mutable n_trace_evictions : int;
+  mutable n_remote_fetches : int;
 }
 
 let create ?(size = Workload.Default) ?(progress = fun _ -> ()) ?store
     ?(workers = 1) ?trace_budget () =
   { size; progress; store; workers = max 1 workers; pool = None; trace_budget;
-    lock = Mutex.create (); traces = Hashtbl.create 16;
+    fetch = None; lock = Mutex.create (); traces = Hashtbl.create 16;
     stats = Hashtbl.create 64; tick = 0; resident_bytes = 0;
     n_simulations = 0; n_analyses = 0; n_trace_store_hits = 0;
-    n_stats_store_hits = 0; n_trace_mem_hits = 0; n_trace_evictions = 0 }
+    n_stats_store_hits = 0; n_trace_mem_hits = 0; n_trace_evictions = 0;
+    n_remote_fetches = 0 }
 
 let size t = t.size
 let workloads _ = Registry.all
 let set_pool t pool = t.pool <- Some pool
+let set_fetch t fetch = t.fetch <- Some fetch
 
 (* Single-trace analysis: segmented across the pool when one is wired in
    and more than one worker could help; the segment count tracks the
@@ -109,9 +118,22 @@ let counters t =
         trace_mem_hits = t.n_trace_mem_hits;
         trace_evictions = t.n_trace_evictions;
         trace_resident_bytes = t.resident_bytes;
-        artifact_quarantines })
+        artifact_quarantines;
+        remote_fetches = t.n_remote_fetches })
 
 let store t = t.store
+
+(* On a store miss, give the cluster hook one chance to pull the
+   artifact from its owner; [true] means the import landed and a retry
+   of the local lookup will hit. No store, no hook, or a failed fetch
+   all degrade to local computation. *)
+let fetch_through t ~kind ~key =
+  match (t.store, t.fetch) with
+  | Some _, Some fetch when fetch ~kind ~key ->
+      locked t (fun () -> t.n_remote_fetches <- t.n_remote_fetches + 1);
+      Obs.incr remote_fetches_total;
+      true
+  | _ -> false
 
 (* --- store keys ------------------------------------------------------------ *)
 
@@ -223,7 +245,7 @@ let trace t (w : Workload.t) =
   match hit with
   | Some cached -> cached
   | None ->
-      let from_store =
+      let look () =
         match t.store with
         | None -> None
         | Some s ->
@@ -231,6 +253,14 @@ let trace t (w : Workload.t) =
                 let result = read_result ic in
                 let tr = Ddg_sim.Trace_io.read_channel ic in
                 (result, tr))
+      in
+      let from_store =
+        match look () with
+        | Some _ as hit -> hit
+        | None
+          when fetch_through t ~kind:"trace" ~key:(trace_key t w) ->
+            look ()
+        | None -> None
       in
       let v =
         match from_store with
@@ -271,10 +301,19 @@ let find_store_stats t w config =
   match t.store with
   | None -> None
   | Some s -> (
-      match
+      let look () =
         Store.find s ~kind:"stats" ~key:(stats_key t w config)
           Ddg_paragraph.Stats_codec.read
-      with
+      in
+      let found =
+        match look () with
+        | Some _ as hit -> hit
+        | None
+          when fetch_through t ~kind:"stats" ~key:(stats_key t w config) ->
+            look ()
+        | None -> None
+      in
+      match found with
       | Some _ as hit ->
           locked t (fun () ->
               t.n_stats_store_hits <- t.n_stats_store_hits + 1);

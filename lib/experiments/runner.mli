@@ -24,6 +24,9 @@ type counters = {
   trace_resident_bytes : int;
   artifact_quarantines : int;
       (** corrupt artifacts the store moved aside (0 without a store) *)
+  remote_fetches : int;
+      (** artifacts imported from a cluster peer via the {!set_fetch}
+          hook instead of recomputed (0 outside cluster mode) *)
 }
 
 val create :
@@ -56,6 +59,15 @@ val set_pool : t -> Ddg_jobs.Engine.Pool.t -> unit
     {!analyze} is itself invoked from one of that pool's workers (the
     daemon's layout) — the fan-out never deadlocks and results remain
     bit-identical to the sequential engine. *)
+
+val set_fetch : t -> (kind:string -> key:string -> bool) -> unit
+(** Wire in a cluster fetch-through hook: on an artifact-store miss the
+    hook is called with the missing (kind, key); returning [true] means
+    the artifact was imported into this runner's store (typically via
+    {!Ddg_store.Store.import} from the owning peer's
+    {!Ddg_store.Store.export}) and the local lookup is retried once. A
+    [false] return, or any store-less runner, falls back to computing
+    locally — the hook can only save work, never change results. *)
 
 val store : t -> Ddg_store.Store.t option
 (** The artifact store this runner persists to, if any — the daemon's

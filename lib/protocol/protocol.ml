@@ -1,4 +1,4 @@
-let version = 3
+let version = 4
 let max_frame_bytes = 16 * 1024 * 1024
 let magic = "DDGP"
 
@@ -13,6 +13,10 @@ let max_message = 4096
 let max_verbs = 64
 let max_metrics = 4096
 let max_labels = 16
+
+(* store keys compose workload / size / format versions / config
+   description — far longer than a name, still firmly bounded *)
+let max_key = 4096
 
 type error_code =
   | Bad_frame
@@ -36,6 +40,8 @@ type request =
   | Shutdown
   | Fsck
   | Metrics
+  | Locate of { key : string }
+  | Forward of { kind : string; key : string }
 
 type sim_summary = {
   instructions : int;
@@ -75,6 +81,7 @@ type counters = {
   worker_respawns : int;
   artifact_quarantines : int;
   injected_faults : int;
+  remote_fetches : int;
 }
 
 type response =
@@ -86,9 +93,11 @@ type response =
   | Shutting_down_ack
   | Fsck_report of fsck_summary
   | Metrics_snapshot of Ddg_obs.Obs.snapshot
+  | Located of { node : string }
+  | Fetched of { data : string option }
 
 type frame =
-  | Hello of { protocol : int; software : string }
+  | Hello of { protocol : int; software : string; node : string }
   | Request of { deadline_ms : int; attempt : int; request : request }
   | Ok_response of response
   | Error_response of error
@@ -102,6 +111,8 @@ let verb_name = function
   | Shutdown -> "shutdown"
   | Fsck -> "fsck"
   | Metrics -> "metrics"
+  | Locate _ -> "locate"
+  | Forward _ -> "forward"
 
 (* a verb is idempotent when replaying it after an ambiguous failure
    (connection dropped mid-request) cannot change server state beyond
@@ -109,7 +120,7 @@ let verb_name = function
    could kill a daemon restarted in between *)
 let idempotent = function
   | Ping _ | Analyze _ | Simulate _ | Table _ | Server_stats | Fsck | Metrics
-    ->
+  | Locate _ | Forward _ ->
       true
   | Shutdown -> false
 
@@ -288,6 +299,13 @@ let e_request b = function
   | Shutdown -> e_varint b 5
   | Fsck -> e_varint b 6
   | Metrics -> e_varint b 7
+  | Locate { key } ->
+      e_varint b 8;
+      e_string ~max:max_key b key
+  | Forward { kind; key } ->
+      e_varint b 9;
+      e_string ~max:max_name b kind;
+      e_string ~max:max_key b key
 
 let c_request c =
   match c_varint c with
@@ -302,6 +320,11 @@ let c_request c =
   | 5 -> Shutdown
   | 6 -> Fsck
   | 7 -> Metrics
+  | 8 -> Locate { key = c_string ~max:max_key c }
+  | 9 ->
+      let kind = c_string ~max:max_name c in
+      let key = c_string ~max:max_key c in
+      Forward { kind; key }
   | t -> fail "bad request verb tag %d" t
 
 let e_counters b k =
@@ -331,7 +354,8 @@ let e_counters b k =
   e_varint b k.retries_served;
   e_varint b k.worker_respawns;
   e_varint b k.artifact_quarantines;
-  e_varint b k.injected_faults
+  e_varint b k.injected_faults;
+  e_varint b k.remote_fetches
 
 let c_counters c =
   let uptime_s = c_float c in
@@ -362,11 +386,12 @@ let c_counters c =
   let worker_respawns = c_varint c in
   let artifact_quarantines = c_varint c in
   let injected_faults = c_varint c in
+  let remote_fetches = c_varint c in
   { uptime_s; connections; requests_total; requests_ok; requests_error;
     busy_rejections; deadline_expirations; latency_total_s; latency_max_s;
     by_verb; simulations; analyses; trace_store_hits; stats_store_hits;
     trace_mem_hits; trace_evictions; trace_resident_bytes; retries_served;
-    worker_respawns; artifact_quarantines; injected_faults }
+    worker_respawns; artifact_quarantines; injected_faults; remote_fetches }
 
 (* --- observability snapshots -------------------------------------------------
 
@@ -492,6 +517,16 @@ let e_response b = function
   | Metrics_snapshot s ->
       e_varint b 7;
       e_obs_snapshot b s
+  | Located { node } ->
+      e_varint b 8;
+      e_string ~max:max_name b node
+  | Fetched { data } -> (
+      e_varint b 9;
+      match data with
+      | None -> e_bool b false
+      | Some bytes ->
+          e_bool b true;
+          e_string ~max:max_frame_bytes b bytes)
 
 let c_response c =
   match c_varint c with
@@ -524,6 +559,12 @@ let c_response c =
       let swept_temps = c_varint c in
       Fsck_report { scanned; valid; quarantined; missing; swept_temps }
   | 7 -> Metrics_snapshot (c_obs_snapshot c)
+  | 8 -> Located { node = c_string ~max:max_name c }
+  | 9 ->
+      let data =
+        if c_bool c then Some (c_string ~max:max_frame_bytes c) else None
+      in
+      Fetched { data }
   | t -> fail "bad response tag %d" t
 
 let error_code_tag = function
@@ -561,9 +602,10 @@ let frame_kind = function
   | Error_response _ -> 4
 
 let encode_payload b = function
-  | Hello { protocol; software } ->
+  | Hello { protocol; software; node } ->
       e_varint b protocol;
-      e_string ~max:max_name b software
+      e_string ~max:max_name b software;
+      e_string ~max:max_name b node
   | Request { deadline_ms; attempt; request } ->
       e_varint b deadline_ms;
       e_varint b attempt;
@@ -580,7 +622,8 @@ let decode_payload kind payload =
     | 1 ->
         let protocol = c_varint c in
         let software = c_string ~max:max_name c in
-        Hello { protocol; software }
+        let node = c_string ~max:max_name c in
+        Hello { protocol; software; node }
     | 2 ->
         let deadline_ms = c_varint c in
         let attempt = c_varint c in

@@ -79,6 +79,15 @@ type request =
       (** the full {!Ddg_obs.Obs} registry snapshot — every counter and
           latency histogram the daemon has registered; never queued or
           rejected, like {!Server_stats} *)
+  | Locate of { key : string }
+      (** cluster membership query: which node id owns this routing key
+          on the answering node's hash ring — answered by routers and
+          cluster-configured daemons, refused ([Internal]) elsewhere *)
+  | Forward of { kind : string; key : string }
+      (** fetch-through replication: export the named store artifact's
+          verified bytes so a peer can import them into its own store —
+          a node serving a key it does not own pulls the artifact from
+          the owner instead of recomputing *)
 
 type sim_summary = {
   instructions : int;
@@ -125,6 +134,9 @@ type counters = {
   artifact_quarantines : int;  (** corrupt artifacts moved aside *)
   injected_faults : int;  (** faults fired by {!Ddg_fault.Fault}, 0 in
                               production *)
+  remote_fetches : int;
+      (** artifacts imported from a cluster peer's store instead of
+          recomputed (0 outside cluster mode) *)
 }
 
 type response =
@@ -139,9 +151,16 @@ type response =
       (** reply to {!Metrics}; histogram buckets travel sparse
           ((index, count) pairs in increasing index order), all lists
           are length-bounded before allocation *)
+  | Located of { node : string }  (** reply to {!request.Locate} *)
+  | Fetched of { data : string option }
+      (** reply to {!request.Forward}: the artifact's raw [.art] bytes,
+          or [None] when absent (or too large for one frame) — the
+          requester then computes locally *)
 
 type frame =
-  | Hello of { protocol : int; software : string }
+  | Hello of { protocol : int; software : string; node : string }
+      (** [node] is the sender's cluster node id — empty for ordinary
+          clients and non-clustered daemons (protocol v4) *)
   | Request of { deadline_ms : int; attempt : int; request : request }
       (** [deadline_ms = 0] means "use the server's default deadline";
           [attempt] is 0 for a first send and counts client replays,

@@ -5,6 +5,7 @@ exception Server_error of Protocol.error
 type t = {
   fd : Unix.file_descr;
   software : string;
+  node : string;
   mutable closed : bool;
 }
 
@@ -16,38 +17,85 @@ let domain_of_endpoint : Server.endpoint -> Unix.socket_domain = function
   | `Unix _ -> PF_UNIX
   | `Tcp _ -> PF_INET
 
-let rec connect_fd endpoint ~deadline =
+(* With a timeout the connect goes non-blocking: start it, select on
+   writability for the remaining budget, then read SO_ERROR for the
+   actual outcome. A routable-but-dead peer (no RST, no FIN) surfaces
+   as ETIMEDOUT after [connect_timeout_s] instead of blocking on the
+   OS connect timeout (minutes on most systems). *)
+let timed_connect fd addr ~connect_timeout_s =
+  if connect_timeout_s <= 0.0 then Unix.connect fd addr
+  else begin
+    Unix.set_nonblock fd;
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _)
+      ->
+        let until = Unix.gettimeofday () +. connect_timeout_s in
+        let rec wait () =
+          let left = until -. Unix.gettimeofday () in
+          if left <= 0.0 then
+            raise (Unix.Unix_error (ETIMEDOUT, "connect", "timed out"));
+          match Unix.select [] [ fd ] [] left with
+          | exception Unix.Unix_error (EINTR, _, _) -> wait ()
+          | _, [], _ ->
+              raise (Unix.Unix_error (ETIMEDOUT, "connect", "timed out"))
+          | _, _ :: _, _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+        in
+        wait ());
+    Unix.clear_nonblock fd
+  end
+
+let rec connect_fd ?(connect_timeout_s = 0.0) endpoint ~deadline =
   let fd = Unix.socket ~cloexec:true (domain_of_endpoint endpoint) SOCK_STREAM 0 in
-  match Unix.connect fd (sockaddr_of_endpoint endpoint) with
+  match timed_connect fd (sockaddr_of_endpoint endpoint) ~connect_timeout_s with
   | () -> fd
   | exception Unix.Unix_error (EINTR, _, _) ->
       (* interrupted before the connection was established: the attempt
          never happened; restart it on a fresh socket *)
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      connect_fd endpoint ~deadline
+      connect_fd ~connect_timeout_s endpoint ~deadline
   | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
     when Unix.gettimeofday () < deadline ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Unix.sleepf 0.02;
-      connect_fd endpoint ~deadline
+      connect_fd ~connect_timeout_s endpoint ~deadline
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
 
-let connect ?(retry_for_s = 0.0) endpoint =
-  let fd = connect_fd endpoint ~deadline:(Unix.gettimeofday () +. retry_for_s) in
-  Protocol.write_frame_fd fd
-    (Hello { protocol = Protocol.version; software = Ddg_version.Version.current });
-  match Protocol.read_frame_fd fd with
-  | Hello { protocol = _; software } -> { fd; software; closed = false }
-  | Error_response err ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise (Server_error err)
-  | _ ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise (Protocol.Error "handshake: expected a hello frame")
+let connect ?(retry_for_s = 0.0) ?connect_timeout_s ?(node = "") endpoint =
+  (* as Server.run: a peer closing mid-write must surface as EPIPE for
+     the retry layer, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd =
+    connect_fd ?connect_timeout_s endpoint
+      ~deadline:(Unix.gettimeofday () +. retry_for_s)
+  in
+  (* a raising handshake (peer drop, torn frame) must not abandon the
+     connected socket: Unix fds have no finalizer *)
+  let handshake () =
+    Protocol.write_frame_fd fd
+      (Hello
+         { protocol = Protocol.version;
+           software = Ddg_version.Version.current;
+           node });
+    match Protocol.read_frame_fd fd with
+    | Hello { protocol = _; software; node } ->
+        { fd; software; node; closed = false }
+    | Error_response err -> raise (Server_error err)
+    | _ -> raise (Protocol.Error "handshake: expected a hello frame")
+  in
+  try handshake ()
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
 
 let server_software t = t.software
+let server_node t = t.node
 
 let request_attempt ~deadline_ms ~attempt t req =
   if t.closed then invalid_arg "Client.request: connection is closed";
@@ -67,8 +115,8 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let with_connection ?retry_for_s endpoint f =
-  let t = connect ?retry_for_s endpoint in
+let with_connection ?retry_for_s ?connect_timeout_s endpoint f =
+  let t = connect ?retry_for_s ?connect_timeout_s endpoint in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 (* --- retrying sessions ------------------------------------------------------ *)
@@ -87,15 +135,17 @@ type session = {
   endpoint : Server.endpoint;
   retry : retry;
   retry_for_s : float;
+  connect_timeout_s : float option;
   mutable conn : t option;
   mutable prev_delay : float;
   mutable prng : int64;
   mutable retries : int;
 }
 
-let session ?(retry = default_retry) ?(retry_for_s = 0.0) endpoint =
+let session ?(retry = default_retry) ?(retry_for_s = 0.0) ?connect_timeout_s
+    endpoint =
   if retry.attempts < 1 then invalid_arg "Client.session: attempts < 1";
-  { endpoint; retry; retry_for_s; conn = None;
+  { endpoint; retry; retry_for_s; connect_timeout_s; conn = None;
     prev_delay = retry.base_delay_s;
     prng = Int64.of_int (retry.seed lxor 0x6a09e667); retries = 0 }
 
@@ -155,7 +205,10 @@ let call ?(deadline_ms = 0) s req =
         match s.conn with
         | Some c when not c.closed -> c
         | _ ->
-            let c = connect ~retry_for_s:s.retry_for_s s.endpoint in
+            let c =
+              connect ~retry_for_s:s.retry_for_s
+                ?connect_timeout_s:s.connect_timeout_s s.endpoint
+            in
             s.conn <- Some c;
             c
       in
@@ -182,6 +235,6 @@ let call ?(deadline_ms = 0) s req =
   in
   go 0
 
-let with_session ?retry ?retry_for_s endpoint f =
-  let s = session ?retry ?retry_for_s endpoint in
+let with_session ?retry ?retry_for_s ?connect_timeout_s endpoint f =
+  let s = session ?retry ?retry_for_s ?connect_timeout_s endpoint in
   Fun.protect ~finally:(fun () -> close_session s) (fun () -> f s)

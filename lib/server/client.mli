@@ -14,16 +14,28 @@ exception Server_error of Ddg_protocol.Protocol.error
 (** The server answered with a typed error frame ([Busy],
     [Deadline_exceeded], [Unknown_workload], ...). *)
 
-val connect : ?retry_for_s:float -> Server.endpoint -> t
+val connect :
+  ?retry_for_s:float -> ?connect_timeout_s:float -> ?node:string ->
+  Server.endpoint -> t
 (** Connect and exchange Hello frames. [retry_for_s] (default 0: fail
     immediately) keeps retrying a refused/missing endpoint for that many
     seconds — for racing a daemon that is still starting up.
-    (Interrupted connects restart unconditionally; EINTR is never
-    surfaced.) Raises {!Server_error} if the server refuses the protocol
-    version, and [Unix.Unix_error] if no daemon answers. *)
+    [connect_timeout_s] (default none: the OS connect timeout, which can
+    be minutes) bounds each connect attempt — a routable-but-dead peer
+    raises [Unix_error (ETIMEDOUT, _, _)] after that long instead of
+    blocking, which keeps cluster health checks responsive. [node]
+    (default empty: an ordinary client) is this side's cluster node id,
+    carried in the Hello. (Interrupted connects restart unconditionally;
+    EINTR is never surfaced.) Raises {!Server_error} if the server
+    refuses the protocol version, and [Unix.Unix_error] if no daemon
+    answers. *)
 
 val server_software : t -> string
 (** The software version string from the server's Hello. *)
+
+val server_node : t -> string
+(** The cluster node id from the server's Hello — empty for a
+    non-clustered daemon. *)
 
 val request :
   ?deadline_ms:int ->
@@ -40,7 +52,8 @@ val close : t -> unit
 (** Close the connection. Idempotent. *)
 
 val with_connection :
-  ?retry_for_s:float -> Server.endpoint -> (t -> 'a) -> 'a
+  ?retry_for_s:float -> ?connect_timeout_s:float ->
+  Server.endpoint -> (t -> 'a) -> 'a
 (** [connect], apply, then [close] (also on exceptions). *)
 
 (** {2 Retrying sessions} *)
@@ -60,9 +73,13 @@ type session
     on first {!call} and replaced transparently after a loss. Not
     thread-safe; use one session per thread. *)
 
-val session : ?retry:retry -> ?retry_for_s:float -> Server.endpoint -> session
-(** [retry_for_s] is passed to every internal {!connect} (helpful when
-    the daemon may still be starting, or restarting mid-session).
+val session :
+  ?retry:retry -> ?retry_for_s:float -> ?connect_timeout_s:float ->
+  Server.endpoint -> session
+(** [retry_for_s] and [connect_timeout_s] are passed to every internal
+    {!connect} (helpful when the daemon may still be starting, or
+    restarting mid-session; the timeout keeps a dead-but-routable
+    endpoint from stalling a {!call} beyond the backoff schedule).
     @raise Invalid_argument if [retry.attempts < 1] *)
 
 val call :
@@ -92,6 +109,7 @@ val close_session : session -> unit
 val with_session :
   ?retry:retry ->
   ?retry_for_s:float ->
+  ?connect_timeout_s:float ->
   Server.endpoint ->
   (session -> 'a) ->
   'a

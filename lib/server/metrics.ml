@@ -43,7 +43,7 @@ let () =
       ignore (verb_counter verb : Obs.counter);
       ignore (verb_latency verb : Obs.span))
     [ "ping"; "analyze"; "simulate"; "table"; "stats"; "shutdown"; "fsck";
-      "metrics" ]
+      "metrics"; "locate"; "forward" ]
 
 type t = { started : float }
 
@@ -133,4 +133,5 @@ let snapshot t ~(runner : Ddg_experiments.Runner.counters) ~worker_respawns :
     retries_served = counter_value s "ddg_server_retries_served_total";
     worker_respawns;
     artifact_quarantines = runner.artifact_quarantines;
-    injected_faults = Ddg_fault.Fault.injected () }
+    injected_faults = Ddg_fault.Fault.injected ();
+    remote_fetches = runner.remote_fetches }

@@ -13,8 +13,15 @@ exception Reject of Protocol.error_code * string
 
 type endpoint = [ `Unix of string | `Tcp of string * int ]
 
+(* Cluster-mode identity: who this daemon is on the hash ring and how
+   to answer "who owns this key". The ring itself lives in the cluster
+   library; the server only consults it through [locate], so the
+   daemon carries no ring dependency. *)
+type cluster = { node_id : string; locate : string -> string }
+
 type t = {
   runner : Runner.t;
+  cluster : cluster option;
   pool : Pool.t;
   max_inflight : int;
   max_connections : int;
@@ -32,15 +39,16 @@ type t = {
   stop_w : Unix.file_descr;
 }
 
-let create ~runner ?workers ?(max_inflight = 64) ?(max_connections = 256)
-    ?(default_deadline_s = 600.) ?(log = ignore) endpoints =
+let create ~runner ?cluster ?workers ?(max_inflight = 64)
+    ?(max_connections = 256) ?(default_deadline_s = 600.) ?(log = ignore)
+    endpoints =
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   let pool = Pool.pool ?workers () in
   (* analyze requests segment single traces across this same pool's idle
      workers (Pool.run_all is claim-based, so a request body running on
      one worker can fan out without deadlocking the pool) *)
   Runner.set_pool runner pool;
-  { runner; pool; max_inflight; max_connections;
+  { runner; cluster; pool; max_inflight; max_connections;
     default_deadline_s;
     metrics = Metrics.create (); log; endpoints; lock = Mutex.create ();
     conns = []; active = 0; stopping = false; stop_r; stop_w }
@@ -146,7 +154,7 @@ let compute t (req : Protocol.request) cancelled : Protocol.response =
               quarantined = r.quarantined;
               missing = r.missing;
               swept_temps = r.swept_temps })
-  | Server_stats | Shutdown | Metrics ->
+  | Server_stats | Shutdown | Metrics | Locate _ | Forward _ ->
       (* Handled inline by the connection handler; never queued. *)
       assert false
 
@@ -168,6 +176,31 @@ let serve_request t fd ~deadline_ms ~attempt (req : Protocol.request) =
   match req with
   | Server_stats -> finish `Ok (Ok_response (Telemetry (stats t)))
   | Metrics -> finish `Ok (Ok_response (Metrics_snapshot (Obs.snapshot ())))
+  | Locate { key } -> (
+      (* membership query: cheap ring lookup, never queued *)
+      match t.cluster with
+      | Some c -> finish `Ok (Ok_response (Located { node = c.locate key }))
+      | None ->
+          finish `Error
+            (error_frame Internal "this daemon is not a cluster member"))
+  | Forward { kind; key } -> (
+      (* fetch-through export: verified raw artifact bytes for a peer's
+         import; absent (or over-frame-sized) artifacts report None and
+         the peer computes locally *)
+      match Runner.store t.runner with
+      | None ->
+          finish `Error
+            (error_frame Internal
+               "no artifact store configured (daemon started with --no-cache)")
+      | Some store ->
+          let data =
+            match Ddg_store.Store.export store ~kind ~key with
+            | Some bytes
+              when String.length bytes + 64 > Protocol.max_frame_bytes ->
+                None
+            | d -> d
+          in
+          finish `Ok (Ok_response (Fetched { data })))
   | Shutdown ->
       finish `Ok (Ok_response Shutting_down_ack);
       t.log "shutdown requested over the wire";
@@ -216,11 +249,14 @@ let handle_connection t fd =
   @@ fun () ->
   try
     match Protocol.read_frame_fd fd with
-    | Hello { protocol; software = _ } when protocol = Protocol.version ->
+    | Hello { protocol; software = _; node = _ }
+      when protocol = Protocol.version ->
         Protocol.write_frame_fd fd
           (Hello
              { protocol = Protocol.version;
-               software = Ddg_version.Version.current });
+               software = Ddg_version.Version.current;
+               node =
+                 (match t.cluster with Some c -> c.node_id | None -> "") });
         let rec loop () =
           match Obs.time span_decode (fun () -> Protocol.read_frame_fd fd) with
           | Request { deadline_ms; attempt; request } ->
@@ -231,7 +267,7 @@ let handle_connection t fd =
               safe_write (error_frame Bad_frame "expected a request frame")
         in
         loop ()
-    | Hello { protocol; software = _ } ->
+    | Hello { protocol; software = _; node = _ } ->
         safe_write
           (error_frame Unsupported_version
              (Printf.sprintf "server speaks protocol %d, client sent %d"

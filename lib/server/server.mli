@@ -24,8 +24,17 @@ type endpoint = [ `Unix of string | `Tcp of string * int ]
     socket file is replaced). [`Tcp (addr, port)] listens on a numeric
     address, e.g. ["127.0.0.1"]. *)
 
+type cluster = { node_id : string; locate : string -> string }
+(** Cluster-mode identity for a daemon that is one shard of a fleet:
+    [node_id] is carried in the server's Hello and [locate] answers the
+    [Locate] verb (routing key -> owning node id, normally a
+    {!Ddg_cluster.Ring} lookup — the server itself stays ring-agnostic).
+    Fetch-through replication is wired separately, via
+    {!Ddg_experiments.Runner.set_fetch} on the daemon's runner. *)
+
 val create :
   runner:Ddg_experiments.Runner.t ->
+  ?cluster:cluster ->
   ?workers:int ->
   ?max_inflight:int ->
   ?max_connections:int ->
@@ -33,7 +42,11 @@ val create :
   ?log:(string -> unit) ->
   endpoint list ->
   t
-(** [workers] (default: domain count - 1, min 1) sizes the compute
+(** [cluster] (default none) makes the daemon answer [Locate] and carry
+    its node id in the handshake; without it [Locate] is refused with an
+    [Internal] error. [Forward] (artifact export for fetch-through) is
+    served by any daemon with a store, clustered or not.
+    [workers] (default: domain count - 1, min 1) sizes the compute
     pool. [max_inflight] (default 64) bounds queued-plus-running
     requests before [Busy] refusals. [max_connections] (default 256)
     bounds concurrent connection handlers — excess connections are

@@ -418,6 +418,111 @@ let find t ~kind ~key read_payload =
         None
   end
 
+(* --- export / import -------------------------------------------------------- *)
+
+(* verify an artifact file in place: header shape, payload length and
+   digest (shared by fsck, export and import) *)
+let verify_artifact path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match
+        let info = read_header ic in
+        let start = pos_in ic in
+        if in_channel_length ic - start <> info.i_length then
+          corrupt "payload length mismatch";
+        let actual = Digest.channel ic info.i_length in
+        if actual <> info.i_digest then corrupt "checksum mismatch";
+        info
+      with
+      | info ->
+          (* the filename must match the content address in the header,
+             or a lookup for that (kind, key) will never see this file *)
+          Ok info
+      | exception Corrupt msg -> Error msg
+      | exception End_of_file -> Error "truncated artifact"
+      | exception e -> Error (Printexc.to_string e))
+
+let exports_total = Obs.counter "ddg_store_exports_total"
+let imports_total = Obs.counter "ddg_store_imports_total"
+
+(* Verify-then-read under one open: the digest check runs first, so a
+   torn or rotted artifact is quarantined (and reported absent) rather
+   than shipped to a peer. *)
+let export t ~kind ~key =
+  let path = artifact_path t ~kind ~key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let verdict =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match
+              let info = read_header ic in
+              if info.i_kind <> kind || info.i_key <> key then
+                corrupt "key mismatch (hash collision or tampering)";
+              let start = pos_in ic in
+              if in_channel_length ic - start <> info.i_length then
+                corrupt "payload length mismatch";
+              let actual = Digest.channel ic info.i_length in
+              if actual <> info.i_digest then corrupt "checksum mismatch";
+              seek_in ic 0;
+              really_input_string ic (in_channel_length ic)
+            with
+            | bytes -> Ok bytes
+            | exception Corrupt msg -> Error msg
+            | exception End_of_file -> Error "truncated artifact"
+            | exception e -> Error (Printexc.to_string e))
+      in
+      match verdict with
+      | Ok bytes ->
+          Obs.incr exports_total;
+          Some bytes
+      | Error reason ->
+          quarantine t path reason;
+          None)
+
+let import t data =
+  let tmp = temp_name t "import" in
+  let installed =
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists tmp then
+          try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        (try
+           let oc = open_out_bin tmp in
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () ->
+               output_string oc data;
+               flush oc;
+               fsync_channel oc)
+         with Sys_error _ -> ());
+        (* full verification on the temp copy: untrusted bytes never
+           reach a content address unchecked *)
+        match verify_artifact tmp with
+        | Ok info when info.i_kind <> "" && not (String.contains info.i_kind '/')
+          -> (
+            match
+              Sys.rename tmp (artifact_path t ~kind:info.i_kind ~key:info.i_key)
+            with
+            | () ->
+                fsync_dir t.root;
+                Some (info.i_kind, info.i_key)
+            | exception Sys_error _ -> None)
+        | Ok _ | Error _ -> None
+        | exception Sys_error _ -> None)
+  in
+  (match installed with
+  | Some _ ->
+      Obs.incr imports_total;
+      refresh_manifest t
+  | None -> ());
+  installed
+
 (* --- fsck ------------------------------------------------------------------- *)
 
 type fsck_report = {
@@ -479,28 +584,6 @@ let temp_owner_pid file =
   | "tmp" :: pid :: _ -> int_of_string_opt pid
   | [ "manifest"; "json"; "tmp"; pid ] -> int_of_string_opt pid
   | _ -> None
-
-let verify_artifact path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      match
-        let info = read_header ic in
-        let start = pos_in ic in
-        if in_channel_length ic - start <> info.i_length then
-          corrupt "payload length mismatch";
-        let actual = Digest.channel ic info.i_length in
-        if actual <> info.i_digest then corrupt "checksum mismatch";
-        info
-      with
-      | info ->
-          (* the filename must match the content address in the header,
-             or a lookup for that (kind, key) will never see this file *)
-          Ok info
-      | exception Corrupt msg -> Error msg
-      | exception End_of_file -> Error "truncated artifact"
-      | exception e -> Error (Printexc.to_string e))
 
 let fsck t =
   Obs.time span_fsck @@ fun () ->

@@ -79,6 +79,28 @@ val quarantine_count : t -> int
 (** Artifacts this handle has moved to [quarantine/] since {!open_}
     (from failed {!find} verification or {!fsck}). *)
 
+(** {2 Replication}
+
+    Whole artifacts move between stores as their raw [.art] bytes —
+    header, digest and payload together — so the receiving side can
+    verify the transfer with the same checks {!find} applies to local
+    reads, and a copied artifact is bit-identical to the original. *)
+
+val export : t -> kind:string -> key:string -> string option
+(** The verified raw bytes of one artifact file, ready for {!import}
+    into another store. [None] when the artifact is absent; when it is
+    present but fails verification it is quarantined (with a [.reason]
+    note) and the result is [None], exactly as a {!find} would. *)
+
+val import : t -> string -> (string * string) option
+(** Install an artifact from its raw bytes: the blob is written to a
+    temp file, its header, payload length and digest are verified
+    {e before} installation, and only then is it renamed to its content
+    address (atomic, fsynced — the same durability as {!put}),
+    replacing any previous artifact for that (kind, key). Returns the
+    artifact's [(kind, key)], or [None] when the bytes fail
+    verification — a corrupt transfer never touches the store. *)
+
 (** {2 Verification}
 
     A full offline pass over the store, for recovery after crashes or

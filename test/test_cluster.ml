@@ -1,0 +1,515 @@
+(* Cluster mode end to end: the consistent-hash ring's determinism,
+   balance and minimal-remap properties (qcheck), metric federation
+   exactness, fetch-through replication between live backends, the
+   router's failover when a backend dies mid-run, and a chaos pass with
+   the router-level fault sites armed. Backends here run in-process on
+   threads — same wire protocol as the forked production shape, with
+   the one caveat that all nodes share the process-global obs registry
+   (so federation exactness is asserted on synthetic snapshots, and
+   e2e federation is asserted on validity and per-runner counters). *)
+
+module Protocol = Ddg_protocol.Protocol
+module Server = Ddg_server.Server
+module Client = Ddg_server.Client
+module Runner = Ddg_experiments.Runner
+module Store = Ddg_store.Store
+module Fault = Ddg_fault.Fault
+module Config = Ddg_paragraph.Config
+module Obs = Ddg_obs.Obs
+module Ring = Ddg_cluster.Ring
+module Route = Ddg_cluster.Route
+module Federate = Ddg_cluster.Federate
+module Router = Ddg_cluster.Router
+module Fleet = Ddg_cluster.Fleet
+
+let tiny = Ddg_workloads.Workload.Tiny
+
+(* --- scratch dirs / sockets ------------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let fresh_dir () =
+  let path = Filename.temp_file "ddg_cluster" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let fresh_base =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg_cluster_%d_%d" (Unix.getpid ()) !n)
+
+let open_fd_count () =
+  if Sys.file_exists "/proc/self/fd" then begin
+    Gc.full_major ();
+    Gc.full_major ();
+    Some (Array.length (Sys.readdir "/proc/self/fd"))
+  end
+  else None
+
+(* --- ring units -------------------------------------------------------------- *)
+
+let test_ring_deterministic () =
+  let ring1 = Ring.create [ "a"; "b"; "c" ] in
+  let ring2 = Ring.create [ "c"; "a"; "b" ] in
+  let keys = List.init 200 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (Printf.sprintf "owner of %s independent of member order" k)
+        (Ring.owner ring1 k) (Ring.owner ring2 k))
+    keys;
+  Alcotest.(check (list string))
+    "members sorted" [ "a"; "b"; "c" ] (Ring.nodes ring1)
+
+let test_ring_successors () =
+  let ring = Ring.create [ "a"; "b"; "c"; "d" ] in
+  List.iter
+    (fun k ->
+      let succ = Ring.successors ring k in
+      Alcotest.(check string)
+        "successors start at the owner" (Ring.owner ring k) (List.hd succ);
+      Alcotest.(check (list string))
+        "successors cover every node once"
+        (Ring.nodes ring)
+        (List.sort compare succ))
+    (List.init 50 (fun i -> Printf.sprintf "k%d" i))
+
+let test_ring_add_remove () =
+  let ring = Ring.create [ "a"; "b" ] in
+  Alcotest.(check (list string))
+    "add is functional" [ "a"; "b"; "c" ]
+    (Ring.nodes (Ring.add ring "c"));
+  Alcotest.(check (list string))
+    "original unchanged" [ "a"; "b" ] (Ring.nodes ring);
+  Alcotest.(check (list string))
+    "adding a member is the identity" [ "a"; "b" ]
+    (Ring.nodes (Ring.add ring "a"));
+  Alcotest.check_raises "removing the last node raises"
+    (Invalid_argument "Ring.remove: cannot remove the last node") (fun () ->
+      ignore (Ring.remove (Ring.create [ "solo" ]) "solo"));
+  Alcotest.check_raises "empty ring raises"
+    (Invalid_argument "Ring.create: no nodes") (fun () ->
+      ignore (Ring.create []))
+
+(* --- ring properties (qcheck) ------------------------------------------------ *)
+
+let gen_nodes =
+  QCheck.Gen.(
+    map
+      (fun n -> List.init n (fun i -> Printf.sprintf "node%d" i))
+      (int_range 2 8))
+
+let arb_nodes =
+  QCheck.make gen_nodes ~print:(String.concat ",")
+
+let many_keys = List.init 4096 (fun i -> Printf.sprintf "workload-%d/size" i)
+
+let prop_ring_balanced =
+  QCheck.Test.make ~name:"64+ vnodes keep load within 2x of fair share"
+    ~count:30 arb_nodes (fun nodes ->
+      let ring = Ring.create ~vnodes:64 nodes in
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun k ->
+          let o = Ring.owner ring k in
+          Hashtbl.replace tally o (1 + Option.value ~default:0 (Hashtbl.find_opt tally o)))
+        many_keys;
+      let fair = float_of_int (List.length many_keys) /. float_of_int (List.length nodes) in
+      List.for_all
+        (fun n ->
+          float_of_int (Option.value ~default:0 (Hashtbl.find_opt tally n))
+          <= 2.0 *. fair)
+        nodes)
+
+let prop_ring_minimal_remap_remove =
+  QCheck.Test.make
+    ~name:"removing a node never moves a key between survivors" ~count:30
+    arb_nodes (fun nodes ->
+      QCheck.assume (List.length nodes >= 2);
+      let ring = Ring.create nodes in
+      let gone = List.nth nodes (List.length nodes / 2) in
+      let smaller = Ring.remove ring gone in
+      List.for_all
+        (fun k ->
+          let before = Ring.owner ring k in
+          let after = Ring.owner smaller k in
+          if before = gone then after <> gone (* must move somewhere *)
+          else after = before (* survivors keep their keys *))
+        many_keys)
+
+let prop_ring_minimal_remap_add =
+  QCheck.Test.make ~name:"adding a node only moves keys onto it" ~count:30
+    arb_nodes (fun nodes ->
+      let ring = Ring.create nodes in
+      let bigger = Ring.add ring "joiner" in
+      List.for_all
+        (fun k ->
+          let before = Ring.owner ring k in
+          let after = Ring.owner bigger k in
+          after = before || after = "joiner")
+        many_keys)
+
+(* --- routing keys ------------------------------------------------------------- *)
+
+let test_routing_keys () =
+  Alcotest.(check string)
+    "store key truncates to workload/size" "mtxx/tiny"
+    (Route.of_store_key "mtxx/tiny/ddg-v1/sim-v3/deadbeef");
+  Alcotest.(check string)
+    "short keys pass through" "mtxx" (Route.of_store_key "mtxx");
+  (let req =
+     Protocol.Analyze { workload = "mtxx"; config = Config.default }
+   in
+   Alcotest.(check (option string))
+     "analyze routes by workload/size" (Some "mtxx/tiny")
+     (Route.of_request ~size:tiny req));
+  Alcotest.(check (option string))
+    "ping has no key" None
+    (Route.of_request ~size:tiny (Protocol.Ping { delay_ms = 0 }));
+  (* the invariant fetch-through relies on: a runner's store keys route
+     exactly where the request routed *)
+  let runner = Runner.create ~size:tiny () in
+  let w = Option.get (Ddg_workloads.Registry.find "mtxx") in
+  Alcotest.(check (option string))
+    "trace store key routes with the analyze verb"
+    (Some (Route.of_store_key (Runner.trace_key runner w)))
+    (Route.of_request ~size:tiny
+       (Protocol.Analyze { workload = "mtxx"; config = Config.default }))
+
+(* --- federation --------------------------------------------------------------- *)
+
+let test_federate_merge () =
+  let c name labels v =
+    { Obs.cs_name = name; cs_labels = labels; cs_value = v }
+  in
+  let snap_a =
+    { Obs.counters =
+        [ c "ddg_a_total" [] 3;
+          c "ddg_shared_total" [ ("verb", "ping") ] 10 ];
+      histograms =
+        [ Obs.hist_of_samples ~name:"ddg_lat_ns" [ 1; 2; 3 ] ] }
+  in
+  let snap_b =
+    { Obs.counters =
+        [ c "ddg_b_total" [] 4;
+          c "ddg_shared_total" [ ("verb", "ping") ] 32 ];
+      histograms =
+        [ Obs.hist_of_samples ~name:"ddg_lat_ns" [ 10; 20 ] ] }
+  in
+  let merged = Federate.merge_snapshots [ snap_a; snap_b ] in
+  let value name =
+    List.fold_left
+      (fun acc (cs : Obs.counter_snapshot) ->
+        if cs.Obs.cs_name = name then acc + cs.cs_value else acc)
+      0 merged.Obs.counters
+  in
+  Alcotest.(check int) "same-series counters sum" 42 (value "ddg_shared_total");
+  Alcotest.(check int) "unique series pass through (a)" 3 (value "ddg_a_total");
+  Alcotest.(check int) "unique series pass through (b)" 4 (value "ddg_b_total");
+  (match merged.Obs.histograms with
+  | [ h ] ->
+      Alcotest.(check int) "histograms merge counts" 5 h.Obs.hs_count;
+      Alcotest.(check int) "histograms merge sums" 36 h.Obs.hs_sum;
+      Alcotest.(check int) "histograms merge max" 20 h.Obs.hs_max
+  | hs -> Alcotest.failf "expected 1 merged histogram, got %d" (List.length hs));
+  (* the merged snapshot must render as one valid exposition *)
+  (match Obs.validate_exposition (Obs.prometheus_of_snapshot merged) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid merged exposition: %s" msg);
+  (* merging is order-independent *)
+  Alcotest.(check bool) "commutative" true
+    (Federate.merge_snapshots [ snap_b; snap_a ] = merged);
+  (* and the empty list is the empty snapshot *)
+  Alcotest.(check bool) "empty" true
+    (Federate.merge_snapshots [] = { Obs.counters = []; histograms = [] })
+
+(* --- in-process fleets --------------------------------------------------------- *)
+
+let with_fleet ?(nodes = 2) ?router f =
+  let base = fresh_base () in
+  Unix.mkdir base 0o755;
+  let members =
+    Fleet.members ~nodes
+      ~base_socket:(Filename.concat base "backend.sock")
+      ~base_store:(Filename.concat base "stores")
+  in
+  let backends =
+    List.map (fun self -> Fleet.backend ~size:tiny ~members ~self ()) members
+  in
+  let threads =
+    List.map
+      (fun (b : Fleet.backend) -> Thread.create Server.run b.server)
+      backends
+  in
+  let router_t, router_thread =
+    match router with
+    | None -> (None, None)
+    | Some () ->
+        let r =
+          Router.create ~size:tiny ~retry_for_s:2.0 ~connect_timeout_s:0.5
+            ~health_interval_s:0.2 ~failure_threshold:2 ~cooldown_s:0.5
+            ~backends:
+              (List.map
+                 (fun (m : Fleet.member) -> (m.Fleet.node, m.Fleet.endpoint))
+                 members)
+            [ `Unix (Filename.concat base "router.sock") ]
+        in
+        (Some r, Some (Thread.create Router.run r))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Router.stop router_t;
+      Option.iter Thread.join router_thread;
+      List.iter (fun (b : Fleet.backend) -> Server.stop b.server) backends;
+      List.iter Thread.join threads;
+      rm_rf base)
+    (fun () ->
+      f ~members ~backends
+        ~router_endpoint:(`Unix (Filename.concat base "router.sock")))
+
+let analyze_via endpoint workload =
+  Client.with_session ~retry_for_s:5.0 endpoint (fun s ->
+      match
+        Client.call ~deadline_ms:30_000 s
+          (Protocol.Analyze { workload; config = Config.default })
+      with
+      | Protocol.Analyzed stats -> Ddg_paragraph.Stats_codec.to_string stats
+      | _ -> Alcotest.fail "expected Analyzed")
+
+let stats_via endpoint =
+  Client.with_session ~retry_for_s:5.0 endpoint (fun s ->
+      match Client.call ~deadline_ms:30_000 s Protocol.Server_stats with
+      | Protocol.Telemetry c -> c
+      | _ -> Alcotest.fail "expected Telemetry")
+
+let test_fetch_through () =
+  with_fleet ~nodes:2 (fun ~members ~backends:_ ~router_endpoint:_ ->
+      let ring = Ring.create (List.map (fun (m : Fleet.member) -> m.Fleet.node) members) in
+      let owner_node = Ring.owner ring "mtxx/tiny" in
+      let find node =
+        List.find (fun (m : Fleet.member) -> m.Fleet.node = node) members
+      in
+      let owner = find owner_node in
+      let other =
+        List.find
+          (fun (m : Fleet.member) -> m.Fleet.node <> owner_node)
+          members
+      in
+      (* warm the owner: simulate + analyze land trace and stats in its
+         private store *)
+      let reference = analyze_via owner.Fleet.endpoint "mtxx" in
+      (* the non-owner serves the same key by pulling both artifacts
+         from the owner instead of recomputing *)
+      let routed = analyze_via other.Fleet.endpoint "mtxx" in
+      Alcotest.(check string) "fetch-through result byte-identical" reference
+        routed;
+      let c = stats_via other.Fleet.endpoint in
+      Alcotest.(check int) "non-owner ran no simulation" 0
+        c.Protocol.simulations;
+      Alcotest.(check int) "non-owner ran no analysis" 0 c.Protocol.analyses;
+      (* one fetch: the stats blob alone answers the analyze, so the
+         trace is never pulled *)
+      Alcotest.(check int) "the stats artifact was fetched from the owner" 1
+        c.Protocol.remote_fetches;
+      (* both stores now hold the artifacts; fsck is clean everywhere *)
+      List.iter
+        (fun (m : Fleet.member) ->
+          let r = Store.fsck (Store.open_ ~dir:m.Fleet.store_dir ()) in
+          Alcotest.(check int)
+            (m.Fleet.node ^ " store clean")
+            0
+            (r.Store.quarantined + r.Store.missing))
+        members)
+
+let test_router_end_to_end () =
+  (* a reference result from a plain non-cluster runner *)
+  let reference =
+    let runner = Runner.create ~size:tiny () in
+    let w = Option.get (Ddg_workloads.Registry.find "mtxx") in
+    Ddg_paragraph.Stats_codec.to_string (Runner.analyze runner w Config.default)
+  in
+  with_fleet ~nodes:3 ~router:() (fun ~members ~backends ~router_endpoint ->
+      Client.with_session ~retry_for_s:5.0 router_endpoint (fun s ->
+          (* liveness *)
+          (match Client.call s (Protocol.Ping { delay_ms = 0 }) with
+          | Protocol.Pong -> ()
+          | _ -> Alcotest.fail "expected Pong");
+          (* locate agrees with a locally built ring *)
+          let ring =
+            Ring.create
+              (List.map (fun (m : Fleet.member) -> m.Fleet.node) members)
+          in
+          (match Client.call s (Protocol.Locate { key = "mtxx/tiny" }) with
+          | Protocol.Located { node } ->
+              Alcotest.(check string) "locate agrees with the ring"
+                (Ring.owner ring "mtxx/tiny") node
+          | _ -> Alcotest.fail "expected Located");
+          (* routed analyze matches the plain runner byte for byte *)
+          (match
+             Client.call ~deadline_ms:30_000 s
+               (Protocol.Analyze { workload = "mtxx"; config = Config.default })
+           with
+          | Protocol.Analyzed stats ->
+              Alcotest.(check string) "routed analyze byte-identical"
+                reference
+                (Ddg_paragraph.Stats_codec.to_string stats)
+          | _ -> Alcotest.fail "expected Analyzed");
+          (* aggregated stats cover the fleet and count the work once *)
+          (match Client.call s Protocol.Server_stats with
+          | Protocol.Telemetry c ->
+              Alcotest.(check int) "one simulation fleet-wide" 1
+                c.Protocol.simulations;
+              Alcotest.(check int) "one analysis fleet-wide" 1
+                c.Protocol.analyses
+          | _ -> Alcotest.fail "expected Telemetry");
+          (* federated metrics validate as one exposition *)
+          (match Client.call s Protocol.Metrics with
+          | Protocol.Metrics_snapshot snap -> (
+              match
+                Obs.validate_exposition (Obs.prometheus_of_snapshot snap)
+              with
+              | Ok () -> ()
+              | Error msg ->
+                  Alcotest.failf "invalid federated exposition: %s" msg)
+          | _ -> Alcotest.fail "expected Metrics_snapshot");
+          (* kill the owner of the warmed key: the router must re-route
+             to a surviving successor and still answer byte-identically *)
+          let ring =
+            Ring.create
+              (List.map (fun (m : Fleet.member) -> m.Fleet.node) members)
+          in
+          let owner_node = Ring.owner ring "mtxx/tiny" in
+          List.iteri
+            (fun i (m : Fleet.member) ->
+              if m.Fleet.node = owner_node then begin
+                let b = List.nth backends i in
+                Server.stop b.Fleet.server
+              end)
+            members;
+          (match
+             Client.call ~deadline_ms:30_000 s
+               (Protocol.Analyze { workload = "mtxx"; config = Config.default })
+           with
+          | Protocol.Analyzed stats ->
+              Alcotest.(check string)
+                "rerouted analyze still byte-identical" reference
+                (Ddg_paragraph.Stats_codec.to_string stats)
+          | _ -> Alcotest.fail "expected Analyzed after failover")))
+
+(* --- chaos with router fault sites --------------------------------------------- *)
+
+let chaos_script =
+  [ Protocol.Ping { delay_ms = 0 };
+    Analyze { workload = "mtxx"; config = Config.default };
+    Analyze
+      { workload = "eqnx";
+        config =
+          { Config.default with
+            renaming = Config.rename_registers_only;
+            window = Some 64 } };
+    Simulate { workload = "xlispx" };
+    Analyze { workload = "mtxx"; config = Config.default } ]
+
+let run_chaos_script ~seed endpoint =
+  let retry =
+    { Client.attempts = 40; base_delay_s = 0.005; max_delay_s = 0.05; seed }
+  in
+  Client.with_session ~retry ~retry_for_s:5.0 endpoint (fun s ->
+      List.map
+        (fun req ->
+          Protocol.frame_to_string
+            (Protocol.Ok_response (Client.call ~deadline_ms:30_000 s req)))
+        chaos_script)
+
+let cluster_chaos_sites =
+  let site p budget = { Fault.probability = p; budget = Some budget } in
+  [ ("cluster.backend.drop", site 0.15 4);
+    ("cluster.forward.fail", site 0.3 3);
+    ("cluster.fetch.corrupt", site 0.3 3);
+    ("proto.read.eintr", site 0.1 50);
+    ("proto.write.short", site 0.2 100);
+    ("proto.conn.drop", site 0.02 2) ]
+
+let test_cluster_chaos seed () =
+  Fault.disable ();
+  (* fault-free reference through a router *)
+  let expected =
+    with_fleet ~nodes:3 ~router:() (fun ~members:_ ~backends:_ ~router_endpoint ->
+        run_chaos_script ~seed router_endpoint)
+  in
+  let fds_before = open_fd_count () in
+  let actual, store_dirs =
+    with_fleet ~nodes:3 ~router:()
+      (fun ~members ~backends:_ ~router_endpoint ->
+        Fun.protect ~finally:Fault.disable (fun () ->
+            Fault.enable ~seed ~sites:cluster_chaos_sites;
+            let out = run_chaos_script ~seed router_endpoint in
+            Fault.disable ();
+            Alcotest.(check bool) "faults were injected" true
+              (Fault.injected () > 0);
+            ( out,
+              List.map (fun (m : Fleet.member) -> m.Fleet.store_dir) members
+              |> List.map (fun dir ->
+                     (* fsck before teardown deletes the stores *)
+                     let r = Store.fsck (Store.open_ ~dir ()) in
+                     r.Store.quarantined + r.Store.missing) )))
+  in
+  List.iteri
+    (fun i (want, got) ->
+      Alcotest.(check string)
+        (Printf.sprintf "response %d bit-identical under router faults" i)
+        want got)
+    (List.combine expected actual);
+  List.iteri
+    (fun i dirty ->
+      Alcotest.(check int) (Printf.sprintf "node%d store clean" i) 0 dirty)
+    store_dirs;
+  (match fds_before with
+  | None -> ()
+  | Some before ->
+      let give_up = Unix.gettimeofday () +. 5.0 in
+      let rec settled () =
+        match open_fd_count () with
+        | Some after when after > before && Unix.gettimeofday () < give_up ->
+            Thread.delay 0.02;
+            settled ()
+        | after -> after
+      in
+      (match settled () with
+      | Some after ->
+          Alcotest.(check bool)
+            (Printf.sprintf "open fds return to baseline (%d -> %d)" before
+               after)
+            true (after <= before)
+      | None -> ()))
+
+let tests =
+  [ Alcotest.test_case "ring owners are order-independent" `Quick
+      test_ring_deterministic;
+    Alcotest.test_case "ring successors cover all nodes" `Quick
+      test_ring_successors;
+    Alcotest.test_case "ring add/remove are functional" `Quick
+      test_ring_add_remove;
+    Alcotest.test_case "routing keys agree across layers" `Quick
+      test_routing_keys;
+    Alcotest.test_case "federation sums counters, merges histograms" `Quick
+      test_federate_merge;
+    Alcotest.test_case "fetch-through replicates instead of recomputing"
+      `Slow test_fetch_through;
+    Alcotest.test_case "router e2e: route, aggregate, federate, failover"
+      `Slow test_router_end_to_end;
+    Alcotest.test_case "cluster chaos seed 3003" `Slow
+      (test_cluster_chaos 3003) ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_ring_balanced;
+        prop_ring_minimal_remap_remove;
+        prop_ring_minimal_remap_add ]

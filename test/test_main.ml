@@ -17,4 +17,5 @@ let () =
       ("server", Test_server.tests);
       ("chaos", Test_chaos.tests);
       ("properties", Test_props.tests);
-      ("obs", Test_obs.tests) ]
+      ("obs", Test_obs.tests);
+      ("cluster", Test_cluster.tests) ]

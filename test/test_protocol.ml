@@ -37,7 +37,8 @@ let sample_counters =
     by_verb = [ ("analyze", 4); ("ping", 6) ]; simulations = 2; analyses = 4;
     trace_store_hits = 1; stats_store_hits = 2; trace_mem_hits = 3;
     trace_evictions = 1; trace_resident_bytes = 123_456; retries_served = 2;
-    worker_respawns = 1; artifact_quarantines = 3; injected_faults = 7 }
+    worker_respawns = 1; artifact_quarantines = 3; injected_faults = 7;
+    remote_fetches = 5 }
 
 let sample_obs_snapshot =
   (* labelled counters, a sparse multi-bucket histogram and a registered
@@ -55,7 +56,19 @@ let sample_obs_snapshot =
         Ddg_obs.Obs.hist_of_samples ~name:"ddg_pool_run_ns" [] ] }
 
 let sample_frames =
-  [ Protocol.Hello { protocol = Protocol.version; software = "1.1.0" };
+  [ Protocol.Hello
+      { protocol = Protocol.version; software = "1.1.0"; node = "" };
+    Protocol.Hello
+      { protocol = Protocol.version; software = "1.1.0"; node = "node2" };
+    Request
+      { deadline_ms = 0; attempt = 0;
+        request = Locate { key = "mtxx/small" } };
+    Request
+      { deadline_ms = 1000; attempt = 1;
+        request = Forward { kind = "trace"; key = "mtxx/small/v1/t9" } };
+    Ok_response (Located { node = "node0" });
+    Ok_response (Fetched { data = None });
+    Ok_response (Fetched { data = Some "DDGART01\x00binary\xffpayload" });
     Request { deadline_ms = 0; attempt = 0; request = Ping { delay_ms = 0 } };
     Request
       { deadline_ms = 2500; attempt = 3; request = Ping { delay_ms = 100 } };
@@ -318,7 +331,7 @@ let gen_frame =
   let* attempt = int_range 0 8 in
   let* message = string_size ~gen:printable (int_range 0 60) in
   oneofl
-    [ Protocol.Hello { protocol = 1; software = message };
+    [ Protocol.Hello { protocol = 1; software = message; node = "" };
       Request { deadline_ms; attempt; request };
       Ok_response Pong;
       Ok_response (Rendered message);

@@ -255,7 +255,9 @@ let test_protocol_version_mismatch () =
           ignore (Client.request client (Protocol.Ping { delay_ms = 0 })));
       raw_connection endpoint (fun ic oc ->
           Protocol.write_frame oc
-            (Hello { protocol = Protocol.version + 1; software = "future" });
+            (Hello
+               { protocol = Protocol.version + 1; software = "future";
+                 node = "" });
           match Protocol.read_frame ic with
           | Protocol.Error_response { code = Protocol.Unsupported_version; _ }
             -> ()
@@ -267,7 +269,7 @@ let test_survives_disconnect_mid_request () =
           ignore (Client.request client (Protocol.Ping { delay_ms = 0 })));
       raw_connection endpoint (fun _ic oc ->
           Protocol.write_frame oc
-            (Hello { protocol = Protocol.version; software = "t" });
+            (Hello { protocol = Protocol.version; software = "t"; node = "" });
           Protocol.write_frame oc
             (Request
                { deadline_ms = 0; attempt = 0; request = Ping { delay_ms = 300 } })
