@@ -32,7 +32,12 @@
    measures intra-trace scaling: the segmented single-trace engine
    (Segmented on a Pool) at -j 1/2/4/8 against the sequential analyzer,
    byte-checking the stats before trusting any timing, and records the
-   events/s trajectory in BENCH.json. *)
+   events/s trajectory in BENCH.json. On a single-core runner,
+   --segment-bench and --cluster-bench record {"skipped": "cores=1"} in
+   BENCH.json instead of committing meaningless <=1x speedups. The
+   microbenchmark section also asserts the advisor's loop marks are
+   strictly opt-in: the default (unmarked) trace must carry zero marks
+   and serialize in the seed's v1 byte format. *)
 
 open Ddg_experiments
 
@@ -139,12 +144,42 @@ let estimate_ns cfg instances ols test =
       | Some _ | None -> acc)
     analyzed None
 
+(* Loop marks (the advisor's side channel) are strictly opt-in: a
+   default (unmarked) compile must carry zero marks and serialize in the
+   seed's v1 trace format, byte for byte — no marks section, no version
+   bump — so every events/s figure below is measured on the same trace
+   bytes the seed revision produced. Exits nonzero if marks leak in. *)
+let assert_marks_are_opt_in trace =
+  if Ddg_sim.Trace.num_marks trace <> 0 then begin
+    Printf.eprintf "bench: unmarked trace carries loop marks\n%!";
+    exit 1
+  end;
+  let tmp = Filename.temp_file "ddg-bench-trace" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Ddg_sim.Trace_io.write_file tmp trace;
+      let ic = open_in_bin tmp in
+      let magic =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic 8)
+      in
+      if magic <> "DDGTRC01" then begin
+        Printf.eprintf
+          "bench: unmarked trace serialized with magic %S, not the seed's \
+           v1 format\n%!"
+          magic;
+        exit 1
+      end)
+
 let microbenchmarks () =
   let open Bechamel in
   let open Toolkit in
   (* a small fixed trace for the analysis benchmarks *)
   let w = Option.get (Ddg_workloads.Registry.find "eqnx") in
   let _, trace = Ddg_workloads.Workload.trace w Ddg_workloads.Workload.Tiny in
+  assert_marks_are_opt_in trace;
   let events = Ddg_sim.Trace.length trace in
   let record_events = Ddg_sim.Trace.to_list trace in
   let program =
@@ -218,7 +253,9 @@ let microbenchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   Printf.printf
-    "Microbenchmarks (eqnx tiny: %d trace events; ns per run):\n\n" events;
+    "Microbenchmarks (eqnx tiny: %d trace events; ns per run):\n" events;
+  Printf.printf
+    "  (unmarked trace checked: zero loop marks, seed v1 byte format)\n\n";
   let measured =
     List.map
       (fun (name, passes, thunk) ->
@@ -811,6 +848,12 @@ let run_segment_bench ~size =
 
 (* --- BENCH.json ---------------------------------------------------------- *)
 
+(* Scaling benchmarks either ran or were skipped with a reason; a skip
+   is recorded in BENCH.json (e.g. [{"skipped": "cores=1"}]) so a
+   single-core runner leaves an explicit marker instead of committing
+   meaningless <=1x speedups. *)
+type 'a outcome = Ran of 'a | Skipped of string
+
 let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
     ~fault ~obs ~segment =
   let open Ddg_report.Json in
@@ -831,6 +874,7 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
               [ ("workload", String "eqnx");
                 ("size", String "tiny");
                 ("trace_events", Int events);
+                ("unmarked_trace_seed_v1", Bool true);
                 ( "benchmarks",
                   List
                     (List.filter_map
@@ -892,7 +936,9 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
   let cluster_fields =
     match cluster with
     | None -> []
-    | Some k ->
+    | Some (Skipped reason) ->
+        [ ("cluster", Obj [ ("skipped", String reason) ]) ]
+    | Some (Ran k) ->
         [ ( "cluster",
             Obj
               [ ( "workloads",
@@ -943,7 +989,9 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
   let segment_fields =
     match segment with
     | None -> []
-    | Some g ->
+    | Some (Skipped reason) ->
+        [ ("segmented", Obj [ ("skipped", String reason) ]) ]
+    | Some (Ran g) ->
         let rate_of j = List.assoc_opt j g.gb_jobs in
         [ ( "segmented",
             Obj
@@ -993,12 +1041,11 @@ let () =
         segment_bench } =
     parse_args ()
   in
-  (if Domain.recommended_domain_count () = 1
-      && (workers > 1 || cache_bench || segment_bench || cluster_bench)
-   then
+  let cores = Domain.recommended_domain_count () in
+  (if cores = 1 && (workers > 1 || cache_bench) then
      Printf.eprintf
-       "bench: warning: only 1 core available; parallel and cluster \
-        numbers will not show scaling\n%!");
+       "bench: warning: only 1 core available; parallel numbers will not \
+        show scaling\n%!");
   let t0 = Unix.gettimeofday () in
   let progress msg =
     Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
@@ -1072,7 +1119,13 @@ let () =
   let cluster_results =
     if cluster_bench then begin
       section_banner "cluster (router + sharded fleet) benchmark";
-      Some (timed "cluster-bench" (fun () -> run_cluster_bench ~size))
+      if cores = 1 then begin
+        Printf.printf
+          "cluster bench skipped: cores=1 (single-core runner; scaling \
+           numbers would be meaningless)\n";
+        Some (Skipped "cores=1")
+      end
+      else Some (Ran (timed "cluster-bench" (fun () -> run_cluster_bench ~size)))
     end
     else None
   in
@@ -1093,7 +1146,13 @@ let () =
   let segment_results =
     if segment_bench then begin
       section_banner "segmented single-trace analysis benchmark";
-      Some (timed "segment-bench" (fun () -> run_segment_bench ~size))
+      if cores = 1 then begin
+        Printf.printf
+          "segment bench skipped: cores=1 (single-core runner; scaling \
+           numbers would be meaningless)\n";
+        Some (Skipped "cores=1")
+      end
+      else Some (Ran (timed "segment-bench" (fun () -> run_segment_bench ~size)))
     end
     else None
   in

@@ -322,6 +322,170 @@ let analyze_cmd =
       const run $ input_arg $ max_instructions_arg $ config_term $ json
       $ profile_flag_arg $ analyze_jobs_arg $ analyze_segments_arg)
 
+(* --- advise ---------------------------------------------------------------- *)
+
+module Advise = Ddg_advise.Advise
+
+(* Like [trace_and_program_of_input], but compiling with loop marks so
+   the advisor has its loop-attribution side channel. A saved .trace is
+   used as-is (it must have been recorded from a marked program);
+   hand-written assembly may carry its own [.loop]/[lmark] marks. *)
+let marked_trace_of_input input ~max_instructions =
+  if Filename.check_suffix input ".trace" then read_trace_file input
+  else begin
+    let program =
+      match classify_input input with
+      | Workload_name name -> (
+          match Ddg_workloads.Registry.find name with
+          | Some w ->
+              Ddg_workloads.Workload.program ~marks:true w
+                Ddg_workloads.Workload.Default
+          | None -> failwith (Printf.sprintf "unknown workload %S" name))
+      | Minic_file path -> (
+          let source = read_source path in
+          try Ddg_minic.Driver.compile ~marks:true source
+          with Ddg_minic.Driver.Error { line; msg } ->
+            failwith (Printf.sprintf "%s:%d: %s" path line msg))
+      | Asm_file path -> (
+          let source = read_source path in
+          try Ddg_asm.Assembler.assemble_string source
+          with
+          | Ddg_asm.Parser.Error { lineno; msg }
+          | Ddg_asm.Assembler.Error { lineno; msg } ->
+              failwith (Printf.sprintf "%s:%d: %s" path lineno msg))
+    in
+    let result, trace =
+      Obs.time span_cli_simulate (fun () ->
+          Ddg_sim.Machine.run_to_trace ~max_instructions program)
+    in
+    (match result.stop with
+    | Ddg_sim.Machine.Halted | Ddg_sim.Machine.Instruction_limit -> ()
+    | Ddg_sim.Machine.Fault msg -> failwith ("machine fault: " ^ msg));
+    trace
+  end
+
+let advise_to_json input config (a : Advise.t) =
+  let open Ddg_report.Json in
+  Obj
+    [ ("program", String input);
+      ("switches", String (Config.describe config));
+      ("total_ops", Int a.Advise.total_ops);
+      ("total_cp", Int a.total_cp);
+      ( "loops",
+        List
+          (List.map
+             (fun (l : Advise.loop_report) ->
+               Obj
+                 [ ("id", Int l.Advise.id);
+                   ("func", String l.func);
+                   ("line", Int l.line);
+                   ("kind", String l.kind);
+                   ( "classification",
+                     String (Advise.classification_name l.classification) );
+                   ("entries", Int l.entries);
+                   ("iterations", Int l.iterations);
+                   ("ops", Int l.ops);
+                   ("cp_cycles", Int l.cp_cycles);
+                   ("avg_iterations", Float (Advise.avg_iterations l));
+                   ("speedup_estimate", Float (Advise.speedup_estimate l));
+                   ("benefit", Float (Advise.benefit l));
+                   ( "carried",
+                     List
+                       (List.map
+                          (fun (c : Advise.carried_dep) ->
+                            Obj
+                              [ ( "location",
+                                  String (Ddg_isa.Loc.to_string c.Advise.location)
+                                );
+                                ("distance", Int c.distance);
+                                ("occurrences", Int c.occurrences) ])
+                          l.carried) ) ])
+             a.loops) ) ]
+
+let render_advise input config (a : Advise.t) =
+  let module T = Ddg_report.Table in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "program: %s\n" input);
+  Buffer.add_string buf
+    (Printf.sprintf "switches: %s\n" (Config.describe config));
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d events, critical path %d cycles\n\n"
+       a.Advise.total_ops a.total_cp);
+  if a.loops = [] then
+    Buffer.add_string buf
+      "no loops observed (trace has no loop marks; compile with marks or \
+       name a workload)\n"
+  else begin
+    let rows =
+      List.mapi
+        (fun i (l : Advise.loop_report) ->
+          [ string_of_int (i + 1);
+            Printf.sprintf "%s:%d" l.Advise.func l.line;
+            l.kind;
+            Advise.classification_name l.classification;
+            T.int_cell l.entries;
+            T.float_cell ~decimals:1 (Advise.avg_iterations l);
+            T.int_cell l.ops;
+            T.int_cell l.cp_cycles;
+            T.float_cell ~decimals:1 (Advise.speedup_estimate l);
+            Printf.sprintf "%.1f%%"
+              (if a.total_ops = 0 then 0.0
+               else 100.0 *. Advise.benefit l /. float_of_int a.total_ops) ])
+        a.loops
+    in
+    Buffer.add_string buf
+      (T.render ~title:"loops ranked by parallelization benefit"
+         ~headers:
+           [ ("#", T.Right); ("Loop", T.Left); ("Kind", T.Left);
+             ("Classification", T.Left); ("Entries", T.Right);
+             ("Iters/entry", T.Right); ("Ops", T.Right);
+             ("CP cycles", T.Right); ("Speedup", T.Right);
+             ("Benefit", T.Right) ]
+         rows);
+    let with_deps =
+      List.filter
+        (fun (l : Advise.loop_report) -> l.Advise.carried <> [])
+        a.loops
+    in
+    if with_deps <> [] then begin
+      Buffer.add_string buf "\ncarried dependences (tightest first):\n";
+      List.iter
+        (fun (l : Advise.loop_report) ->
+          List.iter
+            (fun (c : Advise.carried_dep) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-16s %-10s dist %-3d x%d\n"
+                   (Printf.sprintf "%s:%d" l.Advise.func l.line)
+                   (Ddg_isa.Loc.to_string c.Advise.location)
+                   c.distance c.occurrences))
+            l.Advise.carried)
+        with_deps
+    end
+  end;
+  Buffer.contents buf
+
+let advise_cmd =
+  let run input max_instructions config json profile =
+    with_profile profile @@ fun () ->
+    let trace = marked_trace_of_input input ~max_instructions in
+    let advice = Advise.analyze ~config trace in
+    if json then
+      print_endline
+        (Ddg_report.Json.to_string (advise_to_json input config advice))
+    else print_string (render_advise input config advice)
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let doc =
+    "Classify every executed source loop as DOALL, reduction or      loop-carried (with the minimum observed dependence distance) and      rank loops by how much work parallelizing each would overlap. Works      on workloads, Mini-C files, marked assembly, or saved marked traces."
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc)
+    Term.(
+      const run $ input_arg $ max_instructions_arg $ config_term $ json
+      $ profile_flag_arg)
+
 (* --- profile -------------------------------------------------------------- *)
 
 let profile_cmd =
@@ -1179,6 +1343,34 @@ let client_analyze_cmd =
       const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
       $ retry_policy_term $ deadline_ms_arg $ workload $ config_term $ json)
 
+let client_advise_cmd =
+  let run endpoint retry connect_timeout policy deadline_ms workload config
+      json =
+    client_request endpoint retry connect_timeout policy deadline_ms
+      (Protocol.Advise { workload; config })
+      (function
+      | Protocol.Advised advice ->
+          if json then
+            print_endline
+              (Ddg_report.Json.to_string
+                 (advise_to_json workload config advice))
+          else print_string (render_advise workload config advice)
+      | _ -> unexpected_response ())
+  in
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Run the parallelization advisor on the daemon (served from its      warm caches when possible). Same output as the local $(b,advise);      the report is bit-identical wherever it is computed.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ workload $ config_term $ json)
+
 let client_simulate_cmd =
   let run endpoint retry connect_timeout policy deadline_ms workload =
     client_request endpoint retry connect_timeout policy deadline_ms
@@ -1439,6 +1631,7 @@ let client_cmd =
   Cmd.group (Cmd.info "client" ~doc)
     [ client_ping_cmd;
       client_analyze_cmd;
+      client_advise_cmd;
       client_simulate_cmd;
       client_table_cmd;
       client_stats_cmd;
@@ -1454,6 +1647,7 @@ let main =
   in
   Cmd.group (Cmd.info "paragraph" ~version:Ddg_version.Version.current ~doc)
     [ analyze_cmd;
+      advise_cmd;
       profile_cmd;
       ddg_cmd;
       run_cmd;

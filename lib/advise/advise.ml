@@ -1,0 +1,425 @@
+module Loc = Ddg_isa.Loc
+module Insn = Ddg_isa.Insn
+module Trace = Ddg_sim.Trace
+module Config = Ddg_paragraph.Config
+
+type classification =
+  | Doall
+  | Reduction of { distance : int }
+  | Carried of { distance : int }
+
+type carried_dep = { location : Loc.t; distance : int; occurrences : int }
+
+type loop_report = {
+  id : int;
+  func : string;
+  line : int;
+  kind : string;
+  classification : classification;
+  entries : int;
+  iterations : int;
+  ops : int;
+  cp_cycles : int;
+  carried : carried_dep list;
+}
+
+type t = { loops : loop_report list; total_ops : int; total_cp : int }
+
+let avg_iterations r =
+  float_of_int r.iterations /. float_of_int (max 1 r.entries)
+
+let speedup_estimate r =
+  let iters = avg_iterations r in
+  let s =
+    match r.classification with
+    | Doall -> iters
+    | Reduction _ -> iters /. 2.
+    | Carried { distance } -> min iters (float_of_int distance)
+  in
+  max 1. s
+
+let benefit r =
+  let s = speedup_estimate r in
+  float_of_int r.ops *. (1. -. (1. /. s))
+
+let classification_name = function
+  | Doall -> "DOALL"
+  | Reduction { distance } -> Printf.sprintf "reduction (dist %d)" distance
+  | Carried { distance } -> Printf.sprintf "carried (dist %d)" distance
+
+(* --- the forward pass ---------------------------------------------------
+
+   One loop-context frame per active loop activation. Frames form the
+   current nesting chain through [parent]; [on_stack] distinguishes the
+   live chain from frames captured in writer records whose activation
+   has since exited. [starts] records the trace position at which each
+   iteration of this activation began (one int per executed [iter]
+   mark), so a writer event's iteration number is a binary search. *)
+
+type frame = {
+  loop : int;
+  mutable iter : int;        (* current iteration; -1 in the preheader *)
+  mutable starts : int array;
+  mutable nstarts : int;
+  parent : frame option;
+  mutable on_stack : bool;
+  enter_pos : int;
+  enter_cp : int;
+}
+
+let push_start f pos =
+  if f.nstarts = Array.length f.starts then begin
+    let cap = max 8 (2 * f.nstarts) in
+    let a = Array.make cap 0 in
+    Array.blit f.starts 0 a 0 f.nstarts;
+    f.starts <- a
+  end;
+  f.starts.(f.nstarts) <- pos;
+  f.nstarts <- f.nstarts + 1
+
+(* Iteration of activation [f] that was current at trace position
+   [ev]: the last iteration whose start is <= [ev], -1 when [ev]
+   precedes the first iteration (the preheader). *)
+let iter_at f ev =
+  if f.nstarts = 0 || ev < f.starts.(0) then -1
+  else begin
+    let lo = ref 0 and hi = ref (f.nstarts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if f.starts.(mid) <= ev then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+(* Carried-dependence observations for one (loop, location) pair.
+   [all_selfonly] / [all_mem] stay true only while every observed
+   writer had the corresponding property — used by the induction
+   discount and the memory-reduction rule. *)
+type cdep = {
+  mutable dist : int;
+  mutable count : int;
+  mutable all_selfonly : bool;
+  mutable all_mem : bool;
+}
+
+type agg = {
+  mutable entries : int;
+  mutable iters : int;
+  mutable a_ops : int;
+  mutable a_cp : int;
+  carried : (int, cdep) Hashtbl.t;  (* keyed by dense location id *)
+}
+
+let new_agg () =
+  { entries = 0; iters = 0; a_ops = 0; a_cp = 0; carried = Hashtbl.create 8 }
+
+let analyze ?(config = Config.default) trace =
+  let cols = Trace.columns trace in
+  let n = cols.n in
+  let nlocs = max 1 (Trace.num_locs trace) in
+  let loop_table = Trace.loops trace in
+  let nloops = Array.length loop_table in
+  let lat = Config.latency_table config in
+  let sc = Trace.storage_classes trace in
+  let is_mem id = Bytes.get sc id <> '\000' in
+  (* per-location writer records: event index, frame, and two bits —
+     "selfonly" (the value is a function of nothing but this location's
+     previous value, e.g. a counter bump or a constant reset) and
+     "through memory" (the record was restored by a load, so a carried
+     dependence on this register is really a dependence through the
+     memory cell it was loaded from). *)
+  let w_ev = Array.make nlocs (-1) in
+  let w_frame : frame option array = Array.make nlocs None in
+  let w_self = Bytes.make nlocs '\001' in
+  let w_mem = Bytes.make nlocs '\000' in
+  let level = Array.make nlocs 0 in
+  let aggs = Array.init nloops (fun _ -> new_agg ()) in
+  let cur = ref None in
+  let cp = ref 0 in
+  let close_frame f pos =
+    f.on_stack <- false;
+    cur := f.parent;
+    if f.loop < nloops then begin
+      let a = aggs.(f.loop) in
+      a.a_ops <- a.a_ops + (pos - f.enter_pos);
+      a.a_cp <- a.a_cp + (!cp - f.enter_cp)
+    end
+  in
+  let rec close_until l pos =
+    match !cur with
+    | None -> ()
+    | Some f ->
+        close_frame f pos;
+        if f.loop <> l then close_until l pos
+  in
+  let apply_mark (m : Trace.mark) =
+    match m.kind with
+    | Insn.Enter ->
+        cur :=
+          Some
+            {
+              loop = m.loop;
+              iter = -1;
+              starts = [||];
+              nstarts = 0;
+              parent = !cur;
+              on_stack = true;
+              enter_pos = m.pos;
+              enter_cp = !cp;
+            };
+        if m.loop < nloops then begin
+          let a = aggs.(m.loop) in
+          a.entries <- a.entries + 1
+        end
+    | Insn.Iter -> (
+        match !cur with
+        | Some f when f.loop = m.loop ->
+            f.iter <- f.iter + 1;
+            push_start f m.pos;
+            if m.loop < nloops then begin
+              let a = aggs.(m.loop) in
+              a.iters <- a.iters + 1
+            end
+        | _ -> () (* stray iter: tolerate malformed mark streams *))
+    | Insn.Exit -> close_until m.loop m.pos
+  in
+  let nmarks = Trace.num_marks trace in
+  let mi = ref 0 in
+  let rec anchor f =
+    if f.on_stack then Some f
+    else match f.parent with Some p -> anchor p | None -> None
+  in
+  let record_dep i s =
+    ignore i;
+    let ev = w_ev.(s) in
+    if ev >= 0 then begin
+      match w_frame.(s) with
+      | None -> ()
+      | Some wf -> (
+          match anchor wf with
+          | None -> ()
+          | Some f ->
+              (* fast path: the writer ran during the current iteration
+                 of its deepest still-active loop — not carried *)
+              if f.iter >= 0 && ev < f.starts.(f.iter) then begin
+                let w_iter = iter_at f ev in
+                if w_iter >= 0 && f.loop < nloops then begin
+                  let d = f.iter - w_iter in
+                  if d > 0 then begin
+                    let a = aggs.(f.loop) in
+                    let c =
+                      match Hashtbl.find_opt a.carried s with
+                      | Some c -> c
+                      | None ->
+                          let c =
+                            {
+                              dist = d;
+                              count = 0;
+                              all_selfonly = true;
+                              all_mem = true;
+                            }
+                          in
+                          Hashtbl.add a.carried s c;
+                          c
+                    in
+                    c.dist <- min c.dist d;
+                    c.count <- c.count + 1;
+                    if Bytes.get w_self s = '\000' then
+                      c.all_selfonly <- false;
+                    if not (is_mem s || Bytes.get w_mem s = '\001') then
+                      c.all_mem <- false
+                  end
+                end
+              end)
+    end
+  in
+  let control_tag = Ddg_isa.Opclass.control_tag in
+  let ls_tag = Ddg_isa.Opclass.to_tag Ddg_isa.Opclass.Load_store in
+  for i = 0 to n - 1 do
+    while !mi < nmarks && (Trace.get_mark trace !mi).pos <= i do
+      apply_mark (Trace.get_mark trace !mi);
+      incr mi
+    done;
+    let flags = Char.code (Bytes.get cols.flags i) in
+    let cls = flags land Trace.flags_class_mask in
+    let s0 = cols.src0.(i) and s1 = cols.src1.(i) and s2 = cols.src2.(i) in
+    if s0 >= 0 then record_dep i s0;
+    if s1 >= 0 then record_dep i s1;
+    if s2 >= 0 then record_dep i s2;
+    let extras =
+      if flags land Trace.flags_extra <> 0 then Trace.extra_srcs trace i
+      else [||]
+    in
+    Array.iter (fun s -> if s >= 0 then record_dep i s) extras;
+    if flags land Trace.flags_has_dest <> 0 && cls <> control_tag then begin
+      let d = cols.dsts.(i) in
+      (* dataflow level: independent of store/load transparency, so the
+         critical path counts the memory operations it flows through *)
+      let maxl = ref 0 in
+      let see s = if s >= 0 && level.(s) > !maxl then maxl := level.(s) in
+      see s0;
+      see s1;
+      see s2;
+      Array.iter see extras;
+      let lvl = !maxl + lat.(cls) in
+      if cls = ls_tag && is_mem d then begin
+        (* store: a transparent value copy. The cell's writer record
+           becomes the record of the event that computed the stored
+           value (source 0), so later readers depend on the producer,
+           not on the copy — spills can never look loop-carried. *)
+        let nsrcs =
+          (if s0 >= 0 then 1 else 0)
+          + (if s1 >= 0 then 1 else 0)
+          + if s2 >= 0 then 1 else 0
+        in
+        if nsrcs >= 2 && w_ev.(s0) >= 0 then begin
+          w_ev.(d) <- w_ev.(s0);
+          w_frame.(d) <- w_frame.(s0);
+          Bytes.set w_self d (Bytes.get w_self s0)
+        end
+        else begin
+          (* value register untracked (or elided: storing r0) — the
+             store itself is the best producer we can name *)
+          w_ev.(d) <- i;
+          w_frame.(d) <- !cur;
+          Bytes.set w_self d '\000'
+        end
+      end
+      else if cls = ls_tag then begin
+        (* load: restore the cell's producer record into the register;
+           mark it "through memory" so the memory-reduction rule can
+           recognise read-modify-write accumulators it feeds. *)
+        let m = ref (-1) in
+        let pick s = if s >= 0 && is_mem s then m := s in
+        pick s0;
+        pick s1;
+        pick s2;
+        Array.iter pick extras;
+        if !m >= 0 && w_ev.(!m) >= 0 then begin
+          w_ev.(d) <- w_ev.(!m);
+          w_frame.(d) <- w_frame.(!m);
+          Bytes.set w_self d (Bytes.get w_self !m);
+          Bytes.set w_mem d '\001'
+        end
+        else begin
+          w_ev.(d) <- i;
+          w_frame.(d) <- !cur;
+          Bytes.set w_self d '\000';
+          Bytes.set w_mem d '\000'
+        end
+      end
+      else begin
+        w_ev.(d) <- i;
+        w_frame.(d) <- !cur;
+        let selfonly =
+          (s0 < 0 || s0 = d)
+          && (s1 < 0 || s1 = d)
+          && (s2 < 0 || s2 = d)
+          && Array.for_all (fun s -> s < 0 || s = d) extras
+        in
+        Bytes.set w_self d (if selfonly then '\001' else '\000');
+        Bytes.set w_mem d '\000'
+      end;
+      level.(d) <- lvl;
+      if lvl > !cp then cp := lvl
+    end
+  done;
+  while !mi < nmarks do
+    apply_mark (Trace.get_mark trace !mi);
+    incr mi
+  done;
+  (* trace ended inside loops (fault, instruction limit): close what
+     remains so their work is still accounted *)
+  let rec drain () =
+    match !cur with
+    | None -> ()
+    | Some f ->
+        close_frame f n;
+        drain ()
+  in
+  drain ();
+  (* classification *)
+  let report id =
+    let a = aggs.(id) in
+    if a.entries = 0 then None
+    else begin
+      let desc = loop_table.(id) in
+      let ids locs = List.filter_map (Trace.find_id trace) locs in
+      let ind_ids = ids desc.Ddg_isa.Loop.inductions in
+      let red_ids = ids desc.Ddg_isa.Loop.reductions in
+      let surviving = ref [] in
+      let red_dist = ref max_int and car_dist = ref max_int in
+      Hashtbl.iter
+        (fun s (c : cdep) ->
+          let discount = List.mem s ind_ids || c.all_selfonly in
+          if not discount then begin
+            surviving :=
+              {
+                location = Trace.loc_of_id trace s;
+                distance = c.dist;
+                occurrences = c.count;
+              }
+              :: !surviving;
+            let reduction =
+              List.mem s red_ids
+              || (desc.Ddg_isa.Loop.mem_reduction && c.all_mem)
+            in
+            if reduction then red_dist := min !red_dist c.dist
+            else car_dist := min !car_dist c.dist
+          end)
+        a.carried;
+      let classification =
+        if !car_dist < max_int then Carried { distance = !car_dist }
+        else if !red_dist < max_int then Reduction { distance = !red_dist }
+        else Doall
+      in
+      let carried =
+        List.sort
+          (fun a b ->
+            match compare a.distance b.distance with
+            | 0 -> (
+                match compare b.occurrences a.occurrences with
+                | 0 -> Loc.compare a.location b.location
+                | c -> c)
+            | c -> c)
+          !surviving
+      in
+      let carried =
+        List.filteri (fun i _ -> i < 4) carried
+      in
+      Some
+        {
+          id;
+          func = desc.Ddg_isa.Loop.func;
+          line = desc.Ddg_isa.Loop.line;
+          kind = desc.Ddg_isa.Loop.kind;
+          classification;
+          entries = a.entries;
+          iterations = a.iters;
+          ops = a.a_ops;
+          cp_cycles = a.a_cp;
+          carried;
+        }
+    end
+  in
+  let loops =
+    List.init nloops report |> List.filter_map (fun r -> r)
+    |> List.sort (fun a b ->
+           match compare (benefit b) (benefit a) with
+           | 0 -> (
+               match compare b.ops a.ops with 0 -> compare a.id b.id | c -> c)
+           | c -> c)
+  in
+  { loops; total_ops = n; total_cp = !cp }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d loops, %d ops, cp %d@," (List.length t.loops)
+    t.total_ops t.total_cp;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "loop %d %s:%d [%s] %s iters=%d ops=%d cp=%d@," r.id
+        r.func r.line r.kind
+        (classification_name r.classification)
+        r.iterations r.ops r.cp_cycles)
+    t.loops;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,92 @@
+(** The parallelization advisor: loop-level dependence classification.
+
+    Consumes a loop-attributed trace (one produced with compiler marks,
+    {!Ddg_minic.Codegen.emit} [~marks:true]) and classifies every
+    executed source loop by the cross-iteration flow dependences
+    actually observed:
+
+    - {b DOALL}: no carried dependence survives discounting — every
+      iteration could run in parallel.
+    - {b Reduction}: every surviving carried dependence is a
+      commutative accumulation (statically hinted by the compiler's
+      [.loop] descriptor: a register accumulator list or the
+      memory-reduction flag), so the loop parallelises with a
+      reduction tree.
+    - {b Carried}: a genuine loop-carried dependence remains; the
+      minimum observed iteration distance bounds the overlap (distance
+      [d] lets [d] iterations run in flight).
+
+    Discounting mirrors what a parallelising compiler would do:
+    induction registers named by the loop descriptor are ignored, as is
+    any location only ever written as a function of itself (loop
+    counters, the stack pointer). Stores are treated as transparent
+    value copies — a dependence through memory is attributed to the
+    event that {e computed} the stored value, so callee-save and
+    expression spills never fabricate carried dependences.
+
+    Loops are ranked by estimated benefit: the dynamic operations the
+    loop covers, scaled by how much of that work the classification
+    says could overlap. *)
+
+type classification =
+  | Doall
+  | Reduction of { distance : int }
+      (** carried, but every surviving dependence is a hinted
+          accumulator; [distance] is the minimum observed *)
+  | Carried of { distance : int }
+      (** [distance] is the minimum observed iteration distance *)
+
+type carried_dep = {
+  location : Ddg_isa.Loc.t;  (** where the dependence was observed *)
+  distance : int;            (** minimum iteration distance observed *)
+  occurrences : int;         (** dynamic dependence-edge count *)
+}
+
+type loop_report = {
+  id : int;              (** loop id ({!Ddg_isa.Loop.t} table index) *)
+  func : string;
+  line : int;
+  kind : string;         (** "for" | "while" | "do" *)
+  classification : classification;
+  entries : int;         (** dynamic activations *)
+  iterations : int;      (** dynamic iterations, all activations *)
+  ops : int;             (** events executed while active (inclusive) *)
+  cp_cycles : int;       (** critical-path growth while active
+                             (latency-weighted, inclusive) *)
+  carried : carried_dep list;
+      (** surviving carried dependences (inductions discounted),
+          tightest distance first; capped at four *)
+}
+
+val avg_iterations : loop_report -> float
+(** Iterations per activation. *)
+
+val speedup_estimate : loop_report -> float
+(** Idealised overlap factor: DOALL loops scale with their iteration
+    count, reductions with half of it (tree latency), carried loops
+    with the minimum dependence distance. Always at least 1. *)
+
+val benefit : loop_report -> float
+(** Ranking key: [ops * (1 - 1 / speedup_estimate)] — the dynamic work
+    the classification says could be overlapped. *)
+
+type t = {
+  loops : loop_report list;
+      (** executed loops, ranked by {!benefit} descending (ties: more
+          ops first, then lower id) *)
+  total_ops : int;   (** trace length *)
+  total_cp : int;    (** final dataflow critical path, latency-weighted *)
+}
+
+val analyze : ?config:Ddg_paragraph.Config.t -> Ddg_sim.Trace.t -> t
+(** Single forward pass over the trace. [config] supplies the latency
+    table for critical-path weighting (default
+    {!Ddg_paragraph.Config.default}). A trace without marks yields
+    [{ loops = []; _ }]. *)
+
+val classification_name : classification -> string
+(** ["DOALL"], ["reduction (dist d)"], ["carried (dist d)"] — the
+    stable strings the CLI table and the smoke tests grep for. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering (one line per loop). *)

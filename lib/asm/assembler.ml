@@ -37,7 +37,7 @@ let collect_symbols lines =
             go rest section pc daddr
         | Ast.Directive ("text", _) -> go rest Text pc daddr
         | Ast.Directive ("data", _) -> go rest Data pc daddr
-        | Ast.Directive ("loc", _) -> go rest section pc daddr
+        | Ast.Directive (("loc" | "loop"), _) -> go rest section pc daddr
         | Ast.Directive (d, ops) -> (
             match section with
             | Data -> go rest section pc (daddr + data_size lineno d ops)
@@ -187,6 +187,10 @@ let encode symbols { Ast.lineno; item } =
         | "syscall", [] -> Insn.Syscall
         | "nop", [] -> Insn.Nop
         | "halt", [] -> Insn.Halt
+        | "lmark", [ Ast.Sym k; Ast.Int loop ] when loop >= 0 -> (
+            match Insn.mark_of_string k with
+            | Some mk -> Insn.Mark (mk, loop)
+            | None -> fail lineno "unknown lmark kind %S" k)
         | _ -> fail lineno "unknown instruction %a" Ast.pp_item item
       in
       Some insn
@@ -260,6 +264,68 @@ let build_line_table lines ninsns =
     lines;
   table
 
+(* loop descriptors, from [.loop] directives:
+     .loop ID, FUNC, LINE, KIND, NIND, ind..., NRED, red..., MEMRED
+   Register lists are length-prefixed so the two lists need no separator;
+   ids must be dense [0..n-1] (the Mini-C code generator numbers loops in
+   emission order). *)
+let build_loop_table lines =
+  let parse_regs lineno what ops =
+    match ops with
+    | Ast.Int n :: rest when n >= 0 ->
+        let rec take n acc ops =
+          if n = 0 then (List.rev acc, ops)
+          else
+            match ops with
+            | Ast.Reg r :: rest -> take (n - 1) (Loc.Reg r :: acc) rest
+            | Ast.Freg f :: rest -> take (n - 1) (Loc.Freg f :: acc) rest
+            | _ -> fail lineno ".loop: expected %d %s register(s)" n what
+        in
+        take n [] rest
+    | _ -> fail lineno ".loop: expected a %s register count" what
+  in
+  let loops =
+    List.filter_map
+      (fun { Ast.lineno; item } ->
+        match item with
+        | Ast.Directive
+            ( "loop",
+              Ast.Int id :: Ast.Sym func :: Ast.Int line :: Ast.Sym kind
+              :: rest )
+          when id >= 0 && line >= 0 ->
+            let inductions, rest = parse_regs lineno "induction" rest in
+            let reductions, rest = parse_regs lineno "reduction" rest in
+            let mem_reduction =
+              match rest with
+              | [ Ast.Int 0 ] -> false
+              | [ Ast.Int 1 ] -> true
+              | _ -> fail lineno ".loop: expected a trailing 0/1 memred flag"
+            in
+            Some
+              ( lineno,
+                id,
+                { Loop.func; line; kind; inductions; reductions;
+                  mem_reduction } )
+        | Ast.Directive ("loop", _) -> fail lineno "malformed .loop directive"
+        | _ -> None)
+      lines
+  in
+  match loops with
+  | [] -> [||]
+  | (_, _, first) :: _ ->
+      let n = List.length loops in
+      let table = Array.make n first in
+      let seen = Array.make n false in
+      List.iter
+        (fun (lineno, id, info) ->
+          if id >= n then
+            fail lineno ".loop: id %d out of range (%d descriptors)" id n;
+          if seen.(id) then fail lineno ".loop: duplicate id %d" id;
+          seen.(id) <- true;
+          table.(id) <- info)
+        loops;
+      table
+
 let assemble lines =
   let symbols, data_end = collect_symbols lines in
   let insns = List.filter_map (encode symbols) lines in
@@ -275,6 +341,7 @@ let assemble lines =
     symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
     data_end;
     line_table = build_line_table lines (Array.length insns);
+    loops = build_loop_table lines;
   }
 
 let assemble_string source = assemble (Parser.parse source)

@@ -13,7 +13,12 @@
       the zero register;
     - [b label] — unconditional branch;
     - integer ALU mnemonics accept an immediate third operand
-      ([add t0, t1, 4] ≡ [addi t0, t1, 4]). *)
+      ([add t0, t1, 4] ≡ [addi t0, t1, 4]).
+
+    Loop attribution: [lmark enter|iter|exit, id] encodes an
+    {!Ddg_isa.Insn.Mark}; a [.loop] directive per loop id describes the
+    loop ([.loop id, func, line, kind, n, ind-regs…, n, red-regs…,
+    memred]) and the descriptors land in {!Program.t.loops}. *)
 
 exception Error of { lineno : int; msg : string }
 

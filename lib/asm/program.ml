@@ -7,6 +7,7 @@ type t = {
   symbols : (string * int) list;
   data_end : int;
   line_table : int array;
+  loops : Ddg_isa.Loop.t array;
 }
 
 let source_line t pc =

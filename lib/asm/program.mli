@@ -15,6 +15,11 @@ type t = {
   data_end : int;                (** first free data-segment address *)
   line_table : int array;        (** source line per instruction (from
                                      [.loc] directives; 0 when unknown) *)
+  loops : Ddg_isa.Loop.t array;  (** loop descriptors (from [.loop]
+                                     directives), indexed by the loop id
+                                     carried by {!Ddg_isa.Insn.Mark}
+                                     instructions; empty when the program
+                                     was compiled without loop marks *)
 }
 
 val source_line : t -> int -> int option

@@ -9,7 +9,9 @@ let of_store_key key =
 let of_request ~size (req : Protocol.request) =
   let sz = Workload.size_to_string size in
   match req with
-  | Protocol.Analyze { workload; _ } | Protocol.Simulate { workload } ->
+  | Protocol.Analyze { workload; _ }
+  | Protocol.Simulate { workload }
+  | Protocol.Advise { workload; _ } ->
       Some (workload ^ "/" ^ sz)
   | Protocol.Table { name } -> Some ("table/" ^ name)
   | Protocol.Forward { kind = _; key } -> Some (of_store_key key)

@@ -323,7 +323,7 @@ let serve_request t sessions fd ~deadline_ms (req : Protocol.request) =
           with _ -> ())
         t.backends;
       stop t
-  | Analyze _ | Simulate _ | Table _ | Forward _ -> (
+  | Analyze _ | Simulate _ | Table _ | Forward _ | Advise _ -> (
       match Route.of_request ~size:t.size req with
       | Some key -> finish (dispatch_keyed t sessions ~deadline_ms key req)
       | None -> assert false (* keyless verbs all matched above *))

@@ -7,6 +7,7 @@ module Obs = Ddg_obs.Obs
    one hit counter per cache layer (memory / disk store, trace / stats). *)
 let span_simulate = Obs.span_site "ddg_runner_simulate_ns"
 let span_analyze = Obs.span_site "ddg_runner_analyze_ns"
+let span_advise = Obs.span_site "ddg_runner_advise_ns"
 
 let hit_trace_mem =
   Obs.counter ~labels:[ ("cache", "trace_mem") ] "ddg_runner_cache_hits_total"
@@ -21,6 +22,16 @@ let hit_stats_store =
   Obs.counter
     ~labels:[ ("cache", "stats_store") ]
     "ddg_runner_cache_hits_total"
+
+let hit_advise_mem =
+  Obs.counter ~labels:[ ("cache", "advise_mem") ] "ddg_runner_cache_hits_total"
+
+let hit_advise_store =
+  Obs.counter
+    ~labels:[ ("cache", "advise_store") ]
+    "ddg_runner_cache_hits_total"
+
+let advises_total = Obs.counter "ddg_runner_advises_total"
 
 let evictions_total = Obs.counter "ddg_runner_trace_evictions_total"
 let remote_fetches_total = Obs.counter "ddg_runner_remote_fetches_total"
@@ -59,9 +70,10 @@ type t = {
       (* cluster fetch-through: called on a store miss with the missing
          artifact's address; [true] means the artifact was imported
          into the local store and the lookup should be retried *)
-  lock : Mutex.t;  (* guards the two memory caches and the counters *)
+  lock : Mutex.t;  (* guards the memory caches and the counters *)
   traces : (string, trace_entry) Hashtbl.t;
   stats : (string * string, Ddg_paragraph.Analyzer.stats) Hashtbl.t;
+  advice : (string * string, Ddg_advise.Advise.t) Hashtbl.t;
   mutable tick : int;
   mutable resident_bytes : int;
   mutable n_simulations : int;
@@ -77,7 +89,8 @@ let create ?(size = Workload.Default) ?(progress = fun _ -> ()) ?store
     ?(workers = 1) ?trace_budget () =
   { size; progress; store; workers = max 1 workers; pool = None; trace_budget;
     fetch = None; lock = Mutex.create (); traces = Hashtbl.create 16;
-    stats = Hashtbl.create 64; tick = 0; resident_bytes = 0;
+    stats = Hashtbl.create 64; advice = Hashtbl.create 16;
+    tick = 0; resident_bytes = 0;
     n_simulations = 0; n_analyses = 0; n_trace_store_hits = 0;
     n_stats_store_hits = 0; n_trace_mem_hits = 0; n_trace_evictions = 0;
     n_remote_fetches = 0 }
@@ -149,6 +162,17 @@ let stats_key t (w : Workload.t) config =
   Printf.sprintf "%s/%s/analyzer-v%d" (trace_key t w)
     (Ddg_paragraph.Config.describe config)
     Ddg_paragraph.Stats_codec.version
+
+(* A loop-marked trace is a distinct artifact from the plain trace of
+   the same workload: marks change the trace encoding (format v2) but
+   also what the simulator was asked to run, so the two are cached —
+   in memory and in the store — under separate keys. *)
+let marked_trace_key t (w : Workload.t) = trace_key t w ^ "+marks"
+
+let advise_key t (w : Workload.t) config =
+  Printf.sprintf "%s/%s/advise-v%d" (marked_trace_key t w)
+    (Ddg_paragraph.Config.describe config)
+    Ddg_advise.Advise_codec.version
 
 (* --- trace artifacts: a Machine.result header, then the trace stream ------- *)
 
@@ -230,10 +254,12 @@ let lru_insert_locked t name value =
                  victim_name t.resident_bytes)
       done
 
-let trace t (w : Workload.t) =
+let trace_aux t (w : Workload.t) ~marks =
+  let mem_name = if marks then w.name ^ "+marks" else w.name in
+  let key = if marks then marked_trace_key t w else trace_key t w in
   let hit =
     locked t (fun () ->
-        match Hashtbl.find_opt t.traces w.name with
+        match Hashtbl.find_opt t.traces mem_name with
         | Some entry ->
             t.tick <- t.tick + 1;
             entry.last_use <- t.tick;
@@ -249,7 +275,7 @@ let trace t (w : Workload.t) =
         match t.store with
         | None -> None
         | Some s ->
-            Store.find s ~kind:"trace" ~key:(trace_key t w) (fun ic ->
+            Store.find s ~kind:"trace" ~key (fun ic ->
                 let result = read_result ic in
                 let tr = Ddg_sim.Trace_io.read_channel ic in
                 (result, tr))
@@ -257,26 +283,24 @@ let trace t (w : Workload.t) =
       let from_store =
         match look () with
         | Some _ as hit -> hit
-        | None
-          when fetch_through t ~kind:"trace" ~key:(trace_key t w) ->
-            look ()
+        | None when fetch_through t ~kind:"trace" ~key -> look ()
         | None -> None
       in
       let v =
         match from_store with
         | Some v ->
-            t.progress (Printf.sprintf "store hit: %s trace" w.name);
+            t.progress (Printf.sprintf "store hit: %s trace" mem_name);
             locked t (fun () ->
                 t.n_trace_store_hits <- t.n_trace_store_hits + 1);
             Obs.incr hit_trace_store;
             v
         | None ->
             t.progress
-              (Printf.sprintf "tracing %s (%s)" w.name
+              (Printf.sprintf "tracing %s (%s)" mem_name
                  (Workload.size_to_string t.size));
             let t0 = Unix.gettimeofday () in
             let result, tr =
-              Obs.time span_simulate (fun () -> Workload.trace w t.size)
+              Obs.time span_simulate (fun () -> Workload.trace ~marks w t.size)
             in
             (match result.stop with
             | Ddg_sim.Machine.Halted -> ()
@@ -285,15 +309,18 @@ let trace t (w : Workload.t) =
                   (Format.asprintf "workload %s did not halt: %a" w.name
                      Ddg_sim.Machine.pp_stop_reason s));
             locked t (fun () -> t.n_simulations <- t.n_simulations + 1);
-            try_put t ~kind:"trace" ~key:(trace_key t w)
+            try_put t ~kind:"trace" ~key
               ~wall:(Unix.gettimeofday () -. t0)
               (fun oc ->
                 write_result oc result;
                 Ddg_sim.Trace_io.write_channel oc tr);
             (result, tr)
       in
-      locked t (fun () -> lru_insert_locked t w.name v);
+      locked t (fun () -> lru_insert_locked t mem_name v);
       v
+
+let trace t w = trace_aux t w ~marks:false
+let marked_trace t w = trace_aux t w ~marks:true
 
 (* --- analysis -------------------------------------------------------------- *)
 
@@ -350,6 +377,68 @@ let analyze t (w : Workload.t) config =
       in
       locked t (fun () -> Hashtbl.replace t.stats key stats);
       stats
+
+(* --- the parallelization advisor -------------------------------------------
+
+   Same three-layer discipline as [analyze]: memory, then the artifact
+   store (kind "advise", keyed by the marked trace plus the advisor
+   codec version), then compute from the loop-marked trace. The single
+   forward pass of {!Ddg_advise.Advise.analyze} is deterministic, so a
+   report computed anywhere (in-process, daemon, cluster peer) encodes
+   to identical bytes. *)
+
+let find_store_advice t w config =
+  match t.store with
+  | None -> None
+  | Some s -> (
+      let look () =
+        Store.find s ~kind:"advise" ~key:(advise_key t w config)
+          Ddg_advise.Advise_codec.read
+      in
+      let found =
+        match look () with
+        | Some _ as hit -> hit
+        | None
+          when fetch_through t ~kind:"advise" ~key:(advise_key t w config) ->
+            look ()
+        | None -> None
+      in
+      match found with
+      | Some _ as hit ->
+          Obs.incr hit_advise_store;
+          hit
+      | None -> None)
+
+let advise t (w : Workload.t) config =
+  let key = (w.Workload.name, Ddg_paragraph.Config.describe config) in
+  match locked t (fun () -> Hashtbl.find_opt t.advice key) with
+  | Some cached ->
+      Obs.incr hit_advise_mem;
+      cached
+  | None ->
+      let report =
+        match find_store_advice t w config with
+        | Some r ->
+            t.progress
+              (Printf.sprintf "store hit: %s advice [%s]" w.name (snd key));
+            r
+        | None ->
+            let _, tr = marked_trace t w in
+            t.progress
+              (Printf.sprintf "advising %s under %s" w.name (snd key));
+            let t0 = Unix.gettimeofday () in
+            let r =
+              Obs.time span_advise (fun () ->
+                  Ddg_advise.Advise.analyze ~config tr)
+            in
+            Obs.incr advises_total;
+            try_put t ~kind:"advise" ~key:(advise_key t w config)
+              ~wall:(Unix.gettimeofday () -. t0)
+              (fun oc -> Ddg_advise.Advise_codec.write oc r);
+            r
+      in
+      locked t (fun () -> Hashtbl.replace t.advice key report);
+      report
 
 (* Cache fill, three layers deep: jobs already in the memory cache are
    dropped; stats present in the disk store are loaded without touching

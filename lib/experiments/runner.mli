@@ -91,9 +91,26 @@ val stats_key :
     encoding, a different switch setting, or an analyzer semantics bump
     each land in a fresh key and stale artifacts are never misread. *)
 
+val marked_trace_key : t -> Ddg_workloads.Workload.t -> string
+(** {!trace_key} with a ["+marks"] suffix: the loop-marked trace of a
+    workload is a distinct artifact (format v2, marks side channel)
+    cached under its own key. *)
+
+val advise_key :
+  t -> Ddg_workloads.Workload.t -> Ddg_paragraph.Config.t -> string
+(** The artifact-store key for an advisor report: {!marked_trace_key} /
+    {!Ddg_paragraph.Config.describe} /
+    [advise-v]{!Ddg_advise.Advise_codec.version}. *)
+
 val trace :
   t -> Ddg_workloads.Workload.t -> Ddg_sim.Machine.result * Ddg_sim.Trace.t
 (** Simulate (memory cache → disk store → simulate). *)
+
+val marked_trace :
+  t -> Ddg_workloads.Workload.t -> Ddg_sim.Machine.result * Ddg_sim.Trace.t
+(** {!trace} of the loop-marked build of the workload (compiler marks
+    on, loop table and marks side channel populated), cached under
+    {!marked_trace_key}. *)
 
 val analyze :
   t ->
@@ -102,6 +119,17 @@ val analyze :
   Ddg_paragraph.Analyzer.stats
 (** Analyze a workload's trace under a configuration (memory cache →
     disk store → analyze). *)
+
+val advise :
+  t ->
+  Ddg_workloads.Workload.t ->
+  Ddg_paragraph.Config.t ->
+  Ddg_advise.Advise.t
+(** Classify the workload's loops ({!Ddg_advise.Advise.analyze} over
+    its loop-marked trace), with the same memory → store → compute
+    discipline as {!analyze} (store kind ["advise"]). Deterministic:
+    the report's canonical encoding is bit-identical wherever it is
+    computed. *)
 
 val prefetch :
   t -> (Ddg_workloads.Workload.t * Ddg_paragraph.Config.t) list -> unit

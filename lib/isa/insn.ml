@@ -7,6 +7,7 @@ type binop =
 type fbinop = Fadd | Fsub | Fmul | Fdiv
 
 type cond = Eq | Ne | Lt | Le | Gt | Ge
+type mark = Enter | Iter | Exit
 
 type t =
   | Binop of binop * int * int * int
@@ -31,6 +32,7 @@ type t =
   | Syscall
   | Nop
   | Halt
+  | Mark of mark * int
 
 let class_of : t -> Opclass.t = function
   | Binop (Mul, _, _, _) | Binopi (Mul, _, _, _) -> Int_multiply
@@ -47,7 +49,7 @@ let class_of : t -> Opclass.t = function
   | Cvt_i2f _ | Cvt_f2i _ -> Fp_add_sub
   | Lw _ | Sw _ | Flw _ | Fsw _ -> Load_store
   | Syscall -> Syscall
-  | Branch _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt -> Control
+  | Branch _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt | Mark _ -> Control
 
 let reg r = if r = Reg.zero then None else Some (Loc.Reg r)
 
@@ -59,14 +61,15 @@ let defines : t -> Loc.t option = function
   | Cvt_i2f (fd, _) | Flw (fd, _, _) ->
       Some (Loc.Freg fd)
   | Jal _ | Jalr _ -> Some (Loc.Reg Reg.ra)
-  | Sw _ | Fsw _ | Branch _ | J _ | Jr _ | Syscall | Nop | Halt -> None
+  | Sw _ | Fsw _ | Branch _ | J _ | Jr _ | Syscall | Nop | Halt | Mark _ ->
+      None
 
 let register_uses : t -> Loc.t list =
   let regs rs = List.filter_map reg rs in
   function
   | Binop (_, _, rs, rt) -> regs [ rs; rt ]
   | Binopi (_, _, rs, _) -> regs [ rs ]
-  | Li _ | Fli _ | J _ | Jal _ | Nop | Halt | Syscall -> []
+  | Li _ | Fli _ | J _ | Jal _ | Nop | Halt | Syscall | Mark _ -> []
   | Fbinop (_, _, fs, ft) -> [ Loc.Freg fs; Loc.Freg ft ]
   | Fmov (_, fs) | Fneg (_, fs) | Cvt_f2i (_, fs) -> [ Loc.Freg fs ]
   | Cvt_i2f (_, rs) -> regs [ rs ]
@@ -79,7 +82,7 @@ let register_uses : t -> Loc.t list =
 
 let is_control t =
   match t with
-  | Branch _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt -> true
+  | Branch _ | J _ | Jal _ | Jr _ | Jalr _ | Nop | Halt | Mark _ -> true
   | Binop _ | Binopi _ | Li _ | Fbinop _ | Fli _ | Fmov _ | Fneg _
   | Cvt_i2f _ | Cvt_f2i _ | Fcmp _ | Lw _ | Sw _ | Flw _ | Fsw _ | Syscall
     ->
@@ -96,6 +99,14 @@ let fbinop_name = function
 
 let cond_name = function
   | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let mark_name = function Enter -> "enter" | Iter -> "iter" | Exit -> "exit"
+
+let mark_of_string = function
+  | "enter" -> Some Enter
+  | "iter" -> Some Iter
+  | "exit" -> Some Exit
+  | _ -> None
 
 let pp_binop ppf op = Format.pp_print_string ppf (binop_name op)
 let pp_fbinop ppf op = Format.pp_print_string ppf (fbinop_name op)
@@ -134,5 +145,6 @@ let pp ppf t =
   | Syscall -> Format.pp_print_string ppf "syscall"
   | Nop -> Format.pp_print_string ppf "nop"
   | Halt -> Format.pp_print_string ppf "halt"
+  | Mark (m, loop) -> Format.fprintf ppf "lmark %s, %d" (mark_name m) loop
 
 let to_string t = Format.asprintf "%a" pp t

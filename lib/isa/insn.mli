@@ -27,6 +27,10 @@ type fbinop = Fadd | Fsub | Fmul | Fdiv
 (** Comparison conditions for branches and FP compares. *)
 type cond = Eq | Ne | Lt | Le | Gt | Ge
 
+(** Loop-mark flavours: a loop entry, the start of one iteration's body,
+    and the loop exit. See {!Mark}. *)
+type mark = Enter | Iter | Exit
+
 type t =
   | Binop of binop * int * int * int
       (** [Binop (op, rd, rs, rt)]: [rd <- rs op rt]. *)
@@ -60,6 +64,12 @@ type t =
           argument in [f12]; result (if any) in [v0]/[f0]. *)
   | Nop
   | Halt                   (** stop the machine. *)
+  | Mark of mark * int
+      (** [Mark (m, loop)]: loop-attribution marker for loop id [loop]
+          (an index into the program's loop table). Marks are annotations,
+          not computation: they define nothing, read nothing, emit no
+          trace event, and cost no cycles — the simulator reports them
+          through a side channel only. *)
 
 val class_of : t -> Opclass.t
 (** The Table 1 operation class of an instruction. [Nop] and [Halt] are
@@ -77,7 +87,13 @@ val register_uses : t -> Loc.t list
     [zero] are omitted: r0 is a constant, not a value-carrying location. *)
 
 val is_control : t -> bool
-(** Branches, jumps, [Nop] and [Halt]. *)
+(** Branches, jumps, [Nop], [Halt] and [Mark]. *)
+
+val mark_name : mark -> string
+(** ["enter"], ["iter"] or ["exit"]. *)
+
+val mark_of_string : string -> mark option
+(** Inverse of {!mark_name}. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,29 @@
+type t = {
+  func : string;
+  line : int;
+  kind : string;
+  inductions : Loc.t list;
+  reductions : Loc.t list;
+  mem_reduction : bool;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d %s" t.func t.line t.kind;
+  let locs tag = function
+    | [] -> ()
+    | ls ->
+        Format.fprintf ppf " %s=[%a]" tag
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+             Loc.pp)
+          ls
+  in
+  locs "ind" t.inductions;
+  locs "red" t.reductions;
+  if t.mem_reduction then Format.pp_print_string ppf " memred"
+
+let equal a b =
+  a.func = b.func && a.line = b.line && a.kind = b.kind
+  && a.inductions = b.inductions
+  && a.reductions = b.reductions
+  && a.mem_reduction = b.mem_reduction

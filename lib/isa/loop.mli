@@ -1,0 +1,32 @@
+(** Static description of one source loop, carried from the compiler
+    through the assembled program and into the trace's loop-attribution
+    side channel.
+
+    The compiler knows things about a loop that are expensive or
+    impossible to rediscover from the dynamic instruction stream — which
+    registers hold the loop's induction counters (whose recurrence is a
+    multi-instruction [li]/[add]/[move] chain at the ISA level, not a
+    single self-update), and which registers or array cells the source
+    updates with a commutative operator. The advisor ({!Ddg_advise})
+    combines these hints with the observed dependence structure. *)
+
+type t = {
+  func : string;  (** enclosing function name (label), for reports *)
+  line : int;     (** source line of the loop header; 0 when unknown *)
+  kind : string;  (** ["for"], ["while"] or ["do"] *)
+  inductions : Loc.t list;
+      (** registers holding counters updated as [i = i ± const] in the
+          body: their carried dependences are an artifact of sequential
+          counting, discounted by the advisor *)
+  reductions : Loc.t list;
+      (** registers holding scalars updated as [x = x ⊕ e] with a
+          commutative/associative [⊕]: a carried dependence on one of
+          these is a reduction, not a serializing chain *)
+  mem_reduction : bool;
+      (** the body contains an [a[i] = a[i] ⊕ e] statement: carried
+          memory read-modify-write recurrences in this loop are
+          reductions *)
+}
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

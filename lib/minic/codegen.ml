@@ -36,8 +36,12 @@ type ctx = {
                                     statement by statement, the way a real
                                     allocator avoids funnelling every value
                                     through the same register *)
-  mutable loop_labels : (string * string) list;
-                                 (* (break target, continue target) stack *)
+  mutable loop_labels : (string * string * int) list;
+                                 (* (break target, continue target, loop id)
+                                    stack; id is -1 without loop marks *)
+  marks : bool;                  (* emit [.loop]/[lmark] loop attribution *)
+  loop_ids : int ref;            (* next loop id, shared across functions *)
+  mutable cur_line : int;        (* latest [SLine], for loop descriptors *)
 }
 
 let ins ctx fmt =
@@ -104,7 +108,7 @@ let rec stmt_calls (s : tstmt) =
   | SAssign_index (_, i, e) -> expr_calls i || expr_calls e
   | SIf (c, a, b) ->
       expr_calls c || List.exists stmt_calls a || List.exists stmt_calls b
-  | SWhile (c, b) | SDo_while (b, c) ->
+  | SWhile (_, c, b) | SDo_while (b, c) ->
       expr_calls c || List.exists stmt_calls b
   | SReturn (Some e) -> expr_calls e
   | SReturn None -> false
@@ -642,11 +646,150 @@ let rotate k pool =
     split 0 [] pool
   end
 
+(* --- static loop-character hints -------------------------------------------
+
+   Shallow scans over a loop body for the two source patterns whose
+   carried dependences the advisor treats specially: induction counters
+   ([i = i ± const] on an int scalar) and commutative accumulator updates
+   ([x = x ⊕ e], [⊕ ∈ +,-,*]). At the ISA level both compile to
+   multi-instruction chains ([li]/[add]/[move]) that dynamic self-update
+   detection cannot see through, so the compiler — which still has the
+   source shape — records them in the loop descriptor. Nested loops are
+   not descended into: their recurrences belong to them. *)
+
+let rec texpr_equal (a : texpr) (b : texpr) =
+  a.ty = b.ty
+  &&
+  match (a.node, b.node) with
+  | TInt x, TInt y -> x = y
+  | TFloat x, TFloat y -> x = y
+  | TVar u, TVar v -> u = v
+  | TIndex (u, i), TIndex (v, j) -> u = v && texpr_equal i j
+  | TUnop (o, x), TUnop (p, y) -> o = p && texpr_equal x y
+  | TCast_i2f x, TCast_i2f y | TCast_f2i x, TCast_f2i y -> texpr_equal x y
+  | TBinop (o, x, y), TBinop (p, u, v) ->
+      o = p && texpr_equal x u && texpr_equal y v
+  (* calls and builtins have effects: never equal *)
+  | _ -> false
+
+type loop_hints = {
+  mutable ind_slots : int list;   (* induction counters, by local slot *)
+  mutable red_refs : vref list;   (* register-homed accumulators *)
+  mutable memred : bool;          (* a[i] = a[i] ⊕ e or global x = x ⊕ e *)
+}
+
+let scan_loop_hints body =
+  let h = { ind_slots = []; red_refs = []; memred = false } in
+  let rec stmt (s : tstmt) =
+    match s with
+    | SAssign
+        ( Local slot,
+          { node =
+              TBinop
+                ( (Ast.Add | Ast.Sub),
+                  { node = TVar (Local slot'); _ },
+                  { node = TInt _; _ } );
+            ty = Ast.Tint;
+            _ } )
+      when slot = slot' ->
+        if not (List.mem slot h.ind_slots) then
+          h.ind_slots <- slot :: h.ind_slots
+    | SAssign (v, e) -> (
+        let is_acc =
+          match e.node with
+          | TBinop ((Ast.Add | Ast.Sub | Ast.Mul), { node = TVar v'; _ }, _)
+            when v' = v ->
+              true
+          | TBinop ((Ast.Add | Ast.Mul), _, { node = TVar v'; _ }) -> v' = v
+          | _ -> false
+        in
+        if is_acc then
+          match v with
+          | Local _ ->
+              if not (List.mem v h.red_refs) then
+                h.red_refs <- v :: h.red_refs
+          | Global _ ->
+              (* a global scalar accumulator is a memory cell; the advisor
+                 recognises its read-modify-write recurrence dynamically *)
+              h.memred <- true
+          | Global_array _ | Local_array _ -> ())
+    | SAssign_index (v, idx, e) ->
+        (* a[idx] = a[idx] <op> e (either operand order): an in-memory
+           read-modify-write accumulator *)
+        let rmw =
+          match e.node with
+          | TBinop
+              ((Ast.Add | Ast.Sub | Ast.Mul), { node = TIndex (v', idx'); _ }, _)
+            when v = v' && texpr_equal idx idx' ->
+              true
+          | TBinop ((Ast.Add | Ast.Mul), _, { node = TIndex (v', idx'); _ }) ->
+              v = v' && texpr_equal idx idx'
+          | _ -> false
+        in
+        if rmw then h.memred <- true
+    | SIf (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | SWhile _ | SDo_while _ -> ()
+    | SLine _ | SBreak | SContinue | SReturn _ | SExpr _ -> ()
+  in
+  List.iter stmt body;
+  h
+
+(* --- loop marks -------------------------------------------------------------
+
+   With [marks] on, each loop gets a fresh global id, a [.loop] descriptor
+   directive and three mark sites: [enter] before the first condition
+   test, [iter] at the head of the body (once per executed iteration) and
+   [exit] at the loop's end label (reached by normal termination and by
+   [break]). [return] from inside loops unwinds explicitly: one [exit]
+   per enclosing loop before the jump to the epilogue. *)
+
+let reg_name_of_slot (ctx : ctx) slot =
+  match (ctx.storage.(slot) : storage) with
+  | Sreg s | Treg s -> Some (r s)
+  | Fsreg s | Ftreg s -> Some (f s)
+  | Frame _ | Arg_slot _ | Array_base _ -> None
+
+let emit_loop_directive ctx ~id ~kind (h : loop_hints) =
+  let inds = List.filter_map (reg_name_of_slot ctx) (List.rev h.ind_slots) in
+  let reds =
+    List.filter_map
+      (function
+        | Local slot -> reg_name_of_slot ctx slot
+        | Global _ | Global_array _ | Local_array _ -> None)
+      (List.rev h.red_refs)
+  in
+  let tail names =
+    match names with [] -> "" | _ -> ", " ^ String.concat ", " names
+  in
+  ins ctx ".loop %d, %s, %d, %s, %d%s, %d%s, %d" id ctx.fn.fname ctx.cur_line
+    kind (List.length inds) (tail inds) (List.length reds) (tail reds)
+    (if h.memred then 1 else 0)
+
+(* Open a marked loop: returns the id to push on [loop_labels]. *)
+let begin_loop ctx ~kind body =
+  if not ctx.marks then -1
+  else begin
+    let id = !(ctx.loop_ids) in
+    ctx.loop_ids := id + 1;
+    emit_loop_directive ctx ~id ~kind (scan_loop_hints body);
+    ins ctx "lmark enter, %d" id;
+    id
+  end
+
+let mark_iter ctx id = if id >= 0 then ins ctx "lmark iter, %d" id
+let mark_exit ctx id = if id >= 0 then ins ctx "lmark exit, %d" id
+
+let kind_name = function Lfor -> "for" | Lwhile -> "while"
+
 let rec gen_stmt ctx (s : tstmt) =
   ctx.rotation <- ctx.rotation + 1;
   let pools = (rotate ctx.rotation ctx.ipool, rotate ctx.rotation ctx.fpool) in
   match s with
-  | SLine n -> ins ctx ".loc %d" n
+  | SLine n ->
+      ctx.cur_line <- n;
+      ins ctx ".loc %d" n
   | SAssign (vref, e) ->
       let reg = eval ctx pools e in
       store_scalar ctx vref reg ~is_float:(is_float_ty e.ty)
@@ -672,46 +815,55 @@ let rec gen_stmt ctx (s : tstmt) =
       label ctx l_else;
       List.iter (gen_stmt ctx) else_;
       label ctx l_end
-  | SWhile (cond, body) ->
+  | SWhile (k, cond, body) ->
       let l_cond = fresh_label ctx "wcond" in
       let l_body = fresh_label ctx "wbody" in
       let l_end = fresh_label ctx "wend" in
+      let id = begin_loop ctx ~kind:(kind_name k) body in
       ins ctx "j %s" l_cond;
       label ctx l_body;
-      ctx.loop_labels <- (l_end, l_cond) :: ctx.loop_labels;
+      mark_iter ctx id;
+      ctx.loop_labels <- (l_end, l_cond, id) :: ctx.loop_labels;
       List.iter (gen_stmt ctx) body;
       ctx.loop_labels <- List.tl ctx.loop_labels;
       label ctx l_cond;
       let rc = eval ctx pools cond in
       ins ctx "bnez %s, %s" (r rc) l_body;
-      label ctx l_end
+      label ctx l_end;
+      mark_exit ctx id
   | SDo_while (body, cond) ->
       let l_body = fresh_label ctx "dbody" in
       let l_cond = fresh_label ctx "dcond" in
       let l_end = fresh_label ctx "dend" in
+      let id = begin_loop ctx ~kind:"do" body in
       label ctx l_body;
-      ctx.loop_labels <- (l_end, l_cond) :: ctx.loop_labels;
+      mark_iter ctx id;
+      ctx.loop_labels <- (l_end, l_cond, id) :: ctx.loop_labels;
       List.iter (gen_stmt ctx) body;
       ctx.loop_labels <- List.tl ctx.loop_labels;
       label ctx l_cond;
       let rc = eval ctx pools cond in
       ins ctx "bnez %s, %s" (r rc) l_body;
-      label ctx l_end
+      label ctx l_end;
+      mark_exit ctx id
   | SBreak -> (
       match ctx.loop_labels with
-      | (l_break, _) :: _ -> ins ctx "j %s" l_break
+      | (l_break, _, _) :: _ -> ins ctx "j %s" l_break
       | [] -> assert false (* rejected by the typechecker *))
   | SContinue -> (
       match ctx.loop_labels with
-      | (_, l_continue) :: _ -> ins ctx "j %s" l_continue
+      | (_, l_continue, _) :: _ -> ins ctx "j %s" l_continue
       | [] -> assert false)
-  | SReturn None -> ins ctx "j %s" ctx.epilogue
+  | SReturn None ->
+      List.iter (fun (_, _, id) -> mark_exit ctx id) ctx.loop_labels;
+      ins ctx "j %s" ctx.epilogue
   | SReturn (Some e) ->
       let reg = eval ctx pools e in
       if is_float_ty e.ty then begin
         if reg <> Reg.f_result then ins ctx "fmov f0, %s" (f reg)
       end
       else if reg <> Reg.v0 then ins ctx "move v0, %s" (r reg);
+      List.iter (fun (_, _, id) -> mark_exit ctx id) ctx.loop_labels;
       ins ctx "j %s" ctx.epilogue
   | SExpr e ->
       let (_ : int) = eval ctx pools e in
@@ -719,7 +871,7 @@ let rec gen_stmt ctx (s : tstmt) =
 
 (* --- functions ----------------------------------------------------------------- *)
 
-let gen_func buf labels (fn : tfunc) =
+let gen_func buf labels ~marks ~loop_ids (fn : tfunc) =
   let leaf = is_leaf fn in
   let layout = assign_storage fn ~leaf in
   let pure_leaf =
@@ -741,6 +893,9 @@ let gen_func buf labels (fn : tfunc) =
       fpool = List.filter (fun reg -> not (List.mem reg layout.leaf_fregs)) ffull;
       rotation = 0;
       loop_labels = [];
+      marks;
+      loop_ids;
+      cur_line = 0;
     }
   in
   label ctx (Printf.sprintf "mc_%s" fn.fname);
@@ -802,7 +957,7 @@ let gen_func buf labels (fn : tfunc) =
 
 (* --- program --------------------------------------------------------------------- *)
 
-let emit (p : tprogram) =
+let emit ?(marks = false) (p : tprogram) =
   let buf = Buffer.create 4096 in
   if p.tglobals <> [] then begin
     Buffer.add_string buf "        .data\n";
@@ -825,7 +980,8 @@ let emit (p : tprogram) =
   Buffer.add_string buf "        li v0, 10\n";
   Buffer.add_string buf "        syscall\n";
   let labels = ref 0 in
-  List.iter (fun fn -> labels := gen_func buf !labels fn) p.tfuncs;
+  let loop_ids = ref 0 in
+  List.iter (fun fn -> labels := gen_func buf !labels ~marks ~loop_ids fn) p.tfuncs;
   Buffer.contents buf
 
-let compile p = Ddg_asm.Assembler.assemble_string (emit p)
+let compile ?marks p = Ddg_asm.Assembler.assemble_string (emit ?marks p)

@@ -21,8 +21,13 @@
       labelled [mc_<name>]; the entry stub [main] calls [mc_main] and
       issues the exit system call. *)
 
-val emit : Tast.tprogram -> string
-(** Generate the assembly text. *)
+val emit : ?marks:bool -> Tast.tprogram -> string
+(** Generate the assembly text. With [marks] (default [false]), every
+    loop gets a [.loop] descriptor directive (id, function, source line,
+    kind, statically-detected induction/reduction registers) and
+    [lmark enter/iter/exit] annotations so the trace carries loop
+    attribution for the parallelization advisor. Without [marks] the
+    output is byte-identical to what previous versions produced. *)
 
-val compile : Tast.tprogram -> Ddg_asm.Program.t
+val compile : ?marks:bool -> Tast.tprogram -> Ddg_asm.Program.t
 (** {!emit} followed by assembly. *)

@@ -10,11 +10,14 @@ let front source = normalise (fun s -> Typecheck.check (Parser.parse s)) source
 
 let optimised opt source = Optimize.program opt (front source)
 
-let emit_asm ?(opt = Optimize.O1) source = Codegen.emit (optimised opt source)
-let compile ?(opt = Optimize.O1) source = Codegen.compile (optimised opt source)
+let emit_asm ?(opt = Optimize.O1) ?marks source =
+  Codegen.emit ?marks (optimised opt source)
+
+let compile ?(opt = Optimize.O1) ?marks source =
+  Codegen.compile ?marks (optimised opt source)
 
 let run ?opt ?max_instructions ?input source =
   Ddg_sim.Machine.run ?max_instructions ?input (compile ?opt source)
 
-let run_to_trace ?opt ?max_instructions ?input source =
-  Ddg_sim.Machine.run_to_trace ?max_instructions ?input (compile ?opt source)
+let run_to_trace ?opt ?marks ?max_instructions ?input source =
+  Ddg_sim.Machine.run_to_trace ?max_instructions ?input (compile ?opt ?marks source)

@@ -3,12 +3,14 @@
 exception Error of { line : int; msg : string }
 (** Any front-end error (lexing, parsing, typing), normalised. *)
 
-val compile : ?opt:Optimize.level -> string -> Ddg_asm.Program.t
+val compile : ?opt:Optimize.level -> ?marks:bool -> string -> Ddg_asm.Program.t
 (** Source text to an executable program; [opt] defaults to
-    {!Optimize.O1} (constant folding).
+    {!Optimize.O1} (constant folding). With [marks] (default [false])
+    the generated code carries loop-attribution marks — see
+    {!Codegen.emit}.
     @raise Error on any front-end error. *)
 
-val emit_asm : ?opt:Optimize.level -> string -> string
+val emit_asm : ?opt:Optimize.level -> ?marks:bool -> string -> string
 (** Source text to assembly text (for inspection and tests).
     @raise Error *)
 
@@ -23,9 +25,11 @@ val run :
 
 val run_to_trace :
   ?opt:Optimize.level ->
+  ?marks:bool ->
   ?max_instructions:int ->
   ?input:Ddg_sim.Value.t list ->
   string ->
   Ddg_sim.Machine.result * Ddg_sim.Trace.t
-(** Compile and execute, collecting the trace.
+(** Compile and execute, collecting the trace. With [marks], loop marks
+    land in the trace's side channel ({!Ddg_sim.Trace.iter_marks}).
     @raise Error *)

@@ -132,10 +132,10 @@ let rec fold_stmt (s : tstmt) : tstmt list =
       | TInt 0 -> fold_block b
       | TInt _ -> fold_block a
       | _ -> [ SIf (fold_expr c, fold_block a, fold_block b) ])
-  | SWhile (c, body) -> (
+  | SWhile (k, c, body) -> (
       match (fold_expr c).node with
       | TInt 0 -> []
-      | _ -> [ SWhile (fold_expr c, fold_block body) ])
+      | _ -> [ SWhile (k, fold_expr c, fold_block body) ])
   | SDo_while (body, c) -> [ SDo_while (fold_block body, fold_expr c) ]
   | SReturn e -> [ SReturn (Option.map fold_expr e) ]
   | SExpr e ->
@@ -167,7 +167,7 @@ let rec assigns_local slot (s : tstmt) =
       false
   | SIf (_, a, b) ->
       List.exists (assigns_local slot) a || List.exists (assigns_local slot) b
-  | SWhile (_, b) | SDo_while (b, _) -> List.exists (assigns_local slot) b
+  | SWhile (_, _, b) | SDo_while (b, _) -> List.exists (assigns_local slot) b
 
 (* Substitute reads of local [slot] with [slot + delta] in an expression. *)
 let rec shift_expr slot delta (e : texpr) : texpr =
@@ -200,8 +200,8 @@ let rec shift_stmt slot delta (s : tstmt) : tstmt =
         ( shift_expr slot delta c,
           List.map (shift_stmt slot delta) a,
           List.map (shift_stmt slot delta) b )
-  | SWhile (c, b) ->
-      SWhile (shift_expr slot delta c, List.map (shift_stmt slot delta) b)
+  | SWhile (k, c, b) ->
+      SWhile (k, shift_expr slot delta c, List.map (shift_stmt slot delta) b)
   | SDo_while (b, c) ->
       SDo_while (List.map (shift_stmt slot delta) b, shift_expr slot delta c)
   | SReturn e -> SReturn (Option.map (shift_expr slot delta) e)
@@ -239,7 +239,7 @@ let recognise_counted cond body =
 
 let rec unroll_stmt (s : tstmt) : tstmt list =
   match s with
-  | SWhile (cond, body) -> (
+  | SWhile (k, cond, body) -> (
       let body = List.concat_map unroll_stmt body in
       match recognise_counted cond body with
       | Some { slot; cmp; bound; step; body = iteration } ->
@@ -265,7 +265,8 @@ let rec unroll_stmt (s : tstmt) : tstmt list =
           in
           let remainder =
             SWhile
-              ( cond,
+              ( k,
+                cond,
                 iteration
                 @ [ SAssign
                       ( Local slot,
@@ -274,8 +275,8 @@ let rec unroll_stmt (s : tstmt) : tstmt list =
                           node = TBinop (Ast.Add, var, int_lit step);
                         } ) ] )
           in
-          [ SWhile (guard, unrolled_body); remainder ]
-      | None -> [ SWhile (cond, body) ])
+          [ SWhile (k, guard, unrolled_body); remainder ]
+      | None -> [ SWhile (k, cond, body) ])
   | SIf (c, a, b) ->
       [ SIf (c, List.concat_map unroll_stmt a, List.concat_map unroll_stmt b) ]
   | SDo_while (b, c) -> [ SDo_while (List.concat_map unroll_stmt b, c) ]

@@ -36,6 +36,11 @@ and tnode =
   | TCast_i2f of texpr
   | TCast_f2i of texpr
 
+(* Surface form a [SWhile] came from: [for] loops desugar to [while]
+   but keep their origin so loop-attribution reports name them
+   faithfully. [do]-loops are their own constructor. *)
+type lkind = Lfor | Lwhile
+
 type tstmt =
   | SLine of int
       (* debug marker: the following statements come from this source
@@ -43,7 +48,7 @@ type tstmt =
   | SAssign of vref * texpr
   | SAssign_index of vref * texpr * texpr
   | SIf of texpr * tstmt list * tstmt list
-  | SWhile of texpr * tstmt list
+  | SWhile of lkind * texpr * tstmt list
   | SDo_while of tstmt list * texpr
   | SBreak
   | SContinue

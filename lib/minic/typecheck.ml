@@ -273,7 +273,7 @@ let rec check_stmt env (s : stmt) : Tast.tstmt list =
       env.loop_depth <- env.loop_depth + 1;
       let tbody = check_block env body in
       env.loop_depth <- env.loop_depth - 1;
-      [ Tast.SWhile (tcond, tbody) ]
+      [ Tast.SWhile (Tast.Lwhile, tcond, tbody) ]
   | Do_while (body, cond) ->
       env.loop_depth <- env.loop_depth + 1;
       let tbody = check_block env body in
@@ -314,7 +314,7 @@ let rec check_stmt env (s : stmt) : Tast.tstmt list =
                 [ ts ])
           stmts
       in
-      tinit @ [ Tast.SWhile (tcond, inject tbody @ tstep) ]
+      tinit @ [ Tast.SWhile (Tast.Lfor, tcond, inject tbody @ tstep) ]
   | Break ->
       if env.loop_depth = 0 then fail line "'break' outside a loop";
       [ Tast.SBreak ]

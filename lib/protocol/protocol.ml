@@ -1,4 +1,4 @@
-let version = 4
+let version = 5
 let max_frame_bytes = 16 * 1024 * 1024
 let magic = "DDGP"
 
@@ -42,6 +42,7 @@ type request =
   | Metrics
   | Locate of { key : string }
   | Forward of { kind : string; key : string }
+  | Advise of { workload : string; config : Ddg_paragraph.Config.t }
 
 type sim_summary = {
   instructions : int;
@@ -95,6 +96,7 @@ type response =
   | Metrics_snapshot of Ddg_obs.Obs.snapshot
   | Located of { node : string }
   | Fetched of { data : string option }
+  | Advised of Ddg_advise.Advise.t
 
 type frame =
   | Hello of { protocol : int; software : string; node : string }
@@ -113,6 +115,7 @@ let verb_name = function
   | Metrics -> "metrics"
   | Locate _ -> "locate"
   | Forward _ -> "forward"
+  | Advise _ -> "advise"
 
 (* a verb is idempotent when replaying it after an ambiguous failure
    (connection dropped mid-request) cannot change server state beyond
@@ -120,7 +123,7 @@ let verb_name = function
    could kill a daemon restarted in between *)
 let idempotent = function
   | Ping _ | Analyze _ | Simulate _ | Table _ | Server_stats | Fsck | Metrics
-  | Locate _ | Forward _ ->
+  | Locate _ | Forward _ | Advise _ ->
       true
   | Shutdown -> false
 
@@ -306,6 +309,10 @@ let e_request b = function
       e_varint b 9;
       e_string ~max:max_name b kind;
       e_string ~max:max_key b key
+  | Advise { workload; config } ->
+      e_varint b 10;
+      e_string ~max:max_name b workload;
+      e_config b config
 
 let c_request c =
   match c_varint c with
@@ -325,6 +332,10 @@ let c_request c =
       let kind = c_string ~max:max_name c in
       let key = c_string ~max:max_key c in
       Forward { kind; key }
+  | 10 ->
+      let workload = c_string ~max:max_name c in
+      let config = c_config c in
+      Advise { workload; config }
   | t -> fail "bad request verb tag %d" t
 
 let e_counters b k =
@@ -527,6 +538,11 @@ let e_response b = function
       | Some bytes ->
           e_bool b true;
           e_string ~max:max_frame_bytes b bytes)
+  | Advised report ->
+      e_varint b 10;
+      let payload = Ddg_advise.Advise_codec.to_string report in
+      e_varint b (String.length payload);
+      Buffer.add_string b payload
 
 let c_response c =
   match c_varint c with
@@ -565,6 +581,14 @@ let c_response c =
         if c_bool c then Some (c_string ~max:max_frame_bytes c) else None
       in
       Fetched { data }
+  | 10 ->
+      let blob = c_string ~max:max_frame_bytes c in
+      let report =
+        try Ddg_advise.Advise_codec.of_string blob
+        with Ddg_advise.Advise_codec.Corrupt msg ->
+          fail "bad advise payload: %s" msg
+      in
+      Advised report
   | t -> fail "bad response tag %d" t
 
 let error_code_tag = function

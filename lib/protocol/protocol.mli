@@ -88,6 +88,13 @@ type request =
           verified bytes so a peer can import them into its own store —
           a node serving a key it does not own pulls the artifact from
           the owner instead of recomputing *)
+  | Advise of { workload : string; config : Ddg_paragraph.Config.t }
+      (** parallelization advisor (protocol v5): classify the
+          workload's loops from its loop-marked trace; [config]
+          supplies the latency table for critical-path weighting,
+          exactly as {!Analyze} carries it. Idempotent and cacheable:
+          the report's canonical encoding is bit-identical wherever
+          computed *)
 
 type sim_summary = {
   instructions : int;
@@ -156,6 +163,9 @@ type response =
       (** reply to {!request.Forward}: the artifact's raw [.art] bytes,
           or [None] when absent (or too large for one frame) — the
           requester then computes locally *)
+  | Advised of Ddg_advise.Advise.t
+      (** reply to {!request.Advise}; travels as the canonical
+          {!Ddg_advise.Advise_codec} encoding unchanged *)
 
 type frame =
   | Hello of { protocol : int; software : string; node : string }

@@ -121,6 +121,8 @@ let compute t (req : Protocol.request) cancelled : Protocol.response =
       Pong
   | Analyze { workload; config } ->
       Analyzed (Runner.analyze t.runner (find_workload workload) config)
+  | Advise { workload; config } ->
+      Advised (Runner.advise t.runner (find_workload workload) config)
   | Simulate { workload } ->
       let result, trace = Runner.trace t.runner (find_workload workload) in
       Simulated

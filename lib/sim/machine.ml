@@ -28,6 +28,7 @@ type state = {
   mutable running : bool;
   mutable stop : stop_reason;
   on_event : Trace.event -> unit;
+  on_mark : Insn.mark -> int -> unit;
 }
 
 let write_reg st rd v = if rd <> Reg.zero then st.regs.(rd) <- v
@@ -241,9 +242,14 @@ let step st =
       emit st pc insn ();
       st.running <- false;
       st.stop <- Halted
+  | Insn.Mark (kind, loop) ->
+      (* marks are annotations, not computation: no trace event, and no
+         charge against the executed-instruction count or limit *)
+      st.executed <- st.executed - 1;
+      st.on_mark kind loop
 
-let run ?(max_instructions = 100_000_000) ?(input = []) ?(on_event = fun _ -> ())
-    program =
+let run ?(max_instructions = 100_000_000) ?(input = [])
+    ?(on_event = fun _ -> ()) ?(on_mark = fun _ _ -> ()) program =
   let memory = Memory.create () in
   Memory.init_of_program memory program;
   let st =
@@ -261,6 +267,7 @@ let run ?(max_instructions = 100_000_000) ?(input = []) ?(on_event = fun _ -> ()
       running = true;
       stop = Instruction_limit;
       on_event;
+      on_mark;
     }
   in
   st.regs.(Reg.sp) <- Segment.stack_top;
@@ -286,10 +293,13 @@ let run ?(max_instructions = 100_000_000) ?(input = []) ?(on_event = fun _ -> ()
     memory_footprint = Memory.footprint st.memory;
   }
 
-let run_to_trace ?max_instructions ?input program =
+let run_to_trace ?max_instructions ?input (program : Ddg_asm.Program.t) =
   let trace = Trace.create () in
+  if Array.length program.loops > 0 then Trace.set_loops trace program.loops;
   let result =
-    run ?max_instructions ?input ~on_event:(Trace.add trace) program
+    run ?max_instructions ?input ~on_event:(Trace.add trace)
+      ~on_mark:(fun kind loop -> Trace.add_mark trace ~kind ~loop)
+      program
   in
   (result, trace)
 

@@ -34,16 +34,21 @@ val run :
   ?max_instructions:int ->
   ?input:Value.t list ->
   ?on_event:(Trace.event -> unit) ->
+  ?on_mark:(Ddg_isa.Insn.mark -> int -> unit) ->
   Ddg_asm.Program.t ->
   result
 (** Execute from the program's entry point. [max_instructions] defaults to
-    100,000,000 (the paper's trace-length cap). *)
+    100,000,000 (the paper's trace-length cap). [on_mark kind loop] fires
+    for each executed {!Ddg_isa.Insn.Mark}; marks emit no event and do
+    not count against [max_instructions] or [result.instructions]. *)
 
 val run_to_trace :
   ?max_instructions:int ->
   ?input:Value.t list ->
   Ddg_asm.Program.t ->
   result * Trace.t
-(** {!run} with the events collected into an in-memory trace. *)
+(** {!run} with the events collected into an in-memory trace, loop marks
+    into its side channel and the program's loop table installed via
+    {!Trace.set_loops}. *)
 
 val pp_stop_reason : Format.formatter -> stop_reason -> unit

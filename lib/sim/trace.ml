@@ -61,6 +61,14 @@ type t = {
   mutable classes : Bytes.t;
   ids : (int, int) Hashtbl.t;  (* Loc.to_code -> dense id *)
   mutable num_locs : int;
+  (* loop-attribution side channel: mark i fired between events
+     [mark_pos.(i) - 1] and [mark_pos.(i)]; positions are non-decreasing.
+     Lazily allocated so markless traces pay nothing. *)
+  mutable mark_pos : int array;
+  mutable mark_kind : Bytes.t;
+  mutable mark_loop : int array;
+  mutable num_marks : int;
+  mutable loop_table : Ddg_isa.Loop.t array;
 }
 
 type columns = {
@@ -90,6 +98,11 @@ let create ?(capacity = 4096) () =
     classes = Bytes.make 256 '\000';
     ids = Hashtbl.create 1024;
     num_locs = 0;
+    mark_pos = [||];
+    mark_kind = Bytes.empty;
+    mark_loop = [||];
+    num_marks = 0;
+    loop_table = [||];
   }
 
 let length t = t.len
@@ -268,6 +281,66 @@ let count p t =
   iter (fun e -> if p e then incr n) t;
   !n
 
+(* --- loop-attribution side channel ------------------------------------------ *)
+
+type mark = { pos : int; kind : Ddg_isa.Insn.mark; loop : int }
+
+let mark_kind_tag : Ddg_isa.Insn.mark -> int = function
+  | Enter -> 0
+  | Iter -> 1
+  | Exit -> 2
+
+let mark_kind_of_tag : int -> Ddg_isa.Insn.mark option = function
+  | 0 -> Some Enter
+  | 1 -> Some Iter
+  | 2 -> Some Exit
+  | _ -> None
+
+let add_mark_at t ~pos ~kind ~loop =
+  if loop < 0 then invalid_arg "Trace.add_mark: negative loop id";
+  if pos < 0 || pos > t.len then invalid_arg "Trace.add_mark: bad position";
+  if t.num_marks > 0 && t.mark_pos.(t.num_marks - 1) > pos then
+    invalid_arg "Trace.add_mark: positions must be non-decreasing";
+  let i = t.num_marks in
+  if i = Array.length t.mark_pos then begin
+    let cap = max 64 (2 * i) in
+    let grow_arr a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 i;
+      b
+    in
+    t.mark_pos <- grow_arr t.mark_pos;
+    t.mark_loop <- grow_arr t.mark_loop;
+    let bytes = Bytes.make cap '\000' in
+    Bytes.blit t.mark_kind 0 bytes 0 i;
+    t.mark_kind <- bytes
+  end;
+  t.mark_pos.(i) <- pos;
+  t.mark_loop.(i) <- loop;
+  Bytes.unsafe_set t.mark_kind i (Char.unsafe_chr (mark_kind_tag kind));
+  t.num_marks <- i + 1
+
+let add_mark t ~kind ~loop = add_mark_at t ~pos:t.len ~kind ~loop
+
+let num_marks t = t.num_marks
+
+let get_mark t i =
+  if i < 0 || i >= t.num_marks then invalid_arg "Trace.get_mark";
+  let kind =
+    match mark_kind_of_tag (Char.code (Bytes.unsafe_get t.mark_kind i)) with
+    | Some k -> k
+    | None -> assert false
+  in
+  { pos = t.mark_pos.(i); kind; loop = t.mark_loop.(i) }
+
+let iter_marks f t =
+  for i = 0 to t.num_marks - 1 do
+    f (get_mark t i)
+  done
+
+let set_loops t loops = t.loop_table <- loops
+let loops t = t.loop_table
+
 (* Resident-size estimate: the column capacities (not just [len] — the
    arrays are what the GC holds), the interner tables, and roughly three
    words per hashtable binding. Used by byte-budgeted trace caches; an
@@ -279,4 +352,6 @@ let memory_bytes (t : t) =
     Hashtbl.fold (fun _ a acc -> acc + 3 + Array.length a) t.extra 0
   in
   Bytes.length t.flags + Bytes.length t.classes
+  + Bytes.length t.mark_kind
   + (5 * cap + Array.length t.locs + extra + 3 * Hashtbl.length t.ids) * word
+  + (2 * Array.length t.mark_pos + 4 * Array.length t.loop_table) * word

@@ -129,6 +129,48 @@ val row_add_src : t -> Ddg_isa.Loc.t -> unit
 
 val memory_bytes : t -> int
 (** Approximate resident heap size of the packed trace in bytes (column
-    capacities, interner tables and overflow rows). Intended for
-    byte-budgeted caches; the estimate errs low by small per-block GC
-    overheads only. *)
+    capacities, interner tables, overflow rows and the loop-mark side
+    channel). Intended for byte-budgeted caches; the estimate errs low by
+    small per-block GC overheads only. *)
+
+(** {1 Loop-attribution side channel}
+
+    Loop marks are annotations {e between} events, recorded by the
+    simulator when it executes an {!Ddg_isa.Insn.Mark}: a mark at
+    position [p] fires after event [p - 1] and before event [p] of the
+    trace (so the events at indices [>= p] are inside the marked
+    context). Marks never occupy event rows — a trace with marks has
+    byte-identical event columns to the same trace without — and a trace
+    with no marks costs nothing.
+
+    [loops] is the static loop-descriptor table of the traced program
+    ({!Ddg_asm.Program.t.loops}); mark [loop] fields index into it. *)
+
+type mark = { pos : int; kind : Ddg_isa.Insn.mark; loop : int }
+
+val add_mark : t -> kind:Ddg_isa.Insn.mark -> loop:int -> unit
+(** Record a mark at the current trace position ({!length}).
+    @raise Invalid_argument on a negative loop id. *)
+
+val add_mark_at : t -> pos:int -> kind:Ddg_isa.Insn.mark -> loop:int -> unit
+(** Record a mark at an explicit position (decoder use). Positions must
+    be non-decreasing and within [0 .. length].
+    @raise Invalid_argument otherwise, or on a negative loop id. *)
+
+val num_marks : t -> int
+val get_mark : t -> int -> mark
+(** @raise Invalid_argument on out-of-range index. *)
+
+val iter_marks : (mark -> unit) -> t -> unit
+
+val set_loops : t -> Ddg_isa.Loop.t array -> unit
+(** Install the loop-descriptor table (the array is not copied). *)
+
+val loops : t -> Ddg_isa.Loop.t array
+(** The loop-descriptor table; [[||]] when the program carried none. *)
+
+val mark_kind_tag : Ddg_isa.Insn.mark -> int
+(** Dense wire tag: [Enter] 0, [Iter] 1, [Exit] 2. *)
+
+val mark_kind_of_tag : int -> Ddg_isa.Insn.mark option
+(** Inverse of {!mark_kind_tag}; [None] on an unknown tag. *)

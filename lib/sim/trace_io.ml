@@ -1,8 +1,10 @@
 exception Corrupt of string
 
-let magic = "DDGTRC01"
-let format_version = magic
+let magic_v1 = "DDGTRC01"
+let magic_v2 = "DDGTRC02"
+let format_version = magic_v2
 let terminator = 0xFF
+let marks_terminator = 0xFE
 
 let corrupt fmt = Format.kasprintf (fun msg -> raise (Corrupt msg)) fmt
 
@@ -90,19 +92,121 @@ let read_event ic flags : Trace.event =
   in
   { Trace.pc; op_class; dest; srcs; branch }
 
+(* --- loop-mark section (format 2) ------------------------------------------
+
+   Written after the event terminator: the loop-descriptor table, then
+   the marks (delta-coded positions), then one trailer byte so that a
+   truncation anywhere inside the section is detectable. Strings are
+   varint-length-prefixed bytes. *)
+
+let write_string oc s =
+  write_varint oc (String.length s);
+  output_string oc s
+
+let read_string ?(max = 4096) ic what =
+  let n = read_varint ic in
+  if n > max then corrupt "implausible %s length %d" what n;
+  let buf = Bytes.create n in
+  (try really_input ic buf 0 n
+   with End_of_file -> corrupt "truncated %s" what);
+  Bytes.to_string buf
+
+let write_marks_section oc trace =
+  let loops = Trace.loops trace in
+  write_varint oc (Array.length loops);
+  Array.iter
+    (fun (l : Ddg_isa.Loop.t) ->
+      write_string oc l.func;
+      write_varint oc l.line;
+      write_string oc l.kind;
+      write_varint oc (List.length l.inductions);
+      List.iter (write_loc oc) l.inductions;
+      write_varint oc (List.length l.reductions);
+      List.iter (write_loc oc) l.reductions;
+      output_byte oc (if l.mem_reduction then 1 else 0))
+    loops;
+  write_varint oc (Trace.num_marks trace);
+  let prev = ref 0 in
+  Trace.iter_marks
+    (fun { Trace.pos; kind; loop } ->
+      write_varint oc (pos - !prev);
+      prev := pos;
+      output_byte oc (Trace.mark_kind_tag kind);
+      write_varint oc loop)
+    trace;
+  output_byte oc marks_terminator
+
+let read_marks_section ic trace =
+  let ndescs = read_varint ic in
+  if ndescs > 1_000_000 then corrupt "implausible loop count %d" ndescs;
+  let read_locs what =
+    let n = read_varint ic in
+    if n > 64 then corrupt "implausible %s register count %d" what n;
+    List.init n (fun _ -> read_loc ic)
+  in
+  let loops =
+    Array.init ndescs (fun _ ->
+        let func = read_string ic "loop function name" in
+        let line = read_varint ic in
+        let kind = read_string ic "loop kind" in
+        let inductions = read_locs "induction" in
+        let reductions = read_locs "reduction" in
+        let mem_reduction =
+          match
+            try input_byte ic
+            with End_of_file -> corrupt "truncated loop descriptor"
+          with
+          | 0 -> false
+          | 1 -> true
+          | k -> corrupt "bad memred flag %d" k
+        in
+        { Ddg_isa.Loop.func; line; kind; inductions; reductions;
+          mem_reduction })
+  in
+  Trace.set_loops trace loops;
+  let nmarks = read_varint ic in
+  let pos = ref 0 in
+  for _ = 1 to nmarks do
+    pos := !pos + read_varint ic;
+    if !pos > Trace.length trace then
+      corrupt "mark position %d beyond trace length %d" !pos
+        (Trace.length trace);
+    let kind =
+      match
+        Trace.mark_kind_of_tag
+          (try input_byte ic with End_of_file -> corrupt "truncated mark")
+      with
+      | Some k -> k
+      | None -> corrupt "unknown mark kind"
+    in
+    let loop = read_varint ic in
+    if loop >= ndescs then
+      corrupt "mark references loop %d of %d" loop ndescs;
+    Trace.add_mark_at trace ~pos:!pos ~kind ~loop
+  done;
+  match input_byte ic with
+  | b when b = marks_terminator -> ()
+  | b -> corrupt "bad marks trailer byte %d" b
+  | exception End_of_file -> corrupt "truncated marks section"
+
 (* --- whole-trace and streaming APIs ------------------------------------------- *)
 
 let writer oc =
-  output_string oc magic;
+  output_string oc magic_v1;
   let emit e = write_event oc e in
   let close () = output_byte oc terminator in
   (emit, close)
 
 (* Write straight from the packed columns: the in-memory flags byte is the
    file's flags byte (minus the in-memory extra bit), operand ids resolve
-   through the trace's interner. *)
+   through the trace's interner. A markless trace is written in format 1,
+   byte-for-byte as before the side channel existed; only traces that
+   actually carry marks pay for (or advertise) format 2. *)
 let write_channel oc trace =
-  output_string oc magic;
+  let has_marks =
+    Trace.num_marks trace > 0 || Array.length (Trace.loops trace) > 0
+  in
+  output_string oc (if has_marks then magic_v2 else magic_v1);
   let cols = Trace.columns trace in
   for i = 0 to cols.n - 1 do
     let flags = Char.code (Bytes.unsafe_get cols.flags i) in
@@ -127,7 +231,8 @@ let write_channel oc trace =
     if s2 >= 0 then write_loc oc (Trace.loc_of_id trace s2);
     Array.iter (fun id -> write_loc oc (Trace.loc_of_id trace id)) extra
   done;
-  output_byte oc terminator
+  output_byte oc terminator;
+  if has_marks then write_marks_section oc trace
 
 let write_file path trace =
   let oc = open_out_bin path in
@@ -135,14 +240,20 @@ let write_file path trace =
     ~finally:(fun () -> close_out oc)
     (fun () -> write_channel oc trace)
 
+(* Both formats share the 8-byte header and event stream; format 2 adds
+   the marks section after the event terminator. Returns [true] when a
+   marks section follows. *)
 let check_magic ic =
-  let buf = Bytes.create (String.length magic) in
-  (try really_input ic buf 0 (String.length magic)
+  let buf = Bytes.create (String.length magic_v1) in
+  (try really_input ic buf 0 (String.length magic_v1)
    with End_of_file -> corrupt "missing header");
-  if Bytes.to_string buf <> magic then corrupt "bad magic (not a trace file)"
+  match Bytes.to_string buf with
+  | s when s = magic_v1 -> false
+  | s when s = magic_v2 -> true
+  | _ -> corrupt "bad magic (not a trace file)"
 
 let fold_channel ic ~init ~f =
-  check_magic ic;
+  let _has_marks = check_magic ic in
   let rec go acc =
     let flags =
       try input_byte ic with End_of_file -> corrupt "missing terminator"
@@ -154,7 +265,7 @@ let fold_channel ic ~init ~f =
 (* Read straight into the packed columns, interning locations as they
    stream past, without materialising event records. *)
 let read_channel ic =
-  check_magic ic;
+  let has_marks = check_magic ic in
   let trace = Trace.create () in
   let rec go () =
     let flags =
@@ -176,6 +287,7 @@ let read_channel ic =
     end
   in
   go ();
+  if has_marks then read_marks_section ic trace;
   trace
 
 let read_file path =

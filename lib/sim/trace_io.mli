@@ -15,6 +15,18 @@
     memory) followed by a varint. A 0xFF flags byte terminates the
     stream.
 
+    Format (version 2, magic ["DDGTRC02"]): identical through the event
+    terminator, then the loop-attribution side channel: the
+    loop-descriptor table (count, then per descriptor function name,
+    line, kind, induction and reduction location lists, mem-reduction
+    flag; strings are varint-length-prefixed), the marks (count, then
+    per mark a varint position {e delta}, a kind byte 0/1/2 for
+    enter/iter/exit and a varint loop id), and a 0xFE trailer byte.
+    {!write_channel} only uses version 2 for traces that actually carry
+    marks — a markless trace is written byte-for-byte in version 1, so
+    tracing with marks disabled costs nothing anywhere. Both readers
+    accept both versions.
+
     The flags byte is bit-for-bit the flags byte of the packed in-memory
     trace ({!Trace.columns}), so whole traces are written from and read
     into the packed columns directly, without materialising event
@@ -25,7 +37,7 @@ exception Corrupt of string
 
 val format_version : string
 (** The magic string identifying the current trace encoding
-    (["DDGTRC01"]). Changes whenever the on-disk format changes; cache
+    (["DDGTRC02"]). Changes whenever the on-disk format changes; cache
     layers include it in their keys so that traces written by an older
     encoding are recomputed rather than misread. *)
 

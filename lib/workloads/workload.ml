@@ -9,10 +9,10 @@ type t = {
   self_check : size -> string option;
 }
 
-let program t size = Ddg_minic.Driver.compile (t.source size)
+let program ?marks t size = Ddg_minic.Driver.compile ?marks (t.source size)
 
-let trace ?(max_instructions = 100_000_000) t size =
-  Ddg_sim.Machine.run_to_trace ~max_instructions (program t size)
+let trace ?marks ?(max_instructions = 100_000_000) t size =
+  Ddg_sim.Machine.run_to_trace ~max_instructions (program ?marks t size)
 
 let size_to_string = function
   | Tiny -> "tiny"

@@ -21,15 +21,18 @@ type t = {
       (** expected program output, when stable across platforms *)
 }
 
-val program : t -> size -> Ddg_asm.Program.t
-(** Compile the workload. *)
+val program : ?marks:bool -> t -> size -> Ddg_asm.Program.t
+(** Compile the workload. With [marks] (default [false]) the program
+    carries loop-attribution marks for the parallelization advisor. *)
 
 val trace :
+  ?marks:bool ->
   ?max_instructions:int ->
   t ->
   size ->
   Ddg_sim.Machine.result * Ddg_sim.Trace.t
 (** Compile and run, collecting the trace. Defaults to the paper's
-    100M-instruction cap. *)
+    100M-instruction cap. With [marks], loop marks land in the trace's
+    side channel. *)
 
 val size_to_string : size -> string

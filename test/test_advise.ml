@@ -1,0 +1,457 @@
+(* Parallelization-advisor tests.
+
+   Goldens on the two reference workloads: mtxx's hot loop must classify
+   DOALL, eqnx must show a genuine loop-carried dependence at distance 1
+   (its wavefront accumulator defeats the compiler's static reduction
+   hint, so only the dynamic analysis sees it). The marked-trace (v2)
+   codec must round-trip marks and loop descriptors and reject corrupt
+   or truncated mark sections with the typed [Corrupt] error; the
+   advisor's own report codec must be canonical. End to end, an advise
+   report must be byte-identical whether computed in process, served by
+   the daemon, or routed through the cluster router. *)
+
+module Advise = Ddg_advise.Advise
+module Advise_codec = Ddg_advise.Advise_codec
+module Trace = Ddg_sim.Trace
+module Trace_io = Ddg_sim.Trace_io
+module Workload = Ddg_workloads.Workload
+module Runner = Ddg_experiments.Runner
+module Protocol = Ddg_protocol.Protocol
+module Server = Ddg_server.Server
+module Client = Ddg_server.Client
+module Router = Ddg_cluster.Router
+module Fleet = Ddg_cluster.Fleet
+module Config = Ddg_paragraph.Config
+open Ddg_isa
+
+let tiny = Workload.Tiny
+
+let workload name =
+  match Ddg_workloads.Registry.find name with
+  | Some w -> w
+  | None -> Alcotest.failf "missing workload %s" name
+
+let marked_trace name = snd (Workload.trace ~marks:true (workload name) tiny)
+let advise name = Advise.analyze (marked_trace name)
+let report_bytes = Advise_codec.to_string
+
+let classification_of (a : Advise.t) pred =
+  List.filter (fun (l : Advise.loop_report) -> pred l) a.loops
+
+(* --- goldens ----------------------------------------------------------------- *)
+
+let test_mtxx_hot_loop_doall () =
+  let a = advise "mtxx" in
+  (match a.Advise.loops with
+  | [] -> Alcotest.fail "mtxx: no loops observed"
+  | (top : Advise.loop_report) :: _ ->
+      Alcotest.(check string)
+        "hottest mtxx loop is DOALL" "DOALL"
+        (Advise.classification_name top.classification);
+      Alcotest.(check string) "in main" "main" top.func;
+      Alcotest.(check bool) "covers real work" true (top.ops > 1000));
+  (* the dot-product inner loop must surface as a reduction, not a
+     serializing carried chain *)
+  Alcotest.(check bool) "mtxx has a reduction loop" true
+    (classification_of a (fun l ->
+         match l.classification with Advise.Reduction _ -> true | _ -> false)
+    <> [])
+
+let test_eqnx_carried_distance_one () =
+  let a = advise "eqnx" in
+  let carried_d1 =
+    classification_of a (fun l ->
+        l.classification = Advise.Carried { distance = 1 })
+  in
+  Alcotest.(check bool) "eqnx has a carried loop at distance 1" true
+    (carried_d1 <> []);
+  List.iter
+    (fun (l : Advise.loop_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s:%d reports its carried dependence" l.func l.line)
+        true
+        (List.exists (fun (c : Advise.carried_dep) -> c.distance = 1) l.carried))
+    carried_d1;
+  (* the estimated overlap of a distance-1 carried loop is 1: no rank
+     inflation from unparallelizable loops *)
+  List.iter
+    (fun (l : Advise.loop_report) ->
+      Alcotest.(check (float 1e-9)) "carried d=1 speedup" 1.0
+        (Advise.speedup_estimate l))
+    carried_d1
+
+(* --- marked-trace codec ------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "ddg-advise-test" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let marks_list trace =
+  let acc = ref [] in
+  Trace.iter_marks (fun m -> acc := m :: !acc) trace;
+  List.rev !acc
+
+let test_marks_opt_in_and_roundtrip () =
+  (* unmarked compile: zero marks, serialized in the seed's v1 format *)
+  let unmarked = snd (Workload.trace (workload "mtxx") tiny) in
+  Alcotest.(check int) "unmarked trace has no marks" 0
+    (Trace.num_marks unmarked);
+  with_temp_file (fun path ->
+      Trace_io.write_file path unmarked;
+      Alcotest.(check string) "unmarked magic" "DDGTRC01"
+        (String.sub (read_bytes path) 0 8));
+  (* marked compile: same event count, marks round-trip exactly *)
+  let marked = marked_trace "mtxx" in
+  Alcotest.(check bool) "marked trace has marks" true
+    (Trace.num_marks marked > 0);
+  Alcotest.(check bool) "marked trace has loop descriptors" true
+    (Array.length (Trace.loops marked) > 0);
+  with_temp_file (fun path ->
+      Trace_io.write_file path marked;
+      Alcotest.(check string) "marked magic" "DDGTRC02"
+        (String.sub (read_bytes path) 0 8);
+      let back = Trace_io.read_file path in
+      Alcotest.(check int) "events survive" (Trace.length marked)
+        (Trace.length back);
+      Alcotest.(check int) "mark count survives" (Trace.num_marks marked)
+        (Trace.num_marks back);
+      Alcotest.(check bool) "marks identical" true
+        (marks_list marked = marks_list back);
+      Alcotest.(check bool) "loop table identical" true
+        (Array.for_all2 Loop.equal (Trace.loops marked) (Trace.loops back));
+      (* and the advisor sees the same report either way *)
+      Alcotest.(check string) "advise identical on decoded trace"
+        (report_bytes (Advise.analyze marked))
+        (report_bytes (Advise.analyze back)))
+
+(* random marked traces round-trip through the v2 codec *)
+let gen_marked_trace =
+  let open QCheck.Gen in
+  let gen_reg = map (fun i -> Loc.Reg i) (int_range 1 6) in
+  let gen_event =
+    let* pc = int_range 0 15 in
+    let* dest = gen_reg in
+    let* srcs = list_size (int_range 0 2) gen_reg in
+    return { Trace.pc; op_class = Opclass.Int_alu; dest = Some dest; srcs;
+             branch = None }
+  in
+  let gen_loop =
+    let* line = int_range 1 99 in
+    let* kind = oneofl [ "for"; "while"; "do" ] in
+    let* inductions = list_size (int_range 0 2) gen_reg in
+    let* reductions = list_size (int_range 0 2) gen_reg in
+    let* mem_reduction = bool in
+    return
+      { Loop.func = "main"; line; kind; inductions; reductions; mem_reduction }
+  in
+  let* events = list_size (int_range 0 40) gen_event in
+  let* nloops = int_range 1 4 in
+  let* loops = list_repeat nloops gen_loop in
+  let len = List.length events in
+  let* raw_marks =
+    list_size (int_range 0 30)
+      (pair (int_bound len) (pair (int_bound 2) (int_range 0 (nloops - 1))))
+  in
+  (* positions must be non-decreasing: sort what the generator produced *)
+  let marks =
+    List.sort (fun (p, _) (q, _) -> compare p q) raw_marks
+    |> List.map (fun (pos, (ktag, loop)) ->
+           { Trace.pos; kind = Option.get (Trace.mark_kind_of_tag ktag); loop })
+  in
+  return (events, Array.of_list loops, marks)
+
+let arb_marked_trace =
+  QCheck.make gen_marked_trace ~print:(fun (events, loops, marks) ->
+      Printf.sprintf "%d events, %d loops, %d marks" (List.length events)
+        (Array.length loops) (List.length marks))
+
+let prop_marked_roundtrip =
+  QCheck.Test.make ~name:"random marked traces round-trip (v2 codec)"
+    ~count:200 arb_marked_trace (fun (events, loops, marks) ->
+      let trace = Trace.of_list events in
+      Trace.set_loops trace loops;
+      List.iter
+        (fun { Trace.pos; kind; loop } ->
+          Trace.add_mark_at trace ~pos ~kind ~loop)
+        marks;
+      with_temp_file (fun path ->
+          Trace_io.write_file path trace;
+          let back = Trace_io.read_file path in
+          Trace.to_list back = events
+          && marks_list back = marks
+          && Array.for_all2 Loop.equal (Trace.loops back) loops))
+
+(* corrupt or truncated mark sections must fail with the typed error,
+   never an unhandled exception *)
+let test_marks_fuzz_typed_errors () =
+  let trace = marked_trace "espx" in
+  with_temp_file (fun path ->
+      Trace_io.write_file path trace;
+      let bytes = read_bytes path in
+      let n = String.length bytes in
+      let read_modified s =
+        with_temp_file (fun p ->
+            write_bytes p s;
+            match Trace_io.read_file p with
+            | (_ : Trace.t) -> ()
+            | exception Trace_io.Corrupt _ -> ())
+      in
+      (* every strict prefix must be rejected as Corrupt (the v2 format
+         ends in a trailer byte, so truncation is always detectable) *)
+      let cuts = List.init 64 (fun i -> n - 1 - (i * 37)) in
+      List.iter
+        (fun cut ->
+          if cut > 0 then
+            match Trace_io.read_file (let p = path ^ ".cut" in
+                                      write_bytes p (String.sub bytes 0 cut);
+                                      p)
+            with
+            | (_ : Trace.t) ->
+                Alcotest.failf "truncation at %d/%d bytes accepted" cut n
+            | exception Trace_io.Corrupt _ -> ()
+            | exception End_of_file ->
+                Alcotest.failf "truncation at %d leaked End_of_file" cut)
+        cuts;
+      (try Sys.remove (path ^ ".cut") with Sys_error _ -> ());
+      (* flipping bytes anywhere (the marks section included) either
+         still decodes or fails typed — nothing else escapes *)
+      for i = 0 to 199 do
+        let pos = 8 + (i * ((n - 9) / 200)) in
+        let b = Bytes.of_string bytes in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x41));
+        read_modified (Bytes.to_string b)
+      done)
+
+(* --- advise report codec ------------------------------------------------------- *)
+
+let sample_report =
+  { Advise.loops =
+      [ { Advise.id = 0; func = "main"; line = 3; kind = "for";
+          classification = Advise.Carried { distance = 2 }; entries = 1;
+          iterations = 10; ops = 100; cp_cycles = 40;
+          carried =
+            [ { Advise.location = Loc.Reg 5; distance = 2; occurrences = 9 } ] };
+        { Advise.id = 1; func = "mc_f"; line = 7; kind = "while";
+          classification = Advise.Doall; entries = 2; iterations = 24;
+          ops = 900; cp_cycles = 11; carried = [] } ];
+    total_ops = 1000; total_cp = 51 }
+
+let test_advise_codec_roundtrip () =
+  List.iter
+    (fun a ->
+      let s = report_bytes a in
+      let back = Advise_codec.of_string s in
+      Alcotest.(check bool) "structurally equal" true (back = a);
+      Alcotest.(check string) "canonical" s (report_bytes back))
+    [ sample_report; advise "mtxx"; advise "eqnx";
+      { Advise.loops = []; total_ops = 0; total_cp = 0 } ]
+
+let test_advise_codec_rejects_corruption () =
+  let s = report_bytes (advise "mtxx") in
+  let expect_corrupt what bytes =
+    match Advise_codec.of_string bytes with
+    | (_ : Advise.t) -> Alcotest.failf "%s accepted" what
+    | exception Advise_codec.Corrupt _ -> ()
+  in
+  expect_corrupt "empty" "";
+  expect_corrupt "bad magic" ("XXGADV01" ^ String.sub s 8 (String.length s - 8));
+  expect_corrupt "trailing garbage" (s ^ "x");
+  for i = 1 to String.length s - 1 do
+    if i mod 7 = 0 then
+      expect_corrupt
+        (Printf.sprintf "truncation at %d" i)
+        (String.sub s 0 i)
+  done
+
+(* --- protocol v5 ---------------------------------------------------------------- *)
+
+let test_protocol_advise_roundtrip () =
+  let config =
+    { Config.default with renaming = Config.rename_registers_only }
+  in
+  let req = Protocol.Advise { workload = "mtxx"; config } in
+  Alcotest.(check string) "verb name" "advise" (Protocol.verb_name req);
+  Alcotest.(check bool) "idempotent (with_session may replay it)" true
+    (Protocol.idempotent req);
+  let frame = Protocol.Request { deadline_ms = 250; attempt = 1; request = req } in
+  (* configs carry the tabulated latency function, so compare canonical
+     bytes rather than structures *)
+  let s = Protocol.frame_to_string frame in
+  Alcotest.(check string) "request frame round-trips" s
+    (Protocol.frame_to_string (Protocol.frame_of_string s));
+  let resp = Protocol.Ok_response (Protocol.Advised sample_report) in
+  (match Protocol.frame_of_string (Protocol.frame_to_string resp) with
+  | Protocol.Ok_response (Protocol.Advised back) ->
+      Alcotest.(check string) "report survives the wire"
+        (report_bytes sample_report) (report_bytes back)
+  | _ -> Alcotest.fail "expected Advised")
+
+(* --- end to end: in-process = served = routed ------------------------------------ *)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg_adv_%d_%d.sock" (Unix.getpid ()) !n)
+
+let test_served_advise_bit_identical () =
+  let socket = fresh_socket () in
+  let runner = Runner.create ~size:tiny () in
+  let server = Server.create ~runner ~workers:2 [ `Unix socket ] in
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join thread;
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      let config = Config.default in
+      let local = Runner.advise (Runner.create ~size:tiny ()) in
+      Client.with_session ~retry_for_s:5.0 (`Unix socket) (fun s ->
+          let served name =
+            match
+              Client.call ~deadline_ms:60_000 s
+                (Protocol.Advise { workload = name; config })
+            with
+            | Protocol.Advised a -> report_bytes a
+            | _ -> Alcotest.fail "expected Advised"
+          in
+          List.iter
+            (fun name ->
+              let direct = report_bytes (local (workload name) config) in
+              Alcotest.(check string)
+                (name ^ " served = in-process") direct (served name);
+              (* repeat request: the daemon answers from cache, still
+                 byte-identical *)
+              Alcotest.(check string)
+                (name ^ " warm repeat") direct (served name))
+            [ "mtxx"; "eqnx" ]))
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let test_routed_advise_bit_identical () =
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg_adv_fleet_%d" (Unix.getpid ()))
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let members =
+    Fleet.members ~nodes:2
+      ~base_socket:(Filename.concat base "backend.sock")
+      ~base_store:(Filename.concat base "stores")
+  in
+  let backends =
+    List.map (fun self -> Fleet.backend ~size:tiny ~members ~self ()) members
+  in
+  let threads =
+    List.map
+      (fun (b : Fleet.backend) -> Thread.create Server.run b.server)
+      backends
+  in
+  let router =
+    Router.create ~size:tiny ~retry_for_s:2.0 ~connect_timeout_s:0.5
+      ~backends:
+        (List.map
+           (fun (m : Fleet.member) -> (m.Fleet.node, m.Fleet.endpoint))
+           members)
+      [ `Unix (Filename.concat base "router.sock") ]
+  in
+  let router_thread = Thread.create Router.run router in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop router;
+      Thread.join router_thread;
+      List.iter (fun (b : Fleet.backend) -> Server.stop b.server) backends;
+      List.iter Thread.join threads;
+      rm_rf base)
+    (fun () ->
+      let config = Config.default in
+      let local = Runner.advise (Runner.create ~size:tiny ()) in
+      Client.with_session ~retry_for_s:5.0
+        (`Unix (Filename.concat base "router.sock"))
+        (fun s ->
+          List.iter
+            (fun name ->
+              match
+                Client.call ~deadline_ms:60_000 s
+                  (Protocol.Advise { workload = name; config })
+              with
+              | Protocol.Advised a ->
+                  Alcotest.(check string)
+                    (name ^ " routed = in-process")
+                    (report_bytes (local (workload name) config))
+                    (report_bytes a)
+              | _ -> Alcotest.fail "expected Advised")
+            [ "mtxx"; "eqnx" ]))
+
+(* the runner persists advise reports in the artifact store: a second
+   runner over the same store re-serves them byte-identically *)
+let test_runner_advise_store_roundtrip () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg_adv_store_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let w = workload "mtxx" in
+      let config = Config.default in
+      let first =
+        let store = Ddg_store.Store.open_ ~dir () in
+        let r = Runner.create ~size:tiny ~store () in
+        report_bytes (Runner.advise r w config)
+      in
+      let again =
+        let store = Ddg_store.Store.open_ ~dir () in
+        let r = Runner.create ~size:tiny ~store () in
+        report_bytes (Runner.advise r w config)
+      in
+      Alcotest.(check string) "store round-trip byte-identical" first again)
+
+let tests =
+  [ Alcotest.test_case "mtxx hot loop is DOALL" `Quick test_mtxx_hot_loop_doall;
+    Alcotest.test_case "eqnx carried dependence at distance 1" `Quick
+      test_eqnx_carried_distance_one;
+    Alcotest.test_case "marks are opt-in and round-trip" `Quick
+      test_marks_opt_in_and_roundtrip;
+    QCheck_alcotest.to_alcotest prop_marked_roundtrip;
+    Alcotest.test_case "corrupt mark sections fail typed" `Quick
+      test_marks_fuzz_typed_errors;
+    Alcotest.test_case "advise codec round-trips canonically" `Quick
+      test_advise_codec_roundtrip;
+    Alcotest.test_case "advise codec rejects corruption" `Quick
+      test_advise_codec_rejects_corruption;
+    Alcotest.test_case "protocol v5 advise frames round-trip" `Quick
+      test_protocol_advise_roundtrip;
+    Alcotest.test_case "served advise is byte-identical" `Quick
+      test_served_advise_bit_identical;
+    Alcotest.test_case "router-routed advise is byte-identical" `Quick
+      test_routed_advise_bit_identical;
+    Alcotest.test_case "advise store round-trip" `Quick
+      test_runner_advise_store_roundtrip ]

@@ -18,4 +18,5 @@ let () =
       ("chaos", Test_chaos.tests);
       ("properties", Test_props.tests);
       ("obs", Test_obs.tests);
-      ("cluster", Test_cluster.tests) ]
+      ("cluster", Test_cluster.tests);
+      ("advise", Test_advise.tests) ]

@@ -518,6 +518,56 @@ let test_emitted_asm_shape () =
   Alcotest.(check bool) "exit syscall" true (has "li v0, 10");
   Alcotest.(check bool) "global symbol" true (has "g_g:")
 
+let loop_source =
+  "int main() {\n\
+  \  int s; int i;\n\
+  \  s = 0;\n\
+  \  for (i = 0; i < 10; i = i + 1) { s = s + i; }\n\
+  \  print_int(s);\n\
+  \  return 0;\n\
+   }"
+
+(* marked emission carries .loop descriptors and lmark sites; without
+   marks the asm is byte-identical to the seed emitter's output *)
+let test_loop_marks_emission () =
+  let has asm needle =
+    let n = String.length needle and m = String.length asm in
+    let rec go i = i + n <= m && (String.sub asm i n = needle || go (i + 1)) in
+    go 0
+  in
+  let marked = Driver.emit_asm ~marks:true loop_source in
+  Alcotest.(check bool) "descriptor emitted" true (has marked ".loop 0, main");
+  List.iter
+    (fun site ->
+      Alcotest.(check bool) site true (has marked ("lmark " ^ site)))
+    [ "enter, 0"; "iter, 0"; "exit, 0" ];
+  (* the accumulator [s] is a static reduction hint; [i] an induction *)
+  let plain = Driver.emit_asm loop_source in
+  Alcotest.(check bool) "unmarked asm has no descriptors" false
+    (has plain ".loop");
+  Alcotest.(check bool) "unmarked asm has no mark sites" false
+    (has plain "lmark");
+  Alcotest.(check string) "marks:false is the default emitter, byte for byte"
+    plain
+    (Driver.emit_asm ~marks:false loop_source);
+  (* both compile and produce the same program output *)
+  check_str "same output" (output loop_source)
+    (Ddg_sim.Machine.run (Driver.compile ~marks:true loop_source)).output
+
+let test_loop_marks_reach_trace () =
+  let _, trace = Driver.run_to_trace ~marks:true loop_source in
+  Alcotest.(check bool) "marks recorded" true (Ddg_sim.Trace.num_marks trace > 0);
+  let loops = Ddg_sim.Trace.loops trace in
+  check_int "one loop descriptor" 1 (Array.length loops);
+  let l = loops.(0) in
+  check_str "kind" "for" l.Ddg_isa.Loop.kind;
+  check_str "function" "main" l.Ddg_isa.Loop.func;
+  Alcotest.(check bool) "induction hint present" true (l.inductions <> []);
+  Alcotest.(check bool) "reduction hint present" true (l.reductions <> []);
+  (* unmarked runs stay mark-free *)
+  let _, plain = Driver.run_to_trace loop_source in
+  check_int "unmarked trace" 0 (Ddg_sim.Trace.num_marks plain)
+
 let tests =
   [ Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
     Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
@@ -571,4 +621,7 @@ let tests =
     Alcotest.test_case "ty: break outside loop" `Quick
       test_ty_break_outside_loop;
     Alcotest.test_case "debug line info" `Quick test_debug_line_info;
-    Alcotest.test_case "emitted asm shape" `Quick test_emitted_asm_shape ]
+    Alcotest.test_case "emitted asm shape" `Quick test_emitted_asm_shape;
+    Alcotest.test_case "loop marks emission" `Quick test_loop_marks_emission;
+    Alcotest.test_case "loop marks reach the trace" `Quick
+      test_loop_marks_reach_trace ]
