@@ -32,7 +32,13 @@
    measures intra-trace scaling: the segmented single-trace engine
    (Segmented on a Pool) at -j 1/2/4/8 against the sequential analyzer,
    byte-checking the stats before trusting any timing, and records the
-   events/s trajectory in BENCH.json. On a single-core runner,
+   events/s trajectory in BENCH.json. --recovery-bench measures the
+   self-healing fleet: a 3-node supervised forked cluster, one backend
+   killed under warm traffic; records time-to-healthy (respawn observed
+   and every workload serving byte-identical responses again) plus the
+   request failure count during the churn in BENCH.json (it runs first,
+   before the harness grows threads, so the supervisor's spawner child
+   forks from a clean single-threaded image). On a single-core runner,
    --segment-bench and --cluster-bench record {"skipped": "cores=1"} in
    BENCH.json instead of committing meaningless <=1x speedups. The
    microbenchmark section also asserts the advisor's loop marks are
@@ -55,6 +61,7 @@ type opts = {
   fault_bench : bool;
   obs_bench : bool;
   segment_bench : bool;
+  recovery_bench : bool;
 }
 
 let parse_args () =
@@ -64,7 +71,7 @@ let parse_args () =
         json_path = "BENCH.json"; jobs = 1; cache_dir = None;
         no_cache = false; cache_bench = false; serve_bench = false;
         cluster_bench = false; fault_bench = false; obs_bench = false;
-        segment_bench = false }
+        segment_bench = false; recovery_bench = false }
   in
   let rec go = function
     | [] -> ()
@@ -113,6 +120,9 @@ let parse_args () =
         go rest
     | "--segment-bench" :: rest ->
         o := { !o with segment_bench = true };
+        go rest
+    | "--recovery-bench" :: rest ->
+        o := { !o with recovery_bench = true };
         go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -587,6 +597,161 @@ let run_cluster_bench ~size =
   { klb_workloads = workloads; klb_warm_requests = warm_requests;
     klb_nodes = rates }
 
+(* --- recovery (self-healing fleet) benchmark -------------------------------- *)
+
+type recovery_bench_result = {
+  rb_nodes : int;
+  rb_killed : string;
+  rb_respawns : int;
+  rb_requests_during_churn : int;
+  rb_failed_during_churn : int;
+  rb_time_to_healthy_s : float;
+}
+
+(* A supervised forked 3-node fleet behind a router: kill one backend
+   under warm traffic and measure the time until the supervisor has
+   respawned it AND every workload serves byte-identical responses
+   again. Must run before the harness creates any thread or domain:
+   the supervisor's spawner child forks from this process. *)
+let run_recovery_bench ~size =
+  let module Protocol = Ddg_protocol.Protocol in
+  let module Client = Ddg_server.Client in
+  let module Router = Ddg_cluster.Router in
+  let module Fleet = Ddg_cluster.Fleet in
+  let workloads = [ "mtxx"; "eqnx"; "espx"; "fpx" ] in
+  let config = Ddg_paragraph.Config.default in
+  let nodes = 3 in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ddg-recovery-bench-%d" (Unix.getpid ()))
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let members =
+    Fleet.members ~nodes
+      ~base_socket:(Filename.concat base "backend.sock")
+      ~base_store:(Filename.concat base "stores")
+  in
+  let router_socket = Filename.concat base "router.sock" in
+  (* the spawner forks here, first *)
+  let sup =
+    Fleet.supervisor ~backoff_base_s:0.05 ~backoff_max_s:1.0
+      ~spawn:(fun (self : Fleet.member) ->
+        Fleet.fork_backend ~size ~workers:1 ~scrub_rate:200.0 ~members ~self
+          ())
+      ~members ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fleet.supervisor_stop sup;
+      rm_rf base)
+    (fun () ->
+      List.iter
+        (fun (m : Fleet.member) -> Fleet.supervisor_spawn sup m.Fleet.node)
+        members;
+      Printf.eprintf "recovery-bench: direct in-process reference analyses\n%!";
+      let direct =
+        let runner = Runner.create ~size ~workers:1 () in
+        List.map
+          (fun name ->
+            let w = Option.get (Ddg_workloads.Registry.find name) in
+            ( name,
+              Ddg_paragraph.Stats_codec.to_string
+                (Runner.analyze runner w config) ))
+          workloads
+      in
+      let router =
+        Router.create ~size
+          ~on_retire:(Fleet.supervisor_decommissioned sup)
+          ~backends:
+            (List.map
+               (fun (m : Fleet.member) -> (m.Fleet.node, m.Fleet.endpoint))
+               members)
+          [ `Unix router_socket ]
+      in
+      let router_thread = Thread.create Router.run router in
+      Fleet.supervisor_watch sup ~on_decommission:(fun node ->
+          ignore (Router.decommission router ~node));
+      Fun.protect
+        ~finally:(fun () ->
+          Router.stop router;
+          Thread.join router_thread)
+        (fun () ->
+          Client.with_session ~retry_for_s:10.0 (`Unix router_socket)
+            (fun session ->
+              let analyze ?deadline_ms name =
+                match
+                  Client.call ?deadline_ms session
+                    (Protocol.Analyze { workload = name; config })
+                with
+                | Protocol.Analyzed stats ->
+                    Ddg_paragraph.Stats_codec.to_string stats
+                | _ -> failwith "recovery-bench: unexpected response"
+              in
+              (* warm every shard owner and byte-check routed == direct *)
+              List.iter
+                (fun (name, reference) ->
+                  if analyze name <> reference then begin
+                    Printf.eprintf
+                      "recovery-bench: routed %s result differs from direct \
+                       in-process result\n%!"
+                      name;
+                    exit 1
+                  end)
+                direct;
+              let victim = (List.hd members).Fleet.node in
+              Printf.eprintf "recovery-bench: killing %s under traffic\n%!"
+                victim;
+              let t_kill = Unix.gettimeofday () in
+              Fleet.supervisor_kill sup victim;
+              let requests = ref 0 and failed = ref 0 in
+              let give_up = t_kill +. 30.0 in
+              let rec until_healthy () =
+                if Unix.gettimeofday () > give_up then begin
+                  Printf.eprintf
+                    "recovery-bench: fleet did not recover within 30s\n%!";
+                  exit 1
+                end;
+                (* one sweep: every workload must answer byte-identically *)
+                let ok =
+                  List.for_all
+                    (fun (name, reference) ->
+                      incr requests;
+                      match analyze ~deadline_ms:5000 name with
+                      | s -> s = reference
+                      | exception _ ->
+                          incr failed;
+                          false)
+                    direct
+                in
+                let healed =
+                  Fleet.supervisor_respawns sup >= 1
+                  && List.for_all
+                       (fun (_, st) ->
+                         match st with `Running _ -> true | _ -> false)
+                       (Fleet.supervisor_status sup)
+                in
+                if ok && healed then Unix.gettimeofday () -. t_kill
+                else begin
+                  Thread.delay 0.05;
+                  until_healthy ()
+                end
+              in
+              let time_to_healthy = until_healthy () in
+              Printf.printf
+                "recovery bench: %d nodes, killed %s; healthy again in \
+                 %.2fs (%d respawns, %d/%d requests failed during churn)\n%!"
+                nodes victim time_to_healthy
+                (Fleet.supervisor_respawns sup)
+                !failed !requests;
+              { rb_nodes = nodes;
+                rb_killed = victim;
+                rb_respawns = Fleet.supervisor_respawns sup;
+                rb_requests_during_churn = !requests;
+                rb_failed_during_churn = !failed;
+                rb_time_to_healthy_s = time_to_healthy })))
+
 (* --- fault-injector overhead benchmark ------------------------------------- *)
 
 type fault_bench_result = {
@@ -855,7 +1020,7 @@ let run_segment_bench ~size =
 type 'a outcome = Ran of 'a | Skipped of string
 
 let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
-    ~fault ~obs ~segment =
+    ~fault ~obs ~segment ~recovery =
   let open Ddg_report.Json in
   let meta_fields =
     (* where these numbers came from: parallel and cluster scaling claims
@@ -1012,6 +1177,20 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
                   | _ -> Null );
                 ("stats_byte_identical", Bool true) ] ) ]
   in
+  let recovery_fields =
+    match recovery with
+    | None -> []
+    | Some r ->
+        [ ( "recovery",
+            Obj
+              [ ("nodes", Int r.rb_nodes);
+                ("killed", String r.rb_killed);
+                ("respawns", Int r.rb_respawns);
+                ("requests_during_churn", Int r.rb_requests_during_churn);
+                ("failed_during_churn", Int r.rb_failed_during_churn);
+                ("time_to_healthy_seconds", Float r.rb_time_to_healthy_s);
+                ("responses_byte_identical", Bool true) ] ) ]
+  in
   let json =
     Obj
       ([ ("size", String (Ddg_workloads.Workload.size_to_string size));
@@ -1026,7 +1205,8 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
                       ("wall_seconds", Float seconds) ])
                 (List.rev sections)) ) ]
       @ meta_fields @ cache_fields @ serve_fields @ cluster_fields
-      @ fault_fields @ obs_fields @ segment_fields @ micro_fields)
+      @ recovery_fields @ fault_fields @ obs_fields @ segment_fields
+      @ micro_fields)
   in
   let oc = open_out path in
   output_string oc (to_string json);
@@ -1038,7 +1218,7 @@ let write_bench_json path ~size ~sections ~micro ~cache ~serve ~cluster
 let () =
   let { size; only; micro; json_path; jobs = workers; cache_dir; no_cache;
         cache_bench; serve_bench; cluster_bench; fault_bench; obs_bench;
-        segment_bench } =
+        segment_bench; recovery_bench } =
     parse_args ()
   in
   let cores = Domain.recommended_domain_count () in
@@ -1050,12 +1230,6 @@ let () =
   let progress msg =
     Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) msg
   in
-  let store =
-    if no_cache then None
-    else Option.map (fun dir -> Ddg_store.Store.open_ ~dir ()) cache_dir
-  in
-  let runner = Runner.create ~size ~progress ?store ~workers () in
-  let jobs = suite_jobs runner in
   let section_times = ref [] in
   let timed name f =
     let t = Unix.gettimeofday () in
@@ -1063,6 +1237,22 @@ let () =
     section_times := (name, Unix.gettimeofday () -. t) :: !section_times;
     r
   in
+  (* must run before Runner.create and every other bench: the
+     supervisor's spawner child has to fork from a process that has
+     not yet created any domain or thread *)
+  let recovery_results =
+    if recovery_bench then begin
+      section_banner "recovery (self-healing fleet) benchmark";
+      Some (timed "recovery-bench" (fun () -> run_recovery_bench ~size))
+    end
+    else None
+  in
+  let store =
+    if no_cache then None
+    else Option.map (fun dir -> Ddg_store.Store.open_ ~dir ()) cache_dir
+  in
+  let runner = Runner.create ~size ~progress ?store ~workers () in
+  let jobs = suite_jobs runner in
   (match only with
   | Some ("table1" | "compiler") -> ()
   | _ -> timed "prefetch" (fun () -> Runner.prefetch runner jobs));
@@ -1159,7 +1349,7 @@ let () =
   write_bench_json json_path ~size ~sections:!section_times
     ~micro:micro_results ~cache:cache_results ~serve:serve_results
     ~cluster:cluster_results ~fault:fault_results ~obs:obs_results
-    ~segment:segment_results;
+    ~segment:segment_results ~recovery:recovery_results;
   Printf.eprintf "[%7.1fs] done (%s written)\n%!"
     (Unix.gettimeofday () -. t0)
     json_path

@@ -1047,7 +1047,7 @@ let serve_cmd =
 
 let cluster_cmd =
   let run size verbose jobs cache_dir trace_budget_mb socket nodes vnodes
-      max_inflight max_connections deadline connect_timeout_ms =
+      max_inflight max_connections deadline connect_timeout_ms scrub_rate =
     (match Ddg_fault.Fault.configure_from_env () with
     | Ok false -> ()
     | Ok true ->
@@ -1060,6 +1060,7 @@ let cluster_cmd =
     if nodes < 1 then die "--nodes must be at least 1";
     if vnodes < 1 then die "--vnodes must be at least 1";
     if connect_timeout_ms <= 0.0 then die "--connect-timeout-ms must be > 0";
+    if scrub_rate < 0.0 then die "--scrub-rate must be >= 0";
     let trace_budget =
       Option.map (fun mb -> mb * 1024 * 1024) trace_budget_mb
     in
@@ -1072,27 +1073,33 @@ let cluster_cmd =
       Fleet.members ~nodes ~base_socket:socket ~base_store
     in
     let log prefix msg = Printf.eprintf "%s: %s\n%!" prefix msg in
-    (* fork the backends before any domains or threads exist in this
-       process, so each child starts from a single-threaded image *)
-    let pids =
-      List.map
-        (fun (self : Fleet.member) ->
-          let pid =
-            Fleet.fork_backend ~vnodes ~workers:jobs ?trace_budget
-              ~max_inflight ~default_deadline_s:deadline
-              ~log:(if verbose then log ("paragraphd-" ^ self.node) else ignore)
-              ~size ~members ~self ()
-          in
-          Printf.eprintf "paragraph-cluster: node %s pid %d socket %s\n%!"
-            self.Fleet.node pid
-            (describe_endpoint self.Fleet.endpoint);
-          (self, pid))
-        members
+    (* the supervisor forks its spawner child now, while this process
+       is still single-threaded; every backend (re)spawn is a fork
+       from that clean one-thread image *)
+    let sup =
+      Fleet.supervisor
+        ~log:(log "paragraph-cluster")
+        ~spawn:(fun (self : Fleet.member) ->
+          Fleet.fork_backend ~vnodes ~workers:jobs ?trace_budget
+            ~max_inflight ~default_deadline_s:deadline
+            ?scrub_rate:(if scrub_rate > 0.0 then Some scrub_rate else None)
+            ~log:
+              (if verbose then log ("paragraphd-" ^ self.Fleet.node)
+               else ignore)
+            ~size ~members ~self ())
+        ~members ()
     in
+    List.iter
+      (fun (m : Fleet.member) ->
+        Printf.eprintf "paragraph-cluster: node %s socket %s\n%!" m.Fleet.node
+          (describe_endpoint m.Fleet.endpoint);
+        Fleet.supervisor_spawn sup m.Fleet.node)
+      members;
     let router =
       Router.create ~vnodes ~size
         ~connect_timeout_s:(connect_timeout_ms /. 1000.0)
         ~max_connections
+        ~on_retire:(Fleet.supervisor_decommissioned sup)
         ~backends:
           (List.map
              (fun (m : Fleet.member) -> (m.Fleet.node, m.Fleet.endpoint))
@@ -1100,29 +1107,14 @@ let cluster_cmd =
         ~log:(log "paragraph-cluster")
         [ `Unix socket ]
     in
+    (* crashed backends respawn with backoff; a flapping one is retired
+       from the ring instead of being respawned forever *)
+    Fleet.supervisor_watch sup ~on_decommission:(fun node ->
+        ignore (Router.decommission router ~node));
     Router.install_signal_handlers router;
     Router.run router;
-    (* the router is down; stop and reap every backend (a shutdown verb
-       already asked them to exit — the signal is then a no-op) *)
-    List.iter
-      (fun ((_ : Fleet.member), pid) ->
-        try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
-      pids;
-    List.iter
-      (fun ((m : Fleet.member), pid) ->
-        match Unix.waitpid [] pid with
-        | _, Unix.WEXITED 0 -> ()
-        | _, status ->
-            let what =
-              match status with
-              | Unix.WEXITED c -> Printf.sprintf "exit %d" c
-              | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
-              | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
-            in
-            Printf.eprintf "paragraph-cluster: node %s: %s\n%!" m.Fleet.node
-              what
-        | exception Unix.Unix_error _ -> ())
-      pids
+    (* the router is down; the supervisor terminates and reaps the fleet *)
+    Fleet.supervisor_stop sup
   in
   let socket =
     Arg.(
@@ -1170,15 +1162,25 @@ let cluster_cmd =
             "Router-to-backend connect timeout: health probes and relays \
              give up on an unresponsive backend after $(docv) ms.")
   in
+  let scrub_rate =
+    Arg.(
+      value & opt float 100.0
+      & info [ "scrub-rate" ] ~docv:"N"
+          ~doc:
+            "Anti-entropy scrub pace: each backend re-verifies its store \
+             in the background at $(docv) artifacts per second, repairing \
+             corruption from peers and re-replicating keys whose ring \
+             owner changed. 0 disables scrubbing.")
+  in
   let doc =
-    "Run a sharded fleet: fork $(b,--nodes) backend daemons, each with a      private artifact store, and route requests to them over a      consistent-hash ring from a router on the main socket. A backend      serving a key it does not own pulls the owner's artifact into its      own store (fetch-through) instead of recomputing. The router      health-checks backends, circuit-breaks dead ones and re-routes to      ring successors; $(b,client stats) aggregates and $(b,client      metrics) federates the whole fleet."
+    "Run a self-healing sharded fleet: fork $(b,--nodes) backend daemons,      each with a private artifact store, and route requests to them over      a consistent-hash ring from a router on the main socket. A backend      serving a key it does not own pulls the owner's artifact into its      own store (fetch-through) instead of recomputing. The router      health-checks backends, circuit-breaks dead ones and re-routes to      ring successors; a supervisor respawns crashed backends with backoff      (decommissioning flapping ones), each backend scrubs its store in      the background, and $(b,client join)/$(b,client drain) change      membership live. $(b,client stats) aggregates and $(b,client      metrics) federates the whole fleet."
   in
   Cmd.v
     (Cmd.info "cluster" ~doc)
     Term.(
       const run $ size_arg $ verbose_arg $ jobs_arg $ cache_dir_arg
       $ trace_budget_mb_arg $ socket $ nodes $ vnodes $ max_inflight
-      $ max_connections $ deadline $ connect_timeout_ms)
+      $ max_connections $ deadline $ connect_timeout_ms $ scrub_rate)
 
 let client_endpoint_term =
   let socket =
@@ -1600,6 +1602,79 @@ let client_locate_cmd =
       const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
       $ retry_policy_term $ deadline_ms_arg $ key)
 
+let print_members members =
+  if members = [] then print_endline "(empty fleet)"
+  else
+    List.iter
+      (fun (node, endpoint) -> Printf.printf "%s %s\n" node endpoint)
+      members
+
+let client_join_cmd =
+  let run endpoint retry connect_timeout policy deadline_ms node
+      backend_endpoint =
+    (match Server.endpoint_of_string backend_endpoint with
+    | Some _ -> ()
+    | None ->
+        die "bad endpoint %S (want unix:<path> or tcp:<addr>:<port>)"
+          backend_endpoint);
+    client_request endpoint retry connect_timeout policy deadline_ms
+      (Protocol.Join { node; endpoint = backend_endpoint })
+      (function
+      | Protocol.Members { members } -> print_members members
+      | _ -> unexpected_response ())
+  in
+  let node =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NODE" ~doc:"Ring node id for the joining backend.")
+  in
+  let backend_endpoint =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"ENDPOINT"
+          ~doc:
+            "The joining backend's endpoint: $(i,unix:PATH) or \
+             $(i,tcp:ADDR:PORT). The daemon must already be listening \
+             there.")
+  in
+  Cmd.v
+    (Cmd.info "join"
+       ~doc:
+         "Add a running backend daemon to the cluster ring. The router \
+          swaps the ring atomically and broadcasts the new membership; \
+          keys move only to the joiner, which warms up via fetch-through \
+          and scrub. Prints the membership now in force.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ node $ backend_endpoint)
+
+let client_drain_cmd =
+  let run endpoint retry connect_timeout policy deadline_ms node =
+    client_request endpoint retry connect_timeout policy deadline_ms
+      (Protocol.Decommission { node })
+      (function
+      | Protocol.Members { members } -> print_members members
+      | _ -> unexpected_response ())
+  in
+  let node =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NODE" ~doc:"Ring node id of the backend to retire.")
+  in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:
+         "Decommission a cluster backend: the router migrates its \
+          artifacts to their new ring owners (digest-checked), swaps the \
+          ring, broadcasts the new membership, and tells the node to \
+          drain and exit. Prints the membership now in force.")
+    Term.(
+      const run $ client_endpoint_term $ retry_arg $ connect_timeout_ms_arg
+      $ retry_policy_term $ deadline_ms_arg $ node)
+
 let client_shutdown_cmd =
   let run endpoint retry connect_timeout =
     if connect_timeout < 0.0 then die "--connect-timeout-ms must be >= 0";
@@ -1638,6 +1713,8 @@ let client_cmd =
       client_metrics_cmd;
       client_fsck_cmd;
       client_locate_cmd;
+      client_join_cmd;
+      client_drain_cmd;
       client_shutdown_cmd ]
 
 let main =

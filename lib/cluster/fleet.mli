@@ -1,5 +1,6 @@
-(** Assembling a sharded fleet: per-node backend daemons (in-process or
-    forked) wired for fetch-through replication.
+(** Assembling a self-healing sharded fleet: per-node backend daemons
+    (in-process or forked) wired for fetch-through replication, live
+    membership, anti-entropy scrubbing and crash supervision.
 
     Each backend owns a private artifact store and announces its ring
     identity in the protocol handshake. A runner store miss first asks
@@ -9,7 +10,19 @@
     corrupted transfer quarantines nothing and simply falls back to
     recomputing locally. Misses on keys the backend itself owns (or
     any fetch failure) recompute as before; replication is an
-    optimisation, never a correctness dependency. *)
+    optimisation, never a correctness dependency.
+
+    Membership is live: the backend's {!view} of the ring is swapped
+    atomically whenever a router broadcasts a [ring-update], so
+    fetch-through, [locate] answers and the scrub all re-aim at the
+    new ring without a restart.
+
+    A {!supervisor} keeps forked backends alive: a dedicated
+    single-threaded spawner child (forked before the parent grows
+    threads, because only the forking thread survives a fork) spawns
+    and reaps them, and a watcher thread respawns crashed nodes with
+    exponential backoff — until a flap cap decommissions a node that
+    keeps dying. *)
 
 type member = {
   node : string;  (** ring node id, e.g. ["node0"] *)
@@ -23,10 +36,26 @@ val members :
     [<base_socket>.<id>], store [<base_store>/<id>].
     @raise Invalid_argument when [nodes < 1]. *)
 
+(** {2 Live membership} *)
+
+type view
+(** One backend's mutable, mutex-guarded view of the fleet: the ring,
+    the peer endpoints and a generation counter bumped on every
+    update. Shared by the fetch hook, the [locate] answer and the
+    scrub. *)
+
+val view : ?vnodes:int -> self:string -> members:member list -> unit -> view
+(** The initial view: a ring over [members] with [self]'s peers. *)
+
+val view_update : view -> (string * string) list -> unit
+(** Replace the membership from a [ring-update]'s (node id, endpoint
+    string) pairs — the backend half of a membership change. Pairs
+    whose endpoint fails {!Ddg_server.Server.endpoint_of_string} are
+    dropped; an update with no parseable member is ignored (a fleet
+    cannot broadcast itself out of existence). Bumps the generation. *)
+
 val fetch_hook :
-  ring:Ring.t ->
-  self:string ->
-  peers:(string * Ddg_server.Server.endpoint) list ->
+  view:view ->
   connect_timeout_s:float ->
   ?log:(string -> unit) ->
   Ddg_store.Store.t ->
@@ -35,18 +64,52 @@ val fetch_hook :
   bool
 (** The {!Ddg_experiments.Runner.set_fetch} hook for one backend:
     derive the routing key ({!Route.of_store_key}), look up the ring
-    owner, and when it is a peer, pull the artifact with one [forward]
-    round trip and import it into [store]. Returns [true] only when
-    the import landed the exact kind and key that was asked for.
-    Fault sites: [cluster.forward.fail] skips the fetch (as if the
-    owner were unreachable), [cluster.fetch.corrupt] flips a byte of
-    the transferred artifact before import — the store's digest check
-    must reject it. *)
+    owner in the current {!view}, and when it is a peer, pull the
+    artifact with one [forward] round trip and import it into the
+    store. Returns [true] only when the import landed the exact kind
+    and key that was asked for. Fault sites: [cluster.forward.fail]
+    skips the fetch (as if the owner were unreachable),
+    [cluster.fetch.corrupt] flips a byte of the transferred artifact
+    before import — the store's digest check must reject it. *)
+
+(** {2 Anti-entropy scrub} *)
+
+type scrubber
+
+val start_scrub :
+  ?rate:float ->
+  ?burst:int ->
+  ?pause_s:float ->
+  ?connect_timeout_s:float ->
+  ?log:(string -> unit) ->
+  view:view ->
+  Ddg_store.Store.t ->
+  scrubber
+(** A background thread that walks the store's {!Ddg_store.Store.entries}
+    in passes, at most [rate] artifacts/second with bursts capped at
+    [burst] tokens (defaults 200/s, 20), sleeping [pause_s] (default
+    50 ms) between passes. Each artifact is verified in place
+    ({!Ddg_store.Store.verify}): a corrupt one is quarantined and
+    re-fetched from the first live holder in ring order, and a healthy
+    artifact whose ring owner is now a peer is pushed to that owner
+    ([replicate] verb) once per membership generation. Repairs and
+    pushes count in [ddg_scrub_repairs_total]; each pass's duration is
+    recorded in the [ddg_scrub_pass_ns] span. Fault site
+    [store.verify.bitflip] (inside the store) corrupts an artifact
+    just before its check, exercising the repair path.
+    @raise Invalid_argument when [rate <= 0] or [burst < 1]. *)
+
+val stop_scrub : scrubber -> unit
+(** Stop and join the scrub thread (the current artifact finishes). *)
+
+(** {2 One backend} *)
 
 type backend = {
   server : Ddg_server.Server.t;
   runner : Ddg_experiments.Runner.t;
   store : Ddg_store.Store.t;
+  view : view;
+  scrubber : scrubber option;
 }
 
 val backend :
@@ -56,6 +119,7 @@ val backend :
   ?max_inflight:int ->
   ?default_deadline_s:float ->
   ?connect_timeout_s:float ->
+  ?scrub_rate:float ->
   ?log:(string -> unit) ->
   size:Ddg_workloads.Workload.size ->
   members:member list ->
@@ -64,9 +128,14 @@ val backend :
   backend
 (** Build one member's daemon: store at [self.store_dir], runner with
     the fetch hook installed, server listening on [self.endpoint] and
-    announcing [self.node] with the fleet ring's [locate]. Run it with
+    announcing [self.node], with [locate] and membership updates wired
+    to a fresh {!view}. [scrub_rate] (default none) additionally
+    starts an anti-entropy {!start_scrub} at that rate. Run it with
     {!Ddg_server.Server.run} (usually on its own thread or in a forked
     child). *)
+
+val stop_backend : backend -> unit
+(** {!Ddg_server.Server.stop} plus {!stop_scrub} when one is running. *)
 
 val fork_backend :
   ?vnodes:int ->
@@ -75,6 +144,7 @@ val fork_backend :
   ?max_inflight:int ->
   ?default_deadline_s:float ->
   ?connect_timeout_s:float ->
+  ?scrub_rate:float ->
   ?log:(string -> unit) ->
   size:Ddg_workloads.Workload.size ->
   members:member list ->
@@ -88,3 +158,69 @@ val fork_backend :
     thread. In child processes the metric registry, fault counters and
     store are genuinely per-process, so federation aggregates distinct
     registries — the production cluster shape. *)
+
+(** {2 Supervision} *)
+
+type supervisor
+(** Keeps forked backends alive. Forks a dedicated single-threaded
+    {e spawner} child immediately (create the supervisor {e before}
+    any thread or domain exists in this process); the spawner forks,
+    signals and reaps backend processes on command. A later
+    {!supervisor_watch} thread in the parent turns death events into
+    delayed respawns (exponential backoff from [backoff_base_s]
+    doubling to [backoff_max_s]) — unless a node dies [flap_max]
+    times within [flap_window_s], in which case it is decommissioned
+    via the [on_decommission] callback instead of respawned forever.
+    Respawns count in [ddg_backend_respawns_total]. *)
+
+val supervisor :
+  ?backoff_base_s:float ->
+  ?backoff_max_s:float ->
+  ?flap_window_s:float ->
+  ?flap_max:int ->
+  ?log:(string -> unit) ->
+  spawn:(member -> int) ->
+  members:member list ->
+  unit ->
+  supervisor
+(** Fork the spawner. [spawn] runs {e inside the spawner child} (which
+    stays single-threaded, so it may fork) and must start the named
+    member's backend process and return its pid — normally a closure
+    over {!fork_backend}. Defaults: backoff 0.1 s doubling to 5 s,
+    flap cap 5 deaths in 10 s.
+    @raise Invalid_argument when [flap_max < 1]. *)
+
+val supervisor_spawn : supervisor -> string -> unit
+(** Start (or restart, if it died and was reaped) the named member.
+    Unknown node ids are ignored by the spawner. *)
+
+val supervisor_kill : ?signal:int -> supervisor -> string -> unit
+(** Deliver [signal] (default [SIGKILL]: a crash, not a drain) to the
+    named member's process — the chaos lever. The death flows back as
+    an event and triggers the normal respawn/flap logic. *)
+
+val supervisor_watch :
+  ?on_decommission:(string -> unit) -> supervisor -> unit
+(** Start the watcher thread: respawn crashed backends after backoff,
+    call [on_decommission] (e.g. {!Router.decommission}) when a node
+    trips the flap cap. Also the chaos host: each watch tick asks
+    fault site [cluster.backend.kill] whether to kill a running
+    backend (victims rotate round-robin).
+    @raise Invalid_argument when already watching. *)
+
+val supervisor_status :
+  supervisor -> (string * [ `Running of int | `Restarting | `Decommissioned ]) list
+(** Every known member with its state, sorted by node id: running
+    (with pid), waiting for a respawn, or decommissioned. *)
+
+val supervisor_respawns : supervisor -> int
+(** Respawns the watcher has issued since creation. *)
+
+val supervisor_decommissioned : supervisor -> string -> unit
+(** Tell the supervisor a node was decommissioned externally (e.g. a
+    [client drain]): its next death is final — no respawn. *)
+
+val supervisor_stop : supervisor -> unit
+(** Stop everything: the spawner terminates every backend (SIGTERM,
+    then SIGKILL after a grace period), the watcher thread joins, the
+    spawner is reaped. *)

@@ -17,5 +17,7 @@ let of_request ~size (req : Protocol.request) =
   | Protocol.Forward { kind = _; key } -> Some (of_store_key key)
   | Protocol.Locate { key } -> Some key
   | Protocol.Ping _ | Protocol.Server_stats | Protocol.Fsck
-  | Protocol.Metrics | Protocol.Shutdown ->
+  | Protocol.Metrics | Protocol.Shutdown | Protocol.Join _
+  | Protocol.Decommission _ | Protocol.Ring_update _ | Protocol.Store_list
+  | Protocol.Replicate _ ->
       None

@@ -9,6 +9,7 @@ let requests_total = Obs.counter "ddg_router_requests_total"
 let reroutes_total = Obs.counter "ddg_router_reroutes_total"
 let breaker_opens_total = Obs.counter "ddg_router_breaker_opens_total"
 let backend_errors_total = Obs.counter "ddg_router_backend_errors_total"
+let membership_changes_total = Obs.counter "ddg_membership_changes_total"
 
 type backend = {
   node : string;
@@ -19,8 +20,12 @@ type backend = {
 }
 
 type t = {
-  ring : Ring.t;
-  backends : backend list;  (* ring member order is irrelevant; lookup by id *)
+  vnodes : int option;
+  (* live membership, under the router lock: [None] ring means an empty
+     fleet — every routed request gets a typed [No_backends], never an
+     exception *)
+  mutable ring : Ring.t option;
+  mutable backends : backend list;  (* sorted by node id *)
   size : Workload.size;
   node_id : string;
   endpoints : Server.endpoint list;
@@ -31,8 +36,14 @@ type t = {
   failure_threshold : int;
   cooldown_s : float;
   max_connections : int;
+  (* how a decommission reaches the supervisor: a drained node's next
+     death must be final, not a respawn *)
+  on_retire : string -> unit;
   log : string -> unit;
   lock : Mutex.t;
+  (* serialises whole membership changes (join/decommission), which
+     hold connections open mid-change; never held with [lock] *)
+  membership_lock : Mutex.t;
   mutable conns : Unix.file_descr list;
   mutable active : int;
   mutable stopping : bool;
@@ -41,32 +52,54 @@ type t = {
   stop_w : Unix.file_descr;
 }
 
+let sort_backends = List.sort (fun a b -> compare a.node b.node)
+
 let create ?vnodes ?(node_id = "router") ?(retry = Client.default_retry)
     ?(retry_for_s = 5.0) ?(connect_timeout_s = 1.0)
     ?(health_interval_s = 0.5) ?(failure_threshold = 3) ?(cooldown_s = 2.0)
-    ?(max_connections = 256) ?(log = ignore) ~size ~backends endpoints =
-  let ring = Ring.create ?vnodes (List.map fst backends) in
-  if List.length (Ring.nodes ring) <> List.length backends then
-    invalid_arg "Router.create: duplicate backend node ids";
+    ?(max_connections = 256) ?(on_retire = ignore) ?(log = ignore) ~size
+    ~backends endpoints =
+  let ring =
+    match backends with
+    | [] -> None
+    | _ ->
+        let r = Ring.create ?vnodes (List.map fst backends) in
+        if List.length (Ring.nodes r) <> List.length backends then
+          invalid_arg "Router.create: duplicate backend node ids";
+        Some r
+  in
   let backends =
-    List.map
-      (fun (node, endpoint) -> { node; endpoint; failures = 0; open_until = 0. })
-      backends
+    sort_backends
+      (List.map
+         (fun (node, endpoint) ->
+           { node; endpoint; failures = 0; open_until = 0. })
+         backends)
   in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   (* like the daemon, a router observes itself: open the obs gate so
      its request/reroute/breaker counters actually record *)
   Obs.enable ();
-  { ring; backends; size; node_id; endpoints; retry; retry_for_s;
+  { vnodes; ring; backends; size; node_id; endpoints; retry; retry_for_s;
     connect_timeout_s; health_interval_s; failure_threshold; cooldown_s;
-    max_connections; log; lock = Mutex.create (); conns = []; active = 0;
+    max_connections; on_retire; log; lock = Mutex.create ();
+    membership_lock = Mutex.create (); conns = []; active = 0;
     stopping = false; stop_r; stop_w }
-
-let ring t = t.ring
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let ring t = locked t (fun () -> t.ring)
+
+(* one atomic view of the membership: ring and backend list from the
+   same instant, so routing plans never mix two generations *)
+let snapshot t = locked t (fun () -> (t.ring, t.backends))
+
+let members t =
+  locked t (fun () ->
+      List.map
+        (fun b -> (b.node, Server.endpoint_to_string b.endpoint))
+        t.backends)
 
 let stop t = try ignore (Unix.write t.stop_w (Bytes.make 1 '\xff') 0 1) with _ -> ()
 
@@ -106,17 +139,43 @@ let note_failure t b ~why =
          b.node t.cooldown_s b.failures why)
   end
 
-let backend_of t node = List.find (fun b -> b.node = node) t.backends
+(* push the membership now in force to one backend — how a node that
+   was down (or freshly respawned with the boot-time member list) learns
+   about joins and decommissions it slept through *)
+let push_membership t b =
+  let members = members t in
+  try
+    Client.with_connection ~connect_timeout_s:t.connect_timeout_s b.endpoint
+      (fun c ->
+        ignore
+          (Client.request ~deadline_ms:2000 c
+             (Protocol.Ring_update { members })))
+  with _ -> ()
+
+let broadcast_membership t =
+  List.iter (fun b -> push_membership t b) (locked t (fun () -> t.backends))
 
 (* A probe is any successful round trip; a typed error frame still
-   proves the backend is alive and decoding frames. *)
+   proves the backend is alive and decoding frames. A success after
+   failures is a recovery: re-push the membership, since a respawned
+   backend boots with the member list it was forked with. *)
 let probe t b =
   match
     Client.with_connection ~connect_timeout_s:t.connect_timeout_s b.endpoint
       (fun c -> Client.request ~deadline_ms:2000 c (Ping { delay_ms = 0 }))
   with
-  | (_ : Protocol.response) -> note_ok t b
-  | exception Client.Server_error _ -> note_ok t b
+  | (_ : Protocol.response) | (exception Client.Server_error _) ->
+      let recovered =
+        locked t (fun () ->
+            let r = b.failures > 0 || b.open_until > 0. in
+            b.failures <- 0;
+            b.open_until <- 0.;
+            r)
+      in
+      if recovered then begin
+        t.log (Printf.sprintf "backend %s recovered" b.node);
+        push_membership t b
+      end
   | exception e -> note_failure t b ~why:("health: " ^ Printexc.to_string e)
 
 let health_loop t () =
@@ -129,7 +188,7 @@ let health_loop t () =
   while not (locked t (fun () -> t.stopping)) do
     List.iter
       (fun b -> if not (locked t (fun () -> t.stopping)) then probe t b)
-      t.backends;
+      (locked t (fun () -> t.backends));
     nap t.health_interval_s
   done
 
@@ -165,61 +224,98 @@ let call_backend t sessions ~deadline_ms b req =
     raise (Unix.Unix_error (ECONNRESET, "cluster.backend.drop", b.node));
   Client.call ~deadline_ms (session_for t sessions b) req
 
+(* Deadline-budget propagation: [deadline_ms] is the caller's whole
+   budget, measured from [t0] (when the router read the request). Every
+   relay — including a failover retry after a dead owner burned part of
+   the budget — carries only what remains, so the fleet can never spend
+   longer on a request than its caller allowed. [Some 0] means "no
+   deadline given, use server defaults"; [None] means the budget is
+   spent. *)
+let remaining_budget ~deadline_ms ~t0 =
+  if deadline_ms <= 0 then Some 0
+  else
+    let elapsed_ms =
+      int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    if deadline_ms - elapsed_ms <= 0 then None
+    else Some (deadline_ms - elapsed_ms)
+
 (* Keyed dispatch: healthy nodes in ring-successor order first, then —
    only if every circuit is open — the unhealthy ones as a last
    resort (an open circuit is a prediction, not a proof). *)
-let dispatch_keyed t sessions ~deadline_ms key req =
-  let plan =
-    let order = List.map (backend_of t) (Ring.successors t.ring key) in
-    let up, down = List.partition (available t) order in
-    up @ down
-  in
-  let owner = Ring.owner t.ring key in
-  let rec go = function
-    | [] ->
-        error_frame Internal
-          (Printf.sprintf "no backend reachable for key %S" key)
-    | b :: rest -> (
-        match call_backend t sessions ~deadline_ms b req with
-        | resp ->
-            note_ok t b;
-            if b.node <> owner then begin
-              Obs.incr reroutes_total;
-              t.log
-                (Printf.sprintf "rerouted %s key %s: %s -> %s"
-                   (Protocol.verb_name req) key owner b.node)
-            end;
-            Protocol.Ok_response resp
-        | exception Client.Server_error err ->
-            (* typed refusal: the backend is alive; relay its answer *)
-            note_ok t b;
-            Protocol.Error_response err
-        | exception e when is_transport_failure e ->
-            Obs.incr backend_errors_total;
-            note_failure t b ~why:(Printexc.to_string e);
-            go rest)
-  in
-  go plan
+let dispatch_keyed t sessions ~deadline_ms ~t0 key req =
+  match snapshot t with
+  | None, _ -> error_frame No_backends "the cluster has no members"
+  | Some ring, backends ->
+      let plan =
+        let order =
+          List.filter_map
+            (fun node -> List.find_opt (fun b -> b.node = node) backends)
+            (Ring.successors ring key)
+        in
+        let up, down = List.partition (available t) order in
+        up @ down
+      in
+      let owner = Ring.owner ring key in
+      let rec go = function
+        | [] ->
+            error_frame No_backends
+              (Printf.sprintf "no backend reachable for key %S" key)
+        | b :: rest -> (
+            match remaining_budget ~deadline_ms ~t0 with
+            | None ->
+                error_frame Deadline_exceeded
+                  (Printf.sprintf
+                     "deadline budget of %dms spent during failover"
+                     deadline_ms)
+            | Some budget_ms -> (
+                match
+                  call_backend t sessions ~deadline_ms:budget_ms b req
+                with
+                | resp ->
+                    note_ok t b;
+                    if b.node <> owner then begin
+                      Obs.incr reroutes_total;
+                      t.log
+                        (Printf.sprintf "rerouted %s key %s: %s -> %s"
+                           (Protocol.verb_name req) key owner b.node)
+                    end;
+                    Protocol.Ok_response resp
+                | exception Client.Server_error err ->
+                    (* typed refusal: the backend is alive; relay its
+                       answer *)
+                    note_ok t b;
+                    Protocol.Error_response err
+                | exception e when is_transport_failure e ->
+                    Obs.incr backend_errors_total;
+                    note_failure t b ~why:(Printexc.to_string e);
+                    go rest))
+      in
+      go plan
 
 (* Best-effort fan-out to every healthy backend; nodes that fail just
-   drop out of the aggregate (and feed their breaker). *)
-let fan_out t sessions ~deadline_ms req =
+   drop out of the aggregate (and feed their breaker). The budget rule
+   applies here too: each relay carries what remains. *)
+let fan_out t sessions ~deadline_ms ~t0 req =
   List.filter_map
     (fun b ->
       if not (available t b) then None
       else
-        match call_backend t sessions ~deadline_ms b req with
-        | resp ->
-            note_ok t b;
-            Some resp
-        | exception Client.Server_error _ ->
-            note_ok t b;
-            None
-        | exception e when is_transport_failure e ->
-            Obs.incr backend_errors_total;
-            note_failure t b ~why:(Printexc.to_string e);
-            None)
-    t.backends
+        match remaining_budget ~deadline_ms ~t0 with
+        | None -> None
+        | Some budget_ms -> (
+            match call_backend t sessions ~deadline_ms:budget_ms b req with
+            | resp ->
+                note_ok t b;
+                Some resp
+            | exception Client.Server_error _ ->
+                note_ok t b;
+                None
+            | exception e when is_transport_failure e ->
+                Obs.incr backend_errors_total;
+                note_failure t b ~why:(Printexc.to_string e);
+                None))
+    (locked t (fun () -> t.backends))
 
 let add_counters (a : Protocol.counters) (b : Protocol.counters) :
     Protocol.counters =
@@ -256,29 +352,197 @@ let add_counters (a : Protocol.counters) (b : Protocol.counters) :
     remote_fetches = a.remote_fetches + b.remote_fetches }
 
 (* ------------------------------------------------------------------ *)
+(* Live membership                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_membership_lock t f =
+  Mutex.lock t.membership_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.membership_lock) f
+
+let join t ~node ~endpoint =
+  with_membership_lock t @@ fun () ->
+  let added =
+    locked t (fun () ->
+        if List.exists (fun b -> b.node = node) t.backends then false
+        else begin
+          t.backends <-
+            sort_backends
+              ({ node; endpoint; failures = 0; open_until = 0. }
+              :: t.backends);
+          t.ring <-
+            Some
+              (match t.ring with
+              | Some r -> Ring.add r node
+              | None -> Ring.create ?vnodes:t.vnodes [ node ]);
+          true
+        end)
+  in
+  if added then begin
+    Obs.incr membership_changes_total;
+    t.log
+      (Printf.sprintf "join: %s at %s" node
+         (Server.endpoint_to_string endpoint));
+    (* keys move only *to* the joiner (the Ring contract); survivors
+       keep serving everything else while the joiner warms up through
+       fetch-through and the scrub re-replicates in the background *)
+    broadcast_membership t
+  end;
+  members t
+
+(* Migrate the retiring node's artifacts to their new ring owners: pull
+   the verified bytes ([forward]) from the source, push them
+   ([replicate], digest-checked on import) to each key's owner under
+   the post-removal ring. Best-effort: a node decommissioned because it
+   is dead has nothing to export, and the survivors' scrub re-replicates
+   whatever copies exist elsewhere. Returns the artifact count moved. *)
+let migrate t ~from:(b : backend) ~new_ring =
+  match new_ring with
+  | None -> 0
+  | Some ring ->
+      let moved = ref 0 in
+      (try
+         Client.with_connection ~connect_timeout_s:t.connect_timeout_s
+           b.endpoint
+         @@ fun src ->
+         match Client.request ~deadline_ms:10_000 src Protocol.Store_list with
+         | Protocol.Store_listing { entries } ->
+             let dsts = Hashtbl.create 8 in
+             let dst_conn owner =
+               match Hashtbl.find_opt dsts owner with
+               | Some c -> Some c
+               | None -> (
+                   match
+                     List.find_opt
+                       (fun x -> x.node = owner)
+                       (locked t (fun () -> t.backends))
+                   with
+                   | None -> None
+                   | Some d -> (
+                       match
+                         Client.connect
+                           ~connect_timeout_s:t.connect_timeout_s d.endpoint
+                       with
+                       | c ->
+                           Hashtbl.add dsts owner c;
+                           Some c
+                       | exception _ -> None))
+             in
+             Fun.protect
+               ~finally:(fun () -> Hashtbl.iter (fun _ c -> Client.close c) dsts)
+             @@ fun () ->
+             List.iter
+               (fun (kind, key) ->
+                 (* widen the handover window under chaos: keyed traffic
+                    keeps flowing against the old ring while keys move *)
+                 if Fault.fire "cluster.membership.race" then
+                   Thread.delay 0.02;
+                 let owner = Ring.owner ring (Route.of_store_key key) in
+                 if owner <> b.node then
+                   match dst_conn owner with
+                   | None -> ()
+                   | Some dst -> (
+                       match
+                         Client.request ~deadline_ms:10_000 src
+                           (Protocol.Forward { kind; key })
+                       with
+                       | Protocol.Fetched { data = Some bytes } -> (
+                           match
+                             Client.request ~deadline_ms:10_000 dst
+                               (Protocol.Replicate { data = bytes })
+                           with
+                           | Protocol.Replicated _ -> incr moved
+                           | _ -> ()
+                           | exception _ -> ())
+                       | _ -> ()
+                       | exception _ -> ()))
+               entries
+         | _ -> ()
+       with _ -> ());
+      !moved
+
+let decommission t ~node =
+  with_membership_lock t @@ fun () ->
+  match
+    locked t (fun () -> List.find_opt (fun b -> b.node = node) t.backends)
+  with
+  | None -> members t (* a replayed decommission is a no-op, not an error *)
+  | Some b ->
+      (* the post-removal ring: [None] when this was the last member —
+         never lets Ring.remove's last-node Invalid_argument escape *)
+      let new_ring =
+        locked t (fun () ->
+            match t.ring with
+            | Some r when List.length (Ring.nodes r) > 1 ->
+                Some (Ring.remove r node)
+            | _ -> None)
+      in
+      let migrated = migrate t ~from:b ~new_ring in
+      locked t (fun () ->
+          t.backends <- List.filter (fun x -> x.node <> node) t.backends;
+          t.ring <- new_ring);
+      Obs.incr membership_changes_total;
+      t.log
+        (Printf.sprintf "decommission: %s (%d artifacts migrated)" node
+           migrated);
+      broadcast_membership t;
+      (* tell the supervisor first, so the drain-induced death below is
+         final rather than a crash to respawn *)
+      (try t.on_retire node with _ -> ());
+      (* the retiring daemon drains its in-flight work before exiting *)
+      (try
+         Client.with_connection ~connect_timeout_s:t.connect_timeout_s
+           b.endpoint (fun c ->
+             ignore (Client.request ~deadline_ms:2000 c Protocol.Shutdown))
+       with _ -> ());
+      members t
+
+(* ------------------------------------------------------------------ *)
 (* Per-connection protocol handler                                     *)
 (* ------------------------------------------------------------------ *)
 
 let serve_request t sessions fd ~deadline_ms (req : Protocol.request) =
   Obs.incr requests_total;
+  (* the budget clock starts the moment the request is read: everything
+     the router burns (failed relays, migrations racing by) counts *)
+  let t0 = Unix.gettimeofday () in
   let finish frame = Protocol.write_frame_fd fd frame in
   match req with
   | Ping { delay_ms } ->
       (* answered locally: router liveness, not backend liveness *)
       if delay_ms > 0 then Unix.sleepf (float_of_int delay_ms /. 1000.);
       finish (Ok_response Pong)
-  | Locate { key } ->
+  | Locate { key } -> (
+      match locked t (fun () -> t.ring) with
+      | None -> finish (error_frame No_backends "the cluster has no members")
+      | Some ring ->
+          finish
+            (Ok_response
+               (Located { node = Ring.owner ring (Route.of_store_key key) })))
+  | Join { node; endpoint } -> (
+      match Server.endpoint_of_string endpoint with
+      | None ->
+          finish
+            (error_frame Bad_frame
+               (Printf.sprintf
+                  "bad endpoint %S (want unix:<path> or tcp:<addr>:<port>)"
+                  endpoint))
+      | Some ep ->
+          finish (Ok_response (Members { members = join t ~node ~endpoint:ep })))
+  | Decommission { node } ->
+      finish (Ok_response (Members { members = decommission t ~node }))
+  | Ring_update _ | Store_list | Replicate _ ->
       finish
-        (Ok_response
-           (Located { node = Ring.owner t.ring (Route.of_store_key key) }))
+        (error_frame Internal
+           (Printf.sprintf "%s is a backend verb; this is a router"
+              (Protocol.verb_name req)))
   | Server_stats -> (
       let stats =
         List.filter_map
           (function Protocol.Telemetry c -> Some c | _ -> None)
-          (fan_out t sessions ~deadline_ms Server_stats)
+          (fan_out t sessions ~deadline_ms ~t0 Server_stats)
       in
       match stats with
-      | [] -> finish (error_frame Internal "no backend reachable for stats")
+      | [] -> finish (error_frame No_backends "no backend reachable for stats")
       | first :: rest ->
           finish
             (Ok_response (Telemetry (List.fold_left add_counters first rest))))
@@ -287,7 +551,7 @@ let serve_request t sessions fd ~deadline_ms (req : Protocol.request) =
       let remote =
         List.filter_map
           (function Protocol.Metrics_snapshot s -> Some s | _ -> None)
-          (fan_out t sessions ~deadline_ms Metrics)
+          (fan_out t sessions ~deadline_ms ~t0 Metrics)
       in
       finish
         (Ok_response
@@ -297,10 +561,10 @@ let serve_request t sessions fd ~deadline_ms (req : Protocol.request) =
       let reports =
         List.filter_map
           (function Protocol.Fsck_report r -> Some r | _ -> None)
-          (fan_out t sessions ~deadline_ms Fsck)
+          (fan_out t sessions ~deadline_ms ~t0 Fsck)
       in
       match reports with
-      | [] -> finish (error_frame Internal "no backend reachable for fsck")
+      | [] -> finish (error_frame No_backends "no backend reachable for fsck")
       | reports ->
           let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
           finish
@@ -321,11 +585,12 @@ let serve_request t sessions fd ~deadline_ms (req : Protocol.request) =
               b.endpoint (fun c ->
                 ignore (Client.request ~deadline_ms:2000 c Protocol.Shutdown))
           with _ -> ())
-        t.backends;
+        (locked t (fun () -> t.backends));
       stop t
   | Analyze _ | Simulate _ | Table _ | Forward _ | Advise _ -> (
       match Route.of_request ~size:t.size req with
-      | Some key -> finish (dispatch_keyed t sessions ~deadline_ms key req)
+      | Some key ->
+          finish (dispatch_keyed t sessions ~deadline_ms ~t0 key req)
       | None -> assert false (* keyless verbs all matched above *))
 
 let handle_connection t fd =

@@ -23,7 +23,24 @@
     (probe or relay) open that backend's circuit for [cooldown_s]:
     while open, the backend is skipped in routing order (tried only
     when no alternative remains) and excluded from fan-outs. The first
-    success after cooldown closes the circuit. *)
+    success after cooldown closes the circuit — and a success after
+    {e any} failure re-pushes the current membership to that backend,
+    so a respawned daemon (booted with its fork-time member list)
+    catches up on joins and decommissions it slept through.
+
+    Membership is live (protocol v6): {!join} adds a backend and
+    {!decommission} retires one, migrating its artifacts to their new
+    ring owners first (digest-checked pull + push) and telling the
+    retiree to drain and exit. Both swap the ring atomically and
+    broadcast a [ring-update] to every backend. An empty fleet is a
+    served state, not a crash: every routed request gets a typed
+    [No_backends] error.
+
+    Deadlines are budgets: a request's [deadline_ms] is measured from
+    the moment the router reads it, and every relay — including
+    failover retries after a dead owner burned part of it — carries
+    only the remainder, so the fleet never spends longer on a request
+    than its caller allowed. *)
 
 type t
 
@@ -37,6 +54,7 @@ val create :
   ?failure_threshold:int ->
   ?cooldown_s:float ->
   ?max_connections:int ->
+  ?on_retire:(string -> unit) ->
   ?log:(string -> unit) ->
   size:Ddg_workloads.Workload.size ->
   backends:(string * Ddg_server.Server.endpoint) list ->
@@ -51,12 +69,39 @@ val create :
     out backends that are still binding their sockets at fleet start.
     Health checks run every [health_interval_s] (default 0.5 s);
     [failure_threshold] (default 3) consecutive failures open a
-    circuit for [cooldown_s] (default 2 s).
-    @raise Invalid_argument on an empty backend list or duplicate ids
-    (via {!Ring.create}). *)
+    circuit for [cooldown_s] (default 2 s). An empty backend list is
+    allowed: the router serves [No_backends] until a {!join}.
+    [on_retire] is called with the node id at every {!decommission}
+    (before the retiree is told to drain) — wire it to
+    {!Fleet.supervisor_decommissioned} so a drained node's exit is
+    final rather than a crash the supervisor respawns.
+    @raise Invalid_argument on duplicate ids. *)
 
-val ring : t -> Ring.t
-(** The routing ring (for tests and the [locate] CLI). *)
+val ring : t -> Ring.t option
+(** The routing ring now in force (for tests and the [locate] CLI);
+    [None] when the fleet is empty. *)
+
+val members : t -> (string * string) list
+(** Current membership as (node id, endpoint string) pairs in node-id
+    order — the same list [join]/[decommission]/[ring-update] frames
+    carry. *)
+
+val join : t -> node:string -> endpoint:Ddg_server.Server.endpoint ->
+  (string * string) list
+(** Add a backend to the ring (idempotent: re-joining an existing id is
+    a no-op) and broadcast the new membership to every backend. The
+    joiner warms up through fetch-through replication; keys move only
+    to it. Returns the membership now in force. *)
+
+val decommission : t -> node:string -> (string * string) list
+(** Retire a backend: migrate its artifacts to their new ring owners
+    (best-effort — a dead node has nothing to export), swap the ring,
+    broadcast the new membership, and tell the retiree to drain and
+    exit. Idempotent; removing the last member leaves an empty,
+    [No_backends]-serving fleet. Also the flap-cap action of
+    {!Fleet.supervisor}: a backend that keeps dying is decommissioned
+    instead of respawned forever. Returns the membership now in
+    force. *)
 
 val run : t -> unit
 (** Bind, serve until {!stop}, then drain: close listeners, shut down

@@ -1,4 +1,4 @@
-let version = 5
+let version = 6
 let max_frame_bytes = 16 * 1024 * 1024
 let magic = "DDGP"
 
@@ -18,6 +18,12 @@ let max_labels = 16
    description — far longer than a name, still firmly bounded *)
 let max_key = 4096
 
+(* cluster membership lists are small (one entry per node); store
+   listings enumerate every artifact a node holds, so they get a much
+   larger but still firm ceiling *)
+let max_members = 256
+let max_store_entries = 65536
+
 type error_code =
   | Bad_frame
   | Unsupported_version
@@ -28,6 +34,7 @@ type error_code =
   | Shutting_down
   | Internal
   | Worker_crashed
+  | No_backends
 
 type error = { code : error_code; message : string }
 
@@ -43,6 +50,11 @@ type request =
   | Locate of { key : string }
   | Forward of { kind : string; key : string }
   | Advise of { workload : string; config : Ddg_paragraph.Config.t }
+  | Join of { node : string; endpoint : string }
+  | Decommission of { node : string }
+  | Ring_update of { members : (string * string) list }
+  | Store_list
+  | Replicate of { data : string }
 
 type sim_summary = {
   instructions : int;
@@ -97,6 +109,9 @@ type response =
   | Located of { node : string }
   | Fetched of { data : string option }
   | Advised of Ddg_advise.Advise.t
+  | Members of { members : (string * string) list }
+  | Store_listing of { entries : (string * string) list }
+  | Replicated of { kind : string; key : string }
 
 type frame =
   | Hello of { protocol : int; software : string; node : string }
@@ -116,6 +131,11 @@ let verb_name = function
   | Locate _ -> "locate"
   | Forward _ -> "forward"
   | Advise _ -> "advise"
+  | Join _ -> "join"
+  | Decommission _ -> "decommission"
+  | Ring_update _ -> "ring-update"
+  | Store_list -> "store-list"
+  | Replicate _ -> "replicate"
 
 (* a verb is idempotent when replaying it after an ambiguous failure
    (connection dropped mid-request) cannot change server state beyond
@@ -123,7 +143,8 @@ let verb_name = function
    could kill a daemon restarted in between *)
 let idempotent = function
   | Ping _ | Analyze _ | Simulate _ | Table _ | Server_stats | Fsck | Metrics
-  | Locate _ | Forward _ | Advise _ ->
+  | Locate _ | Forward _ | Advise _ | Join _ | Decommission _ | Ring_update _
+  | Store_list | Replicate _ ->
       true
   | Shutdown -> false
 
@@ -137,6 +158,7 @@ let error_code_name = function
   | Shutting_down -> "shutting-down"
   | Internal -> "internal"
   | Worker_crashed -> "worker-crashed"
+  | No_backends -> "no-backends"
 
 (* --- payload encoding (Buffer) --------------------------------------------- *)
 
@@ -284,6 +306,38 @@ let c_config c : Ddg_paragraph.Config.t =
 
 (* --- requests, responses, errors -------------------------------------------- *)
 
+(* membership lists ((node, endpoint) pairs) and store listings
+   ((kind, key) pairs) share one shape: a length-bounded list of string
+   pairs, each string with its own ceiling *)
+let e_pairs ~what ~limit ~max_fst ~max_snd b pairs =
+  if List.length pairs > limit then fail "too many %s to encode" what;
+  e_varint b (List.length pairs);
+  List.iter
+    (fun (a, z) ->
+      e_string ~max:max_fst b a;
+      e_string ~max:max_snd b z)
+    pairs
+
+let c_pairs ~what ~limit ~max_fst ~max_snd c =
+  let n = c_varint c in
+  if n > limit then fail "too many %s (%d)" what n;
+  List.init n (fun _ ->
+      let a = c_string ~max:max_fst c in
+      let z = c_string ~max:max_snd c in
+      (a, z))
+
+let e_members = e_pairs ~what:"members" ~limit:max_members ~max_fst:max_name
+    ~max_snd:max_key
+
+let c_members = c_pairs ~what:"members" ~limit:max_members ~max_fst:max_name
+    ~max_snd:max_key
+
+let e_entries = e_pairs ~what:"store entries" ~limit:max_store_entries
+    ~max_fst:max_name ~max_snd:max_key
+
+let c_entries = c_pairs ~what:"store entries" ~limit:max_store_entries
+    ~max_fst:max_name ~max_snd:max_key
+
 let e_request b = function
   | Ping { delay_ms } ->
       e_varint b 0;
@@ -313,6 +367,20 @@ let e_request b = function
       e_varint b 10;
       e_string ~max:max_name b workload;
       e_config b config
+  | Join { node; endpoint } ->
+      e_varint b 11;
+      e_string ~max:max_name b node;
+      e_string ~max:max_key b endpoint
+  | Decommission { node } ->
+      e_varint b 12;
+      e_string ~max:max_name b node
+  | Ring_update { members } ->
+      e_varint b 13;
+      e_members b members
+  | Store_list -> e_varint b 14
+  | Replicate { data } ->
+      e_varint b 15;
+      e_string ~max:max_frame_bytes b data
 
 let c_request c =
   match c_varint c with
@@ -336,6 +404,14 @@ let c_request c =
       let workload = c_string ~max:max_name c in
       let config = c_config c in
       Advise { workload; config }
+  | 11 ->
+      let node = c_string ~max:max_name c in
+      let endpoint = c_string ~max:max_key c in
+      Join { node; endpoint }
+  | 12 -> Decommission { node = c_string ~max:max_name c }
+  | 13 -> Ring_update { members = c_members c }
+  | 14 -> Store_list
+  | 15 -> Replicate { data = c_string ~max:max_frame_bytes c }
   | t -> fail "bad request verb tag %d" t
 
 let e_counters b k =
@@ -543,6 +619,16 @@ let e_response b = function
       let payload = Ddg_advise.Advise_codec.to_string report in
       e_varint b (String.length payload);
       Buffer.add_string b payload
+  | Members { members } ->
+      e_varint b 11;
+      e_members b members
+  | Store_listing { entries } ->
+      e_varint b 12;
+      e_entries b entries
+  | Replicated { kind; key } ->
+      e_varint b 13;
+      e_string ~max:max_name b kind;
+      e_string ~max:max_key b key
 
 let c_response c =
   match c_varint c with
@@ -589,6 +675,12 @@ let c_response c =
           fail "bad advise payload: %s" msg
       in
       Advised report
+  | 11 -> Members { members = c_members c }
+  | 12 -> Store_listing { entries = c_entries c }
+  | 13 ->
+      let kind = c_string ~max:max_name c in
+      let key = c_string ~max:max_key c in
+      Replicated { kind; key }
   | t -> fail "bad response tag %d" t
 
 let error_code_tag = function
@@ -601,6 +693,7 @@ let error_code_tag = function
   | Shutting_down -> 6
   | Internal -> 7
   | Worker_crashed -> 8
+  | No_backends -> 9
 
 let error_code_of_tag = function
   | 0 -> Bad_frame
@@ -612,6 +705,7 @@ let error_code_of_tag = function
   | 6 -> Shutting_down
   | 7 -> Internal
   | 8 -> Worker_crashed
+  | 9 -> No_backends
   | t -> fail "bad error code tag %d" t
 
 let truncate_message m =

@@ -41,6 +41,12 @@ val max_frame_bytes : int
 (** Upper bound on a frame payload (16 MiB). Larger declared lengths are
     rejected before any allocation. *)
 
+val max_members : int
+(** Upper bound on a membership list ([ring-update], [members]). *)
+
+val max_store_entries : int
+(** Upper bound on a [store-list] reply; larger stores ship a prefix. *)
+
 exception Error of string
 (** Malformed frame: bad magic, unknown kind or tag, truncated or
     oversized payload, non-boolean flag byte, trailing garbage. *)
@@ -59,6 +65,10 @@ type error_code =
       (** the worker domain executing this request died; only this
           request failed, the pool respawned the worker — retry is safe
           for idempotent verbs *)
+  | No_backends
+      (** a cluster router has no live backend left for this request —
+          every node is decommissioned or dead (protocol v6); retrying
+          is pointless until membership changes *)
 
 type error = { code : error_code; message : string }
 
@@ -95,6 +105,27 @@ type request =
           exactly as {!Analyze} carries it. Idempotent and cacheable:
           the report's canonical encoding is bit-identical wherever
           computed *)
+  | Join of { node : string; endpoint : string }
+      (** live membership (protocol v6): ask a router to add a backend
+          at [endpoint] to its ring under id [node] — answered with
+          {!response.Members}, the post-join membership *)
+  | Decommission of { node : string }
+      (** live membership (protocol v6): ask a router to retire a
+          backend — the router migrates the node's owned keys to their
+          new ring owners, swaps the ring, then shuts the node down;
+          answered with {!response.Members} *)
+  | Ring_update of { members : (string * string) list }
+      (** router → backend broadcast after any membership change:
+          the full current membership as (node id, endpoint) pairs, so
+          backends re-aim their fetch-through and scrub at the new ring *)
+  | Store_list
+      (** enumerate the answering node's store as (kind, key) pairs —
+          the migration and anti-entropy walkers' source of truth *)
+  | Replicate of { data : string }
+      (** push one artifact's raw verified [.art] bytes into the
+          answering node's store ({!Ddg_store.Store.import}: digest
+          checked before installation) — the push half of replication,
+          complementing {!Forward}'s pull *)
 
 type sim_summary = {
   instructions : int;
@@ -166,6 +197,16 @@ type response =
   | Advised of Ddg_advise.Advise.t
       (** reply to {!request.Advise}; travels as the canonical
           {!Ddg_advise.Advise_codec} encoding unchanged *)
+  | Members of { members : (string * string) list }
+      (** reply to {!request.Join}, {!request.Decommission} and
+          {!request.Ring_update}: the membership now in force as
+          (node id, endpoint) pairs in ring-id order *)
+  | Store_listing of { entries : (string * string) list }
+      (** reply to {!request.Store_list}: every (kind, key) the
+          answering node's store holds *)
+  | Replicated of { kind : string; key : string }
+      (** reply to {!request.Replicate}: the imported artifact's
+          identity as verified from its header *)
 
 type frame =
   | Hello of { protocol : int; software : string; node : string }

@@ -180,14 +180,26 @@ let next_uniform s =
    is uniform in [base, prev * 3], clamped to [max_delay_s] — spreads
    concurrent retriers apart instead of re-synchronising them the way
    plain doubling does *)
-let backoff s =
+let backoff ?(until = infinity) s =
   let { base_delay_s = base; max_delay_s = max_d; _ } = s.retry in
   let span = Float.max 0.0 ((s.prev_delay *. 3.0) -. base) in
   let delay = Float.min max_d (base +. (next_uniform s *. span)) in
   s.prev_delay <- delay;
+  (* never sleep past the caller's deadline: the schedule's shape (and
+     determinism per seed) is preserved, only the final sleep is cut
+     short so the total retry wall-time stays inside the budget *)
+  let delay = Float.min delay (until -. Unix.gettimeofday ()) in
   if delay > 0.0 then Unix.sleepf delay
 
 let call ?(deadline_ms = 0) s req =
+  (* [deadline_ms] is a budget for the whole call, not per attempt:
+     attempts x backoff must not overshoot it, so once the clock runs
+     out no further replay starts and the last failure propagates *)
+  let give_up_at =
+    if deadline_ms > 0 then
+      Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.)
+    else infinity
+  in
   let retryable_frame (err : Protocol.error) =
     (* Busy: the server refused before doing any work. Worker_crashed:
        the server says the pool lost this one request and recovered.
@@ -197,7 +209,9 @@ let call ?(deadline_ms = 0) s req =
     | _ -> false
   in
   let may_retry attempt =
-    Protocol.idempotent req && attempt + 1 < s.retry.attempts
+    Protocol.idempotent req
+    && attempt + 1 < s.retry.attempts
+    && Unix.gettimeofday () < give_up_at
   in
   let rec go attempt =
     match
@@ -221,7 +235,7 @@ let call ?(deadline_ms = 0) s req =
       ->
         (* the connection itself is healthy: back off and replay on it *)
         s.retries <- s.retries + 1;
-        backoff s;
+        backoff ~until:give_up_at s;
         go (attempt + 1)
     | exception (End_of_file | Unix.Unix_error _ | Sys_error _
                 | Protocol.Error _)
@@ -230,7 +244,7 @@ let call ?(deadline_ms = 0) s req =
            reconnect and replay *)
         drop_connection s;
         s.retries <- s.retries + 1;
-        backoff s;
+        backoff ~until:give_up_at s;
         go (attempt + 1)
   in
   go 0

@@ -96,7 +96,11 @@ val call :
     [retry.attempts] total attempts. Replays carry an incremented wire
     [attempt] so the server can count retries served. Non-idempotent
     verbs and non-retryable errors surface immediately, as do failures
-    that outlive the attempt budget. *)
+    that outlive the attempt budget. A positive [deadline_ms] also caps
+    the {e total} retry wall-time: backoff sleeps are clipped to the
+    remaining budget and no replay starts after it is spent, so a call
+    never outlives its caller's deadline however many attempts the
+    retry policy would otherwise allow. *)
 
 val session_retries : session -> int
 (** Replays this session has performed (0 when every call succeeded

@@ -13,11 +13,37 @@ exception Reject of Protocol.error_code * string
 
 type endpoint = [ `Unix of string | `Tcp of string * int ]
 
+let endpoint_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (addr, port) -> Printf.sprintf "tcp:%s:%d" addr port
+
+let endpoint_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" && i + 1 < String.length s ->
+      Some (`Unix (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j when j > 0 -> (
+          match
+            int_of_string_opt
+              (String.sub rest (j + 1) (String.length rest - j - 1))
+          with
+          | Some port -> Some (`Tcp (String.sub rest 0 j, port))
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
 (* Cluster-mode identity: who this daemon is on the hash ring and how
    to answer "who owns this key". The ring itself lives in the cluster
-   library; the server only consults it through [locate], so the
-   daemon carries no ring dependency. *)
-type cluster = { node_id : string; locate : string -> string }
+   library; the server only consults it through [locate] and feeds
+   membership changes back through [update], so the daemon carries no
+   ring dependency. *)
+type cluster = {
+  node_id : string;
+  locate : string -> string;
+  update : (string * string) list -> unit;
+}
 
 type t = {
   runner : Runner.t;
@@ -156,7 +182,8 @@ let compute t (req : Protocol.request) cancelled : Protocol.response =
               quarantined = r.quarantined;
               missing = r.missing;
               swept_temps = r.swept_temps })
-  | Server_stats | Shutdown | Metrics | Locate _ | Forward _ ->
+  | Server_stats | Shutdown | Metrics | Locate _ | Forward _ | Join _
+  | Decommission _ | Ring_update _ | Store_list | Replicate _ ->
       (* Handled inline by the connection handler; never queued. *)
       assert false
 
@@ -203,6 +230,47 @@ let serve_request t fd ~deadline_ms ~attempt (req : Protocol.request) =
             | d -> d
           in
           finish `Ok (Ok_response (Fetched { data })))
+  | Store_list -> (
+      (* migration/scrub source of truth: cheap header walk, never queued *)
+      match Runner.store t.runner with
+      | None ->
+          finish `Error
+            (error_frame Internal
+               "no artifact store configured (daemon started with --no-cache)")
+      | Some store ->
+          let entries = Ddg_store.Store.entries store in
+          (* the codec bounds the listing; an over-full store ships its
+             stable prefix and repeated passes converge on the rest *)
+          let entries =
+            List.filteri (fun i _ -> i < Protocol.max_store_entries) entries
+          in
+          finish `Ok (Ok_response (Store_listing { entries })))
+  | Replicate { data } -> (
+      (* push replication: digest-verified import, never queued *)
+      match Runner.store t.runner with
+      | None ->
+          finish `Error
+            (error_frame Internal
+               "no artifact store configured (daemon started with --no-cache)")
+      | Some store -> (
+          match Ddg_store.Store.import store data with
+          | Some (kind, key) ->
+              finish `Ok (Ok_response (Replicated { kind; key }))
+          | None ->
+              finish `Error
+                (error_frame Internal
+                   "replicate rejected: artifact bytes failed verification")))
+  | Ring_update { members } -> (
+      match t.cluster with
+      | Some c ->
+          c.update members;
+          finish `Ok (Ok_response (Members { members }))
+      | None ->
+          finish `Error
+            (error_frame Internal "this daemon is not a cluster member"))
+  | Join _ | Decommission _ ->
+      finish `Error
+        (error_frame Internal "membership verbs are answered by a cluster router")
   | Shutdown ->
       finish `Ok (Ok_response Shutting_down_ack);
       t.log "shutdown requested over the wire";

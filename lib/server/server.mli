@@ -24,13 +24,27 @@ type endpoint = [ `Unix of string | `Tcp of string * int ]
     socket file is replaced). [`Tcp (addr, port)] listens on a numeric
     address, e.g. ["127.0.0.1"]. *)
 
-type cluster = { node_id : string; locate : string -> string }
+type cluster = {
+  node_id : string;
+  locate : string -> string;
+  update : (string * string) list -> unit;
+}
 (** Cluster-mode identity for a daemon that is one shard of a fleet:
     [node_id] is carried in the server's Hello and [locate] answers the
     [Locate] verb (routing key -> owning node id, normally a
     {!Ddg_cluster.Ring} lookup — the server itself stays ring-agnostic).
+    [update] receives a router's [Ring_update] broadcast — the full
+    membership as (node id, endpoint string) pairs — so live joins and
+    decommissions reach the daemon's ring without a restart.
     Fetch-through replication is wired separately, via
     {!Ddg_experiments.Runner.set_fetch} on the daemon's runner. *)
+
+val endpoint_to_string : endpoint -> string
+(** ["unix:<path>"] or ["tcp:<addr>:<port>"] — the format membership
+    endpoints travel in over the wire ([join], [ring-update]). *)
+
+val endpoint_of_string : string -> endpoint option
+(** Inverse of {!endpoint_to_string}; [None] on anything else. *)
 
 val create :
   runner:Ddg_experiments.Runner.t ->

@@ -654,3 +654,49 @@ let fsck t =
       (try write_manifest_locked t with Sys_error _ -> ());
       { scanned = !scanned; valid = !valid; quarantined = !quarantined;
         missing; swept_temps = !swept })
+
+(* --- enumeration / per-artifact verification -------------------------------- *)
+
+(* enumerate the store by reading artifact headers, not the manifest:
+   the manifest is advisory and may lag a concurrent writer. Temp files
+   share the .art suffix and are excluded by their tmp.<pid> prefix. *)
+let entries t =
+  let files =
+    match Sys.readdir t.root with
+    | files -> Array.to_list files |> List.sort compare
+    | exception Sys_error _ -> []
+  in
+  List.filter_map
+    (fun file ->
+      if not (Filename.check_suffix file ".art") || temp_owner_pid file <> None
+      then None
+      else
+        let path = Filename.concat t.root file in
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> read_header ic)
+        with
+        | info -> Some (info.i_kind, info.i_key)
+        | exception _ -> None)
+    files
+
+(* one-artifact verification for the anti-entropy scrub: unlike [find]
+   it never decodes the payload, and unlike [fsck] it visits a single
+   (kind, key) so a scrubber can pace itself *)
+let verify t ~kind ~key =
+  let path = artifact_path t ~kind ~key in
+  if not (Sys.file_exists path) then `Missing
+  else begin
+    if Ddg_fault.Fault.fire "store.verify.bitflip" then bitflip_file path;
+    match verify_artifact path with
+    | Ok info when info.i_kind = kind && info.i_key = key -> `Ok
+    | Ok _ ->
+        quarantine t path "key mismatch (hash collision or tampering)";
+        `Quarantined
+    | Error reason ->
+        quarantine t path reason;
+        `Quarantined
+    | exception Sys_error _ -> `Missing
+  end

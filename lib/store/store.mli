@@ -101,6 +101,23 @@ val import : t -> string -> (string * string) option
     artifact's [(kind, key)], or [None] when the bytes fail
     verification — a corrupt transfer never touches the store. *)
 
+val entries : t -> (string * string) list
+(** Every artifact currently in the store as [(kind, key)], in stable
+    (file-name) order, read from the artifact headers themselves —
+    never the advisory manifest. Unreadable files are skipped; writers'
+    temp files are excluded. The anti-entropy scrub and membership
+    migration walk the store through this. *)
+
+val verify : t -> kind:string -> key:string -> [ `Ok | `Missing | `Quarantined ]
+(** Verify one artifact in place — header, payload length, digest, and
+    that the content address matches — without decoding the payload.
+    Corruption quarantines the file (with a [.reason] note) exactly as
+    {!find} would. Built for paced anti-entropy scrubbing: one
+    (kind, key) per call, unlike {!fsck}'s full-store sweep. Fault
+    site [store.verify.bitflip] flips one payload bit before the check
+    (as [store.find.bitflip] does for {!find}) — the scrub's
+    quarantine-and-repair path under test. *)
+
 (** {2 Verification}
 
     A full offline pass over the store, for recovery after crashes or

@@ -234,7 +234,7 @@ let test_federate_merge () =
 
 (* --- in-process fleets --------------------------------------------------------- *)
 
-let with_fleet ?(nodes = 2) ?router f =
+let with_fleet ?(nodes = 2) ?scrub_rate ?router f =
   let base = fresh_base () in
   Unix.mkdir base 0o755;
   let members =
@@ -243,7 +243,9 @@ let with_fleet ?(nodes = 2) ?router f =
       ~base_store:(Filename.concat base "stores")
   in
   let backends =
-    List.map (fun self -> Fleet.backend ~size:tiny ~members ~self ()) members
+    List.map
+      (fun self -> Fleet.backend ?scrub_rate ~size:tiny ~members ~self ())
+      members
   in
   let threads =
     List.map
@@ -269,7 +271,7 @@ let with_fleet ?(nodes = 2) ?router f =
     ~finally:(fun () ->
       Option.iter Router.stop router_t;
       Option.iter Thread.join router_thread;
-      List.iter (fun (b : Fleet.backend) -> Server.stop b.server) backends;
+      List.iter Fleet.stop_backend backends;
       List.iter Thread.join threads;
       rm_rf base)
     (fun () ->
@@ -405,6 +407,310 @@ let test_router_end_to_end () =
                 (Ddg_paragraph.Stats_codec.to_string stats)
           | _ -> Alcotest.fail "expected Analyzed after failover")))
 
+(* --- live membership over the wire ---------------------------------------------- *)
+
+let counter_value name =
+  List.fold_left
+    (fun acc (c : Obs.counter_snapshot) ->
+      if c.Obs.cs_name = name && c.cs_labels = [] then acc + c.cs_value
+      else acc)
+    0 (Obs.snapshot ()).Obs.counters
+
+let test_membership_wire () =
+  with_fleet ~nodes:2 ~router:() (fun ~members ~backends:_ ~router_endpoint ->
+      let ring =
+        Ring.create (List.map (fun (m : Fleet.member) -> m.Fleet.node) members)
+      in
+      let owner_node = Ring.owner ring "mtxx/tiny" in
+      let owner =
+        List.find (fun (m : Fleet.member) -> m.Fleet.node = owner_node) members
+      in
+      let survivor =
+        List.find (fun (m : Fleet.member) -> m.Fleet.node <> owner_node)
+        members
+      in
+      Client.with_session ~retry_for_s:5.0 router_endpoint (fun s ->
+          (* warm the key on its owner through the router *)
+          let reference =
+            match
+              Client.call ~deadline_ms:30_000 s
+                (Protocol.Analyze { workload = "mtxx"; config = Config.default })
+            with
+            | Protocol.Analyzed stats ->
+                Ddg_paragraph.Stats_codec.to_string stats
+            | _ -> Alcotest.fail "expected Analyzed"
+          in
+          (* retire the owner: its keys must migrate to the survivor *)
+          (match Client.call s (Protocol.Decommission { node = owner_node }) with
+          | Protocol.Members { members } ->
+              Alcotest.(check (list string))
+                "post-decommission membership" [ survivor.Fleet.node ]
+                (List.map fst members)
+          | _ -> Alcotest.fail "expected Members");
+          (* a replayed decommission is a no-op, not an error *)
+          (match Client.call s (Protocol.Decommission { node = owner_node }) with
+          | Protocol.Members { members } ->
+              Alcotest.(check int) "idempotent" 1 (List.length members)
+          | _ -> Alcotest.fail "expected Members");
+          (* the stale owner stops serving: its daemon drains and exits *)
+          let give_up = Unix.gettimeofday () +. 5.0 in
+          let rec wait_dead () =
+            match
+              Client.with_connection ~connect_timeout_s:0.2
+                owner.Fleet.endpoint (fun c ->
+                  Client.request ~deadline_ms:500 c
+                    (Protocol.Ping { delay_ms = 0 }))
+            with
+            | _ when Unix.gettimeofday () < give_up ->
+                Thread.delay 0.05;
+                wait_dead ()
+            | _ -> Alcotest.fail "decommissioned backend still serving"
+            | exception _ -> ()
+          in
+          wait_dead ();
+          (* the warm key survived the decommission: the survivor serves
+             the migrated artifact byte-identically, without recomputing *)
+          (match
+             Client.call ~deadline_ms:30_000 s
+               (Protocol.Analyze { workload = "mtxx"; config = Config.default })
+           with
+          | Protocol.Analyzed stats ->
+              Alcotest.(check string) "no warm key lost" reference
+                (Ddg_paragraph.Stats_codec.to_string stats)
+          | _ -> Alcotest.fail "expected Analyzed");
+          (match Client.call s Protocol.Server_stats with
+          | Protocol.Telemetry c ->
+              Alcotest.(check int) "survivor never re-simulated" 0
+                c.Protocol.simulations
+          | _ -> Alcotest.fail "expected Telemetry");
+          (* retiring the last member leaves an empty fleet serving a
+             typed No_backends — Ring.remove's Invalid_argument must not
+             escape *)
+          (match
+             Client.call s (Protocol.Decommission { node = survivor.Fleet.node })
+           with
+          | Protocol.Members { members } ->
+              Alcotest.(check (list (pair string string)))
+                "empty fleet" [] members
+          | _ -> Alcotest.fail "expected Members");
+          (match
+             Client.call ~deadline_ms:5000 s
+               (Protocol.Analyze { workload = "mtxx"; config = Config.default })
+           with
+          | _ -> Alcotest.fail "expected No_backends"
+          | exception Client.Server_error { code = Protocol.No_backends; _ } ->
+              ());
+          (match Client.call s (Protocol.Locate { key = "mtxx/tiny" }) with
+          | _ -> Alcotest.fail "expected No_backends"
+          | exception Client.Server_error { code = Protocol.No_backends; _ } ->
+              ());
+          (* a join brings the fleet back from empty *)
+          (match
+             Client.call s
+               (Protocol.Join
+                  { node = "node9"; endpoint = "unix:/tmp/ddg-node9.sock" })
+           with
+          | Protocol.Members { members } ->
+              Alcotest.(check (list string)) "join from empty" [ "node9" ]
+                (List.map fst members)
+          | _ -> Alcotest.fail "expected Members");
+          (match Client.call s (Protocol.Locate { key = "mtxx/tiny" }) with
+          | Protocol.Located { node } ->
+              Alcotest.(check string) "locate after rejoin" "node9" node
+          | _ -> Alcotest.fail "expected Located");
+          (* a malformed join endpoint is a typed refusal *)
+          match
+            Client.call s
+              (Protocol.Join { node = "nodeX"; endpoint = "not-an-endpoint" })
+          with
+          | _ -> Alcotest.fail "expected Bad_frame"
+          | exception Client.Server_error { code = Protocol.Bad_frame; _ } -> ()))
+
+(* --- anti-entropy scrub ---------------------------------------------------------- *)
+
+let flip_last_byte path =
+  let fd = Unix.openfile path [ O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).st_size in
+      ignore (Unix.lseek fd (size - 1) SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+      ignore (Unix.lseek fd (size - 1) SEEK_SET);
+      ignore (Unix.write fd b 0 1))
+
+let poll_until ?(timeout_s = 10.0) what pred =
+  let give_up = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () >= give_up then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let test_scrub_repair () =
+  with_fleet ~nodes:2 ~scrub_rate:500.0
+    (fun ~members ~backends:_ ~router_endpoint:_ ->
+      let ring =
+        Ring.create (List.map (fun (m : Fleet.member) -> m.Fleet.node) members)
+      in
+      let owner_node = Ring.owner ring "mtxx/tiny" in
+      let owner =
+        List.find (fun (m : Fleet.member) -> m.Fleet.node = owner_node) members
+      in
+      let other =
+        List.find (fun (m : Fleet.member) -> m.Fleet.node <> owner_node)
+        members
+      in
+      let base = counter_value "ddg_scrub_repairs_total" in
+      (* warm the owner, then fetch-through to the non-owner: its store
+         now holds one artifact (the stats blob) whose ring owner is a
+         peer, so the scrub pushes it back once per generation *)
+      let reference = analyze_via owner.Fleet.endpoint "mtxx" in
+      let routed = analyze_via other.Fleet.endpoint "mtxx" in
+      Alcotest.(check string) "fetch-through byte-identical" reference routed;
+      poll_until "the scrub's one replication push" (fun () ->
+          counter_value "ddg_scrub_repairs_total" >= base + 1);
+      (* flip one payload bit of the non-owner's artifact on disk: the
+         scrub must quarantine it and re-fetch the good copy from the
+         ring owner *)
+      let store = Store.open_ ~dir:other.Fleet.store_dir () in
+      (match Store.entries store with
+      | [ (kind, key) ] ->
+          flip_last_byte (Store.artifact_path store ~kind ~key)
+      | entries ->
+          Alcotest.failf "expected 1 artifact on the non-owner, found %d"
+            (List.length entries));
+      poll_until "the scrub's quarantine-and-refetch repair" (fun () ->
+          counter_value "ddg_scrub_repairs_total" >= base + 2);
+      (* the corrupt copy went to quarantine, the repaired one serves
+         byte-identically without recomputation *)
+      Alcotest.(check bool) "corrupt copy quarantined" true
+        (Array.length (Sys.readdir (Store.quarantine_dir store)) > 0);
+      Alcotest.(check string) "repaired artifact byte-identical" reference
+        (analyze_via other.Fleet.endpoint "mtxx");
+      let c = stats_via other.Fleet.endpoint in
+      Alcotest.(check int) "repair never recomputed" 0 c.Protocol.analyses;
+      (* both stores end clean *)
+      List.iter
+        (fun (m : Fleet.member) ->
+          let r = Store.fsck (Store.open_ ~dir:m.Fleet.store_dir ()) in
+          Alcotest.(check int)
+            (m.Fleet.node ^ " store clean")
+            0
+            (r.Store.quarantined + r.Store.missing))
+        members)
+
+(* --- the self-healing metrics federate ------------------------------------------- *)
+
+let test_federate_recovery_metrics () =
+  let c name v = { Obs.cs_name = name; cs_labels = []; cs_value = v } in
+  let node_a =
+    { Obs.counters =
+        [ c "ddg_backend_respawns_total" 2;
+          c "ddg_membership_changes_total" 1;
+          c "ddg_scrub_repairs_total" 3 ];
+      histograms = [ Obs.hist_of_samples ~name:"ddg_scrub_pass_ns" [ 1; 3 ] ] }
+  in
+  let node_b =
+    { Obs.counters =
+        [ c "ddg_membership_changes_total" 1; c "ddg_scrub_repairs_total" 4 ];
+      histograms = [ Obs.hist_of_samples ~name:"ddg_scrub_pass_ns" [ 9 ] ] }
+  in
+  let merged = Federate.merge_snapshots [ node_a; node_b ] in
+  let text = Obs.prometheus_of_snapshot merged in
+  let golden =
+    "# TYPE ddg_backend_respawns_total counter\n\
+     ddg_backend_respawns_total 2\n\
+     # TYPE ddg_membership_changes_total counter\n\
+     ddg_membership_changes_total 2\n\
+     # TYPE ddg_scrub_repairs_total counter\n\
+     ddg_scrub_repairs_total 7\n\
+     # TYPE ddg_scrub_pass_ns histogram\n\
+     ddg_scrub_pass_ns_bucket{le=\"0\"} 0\n\
+     ddg_scrub_pass_ns_bucket{le=\"1\"} 1\n\
+     ddg_scrub_pass_ns_bucket{le=\"3\"} 2\n\
+     ddg_scrub_pass_ns_bucket{le=\"7\"} 2\n\
+     ddg_scrub_pass_ns_bucket{le=\"15\"} 3\n\
+     ddg_scrub_pass_ns_bucket{le=\"+Inf\"} 3\n\
+     ddg_scrub_pass_ns_sum 13\n\
+     ddg_scrub_pass_ns_count 3\n"
+  in
+  Alcotest.(check string) "federated recovery metrics golden" golden text;
+  match Obs.validate_exposition text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid federated exposition: %s" msg
+
+(* --- membership churn (qcheck) ---------------------------------------------------- *)
+
+let churn_pool = List.init 6 (fun i -> Printf.sprintf "n%d" i)
+
+let gen_churn_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 20)
+      (pair bool (map (List.nth churn_pool) (int_range 0 5))))
+
+let arb_churn_ops =
+  QCheck.make gen_churn_ops
+    ~print:
+      (QCheck.Print.list (fun (join, node) ->
+           (if join then "join " else "drain ") ^ node))
+
+let churn_keys = List.init 64 (fun i -> Printf.sprintf "workload-%d/tiny" i)
+
+let prop_router_churn =
+  (* after any sequence of joins and decommissions, every key lands on
+     exactly [Ring.owner] of a ring freshly built over the survivors —
+     the invariant the scrub's push-to-owner and the router's keyed
+     dispatch both rely on. Endpoints are dead on purpose: membership
+     changes must not depend on reachable backends. *)
+  QCheck.Test.make ~name:"router churn keeps keys on Ring.owner" ~count:15
+    arb_churn_ops (fun ops ->
+      let router =
+        Router.create ~size:tiny ~connect_timeout_s:0.2 ~health_interval_s:0.05
+          ~backends:[] []
+      in
+      let thread = Thread.create Router.run router in
+      let model =
+        Fun.protect
+          ~finally:(fun () ->
+            Router.stop router;
+            Thread.join thread)
+          (fun () ->
+            List.fold_left
+              (fun model (join, node) ->
+                if join then begin
+                  ignore
+                    (Router.join router ~node
+                       ~endpoint:(`Unix "/nonexistent/ddg-churn.sock"));
+                  if List.mem node model then model
+                  else List.sort compare (node :: model)
+                end
+                else begin
+                  ignore (Router.decommission router ~node);
+                  List.filter (fun n -> n <> node) model
+                end)
+              [] ops)
+      in
+      let names = List.map fst (Router.members router) in
+      names = model
+      &&
+      match Router.ring router with
+      | None -> model = []
+      | Some ring ->
+          model <> []
+          &&
+          let fresh = Ring.create model in
+          List.for_all
+            (fun k -> Ring.owner ring k = Ring.owner fresh k)
+            churn_keys)
+
 (* --- chaos with router fault sites --------------------------------------------- *)
 
 let chaos_script =
@@ -507,9 +813,16 @@ let tests =
       `Slow test_fetch_through;
     Alcotest.test_case "router e2e: route, aggregate, federate, failover"
       `Slow test_router_end_to_end;
+    Alcotest.test_case "self-healing metrics federate (golden)" `Quick
+      test_federate_recovery_metrics;
+    Alcotest.test_case "membership: drain, No_backends, rejoin" `Slow
+      test_membership_wire;
+    Alcotest.test_case "scrub repairs corruption from a peer" `Slow
+      test_scrub_repair;
     Alcotest.test_case "cluster chaos seed 3003" `Slow
       (test_cluster_chaos 3003) ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_ring_balanced;
         prop_ring_minimal_remap_remove;
-        prop_ring_minimal_remap_add ]
+        prop_ring_minimal_remap_add;
+        prop_router_churn ]

@@ -96,6 +96,27 @@ let sample_frames =
     Request { deadline_ms = 0; attempt = 0; request = Shutdown };
     Request { deadline_ms = 0; attempt = 2; request = Fsck };
     Request { deadline_ms = 0; attempt = 0; request = Metrics };
+    (* the v6 membership and replication verbs *)
+    Request
+      { deadline_ms = 2000; attempt = 0;
+        request = Join { node = "node3"; endpoint = "unix:/tmp/n3.sock" } };
+    Request
+      { deadline_ms = 0; attempt = 1;
+        request = Decommission { node = "node1" } };
+    Request
+      { deadline_ms = 0; attempt = 0;
+        request = Ring_update { members = [] } };
+    Request
+      { deadline_ms = 0; attempt = 0;
+        request =
+          Ring_update
+            { members =
+                [ ("node0", "unix:/tmp/n0.sock");
+                  ("node1", "tcp:127.0.0.1:7001") ] } };
+    Request { deadline_ms = 500; attempt = 0; request = Store_list };
+    Request
+      { deadline_ms = 0; attempt = 0;
+        request = Replicate { data = "DDGART01\x00raw\xffartifact bytes" } };
     Ok_response Pong;
     Ok_response (Analyzed sample_stats);
     Ok_response
@@ -110,6 +131,16 @@ let sample_frames =
          { scanned = 12; valid = 9; quarantined = 2; missing = 1;
            swept_temps = 3 });
     Ok_response (Metrics_snapshot sample_obs_snapshot);
+    Ok_response (Members { members = [] });
+    Ok_response
+      (Members
+         { members =
+             [ ("node0", "unix:/tmp/n0.sock"); ("node2", "tcp:[::1]:7002") ] });
+    Ok_response (Store_listing { entries = [] });
+    Ok_response
+      (Store_listing
+         { entries = [ ("trace", "mtxx/small"); ("stats", "eqnx/small/v2") ] });
+    Ok_response (Replicated { kind = "trace"; key = "mtxx/small" });
     Error_response { code = Busy; message = "10 requests already in flight" } ]
 
 let test_roundtrips () =
@@ -127,7 +158,7 @@ let test_all_error_codes () =
       check_canonical (Protocol.error_code_name code) frame)
     [ Protocol.Bad_frame; Unsupported_version; Unknown_workload;
       Unknown_table; Busy; Deadline_exceeded; Shutting_down; Internal;
-      Worker_crashed ]
+      Worker_crashed; No_backends ]
 
 let test_analyzed_stats_survive () =
   match

@@ -334,19 +334,33 @@ let test_outcome_counters_partition_requests () =
       (* the expired ping's worker still occupies the single slot for up
          to 500ms; let it drain so the blocker below is what saturates *)
       Thread.delay 0.6;
-      (* busy: saturate the single slot from a second connection *)
+      (* busy: saturate the single slot from a second connection. The
+         blocker holds the slot for 2s so the prober is guaranteed to
+         collide with it even when a loaded single-core box schedules
+         the two threads unkindly — and the blocker itself retries on
+         Busy, because a prober ping can own the slot for an instant
+         just as the blocker's request lands *)
       let blocker =
         Thread.create
           (fun () ->
             Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
-                ignore
-                  (Client.request client (Protocol.Ping { delay_ms = 500 }))))
+                let rec hold () =
+                  match
+                    Client.request client (Protocol.Ping { delay_ms = 2000 })
+                  with
+                  | (_ : Protocol.response) -> ()
+                  | exception Client.Server_error { code = Protocol.Busy; _ }
+                    ->
+                      Thread.delay 0.01;
+                      hold ()
+                in
+                hold ()))
           ()
       in
       let saw_busy = ref false in
       Client.with_connection ~retry_for_s:5.0 endpoint (fun client ->
           let attempts = ref 0 in
-          while (not !saw_busy) && !attempts < 200 do
+          while (not !saw_busy) && !attempts < 400 do
             incr attempts;
             match Client.request client (Protocol.Ping { delay_ms = 0 }) with
             | (_ : Protocol.response) -> Thread.delay 0.005
