@@ -240,9 +240,9 @@ let analyze ?(config = Config.default) trace =
       apply_mark (Trace.get_mark trace !mi);
       incr mi
     done;
-    let flags = Char.code (Bytes.get cols.flags i) in
+    let flags = Char.code (Bigarray.Array1.get cols.flags i) in
     let cls = flags land Trace.flags_class_mask in
-    let s0 = cols.src0.(i) and s1 = cols.src1.(i) and s2 = cols.src2.(i) in
+    let s0 = cols.src0.{i} and s1 = cols.src1.{i} and s2 = cols.src2.{i} in
     if s0 >= 0 then record_dep i s0;
     if s1 >= 0 then record_dep i s1;
     if s2 >= 0 then record_dep i s2;
@@ -252,7 +252,7 @@ let analyze ?(config = Config.default) trace =
     in
     Array.iter (fun s -> if s >= 0 then record_dep i s) extras;
     if flags land Trace.flags_has_dest <> 0 && cls <> control_tag then begin
-      let d = cols.dsts.(i) in
+      let d = cols.dsts.{i} in
       (* dataflow level: independent of store/load transparency, so the
          critical path counts the memory operations it flows through *)
       let maxl = ref 0 in

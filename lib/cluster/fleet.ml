@@ -86,6 +86,38 @@ let corrupt bytes =
     Bytes.to_string b
   end
 
+(* chunked pull (protocol v7): an artifact too large for one [Forward]
+   frame is fetched as [Forward_range] slices on one connection until
+   the peer's reported total is assembled. The importer's digest check
+   validates the reassembly end to end, so a short or shuffled chunk
+   can never install a bad artifact. *)
+let range_chunk_bytes = 8 * 1024 * 1024
+let max_ranged_bytes = 1 lsl 32 (* refuse absurd totals before buffering *)
+
+let fetch_ranged ~connect_timeout_s endpoint ~kind ~key =
+  try
+    Client.with_connection ~connect_timeout_s endpoint (fun c ->
+        let buf = Buffer.create range_chunk_bytes in
+        let rec pull offset =
+          match
+            Client.request c
+              (Protocol.Forward_range
+                 { kind; key; offset; length = range_chunk_bytes })
+          with
+          | Protocol.Fetched_range { total; data } ->
+              if total <= 0 || total > max_ranged_bytes then None
+              else begin
+                Buffer.add_string buf data;
+                let got = offset + String.length data in
+                if got >= total then Some (Buffer.contents buf)
+                else if String.length data = 0 then None (* no progress *)
+                else pull got
+              end
+          | _ -> None
+        in
+        pull 0)
+  with _ -> None
+
 let fetch_hook ~view:v ~connect_timeout_s ?(log = ignore) store ~kind ~key =
   let ring, peers, _ = view_snapshot v in
   let owner = Ring.owner ring (Route.of_store_key key) in
@@ -97,30 +129,35 @@ let fetch_hook ~view:v ~connect_timeout_s ?(log = ignore) store ~kind ~key =
         Obs.incr fetches_total;
         if Fault.fire "cluster.forward.fail" then false
         else
+          let import_bytes bytes =
+            let bytes =
+              if Fault.fire "cluster.fetch.corrupt" then corrupt bytes
+              else bytes
+            in
+            match Store.import store bytes with
+            | Some (k, k') when k = kind && k' = key ->
+                Obs.incr fetch_hits_total;
+                log
+                  (Printf.sprintf "fetched %s %s from %s (%d bytes)" kind key
+                     owner (String.length bytes));
+                true
+            | Some _ | None ->
+                log
+                  (Printf.sprintf
+                     "fetch of %s %s from %s rejected on import; recomputing"
+                     kind key owner);
+                false
+          in
           match
             Client.with_connection ~connect_timeout_s endpoint (fun c ->
                 Client.request c (Protocol.Forward { kind; key }))
           with
-          | Fetched { data = Some bytes } -> (
-              let bytes =
-                if Fault.fire "cluster.fetch.corrupt" then corrupt bytes
-                else bytes
-              in
-              match Store.import store bytes with
-              | Some (k, k') when k = kind && k' = key ->
-                  Obs.incr fetch_hits_total;
-                  log
-                    (Printf.sprintf "fetched %s %s from %s (%d bytes)" kind
-                       key owner (String.length bytes));
-                  true
-              | Some _ | None ->
-                  log
-                    (Printf.sprintf
-                       "fetch of %s %s from %s rejected on import; \
-                        recomputing"
-                       kind key owner);
-                  false)
-          | Fetched { data = None } -> false
+          | Fetched { data = Some bytes } -> import_bytes bytes
+          | Fetched { data = None } -> (
+              (* absent, or too large for one frame: try the chunked path *)
+              match fetch_ranged ~connect_timeout_s endpoint ~kind ~key with
+              | Some bytes -> import_bytes bytes
+              | None -> false)
           | _ -> false
           | exception _ ->
               log
@@ -149,6 +186,13 @@ let refetch ~view:v ~connect_timeout_s store ~kind ~key =
                 match Store.import store bytes with
                 | Some (k, k') when k = kind && k' = key -> true
                 | Some _ | None -> go rest)
+            | Protocol.Fetched { data = None } -> (
+                match fetch_ranged ~connect_timeout_s endpoint ~kind ~key with
+                | Some bytes -> (
+                    match Store.import store bytes with
+                    | Some (k, k') when k = kind && k' = key -> true
+                    | Some _ | None -> go rest)
+                | None -> go rest)
             | _ -> go rest
             | exception _ -> go rest))
   in

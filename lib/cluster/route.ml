@@ -14,7 +14,9 @@ let of_request ~size (req : Protocol.request) =
   | Protocol.Advise { workload; _ } ->
       Some (workload ^ "/" ^ sz)
   | Protocol.Table { name } -> Some ("table/" ^ name)
-  | Protocol.Forward { kind = _; key } -> Some (of_store_key key)
+  | Protocol.Forward { kind = _; key } | Protocol.Forward_range { kind = _; key; _ }
+    ->
+      Some (of_store_key key)
   | Protocol.Locate { key } -> Some key
   | Protocol.Ping _ | Protocol.Server_stats | Protocol.Fsck
   | Protocol.Metrics | Protocol.Shutdown | Protocol.Join _

@@ -587,7 +587,8 @@ let serve_request t sessions fd ~deadline_ms (req : Protocol.request) =
           with _ -> ())
         (locked t (fun () -> t.backends));
       stop t
-  | Analyze _ | Simulate _ | Table _ | Forward _ | Advise _ -> (
+  | Analyze _ | Simulate _ | Table _ | Forward _ | Forward_range _ | Advise _
+    -> (
       match Route.of_request ~size:t.size req with
       | Some key ->
           finish (dispatch_keyed t sessions ~deadline_ms ~t0 key req)

@@ -271,14 +271,45 @@ let trace_aux t (w : Workload.t) ~marks =
   match hit with
   | Some cached -> cached
   | None ->
+      (* Traces are served as zero-copy views: the store hands back the
+         payload's position ([~verify:false] — content digests are
+         enforced at put/import/fsck/scrub time), the simulation result
+         is decoded from a short prefix and the flat trace behind it is
+         mapped in place. Structural validation always runs inside
+         [map_file]; anything it rejects (including a legacy v1/v2
+         payload, converted below) discredits the artifact so the next
+         lookup recomputes. *)
       let look () =
         match t.store with
         | None -> None
-        | Some s ->
-            Store.find s ~kind:"trace" ~key (fun ic ->
-                let result = read_result ic in
-                let tr = Ddg_sim.Trace_io.read_channel ic in
-                (result, tr))
+        | Some s -> (
+            match Store.find_view ~verify:false s ~kind:"trace" ~key with
+            | None -> None
+            | Some v -> (
+                match
+                  let ic = open_in_bin v.Store.view_path in
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () ->
+                      seek_in ic v.Store.view_pos;
+                      let result = read_result ic in
+                      let tr =
+                        Ddg_sim.Trace_io.map_file ~verify:false
+                          ~pos:(pos_in ic) v.Store.view_path
+                      in
+                      (result, tr))
+                with
+                | value -> Some value
+                | exception e ->
+                    let reason =
+                      match e with
+                      | Ddg_sim.Trace_io.Corrupt msg -> msg
+                      | Store.Corrupt msg -> msg
+                      | End_of_file -> "truncated artifact"
+                      | e -> Printexc.to_string e
+                    in
+                    Store.discredit s ~kind:"trace" ~key reason;
+                    None))
       in
       let from_store =
         match look () with
@@ -313,7 +344,7 @@ let trace_aux t (w : Workload.t) ~marks =
               ~wall:(Unix.gettimeofday () -. t0)
               (fun oc ->
                 write_result oc result;
-                Ddg_sim.Trace_io.write_channel oc tr);
+                Ddg_sim.Trace_io.write_channel_flat oc tr);
             (result, tr)
       in
       locked t (fun () -> lru_insert_locked t mem_name v);

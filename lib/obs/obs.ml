@@ -619,3 +619,47 @@ let validate_exposition text =
                           name (render_labels labels) last_v c
                     | Some _ | None -> Ok ()))
         series (Ok ())
+
+(* --- process memory --------------------------------------------------------- *)
+
+(* VmHWM is the kernel's high-water mark of resident set size; reading
+   it costs one small procfs read and needs no privileges *)
+let peak_rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmHWM:"
+                then
+                  let kb =
+                    String.sub line 6 (String.length line - 6)
+                    |> String.trim
+                    |> String.split_on_char ' '
+                    |> List.hd |> int_of_string_opt
+                  in
+                  Option.map (fun kb -> kb * 1024) kb
+                else scan ()
+          in
+          scan ())
+
+let reset_peak_rss () =
+  (* compact first so freed heap pages return to the OS before the
+     kernel re-arms the mark *)
+  Gc.compact ();
+  match open_out "/proc/self/clear_refs" with
+  | exception Sys_error _ -> false
+  | oc -> (
+      match
+        output_string oc "5";
+        close_out oc
+      with
+      | () -> true
+      | exception Sys_error _ ->
+          close_out_noerr oc;
+          false)

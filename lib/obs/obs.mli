@@ -174,3 +174,15 @@ val validate_exposition : string -> (unit, string) result
     cumulative (non-decreasing) and end in [le="+Inf"], and when the
     matching [_count] series is present its value must equal the
     [+Inf] bucket. Returns the first violation. *)
+
+(** {1 Process memory} *)
+
+val peak_rss_bytes : unit -> int option
+(** Peak resident set size of this process in bytes — Linux [VmHWM]
+    from [/proc/self/status]. [None] where procfs is unavailable. *)
+
+val reset_peak_rss : unit -> bool
+(** Re-arm the kernel's resident-set high-water mark ([Gc.compact]
+    then writing ["5"] to [/proc/self/clear_refs]) so a following
+    {!peak_rss_bytes} measures only work done after the reset. [false]
+    where unsupported; the previous mark then remains in force. *)

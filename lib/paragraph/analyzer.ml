@@ -1,5 +1,6 @@
 open Ddg_isa
 module Obs = Ddg_obs.Obs
+module BA1 = Bigarray.Array1
 
 (* Observability sites, one per analyzer phase (Obs sites are static:
    registered once at module initialisation, nearly free while the obs
@@ -412,18 +413,18 @@ let feed_trace t trace =
   and a1 = cols.src1
   and a2 = cols.src2 in
   for i = 0 to cols.n - 1 do
-    let flags = Char.code (Bytes.unsafe_get flags_col i) in
+    let flags = Char.code (BA1.unsafe_get flags_col i) in
     let extra =
       if flags land Ddg_sim.Trace.flags_extra <> 0 then
         Ddg_sim.Trace.extra_srcs trace i
       else no_extra
     in
     feed_row t classes ~flags
-      ~pc:(Array.unsafe_get pcs i)
-      ~d:(Array.unsafe_get dsts i)
-      ~s0:(Array.unsafe_get a0 i)
-      ~s1:(Array.unsafe_get a1 i)
-      ~s2:(Array.unsafe_get a2 i)
+      ~pc:(BA1.unsafe_get pcs i)
+      ~d:(BA1.unsafe_get dsts i)
+      ~s0:(BA1.unsafe_get a0 i)
+      ~s1:(BA1.unsafe_get a1 i)
+      ~s2:(BA1.unsafe_get a2 i)
       ~extra
   done
 
@@ -585,20 +586,20 @@ let fused_group configs trace =
       and a1 = cols.src1
       and a2 = cols.src2 in
       for i = 0 to cols.n - 1 do
-        let flags = Char.code (Bytes.unsafe_get flags_col i) in
+        let flags = Char.code (BA1.unsafe_get flags_col i) in
         let extra =
           if flags land Ddg_sim.Trace.flags_extra <> 0 then
             Ddg_sim.Trace.extra_srcs trace i
           else no_extra
         in
-        let d = Array.unsafe_get dsts i
-        and s0 = Array.unsafe_get a0 i
-        and s1 = Array.unsafe_get a1 i
-        and s2 = Array.unsafe_get a2 i in
+        let d = BA1.unsafe_get dsts i
+        and s0 = BA1.unsafe_get a0 i
+        and s1 = BA1.unsafe_get a1 i
+        and s2 = BA1.unsafe_get a2 i in
         let tag = flags land Ddg_sim.Trace.flags_class_mask in
         incr rows;
         if tag = Opclass.control_tag then begin
-          let pc = Array.unsafe_get pcs i
+          let pc = BA1.unsafe_get pcs i
           and taken = flags land Ddg_sim.Trace.flags_taken <> 0
           and is_branch = flags land Ddg_sim.Trace.flags_branch <> 0 in
           (* a control row is inert for a windowless state with perfect
@@ -967,6 +968,40 @@ let analyze_channel config ic =
   let t = create config in
   Obs.time span_decode (fun () ->
       Ddg_sim.Trace_io.fold_channel ic ~init:() ~f:(fun () e -> feed t e));
+  let stats = Obs.time span_stats (fun () -> finish t) in
+  Obs.incr analyze_runs;
+  Obs.add analyze_events stats.events;
+  stats
+
+(* Stream a flat trace file through one analyzer state in bounded
+   memory: rows arrive through [Trace_io.stream_file]'s fixed read
+   windows — never a mapping, never a materialised trace — and feed the
+   same row engine as the in-memory paths, so the stats are identical to
+   [analyze config] over the same trace. The storage-class table is
+   rebuilt from the file's location section up front, exactly as the
+   packed trace builds its own on intern. *)
+let analyze_stream ?verify ?window config path =
+  let t, _ =
+    Obs.time (feed_span config) (fun () ->
+        Ddg_sim.Trace_io.stream_file ?verify ?window path
+          ~init:(fun (info : Ddg_sim.Trace_io.flat_info) ->
+            let nlocs = Array.length info.fi_locs in
+            let t =
+              create_sized ~live_well_capacity:(2 * max 16 nlocs) config
+            in
+            let classes = Bytes.create (max 1 nlocs) in
+            Array.iteri
+              (fun id loc ->
+                Bytes.unsafe_set classes id
+                  (Char.unsafe_chr
+                     (Loc.storage_class_tag
+                        (Segment.storage_class_of_loc loc))))
+              info.fi_locs;
+            (t, classes))
+          ~row:(fun ((t, classes) as acc) ~flags ~pc ~d ~s0 ~s1 ~s2 ~extra ->
+            feed_row t classes ~flags ~pc ~d ~s0 ~s1 ~s2 ~extra;
+            acc))
+  in
   let stats = Obs.time span_stats (fun () -> finish t) in
   Obs.incr analyze_runs;
   Obs.add analyze_events stats.events;

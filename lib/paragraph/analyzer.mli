@@ -85,6 +85,17 @@ val analyze_channel : Config.t -> in_channel -> stats
     trace.
     @raise Ddg_sim.Trace_io.Corrupt on malformed input. *)
 
+val analyze_stream :
+  ?verify:bool -> ?window:int -> Config.t -> string -> stats
+(** Stream a {e flat} (v3) trace file through the analyzer in bounded
+    memory via {!Ddg_sim.Trace_io.stream_file}: columns are read through
+    fixed [window]-row buffers, never mapped and never materialised, so
+    peak resident memory is the live-value working set plus the windows
+    — independent of trace size. Agrees exactly with {!analyze} of the
+    mapped trace. [verify] is the digest pass (default [true];
+    structural validation always runs).
+    @raise Ddg_sim.Trace_io.Corrupt on malformed input. *)
+
 val analyze_many :
   ?max_domains:int -> Config.t list -> Ddg_sim.Trace.t -> stats list
 (** Fused analysis: run one independent analyzer state per configuration

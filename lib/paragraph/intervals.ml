@@ -1,65 +1,138 @@
+(* Online interval accumulation at bounded memory.
+
+   A naive accumulator keeps every (lo, hi) pair and resolves them at
+   the end — O(values) memory, which would break the streaming
+   analyzer's bounded-memory guarantee on billion-event traces. Instead
+   we bucket online, exactly as the final resolution would: each
+   interval adds its exact level-unit count to its two edge buckets and
+   one +/- width pair to a difference array for the O(1) middle, and
+   when the deepest level outgrows the bucket budget the array is
+   coalesced pairwise (bucket totals are exact level-unit counts, so
+   halving the resolution is exact too — the same policy as Profile).
+   The resolved profile is bit-identical to what the naive accumulator
+   produced: the same minimal power-of-two width for the level range,
+   the same exact per-bucket totals. *)
+
 type t = {
-  mutable lo : int array;
-  mutable hi : int array;
-  mutable n : int;
-  mutable max_hi : int;
+  mutable counts : int array; (* edge + resolved contributions per bucket *)
+  mutable diff : int array;   (* pending middles; length counts + 1 *)
+  mutable width : int;        (* levels per bucket, a power of two *)
+  mutable wshift : int;       (* log2 width *)
+  mutable n : int;            (* intervals recorded *)
+  mutable total : int;        (* total level-units *)
+  mutable max_hi : int;       (* deepest level seen, -1 when empty *)
+  cap : int;                  (* bucket budget; width doubles past it *)
 }
 
+let default_cap = 65536
+
 let create () =
-  { lo = Array.make 1024 0; hi = Array.make 1024 0; n = 0; max_hi = -1 }
+  { counts = Array.make 256 0; diff = Array.make 257 0; width = 1;
+    wshift = 0; n = 0; total = 0; max_hi = -1; cap = default_cap }
+
+(* Materialise the pending difference entries into [counts]. Neutral on
+   the represented totals; leaves [diff] zero. *)
+let resolve t =
+  let running = ref 0 in
+  for s = 0 to Array.length t.counts - 1 do
+    running := !running + t.diff.(s);
+    if !running <> 0 then t.counts.(s) <- t.counts.(s) + !running
+  done;
+  Array.fill t.diff 0 (Array.length t.diff) 0
+
+(* Halve the resolution: slot i absorbs old slots 2i and 2i+1. Exact,
+   because every slot holds an exact level-unit total. *)
+let coalesce t =
+  resolve t;
+  let n = Array.length t.counts in
+  let fresh = Array.make n 0 in
+  for i = 0 to (n / 2) - 1 do
+    fresh.(i) <- t.counts.(2 * i) + t.counts.((2 * i) + 1)
+  done;
+  t.counts <- fresh;
+  t.width <- t.width * 2;
+  t.wshift <- t.wshift + 1
+
+(* Make [level] addressable: enlarge the arrays while under the budget,
+   then coarsen the bucket width. *)
+let ensure t level =
+  let need () = (level lsr t.wshift) + 1 in
+  if need () > Array.length t.counts then begin
+    if Array.length t.counts < t.cap then begin
+      let n = ref (Array.length t.counts) in
+      while !n < need () && !n < t.cap do
+        n := !n * 2
+      done;
+      let n = min !n t.cap in
+      let counts = Array.make n 0 in
+      Array.blit t.counts 0 counts 0 (Array.length t.counts);
+      let diff = Array.make (n + 1) 0 in
+      (* pending +/- pairs cancel inside the old range, so the running
+         sum past it is zero and a plain copy preserves the totals *)
+      Array.blit t.diff 0 diff 0 (Array.length t.diff);
+      t.counts <- counts;
+      t.diff <- diff
+    end;
+    while need () > Array.length t.counts do
+      coalesce t
+    done
+  end
 
 let add t ~lo ~hi =
   if lo < 0 || hi < lo then invalid_arg "Intervals.add";
-  if t.n = Array.length t.lo then begin
-    let grow a = 
-      let bigger = Array.make (2 * Array.length a) 0 in
-      Array.blit a 0 bigger 0 (Array.length a);
-      bigger
-    in
-    t.lo <- grow t.lo;
-    t.hi <- grow t.hi
-  end;
-  t.lo.(t.n) <- lo;
-  t.hi.(t.n) <- hi;
+  ensure t hi;
+  if hi > t.max_hi then t.max_hi <- hi;
   t.n <- t.n + 1;
-  if hi > t.max_hi then t.max_hi <- hi
+  t.total <- t.total + (hi - lo + 1);
+  let w = t.width in
+  let ls = lo lsr t.wshift and hs = hi lsr t.wshift in
+  if ls = hs then t.counts.(ls) <- t.counts.(ls) + (hi - lo + 1)
+  else begin
+    t.counts.(ls) <- t.counts.(ls) + (((ls + 1) * w) - lo);
+    t.counts.(hs) <- t.counts.(hs) + (hi - (hs * w) + 1);
+    t.diff.(ls + 1) <- t.diff.(ls + 1) + w;
+    t.diff.(hs) <- t.diff.(hs) - w
+  end
 
 let count t = t.n
 
 let merge_into ~into src =
-  for i = 0 to src.n - 1 do
-    add into ~lo:src.lo.(i) ~hi:src.hi.(i)
-  done
+  resolve src;
+  (* exactness needs the destination at least as coarse as the source:
+     power-of-two bucket boundaries then align, and totals just add *)
+  if src.max_hi >= 0 then ensure into src.max_hi;
+  while into.width < src.width do
+    coalesce into
+  done;
+  resolve into;
+  let shift = into.wshift - src.wshift in
+  for j = 0 to Array.length src.counts - 1 do
+    if src.counts.(j) <> 0 then begin
+      let i = j lsr shift in
+      into.counts.(i) <- into.counts.(i) + src.counts.(j)
+    end
+  done;
+  into.n <- into.n + src.n;
+  into.total <- into.total + src.total;
+  if src.max_hi > into.max_hi then into.max_hi <- src.max_hi
 
-let to_profile ?(slots = 65536) t =
+let to_profile ?(slots = default_cap) t =
   if slots < 2 then invalid_arg "Intervals.to_profile: slots < 2";
-  let width = ref 1 in
+  resolve t;
+  (* coarsen a copy until the requested budget is met; the accumulator
+     itself keeps its resolution *)
+  let width = ref t.width and counts = ref t.counts in
   while t.max_hi / !width >= slots do
+    let n = Array.length !counts in
+    let fresh = Array.make n 0 in
+    for i = 0 to (n / 2) - 1 do
+      fresh.(i) <- !counts.(2 * i) + !counts.((2 * i) + 1)
+    done;
+    counts := fresh;
     width := !width * 2
   done;
   let width = !width in
-  (* allocate only the buckets the level range reaches, not the cap *)
-  let slots = max 2 (min slots ((t.max_hi / width) + 1)) in
-  let counts = Array.make slots 0 in
-  (* difference array for the full middle buckets; partial edge buckets
-     are added directly *)
-  let diff = Array.make (slots + 1) 0 in
-  let total = ref 0 in
-  for i = 0 to t.n - 1 do
-    let lo = t.lo.(i) and hi = t.hi.(i) in
-    total := !total + (hi - lo + 1);
-    let ls = lo / width and hs = hi / width in
-    if ls = hs then counts.(ls) <- counts.(ls) + (hi - lo + 1)
-    else begin
-      counts.(ls) <- counts.(ls) + (((ls + 1) * width) - lo);
-      counts.(hs) <- counts.(hs) + (hi - (hs * width) + 1);
-      diff.(ls + 1) <- diff.(ls + 1) + width;
-      diff.(hs) <- diff.(hs) - width
-    end
-  done;
-  let running = ref 0 in
-  for s = 0 to slots - 1 do
-    running := !running + diff.(s);
-    counts.(s) <- counts.(s) + !running
-  done;
-  Profile.of_buckets ~width ~max_level:t.max_hi ~total:!total counts
+  let out_slots = max 2 (min slots ((t.max_hi / width) + 1)) in
+  let out = Array.make out_slots 0 in
+  Array.blit !counts 0 out 0 (min out_slots (Array.length !counts));
+  Profile.of_buckets ~width ~max_level:t.max_hi ~total:t.total out

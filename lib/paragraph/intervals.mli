@@ -1,12 +1,20 @@
-(** O(1)-per-interval accumulation into a level profile.
+(** O(1)-per-interval accumulation into a level profile, at bounded
+    memory.
 
-    The storage (memory-requirement) profile needs one unit added to every
-    level in each value's live range. Doing that directly is proportional
-    to range length — quadratic over a trace whose values live for
-    millions of levels. This accumulator records raw [(created, last_use)]
-    intervals in O(1) each and resolves them into a bucketed
-    {!Profile.t} once, with a difference array, when the final bucket
-    width is known. *)
+    The storage (memory-requirement) profile needs one unit added to
+    every level in each value's live range. Doing that directly is
+    proportional to range length — quadratic over a trace whose values
+    live for millions of levels — and keeping the raw intervals until
+    the end is proportional to value count, which breaks the streaming
+    analyzer's bounded-memory guarantee. This accumulator buckets
+    online: each interval costs O(1) (two exact edge-bucket updates plus
+    a difference-array pair for the middle), memory is capped at 65536
+    buckets, and when the level range outgrows the cap the buckets are
+    coalesced pairwise — exactly, since each holds an exact level-unit
+    total. The resolved profile is identical to what resolving the raw
+    interval multiset at the end would produce, for any [slots] up to
+    the 65536-bucket cap (finer resolutions were never requested and are
+    no longer representable). *)
 
 type t
 
@@ -21,10 +29,11 @@ val count : t -> int
 
 val merge_into : into:t -> t -> unit
 (** [merge_into ~into src] records every interval of [src] into [into]
-    ([src] is unchanged). {!to_profile} depends only on the interval
-    multiset, so merge order never changes the resolved profile. *)
+    ([src]'s observable state is unchanged). {!to_profile} depends only
+    on the interval multiset, so merge order never changes the resolved
+    profile. *)
 
 val to_profile : ?slots:int -> t -> Profile.t
 (** Resolve into a profile of "units live per level", bucketed exactly
-    like {!Profile.create} [~slots] would bucket it. The accumulator
-    remains usable afterwards. *)
+    like {!Profile.create} [~slots] would bucket it ([slots] at most
+    the 65536 cap). The accumulator remains usable afterwards. *)

@@ -1,4 +1,5 @@
 module Obs = Ddg_obs.Obs
+module BA1 = Bigarray.Array1
 
 (* Observability: one span per phase (the skeleton prepass, the parallel
    segment fan-out as a whole, the stitch), one span per segment body
@@ -79,7 +80,7 @@ let skeleton lat trace ~syscall_stall ~num_locs ~bounds =
     { s_create = Array.make (max 1 num_locs) absent; s_hl = 0; s_deepest = -1 };
   for j = 1 to k - 1 do
     for i = bounds.(j - 1) to bounds.(j) - 1 do
-      let flags = Char.code (Bytes.unsafe_get flags_col i) in
+      let flags = Char.code (BA1.unsafe_get flags_col i) in
       let tag = flags land Ddg_sim.Trace.flags_class_mask in
       if tag = Ddg_isa.Opclass.control_tag then ()
         (* perfect prediction, no window: control rows are inert *)
@@ -90,15 +91,15 @@ let skeleton lat trace ~syscall_stall ~num_locs ~bounds =
             if s >= 0 && Array.unsafe_get create s = absent then
               Array.unsafe_set create s hl1
           in
-          touch (Array.unsafe_get a0 i);
-          touch (Array.unsafe_get a1 i);
-          touch (Array.unsafe_get a2 i);
+          touch (BA1.unsafe_get a0 i);
+          touch (BA1.unsafe_get a1 i);
+          touch (BA1.unsafe_get a2 i);
           if flags land Ddg_sim.Trace.flags_extra <> 0 then
             Array.iter touch (Ddg_sim.Trace.extra_srcs trace i);
           let level = !deepest + Array.unsafe_get lat tag in
           let level = if level > !hl then level else !hl in
           if level > !deepest then deepest := level;
-          let d = Array.unsafe_get dsts i in
+          let d = BA1.unsafe_get dsts i in
           if d >= 0 then Array.unsafe_set create d level;
           hl := level + 1
         end
@@ -114,14 +115,14 @@ let skeleton lat trace ~syscall_stall ~num_locs ~bounds =
             else if c > !ready then ready := c
           end
         in
-        touch_ready (Array.unsafe_get a0 i);
-        touch_ready (Array.unsafe_get a1 i);
-        touch_ready (Array.unsafe_get a2 i);
+        touch_ready (BA1.unsafe_get a0 i);
+        touch_ready (BA1.unsafe_get a1 i);
+        touch_ready (BA1.unsafe_get a2 i);
         if flags land Ddg_sim.Trace.flags_extra <> 0 then
           Array.iter touch_ready (Ddg_sim.Trace.extra_srcs trace i);
         let level = !ready + Array.unsafe_get lat tag in
         if level > !deepest then deepest := level;
-        let d = Array.unsafe_get dsts i in
+        let d = BA1.unsafe_get dsts i in
         if d >= 0 then Array.unsafe_set create d level
       end
     done;
@@ -264,7 +265,7 @@ let repair lat trace ~syscall_stall ~num_locs ~lo ~hi ~(seed : seed) =
   and a2 = cols.src2 in
   let no_extra = [||] in
   for i = lo to hi - 1 do
-    let flags = Char.code (Bytes.unsafe_get flags_col i) in
+    let flags = Char.code (BA1.unsafe_get flags_col i) in
     let tag = flags land Ddg_sim.Trace.flags_class_mask in
     if tag = Ddg_isa.Opclass.control_tag then ()
     else if tag = Ddg_isa.Opclass.syscall_tag then begin
@@ -285,12 +286,12 @@ let repair lat trace ~syscall_stall ~num_locs ~lo ~hi ~(seed : seed) =
             record_use s level
           end
         in
-        touch_use (Array.unsafe_get a0 i);
-        touch_use (Array.unsafe_get a1 i);
-        touch_use (Array.unsafe_get a2 i);
+        touch_use (BA1.unsafe_get a0 i);
+        touch_use (BA1.unsafe_get a1 i);
+        touch_use (BA1.unsafe_get a2 i);
         if flags land Ddg_sim.Trace.flags_extra <> 0 then
           Array.iter touch_use (Ddg_sim.Trace.extra_srcs trace i);
-        let d = Array.unsafe_get dsts i in
+        let d = BA1.unsafe_get dsts i in
         if d >= 0 then define d level;
         hl := level + 1
       end
@@ -298,9 +299,9 @@ let repair lat trace ~syscall_stall ~num_locs ~lo ~hi ~(seed : seed) =
     else begin
       incr value_rows;
       let hl1 = !hl - 1 in
-      let s0 = Array.unsafe_get a0 i
-      and s1 = Array.unsafe_get a1 i
-      and s2 = Array.unsafe_get a2 i in
+      let s0 = BA1.unsafe_get a0 i
+      and s1 = BA1.unsafe_get a1 i
+      and s2 = BA1.unsafe_get a2 i in
       let extra =
         if flags land Ddg_sim.Trace.flags_extra <> 0 then
           Ddg_sim.Trace.extra_srcs trace i
@@ -330,7 +331,7 @@ let repair lat trace ~syscall_stall ~num_locs ~lo ~hi ~(seed : seed) =
       if s2 >= 0 then record_use s2 level;
       if Array.length extra <> 0 then
         Array.iter (fun s -> record_use s level) extra;
-      let d = Array.unsafe_get dsts i in
+      let d = BA1.unsafe_get dsts i in
       if d >= 0 then define d level
     end
   done;

@@ -1,4 +1,4 @@
-let version = 6
+let version = 7
 let max_frame_bytes = 16 * 1024 * 1024
 let magic = "DDGP"
 
@@ -55,6 +55,7 @@ type request =
   | Ring_update of { members : (string * string) list }
   | Store_list
   | Replicate of { data : string }
+  | Forward_range of { kind : string; key : string; offset : int; length : int }
 
 type sim_summary = {
   instructions : int;
@@ -112,6 +113,7 @@ type response =
   | Members of { members : (string * string) list }
   | Store_listing of { entries : (string * string) list }
   | Replicated of { kind : string; key : string }
+  | Fetched_range of { total : int; data : string }
 
 type frame =
   | Hello of { protocol : int; software : string; node : string }
@@ -136,6 +138,7 @@ let verb_name = function
   | Ring_update _ -> "ring-update"
   | Store_list -> "store-list"
   | Replicate _ -> "replicate"
+  | Forward_range _ -> "forward-range"
 
 (* a verb is idempotent when replaying it after an ambiguous failure
    (connection dropped mid-request) cannot change server state beyond
@@ -144,7 +147,7 @@ let verb_name = function
 let idempotent = function
   | Ping _ | Analyze _ | Simulate _ | Table _ | Server_stats | Fsck | Metrics
   | Locate _ | Forward _ | Advise _ | Join _ | Decommission _ | Ring_update _
-  | Store_list | Replicate _ ->
+  | Store_list | Replicate _ | Forward_range _ ->
       true
   | Shutdown -> false
 
@@ -381,6 +384,12 @@ let e_request b = function
   | Replicate { data } ->
       e_varint b 15;
       e_string ~max:max_frame_bytes b data
+  | Forward_range { kind; key; offset; length } ->
+      e_varint b 16;
+      e_string ~max:max_name b kind;
+      e_string ~max:max_key b key;
+      e_varint b offset;
+      e_varint b length
 
 let c_request c =
   match c_varint c with
@@ -412,6 +421,12 @@ let c_request c =
   | 13 -> Ring_update { members = c_members c }
   | 14 -> Store_list
   | 15 -> Replicate { data = c_string ~max:max_frame_bytes c }
+  | 16 ->
+      let kind = c_string ~max:max_name c in
+      let key = c_string ~max:max_key c in
+      let offset = c_varint c in
+      let length = c_varint c in
+      Forward_range { kind; key; offset; length }
   | t -> fail "bad request verb tag %d" t
 
 let e_counters b k =
@@ -629,6 +644,10 @@ let e_response b = function
       e_varint b 13;
       e_string ~max:max_name b kind;
       e_string ~max:max_key b key
+  | Fetched_range { total; data } ->
+      e_varint b 14;
+      e_varint b total;
+      e_string ~max:max_frame_bytes b data
 
 let c_response c =
   match c_varint c with
@@ -681,6 +700,10 @@ let c_response c =
       let kind = c_string ~max:max_name c in
       let key = c_string ~max:max_key c in
       Replicated { kind; key }
+  | 14 ->
+      let total = c_varint c in
+      let data = c_string ~max:max_frame_bytes c in
+      Fetched_range { total; data }
   | t -> fail "bad response tag %d" t
 
 let error_code_tag = function

@@ -126,6 +126,13 @@ type request =
           answering node's store ({!Ddg_store.Store.import}: digest
           checked before installation) — the push half of replication,
           complementing {!Forward}'s pull *)
+  | Forward_range of { kind : string; key : string; offset : int; length : int }
+      (** chunked fetch-through (protocol v7): export one slice of the
+          named artifact's raw file bytes, for artifacts too large to
+          ship in a single {!Forward} frame. The answering node replies
+          {!response.Fetched_range} with the slice and the file's total
+          size; the fetcher loops until it has the whole file and
+          imports the reassembled bytes (digest-verified) as usual *)
 
 type sim_summary = {
   instructions : int;
@@ -207,6 +214,10 @@ type response =
   | Replicated of { kind : string; key : string }
       (** reply to {!request.Replicate}: the imported artifact's
           identity as verified from its header *)
+  | Fetched_range of { total : int; data : string }
+      (** reply to {!request.Forward_range}: the requested slice
+          (clamped to the file, possibly empty) and the artifact file's
+          total byte count *)
 
 type frame =
   | Hello of { protocol : int; software : string; node : string }

@@ -182,8 +182,9 @@ let compute t (req : Protocol.request) cancelled : Protocol.response =
               quarantined = r.quarantined;
               missing = r.missing;
               swept_temps = r.swept_temps })
-  | Server_stats | Shutdown | Metrics | Locate _ | Forward _ | Join _
-  | Decommission _ | Ring_update _ | Store_list | Replicate _ ->
+  | Server_stats | Shutdown | Metrics | Locate _ | Forward _
+  | Forward_range _ | Join _ | Decommission _ | Ring_update _ | Store_list
+  | Replicate _ ->
       (* Handled inline by the connection handler; never queued. *)
       assert false
 
@@ -230,6 +231,25 @@ let serve_request t fd ~deadline_ms ~attempt (req : Protocol.request) =
             | d -> d
           in
           finish `Ok (Ok_response (Fetched { data })))
+  | Forward_range { kind; key; offset; length } -> (
+      (* chunked fetch-through: one raw slice per request, so artifacts
+         over the frame limit replicate in bounded pieces; the importer
+         digest-verifies the reassembled file *)
+      match Runner.store t.runner with
+      | None ->
+          finish `Error
+            (error_frame Internal
+               "no artifact store configured (daemon started with --no-cache)")
+      | Some store -> (
+          let length = min length (Protocol.max_frame_bytes - 64) in
+          match
+            Ddg_store.Store.export_range store ~kind ~key ~offset ~length
+          with
+          | Some (total, data) ->
+              finish `Ok (Ok_response (Fetched_range { total; data }))
+          | None ->
+              finish `Error
+                (error_frame Internal "artifact absent or unreadable")))
   | Store_list -> (
       (* migration/scrub source of truth: cheap header walk, never queued *)
       match Runner.store t.runner with

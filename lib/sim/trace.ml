@@ -45,16 +45,30 @@ let flags_extra = 0x80
    [locs.(id)] recovers the location, [classes] holds one storage-class
    tag byte per id. Events with more than three sources (none of the
    simulated ISA's instructions, but the format allows up to 16) overflow
-   into the [extra] table keyed by row index. *)
+   into the [extra] table keyed by row index.
+
+   The columns are Bigarrays, not OCaml arrays: their layout is exactly
+   the stride of one section of the flat trace file (Trace_io format 3),
+   so the simulator emits records straight into what the file format
+   stores, and a trace opened over an [Unix.map_file]-mapped artifact is
+   consumed in place with no decode and no copy. *)
+
+module BA1 = Bigarray.Array1
+
+type byte_col = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) BA1.t
+type int_col = (int, Bigarray.int_elt, Bigarray.c_layout) BA1.t
+
+let make_byte_col n : byte_col = BA1.create Bigarray.char Bigarray.c_layout n
+let make_int_col n : int_col = BA1.create Bigarray.int Bigarray.c_layout n
 
 type t = {
   mutable len : int;
-  mutable flags : Bytes.t;
-  mutable pcs : int array;
-  mutable dsts : int array;
-  mutable src0 : int array;
-  mutable src1 : int array;
-  mutable src2 : int array;
+  mutable flags : byte_col;
+  mutable pcs : int_col;
+  mutable dsts : int_col;
+  mutable src0 : int_col;
+  mutable src1 : int_col;
+  mutable src2 : int_col;
   extra : (int, int array) Hashtbl.t;
   (* location interner *)
   mutable locs : Ddg_isa.Loc.t array;
@@ -73,12 +87,12 @@ type t = {
 
 type columns = {
   n : int;
-  flags : Bytes.t;
-  pcs : int array;
-  dsts : int array;
-  src0 : int array;
-  src1 : int array;
-  src2 : int array;
+  flags : byte_col;
+  pcs : int_col;
+  dsts : int_col;
+  src0 : int_col;
+  src1 : int_col;
+  src2 : int_col;
 }
 
 let dummy_loc = Ddg_isa.Loc.Reg 0
@@ -87,12 +101,12 @@ let create ?(capacity = 4096) () =
   let capacity = max 1 capacity in
   {
     len = 0;
-    flags = Bytes.make capacity '\000';
-    pcs = Array.make capacity 0;
-    dsts = Array.make capacity (-1);
-    src0 = Array.make capacity (-1);
-    src1 = Array.make capacity (-1);
-    src2 = Array.make capacity (-1);
+    flags = make_byte_col capacity;
+    pcs = make_int_col capacity;
+    dsts = make_int_col capacity;
+    src0 = make_int_col capacity;
+    src1 = make_int_col capacity;
+    src2 = make_int_col capacity;
     extra = Hashtbl.create 8;
     locs = Array.make 256 dummy_loc;
     classes = Bytes.make 256 '\000';
@@ -138,38 +152,41 @@ let intern t loc =
 
 let find_id t loc = Hashtbl.find_opt t.ids (Ddg_isa.Loc.to_code loc)
 
+(* Doubling also moves a trace opened over a file mapping onto fresh
+   heap-backed Bigarrays: appending to a mapped trace copies it out of
+   the mapping transparently (copy-on-grow, never in place). *)
 let grow (t : t) =
-  let cap = Array.length t.pcs in
-  let bigger = 2 * cap in
-  let grow_arr a =
-    let b = Array.make bigger (-1) in
-    Array.blit a 0 b 0 cap;
+  let live = t.len in
+  let bigger = 2 * max 4 (BA1.dim t.pcs) in
+  let grow_col a =
+    let b = make_int_col bigger in
+    BA1.blit (BA1.sub a 0 live) (BA1.sub b 0 live);
     b
   in
-  let bytes = Bytes.make bigger '\000' in
-  Bytes.blit t.flags 0 bytes 0 cap;
-  t.flags <- bytes;
-  t.pcs <- grow_arr t.pcs;
-  t.dsts <- grow_arr t.dsts;
-  t.src0 <- grow_arr t.src0;
-  t.src1 <- grow_arr t.src1;
-  t.src2 <- grow_arr t.src2
+  let flags = make_byte_col bigger in
+  BA1.blit (BA1.sub t.flags 0 live) (BA1.sub flags 0 live);
+  t.flags <- flags;
+  t.pcs <- grow_col t.pcs;
+  t.dsts <- grow_col t.dsts;
+  t.src0 <- grow_col t.src0;
+  t.src1 <- grow_col t.src1;
+  t.src2 <- grow_col t.src2
 
 (* --- row-level construction ------------------------------------------------ *)
 
 let start_row t ~flags ~pc =
   if flags land flags_class_mask > 8 || flags land lnot 0x7F <> 0 then
     invalid_arg "Trace.start_row: bad flags byte";
-  if t.len = Array.length t.pcs then grow t;
+  if t.len = BA1.dim t.pcs then grow t;
   let i = t.len in
   (* dest/extra bits are derived from the row_* calls that follow *)
-  Bytes.unsafe_set t.flags i
+  BA1.unsafe_set t.flags i
     (Char.unsafe_chr (flags land lnot (flags_has_dest lor flags_extra)));
-  t.pcs.(i) <- pc;
-  t.dsts.(i) <- -1;
-  t.src0.(i) <- -1;
-  t.src1.(i) <- -1;
-  t.src2.(i) <- -1;
+  BA1.unsafe_set t.pcs i pc;
+  BA1.unsafe_set t.dsts i (-1);
+  BA1.unsafe_set t.src0 i (-1);
+  BA1.unsafe_set t.src1 i (-1);
+  BA1.unsafe_set t.src2 i (-1);
   t.len <- i + 1
 
 let last_row t =
@@ -177,20 +194,20 @@ let last_row t =
   t.len - 1
 
 let set_flag (t : t) i bit =
-  Bytes.unsafe_set t.flags i
-    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.flags i) lor bit))
+  BA1.unsafe_set t.flags i
+    (Char.unsafe_chr (Char.code (BA1.unsafe_get t.flags i) lor bit))
 
 let row_set_dest t loc =
   let i = last_row t in
-  t.dsts.(i) <- intern t loc;
+  t.dsts.{i} <- intern t loc;
   set_flag t i flags_has_dest
 
 let row_add_src t loc =
   let i = last_row t in
   let id = intern t loc in
-  if t.src0.(i) < 0 then t.src0.(i) <- id
-  else if t.src1.(i) < 0 then t.src1.(i) <- id
-  else if t.src2.(i) < 0 then t.src2.(i) <- id
+  if t.src0.{i} < 0 then t.src0.{i} <- id
+  else if t.src1.{i} < 0 then t.src1.{i} <- id
+  else if t.src2.{i} < 0 then t.src2.{i} <- id
   else begin
     let tail =
       match Hashtbl.find_opt t.extra i with
@@ -238,10 +255,10 @@ let extra_srcs t i =
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Trace.get";
-  let flags = Char.code (Bytes.unsafe_get t.flags i) in
+  let flags = Char.code (BA1.unsafe_get t.flags i) in
   let op_class = Ddg_isa.Opclass.of_tag (flags land flags_class_mask) in
   let dest =
-    if flags land flags_has_dest <> 0 then Some t.locs.(t.dsts.(i)) else None
+    if flags land flags_has_dest <> 0 then Some t.locs.(t.dsts.{i}) else None
   in
   let srcs =
     let tail =
@@ -250,14 +267,14 @@ let get t i =
       else []
     in
     let cons id rest = if id < 0 then rest else t.locs.(id) :: rest in
-    cons t.src0.(i) (cons t.src1.(i) (cons t.src2.(i) tail))
+    cons t.src0.{i} (cons t.src1.{i} (cons t.src2.{i} tail))
   in
   let branch =
     if flags land flags_branch <> 0 then
       Some { taken = flags land flags_taken <> 0 }
     else None
   in
-  { pc = t.pcs.(i); op_class; dest; srcs; branch }
+  { pc = t.pcs.{i}; op_class; dest; srcs; branch }
 
 let iter f t =
   for i = 0 to t.len - 1 do
@@ -342,16 +359,73 @@ let set_loops t loops = t.loop_table <- loops
 let loops t = t.loop_table
 
 (* Resident-size estimate: the column capacities (not just [len] — the
-   arrays are what the GC holds), the interner tables, and roughly three
-   words per hashtable binding. Used by byte-budgeted trace caches; an
-   estimate is all eviction needs. *)
+   Bigarrays are what holds the memory, heap-allocated or mapped), the
+   interner tables, and roughly three words per hashtable binding. Used
+   by byte-budgeted trace caches; an estimate is all eviction needs. *)
 let memory_bytes (t : t) =
   let word = 8 in
-  let cap = Array.length t.pcs in
+  let cap = BA1.dim t.pcs in
   let extra =
     Hashtbl.fold (fun _ a acc -> acc + 3 + Array.length a) t.extra 0
   in
-  Bytes.length t.flags + Bytes.length t.classes
+  BA1.dim t.flags + Bytes.length t.classes
   + Bytes.length t.mark_kind
   + (5 * cap + Array.length t.locs + extra + 3 * Hashtbl.length t.ids) * word
   + (2 * Array.length t.mark_pos + 4 * Array.length t.loop_table) * word
+
+(* --- building a trace over existing columns ---------------------------------
+
+   The flat-file decoder (Trace_io format 3) hands back whole column
+   sections — either [Unix.map_file] views of the file or heap Bigarrays
+   read from a channel — and this constructor wraps them as a trace
+   without copying the event columns. The caller is responsible for the
+   columns' structural validity (class tags, id ranges, the extra bit
+   matching [extra]); only the small side tables are re-derived and
+   checked here. *)
+let of_parts ~len ~flags ~pcs ~dsts ~src0 ~src1 ~src2 ~extra ~locs ~loops
+    ~marks =
+  if
+    len < 0
+    || BA1.dim flags < len
+    || BA1.dim pcs < len
+    || BA1.dim dsts < len
+    || BA1.dim src0 < len
+    || BA1.dim src1 < len
+    || BA1.dim src2 < len
+  then invalid_arg "Trace.of_parts: short columns";
+  let num_locs = Array.length locs in
+  let t =
+    {
+      len;
+      flags;
+      pcs;
+      dsts;
+      src0;
+      src1;
+      src2;
+      extra = Hashtbl.create (max 8 (List.length extra));
+      locs = (if num_locs = 0 then Array.make 256 dummy_loc else locs);
+      classes = Bytes.make (max 256 num_locs) '\000';
+      ids = Hashtbl.create (max 1024 num_locs);
+      num_locs;
+      mark_pos = [||];
+      mark_kind = Bytes.empty;
+      mark_loop = [||];
+      num_marks = 0;
+      loop_table = loops;
+    }
+  in
+  Array.iteri
+    (fun id loc ->
+      let code = Ddg_isa.Loc.to_code loc in
+      if Hashtbl.mem t.ids code then
+        invalid_arg "Trace.of_parts: duplicate location";
+      Hashtbl.add t.ids code id;
+      Bytes.unsafe_set t.classes id
+        (Char.unsafe_chr
+           (Ddg_isa.Loc.storage_class_tag
+              (Ddg_isa.Segment.storage_class_of_loc loc))))
+    locs;
+  List.iter (fun (row, srcs) -> Hashtbl.replace t.extra row srcs) extra;
+  Array.iter (fun (pos, kind, loop) -> add_mark_at t ~pos ~kind ~loop) marks;
+  t

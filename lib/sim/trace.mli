@@ -73,18 +73,28 @@ val flags_branch : int
 val flags_taken : int
 val flags_extra : int
 
+(** The columns are Bigarrays with exactly the flat trace file's section
+    layout (one byte per flags entry, one native 64-bit int per operand
+    entry), so a trace read from a mapped file is consumed in place and
+    a trace built by the simulator is written out with plain blits. *)
+
+type byte_col =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type int_col = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 (** A snapshot of the column arrays. Valid until the next {!add} /
     {!start_row} (growth may replace the underlying arrays); rows
     [0 .. n-1] are live. Operand columns hold dense location ids, [-1]
     when the operand is absent. *)
 type columns = {
   n : int;
-  flags : Bytes.t;
-  pcs : int array;
-  dsts : int array;
-  src0 : int array;
-  src1 : int array;
-  src2 : int array;
+  flags : byte_col;
+  pcs : int_col;
+  dsts : int_col;
+  src0 : int_col;
+  src1 : int_col;
+  src2 : int_col;
 }
 
 val columns : t -> columns
@@ -132,6 +142,31 @@ val memory_bytes : t -> int
     capacities, interner tables, overflow rows and the loop-mark side
     channel). Intended for byte-budgeted caches; the estimate errs low by
     small per-block GC overheads only. *)
+
+val of_parts :
+  len:int ->
+  flags:byte_col ->
+  pcs:int_col ->
+  dsts:int_col ->
+  src0:int_col ->
+  src1:int_col ->
+  src2:int_col ->
+  extra:(int * int array) list ->
+  locs:Ddg_isa.Loc.t array ->
+  loops:Ddg_isa.Loop.t array ->
+  marks:(int * Ddg_isa.Insn.mark * int) array ->
+  t
+(** Wrap existing column Bigarrays as a trace {e without copying them} —
+    the flat-file decoder's constructor, handing over either
+    [Unix.map_file] views or heap columns it just read. [extra] lists
+    the overflow source rows as [(row, ids)]; [marks] are
+    [(pos, kind, loop)] in non-decreasing position order. The interner
+    is rebuilt from [locs] (ids are array indices). The caller must have
+    validated the columns structurally (class tags, id ranges, the extra
+    bit); appending to the result copies the columns to the heap first
+    (copy-on-grow), so a mapping is never written through.
+    @raise Invalid_argument on short columns, duplicate locations or
+    malformed marks. *)
 
 (** {1 Loop-attribution side channel}
 

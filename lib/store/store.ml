@@ -418,6 +418,67 @@ let find t ~kind ~key read_payload =
         None
   end
 
+(* --- zero-copy views --------------------------------------------------------- *)
+
+type view = { view_path : string; view_pos : int; view_len : int }
+
+(* Hand back the payload's position instead of its bytes. The returned
+   path stays readable to holders of already-open fds and mappings even
+   if the artifact is later quarantined (rename) or removed (unlink) —
+   POSIX keeps the inode alive — which is the lifetime rule that lets a
+   served trace outlive a concurrent fsck. *)
+let find_view ?(verify = true) t ~kind ~key =
+  Obs.time span_find @@ fun () ->
+  let path = artifact_path t ~kind ~key in
+  if not (Sys.file_exists path) then begin
+    Obs.incr find_misses;
+    None
+  end
+  else begin
+    if Ddg_fault.Fault.fire "store.find.bitflip" then bitflip_file path;
+    let verdict =
+      match open_in_bin path with
+      | exception Sys_error msg -> Error msg
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match
+                let info = read_header ic in
+                if info.i_kind <> kind || info.i_key <> key then
+                  corrupt "key mismatch (hash collision or tampering)";
+                let start = pos_in ic in
+                if in_channel_length ic - start <> info.i_length then
+                  corrupt "payload length mismatch";
+                if verify then begin
+                  let actual = Digest.channel ic info.i_length in
+                  if actual <> info.i_digest then corrupt "checksum mismatch"
+                end;
+                { view_path = path; view_pos = start;
+                  view_len = info.i_length }
+              with
+              | v -> Ok v
+              | exception Corrupt msg -> Error msg
+              | exception End_of_file -> Error "truncated artifact"
+              | exception e -> Error (Printexc.to_string e))
+    in
+    match verdict with
+    | Ok v ->
+        Obs.incr find_hits;
+        Some v
+    | Error reason ->
+        quarantine t path reason;
+        Obs.incr find_misses;
+        None
+  end
+
+(* Public quarantine: a reader that validated deeper than the store can
+   (e.g. the flat-trace decoder rejecting a structurally hostile file
+   that passes its digest) reports the artifact bad here. *)
+let discredit t ~kind ~key reason =
+  let path = artifact_path t ~kind ~key in
+  if Sys.file_exists path then quarantine t path reason
+
 (* --- export / import -------------------------------------------------------- *)
 
 (* verify an artifact file in place: header shape, payload length and
@@ -483,6 +544,37 @@ let export t ~kind ~key =
       | Error reason ->
           quarantine t path reason;
           None)
+
+(* Serve one slice of a whole artifact file for chunked replication.
+   Cheap by design: header sanity only, no digest pass — the importer
+   verifies the reassembled artifact in full before installing it, so a
+   rotted chunk is caught there. Returns the slice and the file's total
+   size so the fetcher can plan the next request. *)
+let export_range t ~kind ~key ~offset ~length =
+  if offset < 0 || length < 0 then None
+  else
+    let path = artifact_path t ~kind ~key in
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic -> (
+        match
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let info = read_header ic in
+              if info.i_kind <> kind || info.i_key <> key then
+                corrupt "key mismatch (hash collision or tampering)";
+              let total = in_channel_length ic in
+              let len = min length (max 0 (total - offset)) in
+              seek_in ic offset;
+              (total, really_input_string ic len))
+        with
+        | result ->
+            Obs.incr exports_total;
+            Some result
+        | exception Corrupt _ | exception End_of_file
+        | exception Sys_error _ ->
+            None)
 
 let import t data =
   let tmp = temp_name t "import" in

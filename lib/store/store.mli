@@ -79,6 +79,43 @@ val quarantine_count : t -> int
 (** Artifacts this handle has moved to [quarantine/] since {!open_}
     (from failed {!find} verification or {!fsck}). *)
 
+(** {2 Zero-copy views}
+
+    Large payloads (traces) are served as positions into the artifact
+    file instead of copied strings, so the reader can [Unix.map_file]
+    the payload and consume it in place. *)
+
+type view = {
+  view_path : string;  (** the artifact file *)
+  view_pos : int;  (** byte offset of the payload within it *)
+  view_len : int;  (** payload length in bytes *)
+}
+
+val find_view : ?verify:bool -> t -> kind:string -> key:string -> view option
+(** Locate an artifact's payload without reading it: header and payload
+    length are always checked; [verify] (default [true]) additionally
+    runs the chunked digest pass (constant memory — fsck-grade assurance
+    without loading the payload). Failures quarantine exactly as {!find}
+    does.
+
+    {b Lifetime rule}: the view is a name, not a handle. Open the path
+    (or map it) promptly; once a reader holds an open fd or a mapping,
+    a concurrent quarantine or replacement of the same key — both
+    implemented as [rename]/[unlink] — can no longer invalidate it,
+    because POSIX keeps the inode alive until the last reference drops.
+    What is {e not} guaranteed is that a later [open] of [view_path]
+    sees the same artifact (it may have been quarantined or replaced):
+    re-validate after opening, as {!Ddg_sim.Trace_io.map_file} does via
+    its header/digest checks. The store never truncates or rewrites an
+    artifact file in place. *)
+
+val discredit : t -> kind:string -> key:string -> string -> unit
+(** Quarantine one artifact by key (with the given [.reason] text), for
+    readers that validate deeper than the store can — e.g. the
+    flat-trace decoder rejecting a structurally hostile payload that
+    passes its digest. A no-op when the artifact is absent (a concurrent
+    reader may have already moved it). *)
+
 (** {2 Replication}
 
     Whole artifacts move between stores as their raw [.art] bytes —
@@ -91,6 +128,17 @@ val export : t -> kind:string -> key:string -> string option
     into another store. [None] when the artifact is absent; when it is
     present but fails verification it is quarantined (with a [.reason]
     note) and the result is [None], exactly as a {!find} would. *)
+
+val export_range : t ->
+  kind:string -> key:string -> offset:int -> length:int ->
+  (int * string) option
+(** One slice of an artifact's raw file bytes, for chunked replication
+    of artifacts too large to ship in a single protocol frame. Returns
+    [(total_bytes, slice)] where [slice] is the bytes at
+    [offset .. offset+length-1] (clamped to the file). Header sanity
+    only — no digest pass per chunk; {!import} verifies the reassembled
+    artifact in full before installing it. [None] when absent or
+    unreadable. *)
 
 val import : t -> string -> (string * string) option
 (** Install an artifact from its raw bytes: the blob is written to a

@@ -19,4 +19,5 @@ let () =
       ("properties", Test_props.tests);
       ("obs", Test_obs.tests);
       ("cluster", Test_cluster.tests);
-      ("advise", Test_advise.tests) ]
+      ("advise", Test_advise.tests);
+      ("zerocopy", Test_zerocopy.tests) ]
